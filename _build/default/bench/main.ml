@@ -1,0 +1,341 @@
+(* The benchmark harness: regenerates every table of the paper's
+   evaluation (Tables 1-4) on the exom_bench suite, then runs one
+   bechamel microbenchmark per table on the underlying machinery.
+
+   Usage: dune exec bench/main.exe [-- --skip-bechamel]
+*)
+
+module B = Exom_bench.Bench_types
+module Runner = Exom_bench.Runner
+module Suite = Exom_bench.Suite
+module Demand = Exom_core.Demand
+module Oracle = Exom_core.Oracle
+module Session = Exom_core.Session
+module Interp = Exom_interp.Interp
+module Relevant = Exom_ddg.Relevant
+module Slice = Exom_ddg.Slice
+module Table = Exom_util.Table
+module Typecheck = Exom_lang.Typecheck
+
+let fmt_sizes (s : Runner.sizes) =
+  Printf.sprintf "%d/%d" s.Runner.static_size s.Runner.dynamic_size
+
+let fmt_ratio a b =
+  let r x y = if y = 0 then 0.0 else float_of_int x /. float_of_int y in
+  Printf.sprintf "%.2f/%.2f"
+    (r a.Runner.static_size b.Runner.static_size)
+    (r a.Runner.dynamic_size b.Runner.dynamic_size)
+
+let print_table_1 () =
+  print_endline "== Table 1: Characteristics of benchmarks ==";
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Left; Table.Left ]
+      [ "Benchmark"; "LOC"; "# of procedures"; "Error type"; "Description" ]
+  in
+  List.iter
+    (fun b ->
+      let prog = Typecheck.parse_and_check b.B.source in
+      Table.add_row t
+        [ b.B.name;
+          string_of_int (B.loc_count b);
+          string_of_int (B.procedure_count prog);
+          b.B.error_type;
+          b.B.description ])
+    Suite.all;
+  Table.print t;
+  print_newline ()
+
+let print_table_2 results =
+  print_endline
+    "== Table 2: Execution omission errors (slice sizes, static/dynamic) ==";
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Left ]
+      [ "Benchmark"; "Error"; "RS"; "DS"; "PS"; "RS/DS"; "RS/PS"; "captured by" ]
+  in
+  List.iter
+    (fun (r : Runner.result) ->
+      let captured =
+        String.concat ""
+          [ (if r.Runner.root_in_rs then "RS " else "");
+            (if r.Runner.root_in_ds then "DS " else "");
+            (if r.Runner.root_in_ps then "PS" else "") ]
+      in
+      Table.add_row t
+        [ r.Runner.bench.B.name;
+          r.Runner.fault.B.fid;
+          fmt_sizes r.Runner.rs;
+          fmt_sizes r.Runner.ds;
+          fmt_sizes r.Runner.ps;
+          fmt_ratio r.Runner.rs r.Runner.ds;
+          fmt_ratio r.Runner.rs r.Runner.ps;
+          (if captured = "" then "none" else String.trim captured) ])
+    results;
+  Table.print t;
+  let misses = List.filter (fun r -> not r.Runner.root_in_ds) results in
+  Printf.printf
+    "(RS captures %d/%d roots; DS misses %d/%d — the execution omission \
+     errors)\n\n"
+    (List.length (List.filter (fun r -> r.Runner.root_in_rs) results))
+    (List.length results) (List.length misses) (List.length results)
+
+let print_table_3 results =
+  print_endline "== Table 3: Effectiveness ==";
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Right; Table.Left ]
+      [ "Benchmark"; "Error"; "# of user prunings"; "# of verifications";
+        "# of iterations"; "# of expanded edges"; "IPS"; "OS"; "located" ]
+  in
+  List.iter
+    (fun (r : Runner.result) ->
+      Table.add_row t
+        [ r.Runner.bench.B.name;
+          r.Runner.fault.B.fid;
+          string_of_int r.Runner.report.Demand.user_prunings;
+          string_of_int r.Runner.report.Demand.verifications;
+          string_of_int r.Runner.report.Demand.iterations;
+          string_of_int r.Runner.report.Demand.expanded_edges;
+          fmt_sizes r.Runner.ips;
+          (match r.Runner.os_ with Some s -> fmt_sizes s | None -> "-");
+          (if r.Runner.report.Demand.found then "yes" else "NO") ])
+    results;
+  Table.print t;
+  print_newline ()
+
+let print_table_4 results =
+  print_endline "== Table 4: Performance ==";
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      [ "Benchmark"; "Error"; "Plain (sec.)"; "Graph (sec.)"; "Verif. (sec.)";
+        "Graph/Plain" ]
+  in
+  List.iter
+    (fun (r : Runner.result) ->
+      let ratio =
+        if r.Runner.plain_seconds > 0.0 then
+          r.Runner.graph_seconds /. r.Runner.plain_seconds
+        else 0.0
+      in
+      Table.add_row t
+        [ r.Runner.bench.B.name;
+          r.Runner.fault.B.fid;
+          Printf.sprintf "%.5f" r.Runner.plain_seconds;
+          Printf.sprintf "%.5f" r.Runner.graph_seconds;
+          Printf.sprintf "%.5f" r.Runner.verif_seconds;
+          Printf.sprintf "%.1f" ratio ])
+    results;
+  Table.print t;
+  print_newline ()
+
+(* Ablations: the design decisions DESIGN.md calls out. *)
+
+let print_ablations () =
+  print_endline
+    "== Ablation A: confidence over blind potential edges (the \"plausible \
+     alternative\" of §3.2) ==";
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Left ]
+      [ "Benchmark"; "Error"; "C(root) verified"; "C(root) potential";
+        "root sanitized?" ]
+  in
+  List.iter
+    (fun (b, f) ->
+      let s = Exom_bench.Ablation.potential_confidence_sanitizes b f in
+      Table.add_row t
+        [ b.B.name;
+          f.B.fid;
+          Printf.sprintf "%.3f" s.Exom_bench.Ablation.conf_verified;
+          Printf.sprintf "%.3f" s.Exom_bench.Ablation.conf_potential;
+          (if s.Exom_bench.Ablation.sanitized then "YES (root lost)" else "no")
+        ])
+    Suite.rows;
+  Table.print t;
+  print_newline ();
+  print_endline
+    "== Ablation B: edge-approximated vs path-exact VerifyDep (§3.2) ==";
+  let t2 =
+    Table.create
+      ~aligns:
+        [ Table.Left; Table.Left; Table.Left; Table.Right; Table.Right;
+          Table.Left; Table.Right; Table.Right ]
+      [ "Benchmark"; "Error"; "edge: found"; "verif"; "edges"; "path: found";
+        "verif"; "edges" ]
+  in
+  List.iter
+    (fun (name, fid) ->
+      let b = Option.get (Suite.find name) in
+      let f = Option.get (Suite.find_fault b fid) in
+      let c = Exom_bench.Ablation.compare_verify_modes b f in
+      let yn r = if r.Demand.found then "yes" else "NO" in
+      Table.add_row t2
+        [ name; fid;
+          yn c.Exom_bench.Ablation.edge_report;
+          string_of_int c.Exom_bench.Ablation.edge_report.Demand.verifications;
+          string_of_int c.Exom_bench.Ablation.edge_report.Demand.expanded_edges;
+          yn c.Exom_bench.Ablation.path_report;
+          string_of_int c.Exom_bench.Ablation.path_report.Demand.verifications;
+          string_of_int c.Exom_bench.Ablation.path_report.Demand.expanded_edges
+        ])
+    [ ("flexsim", "V1-F9"); ("grepsim", "V4-F2"); ("gzipsim", "V2-F3");
+      ("sedsim", "V3-F2") ];
+  Table.print t2;
+  print_newline ();
+  print_endline
+    "== Ablation C: condition (iv) backend — static analysis vs the \
+     paper's union dependence graph ==";
+  let t3 =
+    Table.create
+      ~aligns:
+        [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+          Table.Left ]
+      [ "Benchmark"; "Error"; "RS static-(iv)"; "RS union-(iv)";
+        "union pairs"; "root kept" ]
+  in
+  List.iter
+    (fun (b, f) ->
+      let r = Exom_bench.Ablation.compare_rs_backends b f in
+      let ss, sd = r.Exom_bench.Ablation.rs_static in
+      let us, ud = r.Exom_bench.Ablation.rs_union in
+      Table.add_row t3
+        [ b.B.name; f.B.fid;
+          Printf.sprintf "%d/%d" ss sd;
+          Printf.sprintf "%d/%d" us ud;
+          string_of_int r.Exom_bench.Ablation.union_pairs;
+          (if r.Exom_bench.Ablation.root_in_union then "yes" else "LOST") ])
+    Suite.rows;
+  Table.print t3;
+  print_newline ();
+  print_endline
+    "== Comparison D: critical-predicate search (ICSE'06 [18], §6) vs \
+     demand-driven implicit dependences ==";
+  let t4 =
+    Table.create
+      ~aligns:
+        [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+          Table.Left ]
+      [ "Benchmark"; "Error"; "critical preds found"; "re-executions";
+        "demand verifications"; "demand located" ]
+  in
+  List.iter
+    (fun (b, f) ->
+      let c = Exom_bench.Ablation.compare_with_critical_search b f in
+      Table.add_row t4
+        [ b.B.name; f.B.fid;
+          string_of_int c.Exom_bench.Ablation.critical_found;
+          string_of_int c.Exom_bench.Ablation.critical_executions;
+          string_of_int c.Exom_bench.Ablation.demand_verifications;
+          (if c.Exom_bench.Ablation.demand_found then "yes" else "NO") ])
+    Suite.rows;
+  Table.print t4;
+  print_endline
+    "(a fault with 0 critical predicates cannot be found by whole-output \
+     switching at any cost)";
+  print_newline ()
+
+(* Bechamel microbenchmarks: one Test.make per table, exercising the
+   machinery that regenerates it. *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let gzip = Exom_bench.Gzipsim.bench in
+  let fault = List.hd gzip.B.faults in
+  let faulty = Typecheck.parse_and_check (B.faulty_source gzip fault) in
+  let correct = Typecheck.parse_and_check gzip.B.source in
+  let input = fault.B.failing_input in
+  let expected = Oracle.expected ~correct_prog:correct ~input in
+  let table1 =
+    Test.make ~name:"table1:parse+typecheck suite"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun b -> ignore (Typecheck.parse_and_check b.B.source))
+             Suite.all))
+  in
+  let table2 =
+    Test.make ~name:"table2:DS+RS slicing (gzip V2-F3)"
+      (Staged.stage (fun () ->
+           let s =
+             Session.create ~prog:faulty ~input ~expected
+               ~profile_inputs:gzip.B.test_inputs ()
+           in
+           let c = [ s.Session.wrong_output ] in
+           ignore (Slice.compute s.Session.trace ~criteria:c);
+           ignore (Relevant.relevant_slice s.Session.rel ~criteria:c)))
+  in
+  let table3 =
+    Test.make ~name:"table3:demand-driven locate (gzip V2-F3)"
+      (Staged.stage (fun () -> ignore (Runner.run_fault gzip fault)))
+  in
+  let table4 =
+    Test.make ~name:"table4:plain vs traced execution"
+      (Staged.stage (fun () ->
+           ignore (Interp.run ~tracing:false faulty ~input);
+           ignore (Interp.run ~tracing:true faulty ~input)))
+  in
+  Test.make_grouped ~name:"tables" [ table1; table2; table3; table4 ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  print_endline "== Bechamel microbenchmarks (one per table) ==";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right ]
+      [ "microbenchmark"; "time/run" ]
+  in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let time =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) ->
+          if est >= 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+          else if est >= 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+          else Printf.sprintf "%.2f us" (est /. 1e3)
+        | _ -> "n/a"
+      in
+      Table.add_row t [ name; time ])
+    results;
+  Table.print t;
+  print_newline ()
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let skip_bechamel =
+    List.mem "--skip-bechamel" args || List.mem "--tables-only" args
+  in
+  print_endline
+    "exom benchmark harness: reproducing the evaluation of \"Towards \
+     Locating Execution Omission Errors\" (PLDI 2007)";
+  print_newline ();
+  print_table_1 ();
+  print_endline "(running all 11 fault-localization experiments...)";
+  let results = List.map (fun (b, f) -> Runner.run_fault b f) Suite.rows in
+  print_newline ();
+  print_table_2 results;
+  print_table_3 results;
+  print_table_4 results;
+  print_ablations ();
+  if not skip_bechamel then run_bechamel ();
+  let located =
+    List.length (List.filter (fun r -> r.Runner.report.Demand.found) results)
+  in
+  Printf.printf "Located %d/%d seeded execution omission errors.\n" located
+    (List.length results)

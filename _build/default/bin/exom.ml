@@ -1,0 +1,502 @@
+(* exom: the command-line front end.
+
+   Subcommands:
+     run     execute an MCL program (optionally dumping the trace)
+     info    front-end and static-analysis facts about a program
+     slice   dynamic slice of one output
+     rslice  relevant slice of one output (potential dependences)
+     locate  full demand-driven localization against a corrected program
+     explain confidence analysis of a failing run (ranked candidates)
+     dot     Graphviz rendering of the dynamic dependence graph
+     regions the execution's region decomposition (Definition 3)
+     bench   run one benchmark fault from the built-in suite            *)
+
+module Ast = Exom_lang.Ast
+module Typecheck = Exom_lang.Typecheck
+module Loc = Exom_lang.Loc
+module Interp = Exom_interp.Interp
+module Trace = Exom_interp.Trace
+module Proginfo = Exom_cfg.Proginfo
+module Slice = Exom_ddg.Slice
+module Relevant = Exom_ddg.Relevant
+module Session = Exom_core.Session
+module Oracle = Exom_core.Oracle
+module Demand = Exom_core.Demand
+module B = Exom_bench.Bench_types
+module Runner = Exom_bench.Runner
+module Suite = Exom_bench.Suite
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let compile_file path =
+  try Ok (Typecheck.parse_and_check (read_file path)) with
+  | Loc.Error (loc, msg) ->
+    Error (Printf.sprintf "%s:%d:%d: %s" path (Loc.line loc) (Loc.col loc) msg)
+  | Failure msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | Sys_error msg -> Error msg
+
+let parse_ints s =
+  String.split_on_char ',' s
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.filter (fun x -> String.trim x <> "")
+  |> List.map (fun x -> int_of_string (String.trim x))
+
+(* Common options *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MCL source file")
+
+let input_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "input"; "i" ] ~docv:"INTS"
+        ~doc:"Program input: comma- or space-separated integers")
+
+let text_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "text" ]
+        ~doc:
+          "Program input as text: encoded as length followed by character \
+           codes (the convention of the benchmark programs)")
+
+let resolve_input input text =
+  match text with
+  | Some t -> B.input_of_string t
+  | None -> parse_ints input
+
+let output_index_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "output"; "o" ] ~docv:"N" ~doc:"Index of the output to slice on (0-based)")
+
+(* run *)
+
+let run_cmd =
+  let action file input text tracing dump_trace =
+    match compile_file file with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok prog ->
+      let tracing = tracing || dump_trace <> None in
+      let run = Interp.run ~tracing prog ~input:(resolve_input input text) in
+      List.iter (fun (_, v) -> Printf.printf "%d\n" v) run.Interp.outputs;
+      (match (dump_trace, run.Interp.trace) with
+      | Some path, Some t ->
+        Exom_interp.Trace_io.save path t;
+        Printf.eprintf "trace written to %s\n" path
+      | _ -> ());
+      (match run.Interp.outcome with
+      | Ok () ->
+        (match run.Interp.trace with
+        | Some t ->
+          Printf.eprintf "(%d steps, %d trace instances)\n" run.Interp.steps
+            (Trace.length t)
+        | None -> Printf.eprintf "(%d steps)\n" run.Interp.steps);
+        0
+      | Error Interp.Budget_exhausted ->
+        prerr_endline "aborted: step budget exhausted";
+        2
+      | Error (Interp.Crashed msg) ->
+        Printf.eprintf "crashed: %s\n" msg;
+        2)
+  in
+  let tracing =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Collect an execution trace")
+  in
+  let dump_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-trace" ] ~docv:"FILE"
+          ~doc:"Write the execution trace to FILE (implies --trace)")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute an MCL program")
+    Term.(const action $ file_arg $ input_arg $ text_arg $ tracing $ dump_trace)
+
+(* info *)
+
+let info_cmd =
+  let action file =
+    match compile_file file with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok prog ->
+      let info = Proginfo.build prog in
+      Printf.printf "functions:  %d\n" (List.length prog.Ast.funcs);
+      Printf.printf "globals:    %d\n" (List.length prog.Ast.globals);
+      Printf.printf "statements: %d\n" (Ast.stmt_count prog);
+      let preds = ref 0 in
+      Ast.iter_program (fun s -> if Ast.is_predicate s then incr preds) prog;
+      Printf.printf "predicates: %d\n" !preds;
+      List.iter
+        (fun fn ->
+          let cfg = Proginfo.cfg_of info (Some fn.Ast.fname) in
+          Printf.printf "cfg %-16s %3d nodes\n" fn.Ast.fname cfg.Exom_cfg.Cfg.nnodes)
+        prog.Ast.funcs;
+      0
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Front-end and static-analysis facts")
+    Term.(const action $ file_arg)
+
+(* slice / rslice *)
+
+let slice_common ~relevant file input text output_index =
+  match compile_file file with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok prog -> (
+    let run = Interp.run prog ~input:(resolve_input input text) in
+    let trace = Option.get run.Interp.trace in
+    match List.nth_opt run.Interp.outputs output_index with
+    | None ->
+      Printf.eprintf "program produced %d outputs; no output %d\n"
+        (List.length run.Interp.outputs) output_index;
+      1
+    | Some (criterion, value) ->
+      let info = Proginfo.build prog in
+      let slice =
+        if relevant then
+          Relevant.relevant_slice (Relevant.create info trace)
+            ~criteria:[ criterion ]
+        else Slice.compute trace ~criteria:[ criterion ]
+      in
+      Printf.printf "%s slice of output %d (value %d): %d statements, %d instances\n"
+        (if relevant then "relevant" else "dynamic")
+        output_index value (Slice.static_size slice) (Slice.dynamic_size slice);
+      List.iter
+        (fun sid ->
+          let stmt = Proginfo.stmt_of_sid info sid in
+          Printf.printf "  line %-4d %s\n" (Loc.line stmt.Ast.sloc)
+            (Exom_lang.Pretty.stmt_head stmt))
+        (Slice.sids slice);
+      0)
+
+let slice_cmd =
+  let action file input text output_index =
+    slice_common ~relevant:false file input text output_index
+  in
+  Cmd.v
+    (Cmd.info "slice" ~doc:"Dynamic slice of one output")
+    Term.(const action $ file_arg $ input_arg $ text_arg $ output_index_arg)
+
+let rslice_cmd =
+  let action file input text output_index =
+    slice_common ~relevant:true file input text output_index
+  in
+  Cmd.v
+    (Cmd.info "rslice"
+       ~doc:"Relevant slice of one output (explicit + potential dependences)")
+    Term.(const action $ file_arg $ input_arg $ text_arg $ output_index_arg)
+
+(* locate *)
+
+let locate_cmd =
+  let action file correct_file input text root_line =
+    match (compile_file file, compile_file correct_file) with
+    | Error e, _ | _, Error e ->
+      prerr_endline e;
+      1
+    | Ok faulty, Ok correct -> (
+      let input = resolve_input input text in
+      let expected = Oracle.expected ~correct_prog:correct ~input in
+      match
+        Session.create ~prog:faulty ~input ~expected ~profile_inputs:[ input ]
+          ()
+      with
+      | exception Session.No_failure ->
+        prerr_endline "the two programs agree on this input: nothing to locate";
+        1
+      | session ->
+        let info = session.Session.info in
+        let oracle =
+          Oracle.create ~faulty_trace:session.Session.trace
+            ~correct_prog:correct ~input
+        in
+        let root_sids =
+          match root_line with
+          | Some line ->
+            let sids = ref [] in
+            Ast.iter_program
+              (fun s -> if Loc.line s.Ast.sloc = line then sids := s.Ast.sid :: !sids)
+              faulty;
+            !sids
+          | None ->
+            (* no ground truth given: run to exhaustion and report *)
+            [ -1 ]
+        in
+        let report = Demand.locate session ~oracle ~root_sids in
+        Printf.printf
+          "verifications: %d, iterations: %d, implicit edges: %d, user \
+           prunings: %d\n"
+          report.Demand.verifications report.Demand.iterations
+          report.Demand.expanded_edges report.Demand.user_prunings;
+        (match root_line with
+        | Some line ->
+          Printf.printf "root cause (line %d) %s\n" line
+            (if report.Demand.found then "LOCATED" else "not located")
+        | None -> ());
+        print_endline "final fault candidate set:";
+        List.iter
+          (fun sid ->
+            let stmt = Proginfo.stmt_of_sid info sid in
+            Printf.printf "  line %-4d %s\n" (Loc.line stmt.Ast.sloc)
+              (Exom_lang.Pretty.stmt_head stmt))
+          (Slice.sids report.Demand.ips);
+        0)
+  in
+  let correct_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "correct" ] ~docv:"FILE" ~doc:"The corrected program (the oracle)")
+  in
+  let root_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "root-line" ] ~docv:"LINE"
+          ~doc:"Ground-truth fault line (stops the search when reached)")
+  in
+  Cmd.v
+    (Cmd.info "locate"
+       ~doc:"Demand-driven execution-omission-error localization")
+    Term.(
+      const action $ file_arg $ correct_arg $ input_arg $ text_arg $ root_arg)
+
+(* explain *)
+
+let explain_cmd =
+  let action file correct_file input text top =
+    match (compile_file file, compile_file correct_file) with
+    | Error e, _ | _, Error e ->
+      prerr_endline e;
+      1
+    | Ok faulty, Ok correct -> (
+      let input = resolve_input input text in
+      let expected = Oracle.expected ~correct_prog:correct ~input in
+      match
+        Session.create ~prog:faulty ~input ~expected ~profile_inputs:[ input ]
+          ()
+      with
+      | exception Session.No_failure ->
+        prerr_endline "the two programs agree on this input";
+        1
+      | session ->
+        let info = session.Session.info in
+        let trace = session.Session.trace in
+        let conf =
+          Exom_conf.Confidence.compute info session.Session.profile trace
+            ~correct:session.Session.correct_outputs ~benign:[] ~implicit:[]
+        in
+        let slice =
+          Exom_ddg.Slice.compute trace
+            ~criteria:[ session.Session.wrong_output ]
+        in
+        let ps =
+          Exom_conf.Prune.compute trace ~slice ~conf
+            ~criterion:session.Session.wrong_output
+        in
+        Printf.printf
+          "failure at instance #%d (line %d)%s; slice %d/%d; pruned %d\n\n"
+          session.Session.wrong_output
+          (Proginfo.line_of_sid info
+             (Exom_interp.Trace.get trace session.Session.wrong_output)
+               .Exom_interp.Trace.sid)
+          (match session.Session.vexp with
+          | Some v -> Printf.sprintf ", expected %s" (Exom_interp.Value.to_string v)
+          | None -> " (crash)")
+          (Exom_ddg.Slice.static_size slice)
+          (Exom_ddg.Slice.dynamic_size slice)
+          (Exom_conf.Prune.size ps);
+        print_endline
+          "most suspicious instances (confidence, dependence distance, alt \
+           set):";
+        List.iteri
+          (fun i (e : Exom_conf.Prune.entry) ->
+            if i < top then begin
+              let inst = Exom_interp.Trace.get trace e.Exom_conf.Prune.idx in
+              let stmt = Proginfo.stmt_of_sid info inst.Exom_interp.Trace.sid in
+              let alt =
+                match Exom_conf.Confidence.alt_set conf e.Exom_conf.Prune.idx with
+                | None -> "unconstrained"
+                | Some s ->
+                  Printf.sprintf "{%s}"
+                    (String.concat ","
+                       (List.map Exom_interp.Value.to_string
+                          (Exom_conf.Confidence.Vset.elements s)))
+              in
+              Printf.printf "  %.3f  d=%-3d line %-4d occ %-3d = %-6s %s  %s\n"
+                e.Exom_conf.Prune.confidence e.Exom_conf.Prune.distance
+                (Exom_lang.Loc.line stmt.Ast.sloc)
+                inst.Exom_interp.Trace.occ
+                (Exom_interp.Value.to_string inst.Exom_interp.Trace.value)
+                (Exom_lang.Pretty.stmt_head stmt)
+                alt
+            end)
+          (Exom_conf.Prune.entries ps);
+        0)
+  in
+  let correct_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "correct" ] ~docv:"FILE" ~doc:"The corrected program")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 15
+      & info [ "top" ] ~docv:"N" ~doc:"Number of ranked instances to show")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Confidence analysis of a failing run: the ranked fault candidates \
+          with their alt sets")
+    Term.(
+      const action $ file_arg $ correct_arg $ input_arg $ text_arg $ top_arg)
+
+(* dot *)
+
+let dot_cmd =
+  let action file input text output_index full =
+    match compile_file file with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok prog -> (
+      let run = Interp.run prog ~input:(resolve_input input text) in
+      let trace = Option.get run.Interp.trace in
+      let info = Proginfo.build prog in
+      let describe idx =
+        let inst = Exom_interp.Trace.get trace idx in
+        Printf.sprintf "L%d #%d = %s"
+          (Proginfo.line_of_sid info inst.Exom_interp.Trace.sid)
+          idx
+          (Exom_interp.Value.to_string inst.Exom_interp.Trace.value)
+      in
+      match List.nth_opt run.Interp.outputs output_index with
+      | None ->
+        Printf.eprintf "no output %d\n" output_index;
+        1
+      | Some (criterion, _) ->
+        let slice =
+          if full then None
+          else Some (Slice.compute trace ~criteria:[ criterion ])
+        in
+        print_string
+          (Exom_ddg.Dot.render ?slice ~highlight:[ criterion ] ~describe trace);
+        0)
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ] ~doc:"Render the whole trace, not just the slice")
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Graphviz rendering of the dynamic dependence graph (slice of one output)")
+    Term.(
+      const action $ file_arg $ input_arg $ text_arg $ output_index_arg $ full)
+
+(* regions *)
+
+let regions_cmd =
+  let action file input text by_line =
+    match compile_file file with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok prog ->
+      let run = Interp.run prog ~input:(resolve_input input text) in
+      let trace = Option.get run.Interp.trace in
+      let reg = Exom_align.Region.build trace in
+      let info = Proginfo.build prog in
+      let label =
+        if by_line then
+          Some
+            (fun r idx ->
+              Proginfo.line_of_sid info (Exom_align.Region.sid r idx))
+        else None
+      in
+      print_endline (Exom_align.Region.render_forest ?label reg);
+      0
+  in
+  let by_line =
+    Arg.(
+      value & flag
+      & info [ "lines" ] ~doc:"Label regions with source lines instead of statement ids")
+  in
+  Cmd.v
+    (Cmd.info "regions"
+       ~doc:"The execution's region decomposition (Definition 3), paper-style")
+    Term.(const action $ file_arg $ input_arg $ text_arg $ by_line)
+
+(* bench *)
+
+let bench_cmd =
+  let action name fid =
+    match Suite.find name with
+    | None ->
+      Printf.eprintf "unknown benchmark %s (have: %s)\n" name
+        (String.concat ", " (List.map (fun b -> b.B.name) Suite.all));
+      1
+    | Some bench -> (
+      match Suite.find_fault bench fid with
+      | None ->
+        Printf.eprintf "unknown fault %s (have: %s)\n" fid
+          (String.concat ", "
+             (List.map (fun f -> f.B.fid) bench.B.faults));
+        1
+      | Some fault ->
+        let r = Runner.run_fault bench fault in
+        Printf.printf "%s %s: %s\n" name fid fault.B.description;
+        Printf.printf
+          "  RS %d/%d  DS %d/%d  PS %d/%d  IPS %d/%d\n"
+          r.Runner.rs.Runner.static_size r.Runner.rs.Runner.dynamic_size
+          r.Runner.ds.Runner.static_size r.Runner.ds.Runner.dynamic_size
+          r.Runner.ps.Runner.static_size r.Runner.ps.Runner.dynamic_size
+          r.Runner.ips.Runner.static_size r.Runner.ips.Runner.dynamic_size;
+        Printf.printf
+          "  prunings %d, verifications %d, iterations %d, edges %d -> %s\n"
+          r.Runner.report.Demand.user_prunings
+          r.Runner.report.Demand.verifications
+          r.Runner.report.Demand.iterations
+          r.Runner.report.Demand.expanded_edges
+          (if r.Runner.report.Demand.found then "LOCATED" else "not located");
+        0)
+  in
+  let name_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"BENCH" ~doc:"flexsim | grepsim | gzipsim | sedsim")
+  in
+  let fid_arg =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"FAULT" ~doc:"Fault id, e.g. V2-F3")
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Run one benchmark fault from the built-in suite")
+    Term.(const action $ name_arg $ fid_arg)
+
+let () =
+  let doc = "locating execution omission errors via implicit dependences" in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default
+          (Cmd.info "exom" ~version:"1.0.0" ~doc)
+          [ run_cmd; info_cmd; slice_cmd; rslice_cmd; locate_cmd; explain_cmd;
+            dot_cmd; regions_cmd; bench_cmd ]))

@@ -1,0 +1,1 @@
+examples/alignment_demo.ml: Exom_align Exom_interp Exom_lang Printf

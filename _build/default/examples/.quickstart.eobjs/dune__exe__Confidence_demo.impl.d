@@ -1,0 +1,1 @@
+examples/confidence_demo.ml: Exom_cfg Exom_conf Exom_ddg Exom_interp Exom_lang List Printf String

@@ -1,0 +1,1 @@
+examples/feasibility_soundness.ml: Exom_core Exom_interp Exom_lang Printf

@@ -1,0 +1,1 @@
+examples/feasibility_soundness.mli:

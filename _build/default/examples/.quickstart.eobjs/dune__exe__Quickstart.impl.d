@@ -1,0 +1,1 @@
+examples/quickstart.ml: Exom_cfg Exom_core Exom_ddg Exom_interp Exom_lang List Printf String

@@ -1,0 +1,1 @@
+lib/align/align.ml: Exom_interp Region

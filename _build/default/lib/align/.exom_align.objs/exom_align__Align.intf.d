@@ -1,0 +1,1 @@
+lib/align/align.mli: Region

@@ -1,0 +1,1 @@
+lib/align/region.ml: Array Exom_interp List Printf Stack String

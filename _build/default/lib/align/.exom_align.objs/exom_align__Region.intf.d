@@ -1,0 +1,1 @@
+lib/align/region.mli: Exom_interp

@@ -1,0 +1,24 @@
+(** Execution alignment (Algorithm 1 of the paper): find the instance of
+    a second execution that corresponds to a given instance of the
+    first, by pairing region trees — or establish that none exists
+    (which is itself a verification verdict: Definition 2 case (i)).
+
+    Alignment is region-based rather than per-instance because predicate
+    switching can change iteration counts, trigger recursion, or cut
+    regions short; Figures 2 and 3 of the paper are the motivating
+    cases, reproduced in [examples/alignment_demo.ml]. *)
+
+type verdict = Found of int | Not_found
+
+(** [match_from reg reg' ~p ~u]: the two executions are identical up to
+    instance [p] (the switched predicate, at the same index in both).
+    Returns [u]'s counterpart in [reg'].  Instances before [p] match
+    themselves. *)
+val match_from : Region.t -> Region.t -> p:int -> u:int -> verdict
+
+(** Whole-execution alignment from the roots, for executions that may
+    diverge anywhere (e.g. faulty run vs. corrected-program run in the
+    benign-state oracle). *)
+val match_root : Region.t -> Region.t -> u:int -> verdict
+
+val to_option : verdict -> int option

@@ -1,0 +1,93 @@
+module Trace = Exom_interp.Trace
+
+(* The region tree of an execution (Definition 3 of the paper): each
+   instance heads the region formed by itself and the instances
+   (transitively) control dependent on it.  The tree is precisely the
+   control-parent forest recorded in the trace, with a virtual root
+   (index -1) above the top-level instances. *)
+type t = {
+  trace : Trace.t;
+  children : int -> int list;
+  enter : int array;  (* Euler-tour intervals for O(1) subtree tests *)
+  leave : int array;
+  position : int array;  (* index of an instance in its parent's child list *)
+}
+
+let root = -1
+
+let build trace =
+  let n = Trace.length trace in
+  let children = Trace.children trace in
+  let enter = Array.make n 0 in
+  let leave = Array.make n 0 in
+  let position = Array.make n 0 in
+  let clock = ref 0 in
+  (* Explicit stack: traces can nest deeply (long loops nest each
+     iteration's predicate under the previous one). *)
+  let stack = Stack.create () in
+  List.iter (fun c -> Stack.push (`Enter c) stack)
+    (List.rev (children root));
+  while not (Stack.is_empty stack) do
+    match Stack.pop stack with
+    | `Enter idx ->
+      enter.(idx) <- !clock;
+      incr clock;
+      Stack.push (`Leave idx) stack;
+      List.iter (fun c -> Stack.push (`Enter c) stack)
+        (List.rev (children idx))
+    | `Leave idx ->
+      leave.(idx) <- !clock;
+      incr clock
+  done;
+  let fill_positions parent =
+    List.iteri (fun i c -> position.(c) <- i) (children parent)
+  in
+  fill_positions root;
+  for idx = 0 to n - 1 do
+    fill_positions idx
+  done;
+  { trace; children; enter; leave; position }
+
+let length t = Trace.length t.trace
+let get t idx = Trace.get t.trace idx
+
+let parent t idx =
+  if idx < 0 then invalid_arg "Region.parent: root has no parent"
+  else (Trace.get t.trace idx).Trace.parent
+
+let children t idx = t.children idx
+
+(* Is instance [u] inside the region headed by [r] (heads included)?
+   The virtual root contains everything. *)
+let in_region t ~u ~r =
+  r = root || (t.enter.(r) <= t.enter.(u) && t.leave.(u) <= t.leave.(r))
+
+let first_subregion t r =
+  match t.children r with [] -> None | c :: _ -> Some c
+
+let sibling t idx =
+  let p = parent t idx in
+  let sibs = t.children p in
+  let pos = t.position.(idx) in
+  List.nth_opt sibs (pos + 1)
+
+let branch t idx = Trace.branch_of (Trace.get t.trace idx)
+let sid t idx = (Trace.get t.trace idx).Trace.sid
+
+(* Depth of an instance below the virtual root. *)
+let depth t idx =
+  let rec walk i acc = if i < 0 then acc else walk (parent t i) (acc + 1) in
+  walk idx 0
+
+(* Paper-style rendering: a region is its head's statement id followed
+   by its subregions in brackets — "[6 7 8 [11 12] 6]". *)
+let rec render_region ?(label = sid) t idx =
+  let head = string_of_int (label t idx) in
+  match t.children idx with
+  | [] -> head
+  | kids ->
+    Printf.sprintf "[%s %s]" head
+      (String.concat " " (List.map (render_region ~label t) kids))
+
+let render_forest ?label t =
+  String.concat ", " (List.map (render_region ?label t) (t.children root))

@@ -1,0 +1,1 @@
+lib/bench/ablation.ml: Bench_types Exom_conf Exom_core Exom_ddg Exom_interp Exom_lang List

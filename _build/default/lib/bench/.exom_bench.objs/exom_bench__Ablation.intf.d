@@ -1,0 +1,1 @@
+lib/bench/ablation.mli: Bench_types Exom_core

@@ -1,0 +1,1 @@
+lib/bench/bench_types.ml: Char Exom_lang List Printf String

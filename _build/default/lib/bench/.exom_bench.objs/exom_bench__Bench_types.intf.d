@@ -1,0 +1,1 @@
+lib/bench/bench_types.mli: Exom_lang

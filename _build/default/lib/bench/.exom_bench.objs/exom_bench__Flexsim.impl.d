@@ -1,0 +1,1 @@
+lib/bench/flexsim.ml: Bench_types

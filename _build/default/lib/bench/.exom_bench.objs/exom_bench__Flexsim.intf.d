@@ -1,0 +1,1 @@
+lib/bench/flexsim.mli: Bench_types

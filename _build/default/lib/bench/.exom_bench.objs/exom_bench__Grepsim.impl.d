@@ -1,0 +1,1 @@
+lib/bench/grepsim.ml: Bench_types

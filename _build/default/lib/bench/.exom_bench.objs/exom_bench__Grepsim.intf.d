@@ -1,0 +1,1 @@
+lib/bench/grepsim.mli: Bench_types

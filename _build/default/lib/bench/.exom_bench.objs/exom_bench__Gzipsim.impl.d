@@ -1,0 +1,1 @@
+lib/bench/gzipsim.ml: Bench_types

@@ -1,0 +1,1 @@
+lib/bench/gzipsim.mli: Bench_types

@@ -1,0 +1,1 @@
+lib/bench/runner.ml: Bench_types Exom_core Exom_ddg Exom_interp Exom_lang List Option Printf Suite Sys

@@ -1,0 +1,1 @@
+lib/bench/runner.mli: Bench_types Exom_core

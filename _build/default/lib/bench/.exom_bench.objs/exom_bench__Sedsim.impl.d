@@ -1,0 +1,1 @@
+lib/bench/sedsim.ml: Bench_types

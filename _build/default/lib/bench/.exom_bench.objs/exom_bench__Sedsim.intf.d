@@ -1,0 +1,1 @@
+lib/bench/sedsim.mli: Bench_types

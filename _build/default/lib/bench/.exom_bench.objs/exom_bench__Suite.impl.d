@@ -1,0 +1,1 @@
+lib/bench/suite.ml: Bench_types Flexsim Grepsim Gzipsim List Sedsim

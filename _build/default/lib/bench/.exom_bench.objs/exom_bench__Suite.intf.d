@@ -1,0 +1,1 @@
+lib/bench/suite.mli: Bench_types

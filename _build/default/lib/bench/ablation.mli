@@ -1,0 +1,58 @@
+(** Ablations of the paper's design decisions.
+
+    {b Potential-edge confidence} (§3.2's rejected alternative):
+    propagating confidence over unverified potential dependence edges
+    can mark the faulty statement correct — measured per fault by
+    comparing the root-cause instance's confidence with and without the
+    blind edge set.
+
+    {b Edge vs path VerifyDep}: the paper's cheap edge approximation
+    against the safe path test, compared by full localization runs. *)
+
+type sanitization = {
+  root_instance : int;
+  conf_verified : float;
+  conf_potential : float;
+  sanitized : bool;
+      (** the blind edges raised the root's confidence to 1 while the
+          verified-only graph did not *)
+}
+
+val potential_confidence_sanitizes :
+  Bench_types.t -> Bench_types.fault -> sanitization
+
+(** All potential-dependence edges feeding the correct/wrong outputs'
+    slices, uncapped semantics capped at [cap] edges. *)
+val potential_edges : ?cap:int -> Exom_core.Session.t -> (int * int) list
+
+type rs_backends = {
+  rs_static : int * int;  (** RS (static, dynamic) with static cond (iv) *)
+  rs_union : int * int;  (** ... with the union-graph evidence filter *)
+  union_pairs : int;
+  root_in_static : bool;
+  root_in_union : bool;
+}
+
+(** Relevant-slice sizes under the purely static condition (iv) vs the
+    paper's union-dependence-graph evidence. *)
+val compare_rs_backends : Bench_types.t -> Bench_types.fault -> rs_backends
+
+type critical_comparison = {
+  critical_found : int;
+  critical_executions : int;
+  demand_verifications : int;
+  demand_found : bool;
+}
+
+(** The §6 contrast: whole-output critical-predicate search (ICSE'06
+    [18]) vs the demand-driven technique, on one fault. *)
+val compare_with_critical_search :
+  ?cap:int -> Bench_types.t -> Bench_types.fault -> critical_comparison
+
+type mode_comparison = {
+  edge_report : Exom_core.Demand.report;
+  path_report : Exom_core.Demand.report;
+}
+
+val compare_verify_modes :
+  ?max_iterations:int -> Bench_types.t -> Bench_types.fault -> mode_comparison

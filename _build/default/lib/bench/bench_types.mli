@@ -1,0 +1,33 @@
+(** The benchmark model: a correct MCL program plus seeded faults given
+    as expression-level line mutations (preserving statement ids so the
+    faulty and corrected runs align). *)
+
+type fault = {
+  fid : string;
+  description : string;
+  pattern : string;  (** unique substring of the line to mutate *)
+  replacement : string;
+  failing_input : int list;
+}
+
+type t = {
+  name : string;
+  description : string;
+  error_type : string;
+  source : string;
+  faults : fault list;
+  test_inputs : int list list;
+}
+
+(** Length-prefixed character codes — the text input convention of the
+    benchmark programs. *)
+val input_of_string : string -> int list
+
+(** These raise [Invalid_argument] when the pattern is absent. *)
+val fault_line : t -> fault -> int
+
+val faulty_source : t -> fault -> string
+val root_sids : t -> fault -> Exom_lang.Ast.program -> int list
+
+val loc_count : t -> int
+val procedure_count : Exom_lang.Ast.program -> int

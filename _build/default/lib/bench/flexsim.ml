@@ -1,0 +1,247 @@
+(* flexsim: the flex stand-in — a table-driven scanner generator plus
+   the scanner it generates.  The generation phase builds a character
+   class table from configuration constants (the analogue of flex
+   compiling token definitions); the scanning phase runs a small DFA
+   over the input, emitting a (kind, length) pair per token as it goes
+   (flex "emits results gradually", which the paper credits for its easy
+   debugging) and a summary block at the end.
+
+   Token kinds: 1 number, 2 identifier, 3 punctuation, 4 keyword. *)
+
+let source =
+  {|// flexsim: scanner generator + scanner
+int uscore_flag = 1;
+int ci_flag = 1;
+int dollar_flag = 1;
+int flush_limit = 8;
+int nl_code = 10;
+int[] cls;
+int[] buf;
+int n_tokens = 0;
+int n_idents = 0;
+int n_numbers = 0;
+int n_keywords = 0;
+int lines = 1;
+int maxlen = 0;
+int pending = 0;
+int flushes = 0;
+int flushed_total = 0;
+int checksum = 0;
+
+void build_classes() {
+  cls = new_array(128);
+  int c = 0;
+  while (c < 128) {
+    if (c >= 48 && c <= 57) {
+      cls[c] = 1;
+    }
+    if (c >= 97 && c <= 122) {
+      cls[c] = 2;
+    }
+    if (c >= 65 && c <= 90) {
+      cls[c] = 3;
+    }
+    if (c == 40 || c == 41 || c == 42 || c == 43 || c == 45 || c == 47 || c == 59 || c == 61) {
+      cls[c] = 4;
+    }
+    c = c + 1;
+  }
+  if (uscore_flag == 1) {
+    cls[95] = 2;
+  }
+  if (dollar_flag == 1) {
+    cls[36] = 2;
+  }
+}
+
+int fold(int ch) {
+  int r = ch;
+  if (ci_flag == 1 && ch >= 65 && ch <= 90) {
+    r = ch + 32;
+  }
+  return r;
+}
+
+int is_keyword(int start, int len) {
+  int hit = 0;
+  if (len == 3) {
+    if (fold(buf[start]) == 108 && fold(buf[start + 1]) == 101 && fold(buf[start + 2]) == 116) {
+      hit = 1;
+    }
+  }
+  if (len == 2) {
+    if (fold(buf[start]) == 105 && fold(buf[start + 1]) == 102) {
+      hit = 1;
+    }
+  }
+  return hit;
+}
+
+void emit(int kind, int len) {
+  n_tokens = n_tokens + 1;
+  checksum = checksum + kind * 7 + len;
+  pending = pending + len;
+  if (pending >= flush_limit) {
+    flushed_total = flushed_total + pending;
+    pending = 0;
+    flushes = flushes + 1;
+  }
+  print(kind);
+  print(len);
+}
+
+int class_of(int ch) {
+  int k = 0;
+  if (ch >= 0 && ch < 128) {
+    k = cls[ch];
+  }
+  return k;
+}
+
+void main() {
+  build_classes();
+  int n = input();
+  buf = new_array(n + 1);
+  int i = 0;
+  while (i < n) {
+    buf[i] = input();
+    i = i + 1;
+  }
+  buf[n] = 0;
+  i = 0;
+  while (i < n) {
+    int ch = buf[i];
+    if (ch == nl_code) {
+      lines = lines + 1;
+    }
+    int k = class_of(ch);
+    if (k == 2 || k == 3) {
+      int s = i;
+      int more = 1;
+      while (more == 1) {
+        i = i + 1;
+        if (i >= n) {
+          more = 0;
+        } else {
+          int kk = class_of(buf[i]);
+          if (kk != 1 && kk != 2 && kk != 3) {
+            more = 0;
+          }
+        }
+      }
+      int len = i - s;
+      if (len > maxlen) {
+        maxlen = len;
+      }
+      if (is_keyword(s, len) == 1) {
+        n_keywords = n_keywords + 1;
+        emit(4, len);
+      } else {
+        n_idents = n_idents + 1;
+        emit(2, len);
+      }
+    } else {
+      if (k == 1) {
+        int s2 = i;
+        int more2 = 1;
+        while (more2 == 1) {
+          i = i + 1;
+          if (i >= n) {
+            more2 = 0;
+          } else {
+            int kk2 = class_of(buf[i]);
+            if (kk2 != 1) {
+              more2 = 0;
+            }
+          }
+        }
+        int len2 = i - s2;
+        if (len2 > maxlen) {
+          maxlen = len2;
+        }
+        n_numbers = n_numbers + 1;
+        emit(1, len2);
+      } else {
+        if (k == 4) {
+          emit(3, 1);
+        }
+        i = i + 1;
+      }
+    }
+  }
+  print(n_tokens);
+  print(n_idents);
+  print(n_numbers);
+  print(n_keywords);
+  print(lines);
+  print(maxlen);
+  print(flushes);
+  print(flushed_total);
+  print(checksum);
+}
+|}
+
+let text = Bench_types.input_of_string
+
+let faults =
+  [ {
+      Bench_types.fid = "V1-F9";
+      description =
+        "underscore not registered as an identifier character: the class \
+         table update is omitted and identifiers split";
+      pattern = "int uscore_flag = 1;";
+      replacement = "int uscore_flag = 0;";
+      failing_input = text "a_b = 12; let k_v = 7;";
+    };
+    {
+      Bench_types.fid = "V2-F14";
+      description =
+        "case folding disabled: uppercase keywords are not normalized and \
+         miss the keyword table";
+      pattern = "int ci_flag = 1;";
+      replacement = "int ci_flag = 0;";
+      failing_input = text "LET x = 5; let y = 6;";
+    };
+    {
+      Bench_types.fid = "V3-F10";
+      description =
+        "wrong newline code: the line counter update is never executed";
+      pattern = "int nl_code = 10;";
+      replacement = "int nl_code = 13;";
+      failing_input = text "ab cd;\n12 ef;\nlet z = 1;";
+    };
+    {
+      Bench_types.fid = "V4-F6";
+      description =
+        "flush threshold far too high: the buffer flush branch is never \
+         taken and the flush counters stay zero";
+      pattern = "int flush_limit = 8;";
+      replacement = "int flush_limit = 800;";
+      failing_input = text "alpha beta gamma delta; 42 epsilon;";
+    };
+    {
+      Bench_types.fid = "V5-F6";
+      description =
+        "wrong keyword length test: three-letter keywords are never \
+         recognized";
+      pattern = "if (len == 3) {";
+      replacement = "if (len == 30) {";
+      failing_input = text "let a = 1; if a let b;";
+    } ]
+
+let bench =
+  {
+    Bench_types.name = "flexsim";
+    description = "a fast lexical analyzer generator (scanner generator + DFA scanner)";
+    error_type = "seeded";
+    source;
+    faults;
+    test_inputs =
+      [ text "x = 1;";
+        text "let a_b = 12;";
+        text "IF x LET yy;";
+        text "aa bb cc dd ee ff;";
+        text "1 22 333 4444;";
+        text "a\nb\nc";
+        text "$v = a_1 + 2;" ];
+  }

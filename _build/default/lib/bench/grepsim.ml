@@ -1,0 +1,204 @@
+(* grepsim: the grep stand-in — a line-oriented pattern matcher with a
+   recursive backtracking engine supporting '.', trailing '*' and '+',
+   and a '^' anchor, plus optional case folding.  Like grep, it prints nothing
+   until it terminates (only the final summary), which is exactly why
+   the paper's grep error produced the largest failure-inducing chain:
+   there are few correct outputs to prune against.
+
+   Input encoding: pattern (length-prefixed), then text
+   (length-prefixed, lines separated by '\n'). *)
+
+let source =
+  {|// grepsim: pattern matcher over lines
+int fold_flag = 1;
+int anchor_code = 94;
+int star_code = 42;
+int plus_code = 43;
+int dot_code = 46;
+int[] pat;
+int plen = 0;
+int[] line_buf;
+int llen = 0;
+int match_count = 0;
+int first_match = 0 - 1;
+int lines_seen = 0;
+int check = 0;
+
+int fold(int ch) {
+  int r = ch;
+  if (fold_flag == 1 && ch >= 65 && ch <= 90) {
+    r = ch + 32;
+  }
+  return r;
+}
+
+int chars_equal(int pc, int tc) {
+  int r = 0;
+  if (pc == dot_code) {
+    r = 1;
+  } else {
+    if (fold(pc) == fold(tc)) {
+      r = 1;
+    }
+  }
+  return r;
+}
+
+int match_here(int pi, int ti) {
+  int res = 0 - 1;
+  if (pi >= plen) {
+    res = 1;
+  }
+  if (res < 0 && pi + 1 < plen) {
+    if (pat[pi + 1] == star_code) {
+      res = match_star(pat[pi], pi + 2, ti);
+    }
+  }
+  if (res < 0 && pi + 1 < plen) {
+    if (pat[pi + 1] == plus_code) {
+      if (ti < llen && chars_equal(pat[pi], line_buf[ti]) == 1) {
+        res = match_star(pat[pi], pi + 2, ti + 1);
+      } else {
+        res = 0;
+      }
+    }
+  }
+  if (res < 0) {
+    if (ti < llen && chars_equal(pat[pi], line_buf[ti]) == 1) {
+      res = match_here(pi + 1, ti + 1);
+    } else {
+      res = 0;
+    }
+  }
+  return res;
+}
+
+int match_star(int pc, int pi, int ti) {
+  int res = 0;
+  int t = ti;
+  int go = 1;
+  while (go == 1) {
+    if (match_here(pi, t) == 1) {
+      res = 1;
+      go = 0;
+    } else {
+      if (t < llen && chars_equal(pc, line_buf[t]) == 1) {
+        t = t + 1;
+      } else {
+        go = 0;
+      }
+    }
+  }
+  return res;
+}
+
+int match_line() {
+  int res = 0;
+  if (plen > 0 && pat[0] == anchor_code) {
+    res = match_here(1, 0);
+  } else {
+    int off = 0;
+    int go2 = 1;
+    while (go2 == 1) {
+      if (match_here(0, off) == 1) {
+        res = 1;
+        go2 = 0;
+      } else {
+        off = off + 1;
+        if (off > llen) {
+          go2 = 0;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+void main() {
+  plen = input();
+  pat = new_array(plen + 1);
+  int i = 0;
+  while (i < plen) {
+    pat[i] = input();
+    i = i + 1;
+  }
+  int n = input();
+  int[] text = new_array(n + 1);
+  int j = 0;
+  while (j < n) {
+    text[j] = input();
+    j = j + 1;
+  }
+  line_buf = new_array(n + 1);
+  int pos = 0;
+  while (pos <= n) {
+    llen = 0;
+    while (pos < n && text[pos] != 10) {
+      line_buf[llen] = text[pos];
+      llen = llen + 1;
+      pos = pos + 1;
+    }
+    pos = pos + 1;
+    lines_seen = lines_seen + 1;
+    if (match_line() == 1) {
+      match_count = match_count + 1;
+      if (first_match < 0) {
+        first_match = lines_seen;
+      }
+      check = check + lines_seen * 13;
+    }
+  }
+  print(lines_seen);
+  print(match_count);
+  print(first_match);
+  print(check);
+}
+|}
+
+(* pattern then text, both length-prefixed *)
+let grep_input pattern textstr =
+  Bench_types.input_of_string pattern @ Bench_types.input_of_string textstr
+
+let faults =
+  [ {
+      Bench_types.fid = "V4-F2";
+      description =
+        "case folding disabled: uppercase text never matches a lowercase \
+         pattern, so matching lines are silently dropped";
+      pattern = "int fold_flag = 1;";
+      replacement = "int fold_flag = 0;";
+      failing_input = grep_input "ab" "xABy\nqq\nAB\nzab";
+    };
+    {
+      Bench_types.fid = "V5-F1";
+      description =
+        "plus-operator code mistyped: 'x+' patterns are treated as two          literal characters and one-or-more matching is omitted";
+      pattern = "int plus_code = 43;";
+      replacement = "int plus_code = 64;";
+      failing_input = grep_input "ab+c" "abbc\nabc\nadc";
+    };
+    {
+      Bench_types.fid = "V4-F5";
+      description =
+        "anchor code mistyped: '^' patterns are treated as literals and \
+         anchored matching is omitted";
+      pattern = "int anchor_code = 94;";
+      replacement = "int anchor_code = 64;";
+      failing_input = grep_input "^ab" "ab here\nnot ab\nabc";
+    } ]
+
+let bench =
+  {
+    Bench_types.name = "grepsim";
+    description = "a unix utility to print lines matching a pattern (backtracking matcher)";
+    error_type = "seeded";
+    source;
+    faults;
+    test_inputs =
+      [ grep_input "ab" "ab\ncd";
+        grep_input "a*b" "aab\nxb\nccc";
+        grep_input "ab+" "abb\nab\na";
+        grep_input "a.c" "abc\nadc\nxyz";
+        grep_input "zz" "a\nb\nc";
+        grep_input "q" "q" ];
+  }

@@ -1,0 +1,218 @@
+(* gzipsim: the gzip stand-in — an LZ77 compressor with a small sliding
+   window and a gzip-like header, including the very flags byte of the
+   paper's Figure 1: option bits are ORed into [flags] under option
+   predicates, and the original-name bytes are appended only when
+   [save_orig_name] is set.  The V2-F3 fault reproduces the paper's
+   motivating bug: [save_orig_name] is wrongly false, the flag bit and
+   name bytes are omitted, and the header printed at the end carries the
+   wrong values.
+
+   The program also decompresses its own output and verifies the round
+   trip (the decoder parses the header flags to find the data offset —
+   the V2-F9 fault omits the name-skip there and corrupts the decode).
+
+   Output: the first 12 bytes of the compressed stream, then summary
+   counters including the round-trip mismatch count. *)
+
+let source =
+  {|// gzipsim: LZ77 with gzip-like header
+int save_orig_name = 1;
+int level_flag = 2;
+int min_match = 3;
+int window = 16;
+int name_len = 4;
+int magic1 = 31;
+int magic2 = 139;
+int method_code = 8;
+int[] text;
+int n = 0;
+int name_bit = 8;
+int[] outbuf;
+int outcnt = 0;
+int literals = 0;
+int matches = 0;
+int crc = 0;
+int[] decoded;
+int dpos = 0;
+int mismatches = 0;
+
+void put(int b) {
+  outbuf[outcnt] = b;
+  outcnt = outcnt + 1;
+  crc = (crc * 3 + b) % 1000;
+}
+
+// longest match for position [pos] within the last [window] bytes;
+// encodes distance * 256 + length, or 0 when below min_match
+int longest_match(int pos) {
+  int best_len = 0;
+  int best_dist = 0;
+  int start = pos - window;
+  if (start < 0) {
+    start = 0;
+  }
+  int cand = start;
+  while (cand < pos) {
+    int len = 0;
+    while (pos + len < n && text[cand + len] == text[pos + len] && len < 255) {
+      len = len + 1;
+    }
+    if (len > best_len) {
+      best_len = len;
+      best_dist = pos - cand;
+    }
+    cand = cand + 1;
+  }
+  int enc = 0;
+  if (best_len >= min_match) {
+    enc = best_dist * 256 + best_len;
+  }
+  return enc;
+}
+
+void main() {
+  n = input();
+  text = new_array(n + 1);
+  int i = 0;
+  while (i < n) {
+    text[i] = input();
+    i = i + 1;
+  }
+  outbuf = new_array(3 * n + 32);
+  put(magic1);
+  put(magic2);
+  put(method_code);
+  int flags = 0;
+  if (level_flag == 2) {
+    flags = flags + 4;
+  }
+  if (save_orig_name == 1) {
+    flags = flags + 8;
+  }
+  put(flags);
+  if (save_orig_name == 1) {
+    int q = 0;
+    while (q < name_len) {
+      put(65 + q);
+      q = q + 1;
+    }
+  }
+  int pos = 0;
+  while (pos < n) {
+    int enc = longest_match(pos);
+    if (enc > 0) {
+      int mlen = enc % 256;
+      int mdist = enc / 256;
+      put(1);
+      put(mdist);
+      put(mlen);
+      matches = matches + 1;
+      pos = pos + mlen;
+    } else {
+      put(0);
+      put(text[pos]);
+      literals = literals + 1;
+      pos = pos + 1;
+    }
+  }
+  int r = 0;
+  while (r < 12) {
+    print(outbuf[r]);
+    r = r + 1;
+  }
+  print(outcnt);
+  print(literals);
+  print(matches);
+  print(crc);
+  decompress();
+  int m = 0;
+  while (m < n) {
+    if (m < dpos) {
+      if (decoded[m] != text[m]) {
+        mismatches = mismatches + 1;
+      }
+    } else {
+      mismatches = mismatches + 1;
+    }
+    m = m + 1;
+  }
+  print(dpos);
+  print(mismatches);
+}
+
+// parse the header (skipping the name bytes when the flags bit says
+// they are present), then replay the literal/match token stream
+void decompress() {
+  decoded = new_array(n + 8);
+  int from = 4;
+  int fl = outbuf[3];
+  if (fl / name_bit % 2 == 1) {
+    from = from + name_len;
+  }
+  while (from < outcnt) {
+    int tag = outbuf[from];
+    if (tag == 1) {
+      int mdist = outbuf[from + 1];
+      int mlen = outbuf[from + 2];
+      int c2 = 0;
+      while (c2 < mlen) {
+        decoded[dpos] = decoded[dpos - mdist];
+        dpos = dpos + 1;
+        c2 = c2 + 1;
+      }
+      from = from + 3;
+    } else {
+      decoded[dpos] = outbuf[from + 1];
+      dpos = dpos + 1;
+      from = from + 2;
+    }
+  }
+}
+|}
+
+let text = Bench_types.input_of_string
+
+let faults =
+  [ {
+      Bench_types.fid = "V2-F3";
+      description =
+        "save_orig_name wrongly false (the paper's Figure 1): the flags \
+         bit is not ORed in and the name bytes are omitted, shifting the \
+         whole output stream";
+      pattern = "int save_orig_name = 1;";
+      replacement = "int save_orig_name = 0;";
+      failing_input = text "abcabcabcxyz";
+    };
+    {
+      Bench_types.fid = "V2-F9";
+      description =
+        "wrong flags bit tested by the decoder: the name-skip is omitted \
+         and the decoder misparses the stream";
+      pattern = "int name_bit = 8;";
+      replacement = "int name_bit = 80;";
+      failing_input = text "abcabcabcxyz";
+    };
+    {
+      Bench_types.fid = "V2-F7";
+      description =
+        "minimum match length set absurdly high: matches are never \
+         emitted and everything is a literal";
+      pattern = "int min_match = 3;";
+      replacement = "int min_match = 300;";
+      failing_input = text "ababababab";
+    } ]
+
+let bench =
+  {
+    Bench_types.name = "gzipsim";
+    description = "a LZ77 based compressor with gzip-style header flags";
+    error_type = "seeded";
+    source;
+    faults;
+    test_inputs =
+      [ text "aaaa";
+        text "abcd";
+        text "abcabc";
+        text "xyxyxyxy";
+        text "hello hello" ];
+  }

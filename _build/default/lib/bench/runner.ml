@@ -1,0 +1,123 @@
+module Ast = Exom_lang.Ast
+module Typecheck = Exom_lang.Typecheck
+module Interp = Exom_interp.Interp
+module Trace = Exom_interp.Trace
+module Slice = Exom_ddg.Slice
+module Relevant = Exom_ddg.Relevant
+module Demand = Exom_core.Demand
+module Oracle = Exom_core.Oracle
+module Session = Exom_core.Session
+
+(* Execute the full experiment for one seeded fault: run the failing
+   program, compute the three slices of Table 2 (RS / DS / PS), run the
+   demand-driven locator for Table 3, and time the plain / traced /
+   verification executions for Table 4. *)
+
+type sizes = { static_size : int; dynamic_size : int }
+
+type result = {
+  bench : Bench_types.t;
+  fault : Bench_types.fault;
+  rs : sizes;
+  ds : sizes;
+  ps : sizes;
+  ips : sizes;
+  os_ : sizes option;
+  report : Demand.report;
+  root_in_rs : bool;
+  root_in_ds : bool;
+  root_in_ps : bool;
+  plain_seconds : float;
+  graph_seconds : float;
+  verif_seconds : float;
+  trace_length : int;
+}
+
+let sizes_of_slice s =
+  { static_size = Slice.static_size s; dynamic_size = Slice.dynamic_size s }
+
+let sizes_of_chain trace chain =
+  let sids =
+    List.sort_uniq compare
+      (List.map (fun i -> (Trace.get trace i).Trace.sid) chain)
+  in
+  { static_size = List.length sids; dynamic_size = List.length chain }
+
+let time_run f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let run_fault ?config ?(budget = Interp.default_budget) bench fault =
+  let faulty_src = Bench_types.faulty_source bench fault in
+  let faulty = Typecheck.parse_and_check faulty_src in
+  let correct = Typecheck.parse_and_check bench.Bench_types.source in
+  let input = fault.Bench_types.failing_input in
+  let expected = Oracle.expected ~correct_prog:correct ~input in
+  (* Table 4: plain vs graph-constructing execution *)
+  let _, plain_seconds =
+    time_run (fun () -> Interp.run ~tracing:false ~budget faulty ~input)
+  in
+  let session, graph_seconds =
+    time_run (fun () ->
+        Session.create ~budget ~prog:faulty ~input ~expected
+          ~profile_inputs:bench.Bench_types.test_inputs ())
+  in
+  let oracle =
+    Oracle.create ~faulty_trace:session.Session.trace ~correct_prog:correct
+      ~input
+  in
+  let root_sids = Bench_types.root_sids bench fault faulty in
+  (* Table 2: the relevant slice of the wrong output *)
+  let rs_slice =
+    Relevant.relevant_slice session.Session.rel
+      ~criteria:[ session.Session.wrong_output ]
+  in
+  let report = Demand.locate ?config session ~oracle ~root_sids in
+  let trace = session.Session.trace in
+  let in_slice slice = List.exists (Slice.mem_sid slice) root_sids in
+  {
+    bench;
+    fault;
+    rs = sizes_of_slice rs_slice;
+    ds = sizes_of_slice report.Demand.ds;
+    ps = sizes_of_slice report.Demand.ps0;
+    ips = sizes_of_slice report.Demand.ips;
+    os_ = Option.map (sizes_of_chain trace) report.Demand.os_chain;
+    report;
+    root_in_rs = in_slice rs_slice;
+    root_in_ds = in_slice report.Demand.ds;
+    root_in_ps = in_slice report.Demand.ps0;
+    plain_seconds;
+    graph_seconds;
+    verif_seconds = report.Demand.verif_seconds;
+    trace_length = Trace.length trace;
+  }
+
+(* Sanity checks used by tests and the harness: every fault's faulty
+   version must still typecheck, keep the statement count (sid
+   stability) and actually fail on its failing input. *)
+let validate_fault bench fault =
+  let faulty = Typecheck.parse_and_check (Bench_types.faulty_source bench fault) in
+  let correct = Typecheck.parse_and_check bench.Bench_types.source in
+  if Ast.stmt_count faulty <> Ast.stmt_count correct then
+    failwith (Printf.sprintf "%s: statement count changed" fault.Bench_types.fid);
+  let input = fault.Bench_types.failing_input in
+  let out_faulty =
+    Interp.output_values (Interp.run ~tracing:false faulty ~input)
+  in
+  let out_correct =
+    Interp.output_values (Interp.run ~tracing:false correct ~input)
+  in
+  if out_faulty = out_correct then
+    failwith (Printf.sprintf "%s: fault does not manifest" fault.Bench_types.fid);
+  (* the failure must be an observable wrong value at a shared position *)
+  match
+    Session.classify_outputs
+      ~outputs:(List.mapi (fun i v -> (i, v)) out_faulty)
+      ~expected:out_correct
+  with
+  | _ -> ()
+
+let validate_all () =
+  List.iter (fun (b, f) -> validate_fault b f) Suite.rows

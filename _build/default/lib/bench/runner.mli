@@ -1,0 +1,35 @@
+(** The experiment runner: executes one seeded fault end-to-end and
+    collects every quantity of the paper's Tables 2-4. *)
+
+type sizes = { static_size : int; dynamic_size : int }
+
+type result = {
+  bench : Bench_types.t;
+  fault : Bench_types.fault;
+  rs : sizes;  (** relevant slice of the wrong output *)
+  ds : sizes;  (** dynamic slice *)
+  ps : sizes;  (** initial pruned slice *)
+  ips : sizes;  (** final pruned expanded slice *)
+  os_ : sizes option;  (** failure-inducing dependence chain *)
+  report : Exom_core.Demand.report;
+  root_in_rs : bool;
+  root_in_ds : bool;
+  root_in_ps : bool;
+  plain_seconds : float;
+  graph_seconds : float;
+  verif_seconds : float;
+  trace_length : int;
+}
+
+val run_fault :
+  ?config:Exom_core.Demand.config ->
+  ?budget:int ->
+  Bench_types.t ->
+  Bench_types.fault ->
+  result
+
+(** Raises [Failure] when a fault does not typecheck, changes the
+    statement count, or fails to manifest as a wrong output value. *)
+val validate_fault : Bench_types.t -> Bench_types.fault -> unit
+
+val validate_all : unit -> unit

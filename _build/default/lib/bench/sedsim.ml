@@ -1,0 +1,138 @@
+(* sedsim: the sed stand-in — a stream editor applying a substitution
+   command to a line-structured input, with global/first-only modes,
+   empty-line deletion and optional line numbering.  The V3-F2 fault is
+   the paper's cascading case: command validation fails, so command
+   parsing is omitted, so the substitution is omitted — locating it
+   needs two expansions along two strong implicit dependence edges
+   (Table 3's sed row is the only one with 2 iterations / 2 edges).
+
+   Output: the transformed character stream, then summary counters. *)
+
+let source =
+  {|// sedsim: stream editor (substitute command)
+int cmd_valid = 1;
+int subst_from = 97;
+int subst_to = 111;
+int global_flag = 1;
+int number_flag = 1;
+int del_empty = 1;
+int cmd_parsed = 0;
+int[] text;
+int n = 0;
+int[] out;
+int outn = 0;
+int subs = 0;
+int deleted = 0;
+int lines_in = 0;
+int lines_out = 0;
+int done_first = 0;
+
+void parse_command() {
+  if (cmd_valid == 1) {
+    cmd_parsed = 1;
+  }
+}
+
+int transform(int ch) {
+  int r = ch;
+  if (cmd_parsed == 1) {
+    if (ch == subst_from) {
+      if (global_flag == 1 || done_first == 0) {
+        r = subst_to;
+        subs = subs + 1;
+        done_first = 1;
+      }
+    }
+  }
+  return r;
+}
+
+void put(int b) {
+  out[outn] = b;
+  outn = outn + 1;
+}
+
+void main() {
+  parse_command();
+  n = input();
+  text = new_array(n + 1);
+  int i = 0;
+  while (i < n) {
+    text[i] = input();
+    i = i + 1;
+  }
+  out = new_array(2 * n + 16);
+  int pos = 0;
+  while (pos <= n) {
+    int lstart = pos;
+    int llen = 0;
+    while (pos < n && text[pos] != 10) {
+      llen = llen + 1;
+      pos = pos + 1;
+    }
+    pos = pos + 1;
+    lines_in = lines_in + 1;
+    if (del_empty == 1 && llen == 0) {
+      deleted = deleted + 1;
+    } else {
+      lines_out = lines_out + 1;
+      if (number_flag == 1) {
+        put(lines_out);
+      }
+      int k = 0;
+      while (k < llen) {
+        put(transform(text[lstart + k]));
+        k = k + 1;
+      }
+      put(10);
+    }
+  }
+  int r = 0;
+  while (r < outn) {
+    print(out[r]);
+    r = r + 1;
+  }
+  print(lines_in);
+  print(lines_out);
+  print(subs);
+  print(deleted);
+}
+|}
+
+let text = Bench_types.input_of_string
+
+let faults =
+  [ {
+      Bench_types.fid = "V3-F2";
+      description =
+        "command validation wrongly fails: parsing is omitted, so the \
+         substitution is omitted — a two-deep omission cascade (real \
+         error shape)";
+      pattern = "int cmd_valid = 1;";
+      replacement = "int cmd_valid = 0;";
+      failing_input = text "war and peace\nbanana";
+    };
+    {
+      Bench_types.fid = "V3-F3";
+      description =
+        "line numbering disabled: the number prefix is never emitted and \
+         the output stream shifts";
+      pattern = "int number_flag = 1;";
+      replacement = "int number_flag = 0;";
+      failing_input = text "hi\nthere";
+    } ]
+
+let bench =
+  {
+    Bench_types.name = "sedsim";
+    description = "a stream editor for filtering and transforming text";
+    error_type = "real & seeded";
+    source;
+    faults;
+    test_inputs =
+      [ text "abc";
+        text "xyz\nqqq";
+        text "aaa\n\nbbb";
+        text "no vowels here!";
+        text "a" ];
+  }

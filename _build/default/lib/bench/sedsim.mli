@@ -1,0 +1,4 @@
+(** The sedsim benchmark: see {!Bench_types} for the fault/suite model and
+    the module implementation for the MCL program it embeds. *)
+
+val bench : Bench_types.t

@@ -1,0 +1,17 @@
+(* The benchmark suite mirroring the paper's Table 1: four medium-sized
+   utility emulations with seeded (and, for sed, cascading "real"-shaped)
+   execution omission errors. *)
+
+let all = [ Flexsim.bench; Grepsim.bench; Gzipsim.bench; Sedsim.bench ]
+
+let find name =
+  List.find_opt (fun b -> b.Bench_types.name = name) all
+
+let find_fault bench fid =
+  List.find_opt (fun f -> f.Bench_types.fid = fid) bench.Bench_types.faults
+
+(* The paper's Table 2/3 row set: every (benchmark, fault) pair. *)
+let rows =
+  List.concat_map
+    (fun b -> List.map (fun f -> (b, f)) b.Bench_types.faults)
+    all

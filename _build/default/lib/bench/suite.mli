@@ -1,0 +1,7 @@
+(** The benchmark suite of the paper's Table 1: flexsim, grepsim,
+    gzipsim, sedsim, and every (benchmark, fault) row of Tables 2-3. *)
+
+val all : Bench_types.t list
+val find : string -> Bench_types.t option
+val find_fault : Bench_types.t -> string -> Bench_types.fault option
+val rows : (Bench_types.t * Bench_types.fault) list

@@ -1,0 +1,1 @@
+lib/cfg/alias.ml: Exom_lang Exom_util Hashtbl List Scopes

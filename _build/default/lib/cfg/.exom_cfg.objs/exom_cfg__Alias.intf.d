@@ -1,0 +1,1 @@
+lib/cfg/alias.mli: Exom_lang Scopes

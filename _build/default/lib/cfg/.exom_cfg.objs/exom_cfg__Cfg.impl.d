@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Exom_lang Fmt Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/cfg/cfg.mli: Exom_lang Fmt Hashtbl

@@ -1,0 +1,1 @@
+lib/cfg/locs.ml: Alias Exom_lang Hashtbl List Option Printf Scopes Set

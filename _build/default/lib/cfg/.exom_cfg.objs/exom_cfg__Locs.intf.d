@@ -1,0 +1,1 @@
+lib/cfg/locs.mli: Alias Exom_lang Set

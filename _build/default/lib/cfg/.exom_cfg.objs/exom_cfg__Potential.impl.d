@@ -1,0 +1,1 @@
+lib/cfg/potential.ml: Cfg Hashtbl Int List Locs Proginfo Set

@@ -1,0 +1,1 @@
+lib/cfg/potential.mli: Locs Proginfo

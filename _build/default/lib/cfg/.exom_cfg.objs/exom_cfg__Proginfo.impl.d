@@ -1,0 +1,1 @@
+lib/cfg/proginfo.ml: Alias Array Cfg Dominance Exom_lang Hashtbl List Locs Printf

@@ -1,0 +1,1 @@
+lib/cfg/proginfo.mli: Alias Cfg Exom_lang Locs

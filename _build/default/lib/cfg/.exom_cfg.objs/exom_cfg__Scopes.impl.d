@@ -1,0 +1,1 @@
+lib/cfg/scopes.ml: Exom_lang List Map Option String

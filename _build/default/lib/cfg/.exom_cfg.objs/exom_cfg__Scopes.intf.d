@@ -1,0 +1,1 @@
+lib/cfg/scopes.mli: Exom_lang

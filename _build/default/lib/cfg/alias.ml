@@ -1,0 +1,119 @@
+module Ast = Exom_lang.Ast
+module Uf = Exom_util.Union_find
+
+(* An array handle: a variable of type int[] identified by its defining
+   scope.  Flow-insensitive unification: any two handles that may refer
+   to the same array (through copy assignment or parameter passing) land
+   in the same class. *)
+type handle = string option * string
+
+type t = {
+  scopes : Scopes.t;
+  uf : handle Uf.t;
+  class_ids : (handle, int) Hashtbl.t;
+  nclasses : int;
+}
+
+let handle_of scopes ~fname x = (Scopes.resolve scopes ~fname x, x)
+
+(* Collect every array-typed (handle1, handle2) unification implied by an
+   expression appearing in function [fname]: calls unify arguments with
+   parameters. *)
+let rec unify_expr scopes uf funcs ~fname expr =
+  match expr.Ast.edesc with
+  | Ast.Eint _ | Ast.Ebool _ | Ast.Evar _ -> ()
+  | Ast.Eindex (_, e) | Ast.Eunop (_, e) -> unify_expr scopes uf funcs ~fname e
+  | Ast.Ebinop (_, e1, e2) ->
+    unify_expr scopes uf funcs ~fname e1;
+    unify_expr scopes uf funcs ~fname e2;
+  | Ast.Ecall (f, args) ->
+    List.iter (unify_expr scopes uf funcs ~fname) args;
+    (match Hashtbl.find_opt funcs f with
+    | None -> ()  (* builtin *)
+    | Some fn ->
+      List.iter2
+        (fun (ptyp, pname) arg ->
+          match (ptyp, arg.Ast.edesc) with
+          | Ast.Tarray, Ast.Evar b ->
+            Uf.union uf (Some f, pname) (handle_of scopes ~fname b)
+          | _ -> ())
+        fn.Ast.fparams args)
+
+let unify_stmt scopes uf funcs ~fname stmt =
+  let unify_assign x rhs =
+    if Scopes.is_array scopes ~fname x then
+      match rhs.Ast.edesc with
+      | Ast.Evar b ->
+        Uf.union uf (handle_of scopes ~fname x) (handle_of scopes ~fname b)
+      | _ -> ()
+  in
+  match stmt.Ast.skind with
+  | Ast.Sdecl (Ast.Tarray, x, Some rhs) ->
+    unify_expr scopes uf funcs ~fname rhs;
+    unify_assign x rhs
+  | Ast.Sdecl (_, _, Some e) -> unify_expr scopes uf funcs ~fname e
+  | Ast.Sdecl (_, _, None) -> ()
+  | Ast.Sassign (x, rhs) ->
+    unify_expr scopes uf funcs ~fname rhs;
+    unify_assign x rhs
+  | Ast.Sstore (_, i, e) ->
+    unify_expr scopes uf funcs ~fname i;
+    unify_expr scopes uf funcs ~fname e
+  | Ast.Sif (c, _, _) | Ast.Swhile (c, _) -> unify_expr scopes uf funcs ~fname c
+  | Ast.Sreturn (Some e) | Ast.Sexpr e -> unify_expr scopes uf funcs ~fname e
+  | Ast.Sreturn None | Ast.Sbreak | Ast.Scontinue -> ()
+
+let array_handles scopes prog =
+  let handles = ref [] in
+  let add fname x typ = if typ = Ast.Tarray then handles := (fname, x) :: !handles in
+  List.iter
+    (fun s ->
+      match s.Ast.skind with
+      | Ast.Sdecl (typ, x, _) -> add None x typ
+      | _ -> ())
+    prog.Ast.globals;
+  List.iter
+    (fun fn ->
+      let fname = Some fn.Ast.fname in
+      List.iter (fun (typ, x) -> add fname x typ) fn.Ast.fparams;
+      Ast.iter_stmts
+        (fun s ->
+          match s.Ast.skind with
+          | Ast.Sdecl (typ, x, _) -> add fname x typ
+          | _ -> ())
+        fn.Ast.fbody)
+    prog.Ast.funcs;
+  ignore scopes;
+  !handles
+
+let build prog =
+  let scopes = Scopes.build prog in
+  let uf = Uf.create () in
+  let funcs = Hashtbl.create 16 in
+  List.iter (fun fn -> Hashtbl.replace funcs fn.Ast.fname fn) prog.Ast.funcs;
+  List.iter (unify_stmt scopes uf funcs ~fname:None) prog.Ast.globals;
+  List.iter
+    (fun fn ->
+      Ast.iter_stmts
+        (unify_stmt scopes uf funcs ~fname:(Some fn.Ast.fname))
+        fn.Ast.fbody)
+    prog.Ast.funcs;
+  let class_ids = Hashtbl.create 16 in
+  let next = ref 0 in
+  List.iter
+    (fun h ->
+      let rep = Uf.find uf h in
+      if not (Hashtbl.mem class_ids rep) then begin
+        Hashtbl.replace class_ids rep !next;
+        incr next
+      end)
+    (array_handles scopes prog);
+  { scopes; uf; class_ids; nclasses = !next }
+
+let class_of t ~fname x =
+  if Scopes.is_array t.scopes ~fname x then
+    Hashtbl.find_opt t.class_ids (Uf.find t.uf (handle_of t.scopes ~fname x))
+  else None
+
+let nclasses t = t.nclasses
+let scopes t = t.scopes

@@ -1,0 +1,20 @@
+(** Flow-insensitive alias classes for array variables.
+
+    The paper's potential-dependence analysis needs points-to facts for
+    memory writes ("condition (iv) ... static points-to analysis has to
+    be conducted"); here arrays are the only aliasable objects, and a
+    unification-based analysis (array copies and parameter bindings
+    merge handles) yields the alias classes used as static memory
+    locations.  Deliberately conservative: a class merges all arrays
+    that ever flow through a common handle. *)
+
+type t
+
+val build : Exom_lang.Ast.program -> t
+
+(** [class_of t ~fname x] is the alias class of array variable [x] as
+    seen from [fname]; [None] when [x] is not an array variable. *)
+val class_of : t -> fname:string option -> string -> int option
+
+val nclasses : t -> int
+val scopes : t -> Scopes.t

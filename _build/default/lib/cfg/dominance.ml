@@ -1,0 +1,86 @@
+module Iset = Set.Make (Int)
+
+(* Iterative dominator computation over an arbitrary successor function.
+   [doms.(n)] is the set of nodes dominating [n] (reflexive).  Nodes
+   unreachable from the root keep the full set, the conventional
+   treatment that makes control-dependence computation robust in the
+   presence of infinite loops. *)
+let dominators ~nnodes ~root ~pred =
+  let full = List.init nnodes Fun.id |> Iset.of_list in
+  let doms = Array.make nnodes full in
+  doms.(root) <- Iset.singleton root;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for n = 0 to nnodes - 1 do
+      if n <> root then begin
+        let meet =
+          List.fold_left
+            (fun acc p -> Iset.inter acc doms.(p))
+            full (pred n)
+        in
+        let next = Iset.add n meet in
+        if not (Iset.equal next doms.(n)) then begin
+          doms.(n) <- next;
+          changed := true
+        end
+      end
+    done
+  done;
+  doms
+
+let postdominators (cfg : Cfg.t) =
+  let pred n = List.map fst cfg.Cfg.succ.(n) in
+  dominators ~nnodes:cfg.Cfg.nnodes ~root:cfg.Cfg.exit_ ~pred
+
+(* Ferrante-Ottenstein-Warren control dependence: node [n] is control
+   dependent on predicate [p] iff [p] has a successor [s] with [n]
+   post-dominating [s] (possibly n = s), and [n] does not strictly
+   post-dominate [p]. *)
+let control_dependence (cfg : Cfg.t) =
+  let pdoms = postdominators cfg in
+  let deps = Array.make cfg.Cfg.nnodes Iset.empty in
+  (* deps.(n) = set of predicate nodes n is control dependent on *)
+  Cfg.iter_nodes
+    (fun p ->
+      match cfg.Cfg.succ.(p) with
+      | [] | [ _ ] -> ()
+      | succs ->
+        List.iter
+          (fun (s, _) ->
+            (* every postdominator of s that does not strictly
+               postdominate p is control dependent on p *)
+            Iset.iter
+              (fun n ->
+                let strictly_postdominates_p =
+                  n <> p && Iset.mem n pdoms.(p)
+                in
+                if not strictly_postdominates_p then
+                  deps.(n) <- Iset.add p deps.(n))
+              pdoms.(s))
+          succs)
+    cfg;
+  deps
+
+(* Fixpoint closure; handles self- and mutual dependences (a loop
+   predicate is control dependent on itself). *)
+let transitive_control_dependence cfg =
+  let direct = control_dependence cfg in
+  let n = Array.length direct in
+  let result = Array.map Fun.id direct in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      let extended =
+        Iset.fold
+          (fun p acc -> Iset.union acc result.(p))
+          result.(i) result.(i)
+      in
+      if not (Iset.equal extended result.(i)) then begin
+        result.(i) <- extended;
+        changed := true
+      end
+    done
+  done;
+  (direct, result)

@@ -1,0 +1,23 @@
+(** Dominance analyses: iterative (post)dominator sets and
+    Ferrante-Ottenstein-Warren control dependence.
+
+    Sizes here are per-function CFGs (hundreds of nodes at most), so the
+    simple set-based iterative algorithms are ample. *)
+
+module Iset : Set.S with type elt = int
+
+(** [dominators ~nnodes ~root ~pred] returns reflexive dominator sets.
+    Nodes unreachable from [root] keep the full node set. *)
+val dominators :
+  nnodes:int -> root:int -> pred:(int -> int list) -> Iset.t array
+
+(** Postdominator sets of a CFG (dominators of the reversed graph rooted
+    at the exit). *)
+val postdominators : Cfg.t -> Iset.t array
+
+(** [control_dependence cfg] maps each node to the set of predicate
+    nodes it is directly control dependent on. *)
+val control_dependence : Cfg.t -> Iset.t array
+
+(** Direct and transitive control dependence. *)
+val transitive_control_dependence : Cfg.t -> Iset.t array * Iset.t array

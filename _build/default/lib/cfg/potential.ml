@@ -1,0 +1,140 @@
+module Iset = Set.Make (Int)
+
+(* Condition (iv) of the paper's Definition 1: given that predicate [p]
+   evaluated to [taken], could a *different* definition of location [loc]
+   reach use [u] if [p] had evaluated to [not taken]?
+
+   Checked statically on the CFG of [p]'s function.  A candidate
+   definition node D of [loc] qualifies when:
+   - D is reachable from the untaken successor of [p] but NOT from the
+     taken one, along paths that do not re-traverse [p] itself (a
+     definition reaching the use on both branches is not a *different*
+     definition — e.g. the paper's S6, which executes whichever way S4
+     goes, does not put S4 in PD of S10; but paths that re-enter the
+     predicate belong to *later* instances of it, so they must not
+     disqualify a loop-guarded definition);
+   - same function only: some successor of D starts a
+     [loc]-definition-clear path to [u] (otherwise the definition is
+     killed before the use, the paper's condition-(iii) illustration);
+     across functions kill information is not tracked (conservative).
+
+   Still deliberately conservative overall (calls inherit callee def
+   summaries, array classes collapse all elements): the source of the
+   over-approximation that inflates relevant slices in Table 2. *)
+
+type t = {
+  info : Proginfo.t;
+  observed : (def_sid:int -> use_sid:int -> bool) option;
+      (* evidence filter, e.g. the union dependence graph: a candidate
+         definition qualifies only if some test run witnessed its value
+         reaching the use statement *)
+  reach_cache : (string option * int * int, Iset.t) Hashtbl.t;
+      (* (function, start, avoided predicate) -> forward-reachable nodes *)
+  clear_cache : (string option * int * Locs.loc, Iset.t) Hashtbl.t;
+      (* (function, use node, loc) -> backward def-clear sources *)
+  verdict_cache : (int * bool * int * Locs.loc, bool) Hashtbl.t;
+}
+
+let create ?observed info =
+  {
+    info;
+    observed;
+    reach_cache = Hashtbl.create 64;
+    clear_cache = Hashtbl.create 64;
+    verdict_cache = Hashtbl.create 256;
+  }
+
+let node_defines t cfg node loc =
+  match Cfg.sid_at cfg node with
+  | Some sid -> Locs.defines (Proginfo.locs t.info) sid loc
+  | None -> false
+
+(* Forward reachability that never traverses *through* [avoid] (the
+   queried predicate): nodes only reachable by re-entering the predicate
+   belong to later dynamic instances of it. *)
+let forward_reachable t cfg fname start ~avoid =
+  match Hashtbl.find_opt t.reach_cache (fname, start, avoid) with
+  | Some r -> r
+  | None ->
+    let visited = ref Iset.empty in
+    let rec visit n =
+      if not (Iset.mem n !visited) then begin
+        visited := Iset.add n !visited;
+        if n <> avoid then
+          List.iter (fun (s, _) -> visit s) (Cfg.successors cfg n)
+      end
+    in
+    visit start;
+    Hashtbl.replace t.reach_cache (fname, start, avoid) !visited;
+    !visited
+
+(* Nodes [m] such that there is a path m => use_node whose interior
+   (including [m] itself, excluding [use_node]) defines [loc] nowhere.
+   [use_node] is a member.  A definition D reaches the use def-clear iff
+   one of D's successors is in this set. *)
+let clear_sources t cfg fname use_node loc =
+  match Hashtbl.find_opt t.clear_cache (fname, use_node, loc) with
+  | Some r -> r
+  | None ->
+    let result = ref (Iset.singleton use_node) in
+    let rec visit n =
+      List.iter
+        (fun (p, _) ->
+          if (not (Iset.mem p !result)) && not (node_defines t cfg p loc)
+          then begin
+            result := Iset.add p !result;
+            visit p
+          end)
+        (Cfg.predecessors cfg n)
+    in
+    visit use_node;
+    Hashtbl.replace t.clear_cache (fname, use_node, loc) !result;
+    !result
+
+let could_reach_differently t ~pred_sid ~taken ~use_sid ~loc =
+  let key = (pred_sid, taken, use_sid, loc) in
+  match Hashtbl.find_opt t.verdict_cache key with
+  | Some v -> v
+  | None ->
+    let pfname = Proginfo.func_of_sid t.info pred_sid in
+    let ufname = Proginfo.func_of_sid t.info use_sid in
+    let cfg = Proginfo.cfg_of t.info pfname in
+    let pnode = Cfg.node_of cfg pred_sid in
+    let verdict =
+      match
+        ( Cfg.branch_successor cfg pnode (not taken),
+          Cfg.branch_successor cfg pnode taken )
+      with
+      | None, _ | _, None -> false
+      | Some nt_succ, Some t_succ ->
+        let reach_nt = forward_reachable t cfg pfname nt_succ ~avoid:pnode in
+        let reach_t = forward_reachable t cfg pfname t_succ ~avoid:pnode in
+        let witnessed d =
+          match t.observed with
+          | None -> true
+          | Some f -> (
+            match Cfg.sid_at cfg d with
+            | Some def_sid -> f ~def_sid ~use_sid
+            | None -> false)
+        in
+        let candidate_defs =
+          Iset.filter
+            (fun d ->
+              (not (Iset.mem d reach_t))
+              && node_defines t cfg d loc
+              && witnessed d)
+            reach_nt
+        in
+        if Iset.is_empty candidate_defs then false
+        else if pfname <> ufname then true
+        else begin
+          let ucfg_node = Cfg.node_of cfg use_sid in
+          let clear = clear_sources t cfg pfname ucfg_node loc in
+          Iset.exists
+            (fun d ->
+              List.exists (fun (s, _) -> Iset.mem s clear) (Cfg.successors cfg d))
+            candidate_defs
+        end
+    in
+    Hashtbl.replace t.verdict_cache key verdict;
+    verdict

@@ -1,0 +1,23 @@
+(** Static support for potential dependences (relevant slicing,
+    Definition 1 of the paper): condition (iv), "a different definition
+    could potentially reach [u] if [p] were to evaluate differently".
+
+    All queries are cached; the conservatism here (alias classes, callee
+    summaries, no interprocedural kills) is what makes relevant slices
+    over-sized — the behaviour the paper's Table 2 quantifies. *)
+
+type t
+
+(** [create ?observed info]: [observed] is an optional evidence filter
+    (the paper's union dependence graph): a candidate definition
+    statement then qualifies only if some test run witnessed one of its
+    values reaching the use statement.  Without it, condition (iv) is
+    purely static. *)
+val create :
+  ?observed:(def_sid:int -> use_sid:int -> bool) -> Proginfo.t -> t
+
+(** [could_reach_differently t ~pred_sid ~taken ~use_sid ~loc]: given
+    that predicate [pred_sid] evaluated to [taken], could a different
+    definition of [loc] reach [use_sid] along the untaken branch? *)
+val could_reach_differently :
+  t -> pred_sid:int -> taken:bool -> use_sid:int -> loc:Locs.loc -> bool

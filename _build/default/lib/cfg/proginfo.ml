@@ -1,0 +1,67 @@
+module Ast = Exom_lang.Ast
+
+type t = {
+  prog : Ast.program;
+  alias : Alias.t;
+  locs : Locs.t;
+  cfgs : (string option, Cfg.t) Hashtbl.t;
+  stmt_tbl : (int, Ast.stmt * string option) Hashtbl.t;
+  cd_cache : (string option, Dominance.Iset.t array) Hashtbl.t;
+}
+
+let build prog =
+  let alias = Alias.build prog in
+  let locs = Locs.build prog alias in
+  let cfgs = Hashtbl.create 16 in
+  Hashtbl.replace cfgs None (Cfg.of_globals prog.Ast.globals);
+  List.iter
+    (fun fn -> Hashtbl.replace cfgs (Some fn.Ast.fname) (Cfg.of_func fn))
+    prog.Ast.funcs;
+  {
+    prog;
+    alias;
+    locs;
+    cfgs;
+    stmt_tbl = Ast.stmt_table prog;
+    cd_cache = Hashtbl.create 16;
+  }
+
+let program t = t.prog
+let alias t = t.alias
+let locs t = t.locs
+
+let cfg_of t fname = Hashtbl.find t.cfgs fname
+
+let stmt_of_sid t sid =
+  match Hashtbl.find_opt t.stmt_tbl sid with
+  | Some (s, _) -> s
+  | None -> invalid_arg (Printf.sprintf "Proginfo.stmt_of_sid: unknown sid %d" sid)
+
+let func_of_sid t sid =
+  match Hashtbl.find_opt t.stmt_tbl sid with
+  | Some (_, fname) -> fname
+  | None -> invalid_arg (Printf.sprintf "Proginfo.func_of_sid: unknown sid %d" sid)
+
+let cfg_of_sid t sid = cfg_of t (func_of_sid t sid)
+
+let control_dep_sets t fname =
+  match Hashtbl.find_opt t.cd_cache fname with
+  | Some cd -> cd
+  | None ->
+    let cd = Dominance.control_dependence (cfg_of t fname) in
+    Hashtbl.replace t.cd_cache fname cd;
+    cd
+
+(* Static (direct) control dependences of a statement, as predicate sids
+   within the same function. *)
+let control_deps t sid =
+  let cfg = cfg_of_sid t sid in
+  let cd = control_dep_sets t (func_of_sid t sid) in
+  let node = Cfg.node_of cfg sid in
+  Dominance.Iset.fold
+    (fun p acc -> match Cfg.sid_at cfg p with Some s -> s :: acc | None -> acc)
+    cd.(node) []
+
+let is_predicate t sid = Ast.is_predicate (stmt_of_sid t sid)
+
+let line_of_sid t sid = Exom_lang.Loc.line (stmt_of_sid t sid).Ast.sloc

@@ -1,0 +1,53 @@
+module Ast = Exom_lang.Ast
+module Smap = Map.Make (String)
+
+type t = {
+  globals : Ast.typ Smap.t;
+  locals : Ast.typ Smap.t Smap.t;  (* function name -> local name -> type *)
+}
+
+let build prog =
+  let globals =
+    List.fold_left
+      (fun acc stmt ->
+        match stmt.Ast.skind with
+        | Ast.Sdecl (typ, x, _) -> Smap.add x typ acc
+        | _ -> acc)
+      Smap.empty prog.Ast.globals
+  in
+  let locals_of fn =
+    let from_params =
+      List.fold_left
+        (fun acc (typ, x) -> Smap.add x typ acc)
+        Smap.empty fn.Ast.fparams
+    in
+    let acc = ref from_params in
+    Ast.iter_stmts
+      (fun s ->
+        match s.Ast.skind with
+        | Ast.Sdecl (typ, x, _) -> acc := Smap.add x typ !acc
+        | _ -> ())
+      fn.Ast.fbody;
+    !acc
+  in
+  let locals =
+    List.fold_left
+      (fun acc fn -> Smap.add fn.Ast.fname (locals_of fn) acc)
+      Smap.empty prog.Ast.funcs
+  in
+  { globals; locals }
+
+(* Resolve name [x] as seen from [fname] ([None] = global scope) to its
+   defining scope: [None] for a global, [Some f] for a local of [f]. *)
+let resolve t ~fname x =
+  match fname with
+  | Some f when Smap.mem x (Option.value ~default:Smap.empty (Smap.find_opt f t.locals))
+    -> Some f
+  | _ -> None
+
+let typ_of t ~fname x =
+  match resolve t ~fname x with
+  | Some f -> Smap.find_opt x (Smap.find f t.locals)
+  | None -> Smap.find_opt x t.globals
+
+let is_array t ~fname x = typ_of t ~fname x = Some Ast.Tarray

@@ -1,0 +1,14 @@
+(** Static name resolution: maps a name as seen from a function (or the
+    global scope) to its defining scope and type.  MCL forbids
+    shadowing, so resolution is a two-level lookup. *)
+
+type t
+
+val build : Exom_lang.Ast.program -> t
+
+(** [resolve t ~fname x] is [Some f] when [x] is a local (or parameter)
+    of [f], [None] when it refers to a global. *)
+val resolve : t -> fname:string option -> string -> string option
+
+val typ_of : t -> fname:string option -> string -> Exom_lang.Ast.typ option
+val is_array : t -> fname:string option -> string -> bool

@@ -1,0 +1,1 @@
+lib/conf/confidence.ml: Array Exom_cfg Exom_ddg Exom_interp List Queue Reval Set

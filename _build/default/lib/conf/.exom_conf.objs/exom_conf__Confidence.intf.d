@@ -1,0 +1,1 @@
+lib/conf/confidence.mli: Exom_cfg Exom_interp Set

@@ -1,0 +1,1 @@
+lib/conf/prune.ml: Array Confidence Exom_ddg Exom_interp List Queue

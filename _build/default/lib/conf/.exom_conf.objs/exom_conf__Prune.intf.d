@@ -1,0 +1,1 @@
+lib/conf/prune.mli: Confidence Exom_ddg Exom_interp

@@ -1,0 +1,1 @@
+lib/conf/reval.ml: Exom_interp Exom_lang List

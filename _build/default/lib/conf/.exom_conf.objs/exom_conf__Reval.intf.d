@@ -1,0 +1,1 @@
+lib/conf/reval.mli: Exom_interp Exom_lang

@@ -1,0 +1,68 @@
+module Slice = Exom_ddg.Slice
+module Trace = Exom_interp.Trace
+
+(* Pruned, ranked fault candidate sets: the PS of the paper's Tables 2-3
+   and the selection order of the demand-driven algorithm ("rank the
+   executed statements in the pruned slice based on their confidence
+   values and their dependence distances to the failure point"). *)
+
+type entry = { idx : int; confidence : float; distance : int }
+
+type t = { entries : entry list (* ranked: most suspicious first *) }
+
+let confidence_is_one c = c >= 0.9999
+
+(* BFS distances (in dependence edges) from the failure point backwards
+   over explicit + extra edges. *)
+let distances ?(extra = fun _ -> []) trace ~criterion =
+  let n = Trace.length trace in
+  let dist = Array.make n max_int in
+  if criterion >= 0 && criterion < n then begin
+    let queue = Queue.create () in
+    dist.(criterion) <- 0;
+    Queue.add criterion queue;
+    while not (Queue.is_empty queue) do
+      let idx = Queue.pop queue in
+      List.iter
+        (fun p ->
+          if p >= 0 && p < n && dist.(p) = max_int then begin
+            dist.(p) <- dist.(idx) + 1;
+            Queue.add p queue
+          end)
+        (Slice.explicit_preds trace idx @ extra idx)
+    done
+  end;
+  dist
+
+let compute ?extra trace ~slice ~conf ~criterion =
+  let dist = distances ?extra trace ~criterion in
+  let entries =
+    Slice.to_list slice
+    |> List.filter_map (fun idx ->
+           let confidence = Confidence.confidence conf idx in
+           if confidence_is_one confidence then None
+           else Some { idx; confidence; distance = dist.(idx) })
+    |> List.sort (fun a b ->
+           match compare a.confidence b.confidence with
+           | 0 -> (
+             match compare a.distance b.distance with
+             | 0 -> compare a.idx b.idx
+             | c -> c)
+           | c -> c)
+  in
+  { entries }
+
+let entries t = t.entries
+let size t = List.length t.entries
+let instances t = List.map (fun e -> e.idx) t.entries
+
+let static_size trace t =
+  List.map (fun e -> (Trace.get trace e.idx).Trace.sid) t.entries
+  |> List.sort_uniq compare |> List.length
+
+let mem t idx = List.exists (fun e -> e.idx = idx) t.entries
+
+let mem_sid trace t sid =
+  List.exists (fun e -> (Trace.get trace e.idx).Trace.sid = sid) t.entries
+
+let as_slice trace t = Slice.of_instances trace (instances t)

@@ -1,0 +1,37 @@
+(** Pruned, ranked fault candidate sets (the paper's PS): the slice
+    minus confidence-1 instances, ordered most-suspicious-first (lowest
+    confidence, then shortest dependence distance to the failure
+    point). *)
+
+type entry = { idx : int; confidence : float; distance : int }
+
+type t
+
+(** [compute ?extra trace ~slice ~conf ~criterion]: prune [slice] using
+    [conf]; distances are measured backward from [criterion] over
+    explicit + [extra] dependence edges. *)
+val compute :
+  ?extra:(int -> int list) ->
+  Exom_interp.Trace.t ->
+  slice:Exom_ddg.Slice.t ->
+  conf:Confidence.t ->
+  criterion:int ->
+  t
+
+val entries : t -> entry list
+val size : t -> int
+val static_size : Exom_interp.Trace.t -> t -> int
+val instances : t -> int list
+val mem : t -> int -> bool
+val mem_sid : Exom_interp.Trace.t -> t -> int -> bool
+val as_slice : Exom_interp.Trace.t -> t -> Exom_ddg.Slice.t
+
+(** BFS dependence distances from the failure point; unreachable
+    instances get [max_int]. *)
+val distances :
+  ?extra:(int -> int list) ->
+  Exom_interp.Trace.t ->
+  criterion:int ->
+  int array
+
+val confidence_is_one : float -> bool

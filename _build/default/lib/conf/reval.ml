@@ -1,0 +1,164 @@
+module Ast = Exom_lang.Ast
+module Builtin = Exom_lang.Builtin
+module Cell = Exom_interp.Cell
+module Trace = Exom_interp.Trace
+module Value = Exom_interp.Value
+
+(* Best-effort re-evaluation of one statement instance with a single use
+   cell's value substituted: the engine behind alt-set computation in
+   confidence analysis ("what other operand values produce the same
+   result?").
+
+   The instance's recorded uses are replayed as a queue in evaluation
+   order, which reproduces the original read sequence exactly.  Whenever
+   the replay cannot be trusted — a call whose argument was substituted,
+   an input() read, a short-circuit decision that differs from the
+   original, an array read whose index changed — re-evaluation reports
+   [Unknown], which callers treat as "no constraint" (candidate
+   accepted): imprecision only ever *lowers* confidence and thereby
+   keeps more instances in the fault candidate set.  [reject]ed
+   candidates (e.g. division by zero) are excluded from alt sets. *)
+
+type result = Known of Value.t | Unknown | Rejected
+
+exception Unknown_exn
+exception Reject_exn
+
+type env = {
+  mutable queue : (Cell.t * int * Value.t) list;
+  subst_cell : Cell.t;
+  subst : Value.t;
+  mutable subst_applied : int;
+}
+
+let pop env =
+  match env.queue with
+  | [] -> raise Unknown_exn
+  | u :: rest ->
+    env.queue <- rest;
+    u
+
+let read env cell value =
+  if Cell.equal cell env.subst_cell then begin
+    env.subst_applied <- env.subst_applied + 1;
+    env.subst
+  end
+  else value
+
+let rec ev env expr =
+  match expr.Ast.edesc with
+  | Ast.Eint n -> Value.Vint n
+  | Ast.Ebool b -> Value.Vbool b
+  | Ast.Evar x -> (
+    let cell, _, value = pop env in
+    match Cell.static_var cell with
+    | Some y when y = x -> read env cell value
+    | _ -> raise Unknown_exn)
+  | Ast.Eindex (a, idx_expr) -> (
+    (* handle read, then index evaluation, then the element read *)
+    let hcell, _, hvalue = pop env in
+    (match Cell.static_var hcell with
+    | Some y when y = a -> ()
+    | _ -> raise Unknown_exn);
+    ignore (read env hcell hvalue);
+    let vi = ev env idx_expr in
+    let ecell, _, evalue = pop env in
+    match ecell with
+    | Cell.Elem (_, i) ->
+      if Value.Vint i <> vi then raise Unknown_exn
+        (* substitution redirected the read to an unknown element *)
+      else read env ecell evalue
+    | _ -> raise Unknown_exn)
+  | Ast.Eunop (Ast.Neg, e) -> Value.Vint (-Value.as_int (ev env e))
+  | Ast.Eunop (Ast.Not, e) -> Value.Vbool (not (Value.as_bool (ev env e)))
+  | Ast.Ebinop ((Ast.And | Ast.Or) as op, e1, e2) ->
+    (* Both operands are replayed; if the original run short-circuited,
+       the queue misaligns and a pop raises [Unknown_exn].  When it does
+       align, non-short-circuit evaluation gives the same value. *)
+    let v1 = Value.as_bool (ev env e1) in
+    let v2 = Value.as_bool (ev env e2) in
+    Value.Vbool (if op = Ast.And then v1 && v2 else v1 || v2)
+  | Ast.Ebinop (op, e1, e2) ->
+    let v1 = ev env e1 in
+    let v2 = ev env e2 in
+    apply op v1 v2
+  | Ast.Ecall (f, args) -> (
+    match Builtin.of_name f with
+    | Some Builtin.Input -> raise Unknown_exn
+    | Some Builtin.New_array -> raise Unknown_exn
+    | Some Builtin.Print ->
+      (* print(e) evaluates to its argument (see Interp) *)
+      ev env (List.hd args)
+    | Some Builtin.Len -> (
+      let hcell, _, hvalue = pop env in
+      ignore (read env hcell hvalue);
+      let lcell, _, lvalue = pop env in
+      match lcell with
+      | Cell.Elem (_, -1) -> read env lcell lvalue
+      | _ -> raise Unknown_exn)
+    | None ->
+      (* A user call: replay arguments, then the return-cell read.  If
+         the substitution landed inside an argument the callee would
+         compute something else — give up. *)
+      let before = env.subst_applied in
+      List.iter (fun a -> ignore (ev env a)) args;
+      if env.subst_applied > before then raise Unknown_exn;
+      let rcell, _, rvalue = pop env in
+      (match rcell with
+      | Cell.Ret _ -> read env rcell rvalue
+      | _ -> raise Unknown_exn))
+
+and apply op v1 v2 =
+  let i1 () = Value.as_int v1 and i2 () = Value.as_int v2 in
+  match op with
+  | Ast.Add -> Value.Vint (i1 () + i2 ())
+  | Ast.Sub -> Value.Vint (i1 () - i2 ())
+  | Ast.Mul -> Value.Vint (i1 () * i2 ())
+  | Ast.Div -> if i2 () = 0 then raise Reject_exn else Value.Vint (i1 () / i2 ())
+  | Ast.Mod ->
+    if i2 () = 0 then raise Reject_exn else Value.Vint (i1 () mod i2 ())
+  | Ast.Lt -> Value.Vbool (i1 () < i2 ())
+  | Ast.Le -> Value.Vbool (i1 () <= i2 ())
+  | Ast.Gt -> Value.Vbool (i1 () > i2 ())
+  | Ast.Ge -> Value.Vbool (i1 () >= i2 ())
+  | Ast.Eq -> Value.Vbool (Value.equal v1 v2)
+  | Ast.Ne -> Value.Vbool (not (Value.equal v1 v2))
+  | Ast.And | Ast.Or -> assert false
+
+(* The store's recorded target element: its index must not move under
+   substitution, or downstream reads would dangle. *)
+let stored_index inst =
+  List.find_map
+    (fun (c, _) -> match c with Cell.Elem (_, i) -> Some i | _ -> None)
+    inst.Trace.defs
+
+let run stmt inst ~cell ~value =
+  let env =
+    { queue = inst.Trace.uses; subst_cell = cell; subst = value;
+      subst_applied = 0 }
+  in
+  try
+    match stmt.Ast.skind with
+    | Ast.Sdecl (_, _, Some e)
+    | Ast.Sassign (_, e)
+    | Ast.Sreturn (Some e)
+    | Ast.Sexpr e ->
+      Known (ev env e)
+    | Ast.Sif (c, _, _) | Ast.Swhile (c, _) -> Known (ev env c)
+    | Ast.Sstore (a, i, e) ->
+      let hcell, _, hvalue = pop env in
+      (match Cell.static_var hcell with
+      | Some y when y = a -> ()
+      | _ -> raise Unknown_exn);
+      ignore (read env hcell hvalue);
+      let vi = ev env i in
+      let ve = ev env e in
+      (match stored_index inst with
+      | Some recorded when Value.Vint recorded <> vi -> Rejected
+      | _ -> Known ve)
+    | Ast.Sdecl (_, _, None) | Ast.Sreturn None | Ast.Sbreak | Ast.Scontinue
+      -> Unknown
+  with
+  | Unknown_exn -> Unknown
+  | Reject_exn -> Rejected
+  | Invalid_argument _ -> Unknown

@@ -1,0 +1,20 @@
+(** Best-effort re-evaluation of a statement instance with one use
+    substituted — the alt-set oracle of confidence analysis.
+
+    [run stmt inst ~cell ~value] replays [inst]'s recorded reads with
+    [cell] bound to [value] and returns the statement's principal value:
+    - [Known v]: the statement would have produced [v];
+    - [Unknown]: the replay cannot be trusted (substituted call
+      argument, [input()], divergent short-circuit, moved array read);
+      callers must treat the candidate as unconstrained;
+    - [Rejected]: the candidate is impossible (division by zero, store
+      index moved): exclude it from the alt set. *)
+
+type result = Known of Exom_interp.Value.t | Unknown | Rejected
+
+val run :
+  Exom_lang.Ast.stmt ->
+  Exom_interp.Trace.instance ->
+  cell:Exom_interp.Cell.t ->
+  value:Exom_interp.Value.t ->
+  result

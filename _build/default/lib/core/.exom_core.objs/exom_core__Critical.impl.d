@@ -1,0 +1,1 @@
+lib/core/critical.ml: Exom_interp List Session

@@ -1,0 +1,1 @@
+lib/core/demand.ml: Exom_conf Exom_ddg Exom_interp Hashtbl List Option Oracle Session Verdict Verify

@@ -1,0 +1,1 @@
+lib/core/demand.mli: Exom_ddg Oracle Session Verify

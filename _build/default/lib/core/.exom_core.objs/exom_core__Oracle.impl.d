@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Exom_align Exom_interp Exom_lang Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/oracle.mli: Exom_interp Exom_lang

@@ -1,0 +1,1 @@
+lib/core/perturb.ml: Exom_align Exom_interp List Session Sys Verdict

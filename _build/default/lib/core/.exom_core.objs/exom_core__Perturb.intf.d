@@ -1,0 +1,1 @@
+lib/core/perturb.mli: Exom_interp Session Verdict

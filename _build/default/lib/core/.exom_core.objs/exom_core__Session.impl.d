@@ -1,0 +1,1 @@
+lib/core/session.ml: Exom_align Exom_cfg Exom_ddg Exom_interp Exom_lang Hashtbl List Verdict

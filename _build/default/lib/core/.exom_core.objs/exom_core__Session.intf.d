@@ -1,0 +1,1 @@
+lib/core/session.mli: Exom_align Exom_cfg Exom_ddg Exom_interp Exom_lang Hashtbl Verdict

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Exom_align Exom_ddg Exom_interp Hashtbl List Session Sys Verdict

@@ -1,0 +1,20 @@
+(** Critical-predicate search — the ICSE'06 predecessor [18] the paper
+    compares against in §6: a predicate instance is critical when
+    switching it alone makes the program produce exactly the [expected]
+    output.
+
+    One untraced re-execution per candidate (last-executed first); the
+    comparison bench shows where this whole-output search fails on
+    omission errors that no single flip can repair. *)
+
+type result = {
+  critical : int list;  (** critical predicate instances, discovery order *)
+  executions : int;  (** re-executions performed *)
+}
+
+val find :
+  ?cap:int ->
+  ?stop_at_first:bool ->
+  Session.t ->
+  expected:int list ->
+  result

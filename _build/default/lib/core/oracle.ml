@@ -1,0 +1,81 @@
+module Align = Exom_align.Align
+module Ast = Exom_lang.Ast
+module Interp = Exom_interp.Interp
+module Region = Exom_align.Region
+module Trace = Exom_interp.Trace
+module Value = Exom_interp.Value
+
+(* The stand-in for the programmer in the interactive pruning step of
+   Algorithm 2 ("the programmer gives feedback to the system if he
+   considers the presented statement instance contains benign program
+   state").
+
+   The oracle runs the corrected program on the same input, aligns its
+   execution with the failing one, and deems an instance benign iff its
+   aligned counterpart exists and carries the same value — i.e. the
+   instance's program state is untouched by the fault.  Alignment works
+   across the two program versions because faults are expression-level
+   mutations: statement ids and region shapes coincide, only values and
+   branch outcomes differ. *)
+
+type t = {
+  benign : int -> bool;
+  expected_outputs : int list;
+}
+
+(* The corrected program's output stream, for building the session's
+   expected outputs before its trace exists. *)
+let expected ~correct_prog ~input =
+  Interp.output_values (Interp.run ~tracing:false correct_prog ~input)
+
+let create ~faulty_trace ~correct_prog ~input =
+  let correct_run = Interp.run correct_prog ~input in
+  let correct_trace =
+    match correct_run.Interp.trace with
+    | Some t -> t
+    | None -> invalid_arg "Oracle.create: tracing disabled"
+  in
+  let reg_faulty = Region.build faulty_trace in
+  let reg_correct = Region.build correct_trace in
+  let cache = Hashtbl.create 256 in
+  (* Inspectable values only: array references and unit say nothing a
+     programmer could compare. *)
+  let comparable v =
+    match v with Value.Vint _ | Value.Vbool _ -> true
+    | Value.Varr _ | Value.Vunit -> false
+  in
+  let values_agree va vb =
+    (not (comparable va)) || (not (comparable vb)) || Value.equal va vb
+  in
+  let benign idx =
+    match Hashtbl.find_opt cache idx with
+    | Some b -> b
+    | None ->
+      let b =
+        match Align.to_option (Align.match_root reg_faulty reg_correct ~u:idx) with
+        | None -> false
+        | Some idx' ->
+          (* The instance's observable state is benign only if every
+             value it touched agrees with the corrected run: its
+             principal value, everything it read, and everything it
+             defined (a call statement's own value is unit, but the
+             arguments it passes are program state too). *)
+          let a = Trace.get faulty_trace idx in
+          let b = Trace.get correct_trace idx' in
+          values_agree a.Trace.value b.Trace.value
+          && List.length a.Trace.uses = List.length b.Trace.uses
+          && List.for_all2
+               (fun (_, _, va) (_, _, vb) -> values_agree va vb)
+               a.Trace.uses b.Trace.uses
+          && List.length a.Trace.defs = List.length b.Trace.defs
+          && List.for_all2
+               (fun (_, va) (_, vb) -> values_agree va vb)
+               a.Trace.defs b.Trace.defs
+      in
+      Hashtbl.replace cache idx b;
+      b
+  in
+  { benign; expected_outputs = Interp.output_values correct_run }
+
+let benign t idx = t.benign idx
+let expected_outputs t = t.expected_outputs

@@ -1,0 +1,17 @@
+(** The programmer stand-in for the interactive pruning step: an
+    instance is benign iff it aligns with the corrected program's run on
+    the same input and carries the same value. *)
+
+type t
+
+(** Output stream of the corrected program (the session's [expected]). *)
+val expected : correct_prog:Exom_lang.Ast.program -> input:int list -> int list
+
+val create :
+  faulty_trace:Exom_interp.Trace.t ->
+  correct_prog:Exom_lang.Ast.program ->
+  input:int list ->
+  t
+
+val benign : t -> int -> bool
+val expected_outputs : t -> int list

@@ -1,0 +1,22 @@
+(** Value perturbation (§5 of the paper): expose dependences that
+    predicate switching misses — nested predicates testing the same
+    definition — by re-executing with the definition's value replaced.
+
+    Costs one re-execution per candidate value, against predicate
+    switching's single binary flip; candidates come from the value
+    profile. *)
+
+(** [verify_value s ~d ~candidate ~u]: re-execute with definition
+    instance [d] producing [candidate]; [u] depends on [d] if its
+    counterpart disappears or changes value.  Strong when the failure
+    point then shows the expected value. *)
+val verify_value :
+  Session.t ->
+  d:int ->
+  candidate:Exom_interp.Value.t ->
+  u:int ->
+  Verdict.t
+
+(** Search the definition's profiled value range; strongest verdict
+    wins, [Not_id] if nothing is affected. *)
+val verify_over_profile : Session.t -> d:int -> u:int -> Verdict.t

@@ -1,0 +1,96 @@
+module Ast = Exom_lang.Ast
+module Interp = Exom_interp.Interp
+module Profile = Exom_interp.Profile
+module Proginfo = Exom_cfg.Proginfo
+module Region = Exom_align.Region
+module Relevant = Exom_ddg.Relevant
+module Trace = Exom_interp.Trace
+module Value = Exom_interp.Value
+
+type t = {
+  prog : Ast.program;
+  info : Proginfo.t;
+  input : int list;
+  run : Interp.run;
+  trace : Trace.t;
+  region : Region.t;
+  profile : Profile.t;
+  rel : Relevant.t;
+  correct_outputs : int list;  (* Ov: instance indices *)
+  wrong_output : int;  (* o×, or the crash point for crash failures *)
+  vexp : Value.t option;
+      (* the value o× should have produced; [None] for crash failures,
+         where no expected value exists and strong verification is
+         unavailable *)
+  budget : int;
+  mutable verifications : int;
+  mutable verif_seconds : float;
+  verdict_cache : (int * int, Verdict.result) Hashtbl.t;
+}
+
+exception No_failure
+
+(* Classify the failing run's outputs against the expected stream: the
+   correct outputs Ov are the longest matching prefix, the first
+   mismatch is the wrong output o×, and the expected value there is
+   vexp.  Raises [No_failure] when the streams agree.
+
+   Only the prefix counts as Ov: outputs *after* the divergence can
+   match coincidentally (shifted streams, zero counters), and treating
+   them as correct lets their control ancestors be pinned and the
+   failure-inducing chain be pruned away — measured on the benchmark
+   suite, prefix-only Ov locates every fault while whole-stream Ov
+   loses four. *)
+let classify_outputs ~outputs ~expected =
+  let rec walk outs exps acc =
+    match (outs, exps) with
+    | (idx, v) :: outs', e :: exps' ->
+      if v = e then walk outs' exps' (idx :: acc)
+      else (List.rev acc, idx, Value.Vint e)
+    | _, _ -> raise No_failure
+    (* run produced a prefix of expected (or vice versa) with no
+       mismatching value to anchor on *)
+  in
+  walk outputs expected []
+
+(* A run that crashes — or spins until the step budget, the signature of
+   an omitted loop-exit update — while its outputs match the expected
+   prefix fails at its last (partially recorded) instance; there is no
+   expected value there. *)
+let classify ~(run : Interp.run) ~trace ~expected =
+  match classify_outputs ~outputs:run.Interp.outputs ~expected with
+  | ov, ox, vexp -> (ov, ox, Some vexp)
+  | exception No_failure -> (
+    match run.Interp.outcome with
+    | Error (Interp.Crashed _ | Interp.Budget_exhausted)
+      when Trace.length trace > 0 ->
+      (List.map fst run.Interp.outputs, Trace.length trace - 1, None)
+    | _ -> raise No_failure)
+
+let create ?(budget = Interp.default_budget) ~prog ~input ~expected
+    ~profile_inputs () =
+  let run = Interp.run ~budget prog ~input in
+  let trace =
+    match run.Interp.trace with
+    | Some t -> t
+    | None -> invalid_arg "Session.create: tracing disabled"
+  in
+  let correct_outputs, wrong_output, vexp = classify ~run ~trace ~expected in
+  let info = Proginfo.build prog in
+  {
+    prog;
+    info;
+    input;
+    run;
+    trace;
+    region = Region.build trace;
+    profile = Profile.collect prog profile_inputs;
+    rel = Relevant.create info trace;
+    correct_outputs;
+    wrong_output;
+    vexp;
+    budget;
+    verifications = 0;
+    verif_seconds = 0.0;
+    verdict_cache = Hashtbl.create 64;
+  }

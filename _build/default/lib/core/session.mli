@@ -1,0 +1,49 @@
+(** A debugging session: one failing traced run plus everything the
+    demand-driven algorithm needs around it (static info, value profile,
+    region tree, potential-dependence machinery, output classification,
+    verification bookkeeping for Tables 3-4). *)
+
+type t = {
+  prog : Exom_lang.Ast.program;
+  info : Exom_cfg.Proginfo.t;
+  input : int list;
+  run : Exom_interp.Interp.run;
+  trace : Exom_interp.Trace.t;
+  region : Exom_align.Region.t;
+  profile : Exom_interp.Profile.t;
+  rel : Exom_ddg.Relevant.t;
+  correct_outputs : int list;  (** Ov *)
+  wrong_output : int;  (** o×, or the crash point for crash failures *)
+  vexp : Exom_interp.Value.t option;
+      (** expected value at o×; [None] for crash failures (no strong
+          verification possible) *)
+  budget : int;
+  mutable verifications : int;
+  mutable verif_seconds : float;
+  verdict_cache : (int * int, Verdict.result) Hashtbl.t;
+}
+
+(** Raised when the run's outputs don't disagree with the expected
+    stream at any comparable position. *)
+exception No_failure
+
+(** Split an output stream against the expected values: longest matching
+    prefix (Ov), first mismatching instance (o×), expected value
+    there.  Raises {!No_failure} when the streams agree. *)
+val classify_outputs :
+  outputs:(int * int) list ->
+  expected:int list ->
+  int list * int * Exom_interp.Value.t
+
+(** [create ~prog ~input ~expected ~profile_inputs ()] executes the
+    failing run and prepares the session.  [expected] is the correct
+    output stream (from the spec or a corrected version);
+    [profile_inputs] drive the value-profile collection runs. *)
+val create :
+  ?budget:int ->
+  prog:Exom_lang.Ast.program ->
+  input:int list ->
+  expected:int list ->
+  profile_inputs:int list list ->
+  unit ->
+  t

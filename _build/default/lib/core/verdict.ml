@@ -1,0 +1,16 @@
+(* The three outcomes of one implicit-dependence verification
+   (VerifyDep in Algorithm 2 of the paper). *)
+type t = Strong_id | Id | Not_id
+
+(* One verification's full outcome: the classification plus whether the
+   switch observably changed the target's value (vs merely rerouting a
+   definition that carried the same value) — the distinction that
+   decides whether confidence may pin the predicate (Figure 5). *)
+type result = { verdict : t; value_affected : bool }
+
+let to_string = function
+  | Strong_id -> "STRONG_ID"
+  | Id -> "ID"
+  | Not_id -> "NOT_ID"
+
+let pp ppf v = Fmt.string ppf (to_string v)

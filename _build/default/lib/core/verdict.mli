@@ -1,0 +1,13 @@
+(** Verification outcomes: strong implicit dependence (Definition 4),
+    implicit dependence (Definition 2), or none. *)
+
+type t = Strong_id | Id | Not_id
+
+(** A verification's classification plus whether the switch observably
+    changed the target's value; only value-affecting edges let a
+    vouched-for target pin the predicate during confidence
+    propagation. *)
+type result = { verdict : t; value_affected : bool }
+
+val to_string : t -> string
+val pp : t Fmt.t

@@ -1,0 +1,144 @@
+module Align = Exom_align.Align
+module Interp = Exom_interp.Interp
+module Region = Exom_align.Region
+module Slice = Exom_ddg.Slice
+module Trace = Exom_interp.Trace
+module Value = Exom_interp.Value
+
+(* How Definition 2's case (ii) — "an explicit dependence path between
+   p' and u'" — is tested:
+   - [Edge_approximation] (the paper's deliberate, slightly unsafe
+     choice, §3.2): u''s reaching definition must lie inside the
+     switched predicate's region.  One region test per verification.
+   - [Path_exact] (the safe variant the paper outlines and prices):
+     p' must appear in the backward explicit-dependence slice of u'.
+     Catches chains like the paper's 2 -> 3 -> 6 -> 7 -> 15, at the cost
+     of a slice computation per verification and of admitting many more
+     candidates per expansion. *)
+type mode = Edge_approximation | Path_exact
+
+(* VerifyDep (Algorithm 2, Definitions 2 and 4): test whether the use
+   instance [u] implicitly depends on predicate instance [p] by
+   re-executing with [p]'s branch outcome switched and aligning the two
+   executions.
+
+   - The switched run aborting (step budget = the paper's timer, or a
+     crash) fails the verification: NOT_ID.
+   - If the failure point o× aligns and now carries the expected value:
+     STRONG_ID (Definition 4) — the strongest evidence, checked first.
+   - If [u] has no counterpart, its execution hinged on [p]: ID
+     (Definition 2 case (i)).
+   - If [u]'s counterpart reads a definition lying inside the switched
+     predicate's region, the switch rerouted the value: ID (case (ii),
+     with the paper's deliberate edge-not-path approximation, §3.2).
+   - Otherwise NOT_ID. *)
+
+let switched_run (s : Session.t) ~p =
+  let inst = Trace.get s.Session.trace p in
+  let switch =
+    { Interp.switch_sid = inst.Trace.sid; switch_occ = inst.Trace.occ }
+  in
+  let t0 = Sys.time () in
+  let run = Interp.run ~switch ~budget:s.Session.budget s.Session.prog
+      ~input:s.Session.input
+  in
+  s.Session.verifications <- s.Session.verifications + 1;
+  s.Session.verif_seconds <- s.Session.verif_seconds +. Sys.time () -. t0;
+  run
+
+(* Does some use of [u'] read a definition that lies inside the region
+   of the switched predicate [p'] (i.e. executed only because of the
+   switch)?  This is the "d' in Region(p')" test, generalized to all the
+   operands of [u']. *)
+let rerouted_definition region' ~p' ~u' trace' =
+  let inst' = Trace.get trace' u' in
+  List.exists
+    (fun (_, def', _) ->
+      def' >= 0 && Region.in_region region' ~u:def' ~r:p')
+    inst'.Trace.uses
+
+(* A verified implicit dependence comes in two strengths of evidence
+   (see {!Verdict.result}): a reroute-only dependence (the counterpart
+   reads a definition from the switched region but happens to see the
+   same value — e.g. a loop predicate whose operand changed from 5 to 2
+   while the outcome stayed true) is still an implicit dependence for
+   slicing, but says nothing about the predicate's outcome being
+   correct, so it must not pin it during confidence propagation. *)
+
+let verify_uncached (s : Session.t) ~mode ~p ~u =
+  let run' = switched_run s ~p in
+  match run'.Interp.trace with
+  | None -> { Verdict.verdict = Verdict.Not_id; value_affected = false }
+  | Some trace' ->
+    (* An aborted switched run (budget = the paper's timer, or a crash
+       caused by the now-inconsistent program state) still produced a
+       valid trace prefix: alignment over it is sound for anything it
+       contains.  Only a *missing* counterpart becomes inconclusive —
+       the truncation, not the switch, may explain the absence — and is
+       then conservatively NOT_ID (the paper's timer rule). *)
+    let aborted = run'.Interp.outcome <> Ok () in
+    if not run'.Interp.switch_fired then
+      { Verdict.verdict = Verdict.Not_id; value_affected = false }
+    else begin
+      let region' = Region.build trace' in
+      let region = s.Session.region in
+      (* Definition 2 first: does u implicitly depend on p at all?
+         (The paper's pseudocode short-circuits on the o× test alone,
+         but Definition 4 requires the implicit dependence to hold too;
+         without the conjunction, a culprit predicate would acquire
+         strong edges to *benign* targets and confidence propagation
+         would sanitize it.) *)
+      let id_holds, value_affected =
+        match Align.to_option (Align.match_from region region' ~p ~u) with
+        | None ->
+          (* case (i): u has no counterpart *)
+          if aborted then (false, false) else (true, true)
+        | Some u' ->
+          let holds =
+            match mode with
+            | Edge_approximation ->
+              rerouted_definition region' ~p':p ~u' trace'
+            | Path_exact ->
+              Slice.mem (Slice.compute trace' ~criteria:[ u' ]) p
+          in
+          let changed =
+            not
+              (Value.equal (Trace.get trace' u').Trace.value
+                 (Trace.get s.Session.trace u).Trace.value)
+          in
+          (holds, changed)
+      in
+      if not id_holds then
+        { Verdict.verdict = Verdict.Not_id; value_affected = false }
+      else begin
+        (* Definition 4: additionally, the failure point aligns and
+           shows the expected value. *)
+        let strong =
+          match s.Session.vexp with
+          | None -> false  (* crash failure: no expected value *)
+          | Some vexp -> (
+            match
+              Align.to_option
+                (Align.match_from region region' ~p ~u:s.Session.wrong_output)
+            with
+            | Some o' -> Value.equal (Trace.get trace' o').Trace.value vexp
+            | None -> false)
+        in
+        {
+          Verdict.verdict = (if strong then Verdict.Strong_id else Verdict.Id);
+          value_affected;
+        }
+      end
+    end
+
+let verify_full ?(mode = Edge_approximation) (s : Session.t) ~p ~u =
+  (* The cache is per-session; sessions are not shared across modes. *)
+  match Hashtbl.find_opt s.Session.verdict_cache (p, u) with
+  | Some v -> v
+  | None ->
+    let v = verify_uncached s ~mode ~p ~u in
+    Hashtbl.replace s.Session.verdict_cache (p, u) v;
+    v
+
+let verify ?mode (s : Session.t) ~p ~u =
+  (verify_full ?mode s ~p ~u).Verdict.verdict

@@ -1,0 +1,22 @@
+(** Implicit-dependence verification by predicate switching (VerifyDep
+    of Algorithm 2; Definitions 2 and 4).
+
+    Each uncached call re-executes the program once with the candidate
+    predicate instance's branch outcome flipped, aligns the two
+    executions, and classifies the dependence.  Verification counts and
+    wall time accumulate on the session (Tables 3 and 4). *)
+
+(** How Definition 2's "explicit dependence path between p' and u'" is
+    decided: the paper's edge approximation (default; unsafe in the
+    nested-predicate corner of §3.2 but cheap), or the exact backward
+    slice membership test (safe, one slice per verification). *)
+type mode = Edge_approximation | Path_exact
+
+(** [verify s ~p ~u]: is there an implicit dependence from predicate
+    instance [p] to use instance [u]?  Cached per (p, u); do not mix
+    modes on one session. *)
+val verify : ?mode:mode -> Session.t -> p:int -> u:int -> Verdict.t
+
+(** Like {!verify}, also reporting whether the switch observably changed
+    the target's value (see {!Verdict.result}). *)
+val verify_full : ?mode:mode -> Session.t -> p:int -> u:int -> Verdict.result

@@ -1,0 +1,1 @@
+lib/ddg/dot.ml: Buffer Exom_interp List Printf Slice String

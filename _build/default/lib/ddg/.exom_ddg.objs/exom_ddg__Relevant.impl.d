@@ -1,0 +1,1 @@
+lib/ddg/relevant.ml: Exom_cfg Exom_interp Hashtbl List Option Slice

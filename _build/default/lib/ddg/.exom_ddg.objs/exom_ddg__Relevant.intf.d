@@ -1,0 +1,1 @@
+lib/ddg/relevant.mli: Exom_cfg Exom_interp Slice

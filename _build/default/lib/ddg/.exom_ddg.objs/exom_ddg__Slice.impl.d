@@ -1,0 +1,1 @@
+lib/ddg/slice.ml: Array Exom_interp Int List Queue Set

@@ -1,0 +1,1 @@
+lib/ddg/slice.mli: Exom_interp Set

@@ -1,0 +1,1 @@
+lib/ddg/union_graph.ml: Exom_interp Hashtbl List Option

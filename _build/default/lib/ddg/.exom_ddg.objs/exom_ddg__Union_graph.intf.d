@@ -1,0 +1,1 @@
+lib/ddg/union_graph.mli: Exom_interp Exom_lang

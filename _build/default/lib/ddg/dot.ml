@@ -1,0 +1,62 @@
+module Trace = Exom_interp.Trace
+module Value = Exom_interp.Value
+
+(* Graphviz export of dynamic dependence graphs: instances as nodes,
+   data dependences as solid edges, dynamic control dependences as
+   dashed edges, verified implicit dependences as bold red edges.
+   Restricting to a slice keeps real traces renderable. *)
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | '\n' -> "\\n"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let node_shape inst =
+  match inst.Trace.kind with
+  | Trace.Kpredicate _ -> "diamond"
+  | Trace.Koutput -> "doubleoctagon"
+  | Trace.Kcall -> "cds"
+  | Trace.Kreturn -> "house"
+  | Trace.Kassign | Trace.Kother -> "box"
+
+let render ?slice ?(implicit = []) ?(highlight = []) ~describe trace =
+  let keep idx =
+    match slice with None -> true | Some s -> Slice.mem s idx
+  in
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph ddg {\n";
+  pr "  rankdir=BT;\n  node [fontsize=10];\n";
+  Trace.iter
+    (fun inst ->
+      let idx = inst.Trace.idx in
+      if keep idx then begin
+        let extras =
+          if List.mem idx highlight then
+            ", style=filled, fillcolor=\"#ffd0d0\""
+          else ""
+        in
+        pr "  n%d [label=\"%s\", shape=%s%s];\n" idx
+          (escape (describe idx))
+          (node_shape inst) extras;
+        List.iter
+          (fun (_, def, _) ->
+            if def >= 0 && keep def then pr "  n%d -> n%d;\n" idx def)
+          inst.Trace.uses;
+        if inst.Trace.parent >= 0 && keep inst.Trace.parent then
+          pr "  n%d -> n%d [style=dashed];\n" idx inst.Trace.parent
+      end)
+    trace;
+  List.iter
+    (fun (p, t) ->
+      if keep p && keep t then
+        pr "  n%d -> n%d [style=bold, color=red, label=\"id\"];\n" t p)
+    implicit;
+  pr "}\n";
+  Buffer.contents buf

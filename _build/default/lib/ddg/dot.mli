@@ -1,0 +1,15 @@
+(** Graphviz rendering of dynamic dependence graphs.
+
+    Edges point from a use to its definition (backward, the slicing
+    direction): data dependences solid, dynamic control dependences
+    dashed, verified implicit dependences bold red.  [describe] supplies
+    node labels (e.g. "line 12 (#5) = 42"); [slice] restricts the output
+    to a slice's instances; [highlight] fills the given instances. *)
+
+val render :
+  ?slice:Slice.t ->
+  ?implicit:(int * int) list ->
+  ?highlight:int list ->
+  describe:(int -> string) ->
+  Exom_interp.Trace.t ->
+  string

@@ -1,0 +1,141 @@
+module Cell = Exom_interp.Cell
+module Trace = Exom_interp.Trace
+module Locs = Exom_cfg.Locs
+module Potential = Exom_cfg.Potential
+module Proginfo = Exom_cfg.Proginfo
+
+type t = {
+  info : Proginfo.t;
+  potential : Potential.t;
+  trace : Trace.t;
+  by_sid : (int, int list) Hashtbl.t;  (* sid -> instance idxs, ascending *)
+  pred_sids : int list;  (* every predicate sid that executed *)
+  static_pd_cache : (int, (int * bool) list) Hashtbl.t;
+      (* use sid -> (pred sid, taken) pairs satisfying condition (iv) *)
+}
+
+let create ?observed info trace =
+  let by_sid = Hashtbl.create 64 in
+  Trace.iter
+    (fun inst ->
+      let cur =
+        Option.value ~default:[] (Hashtbl.find_opt by_sid inst.Trace.sid)
+      in
+      Hashtbl.replace by_sid inst.Trace.sid (inst.Trace.idx :: cur))
+    trace;
+  let pred_sids = ref [] in
+  Hashtbl.iter
+    (fun sid idxs ->
+      Hashtbl.replace by_sid sid (List.rev idxs);
+      if Proginfo.is_predicate info sid then pred_sids := sid :: !pred_sids)
+    by_sid;
+  {
+    info;
+    potential = Potential.create ?observed info;
+    trace;
+    by_sid;
+    pred_sids = !pred_sids;
+    static_pd_cache = Hashtbl.create 64;
+  }
+
+(* Static locations a dynamic use cell may stand for. *)
+let locs_of_use_cell t ~use_sid cell =
+  let fname = Proginfo.func_of_sid t.info use_sid in
+  match cell with
+  | Cell.Global x -> [ Locs.Lvar (None, x) ]
+  | Cell.Local (_, x) -> [ Locs.loc_of_var (Proginfo.locs t.info) ~fname x ]
+  | Cell.Elem _ -> Locs.array_uses (Proginfo.locs t.info) use_sid
+  | Cell.Ret _ -> []
+
+(* All (predicate sid, taken outcome) pairs satisfying condition (iv)
+   for some *static* use location of statement [use_sid] (the stable
+   superset of any dynamic instance's use cells, so the result is
+   cacheable per statement). *)
+let static_pd t ~use_sid =
+  match Hashtbl.find_opt t.static_pd_cache use_sid with
+  | Some r -> r
+  | None ->
+    let locs =
+      Locs.Lset.elements (Locs.uses (Proginfo.locs t.info) use_sid)
+    in
+    let result = ref [] in
+    List.iter
+      (fun pred_sid ->
+        List.iter
+          (fun taken ->
+            let qualifies =
+              List.exists
+                (fun loc ->
+                  Potential.could_reach_differently t.potential ~pred_sid
+                    ~taken ~use_sid ~loc)
+                locs
+            in
+            if qualifies then result := (pred_sid, taken) :: !result)
+          [ true; false ])
+      t.pred_sids;
+    Hashtbl.replace t.static_pd_cache use_sid !result;
+    !result
+
+(* Dynamic (transitive) control ancestors of an instance: its region
+   ancestor chain. *)
+let is_control_ancestor t ~anc ~of_:idx =
+  let rec walk i = i >= 0 && (i = anc || walk (Trace.get t.trace i).Trace.parent) in
+  walk (Trace.get t.trace idx).Trace.parent
+
+(* Instances of [sid] with branch outcome [taken] in the open interval
+   (lo, hi). *)
+let instances_between t sid taken ~lo ~hi =
+  match Hashtbl.find_opt t.by_sid sid with
+  | None -> []
+  | Some idxs ->
+    List.filter
+      (fun i ->
+        i > lo && i < hi
+        && Trace.branch_of (Trace.get t.trace i) = Some taken)
+      idxs
+
+(* PD(u) of Definition 1: the executed predicate instances that use
+   instance [u] potentially depends on.
+
+   (i)   the predicate instance precedes u;
+   (ii)  u is not (dynamically, transitively) control dependent on it;
+   (iii) the definition reaching the use occurs before it;
+   (iv)  a different definition could reach the use had it evaluated the
+         other way (static, cached per use statement). *)
+let pd t u =
+  let inst = Trace.get t.trace u in
+  let use_sid = inst.Trace.sid in
+  let result = ref [] in
+  List.iter
+    (fun (cell, def_idx, _) ->
+      let locs = locs_of_use_cell t ~use_sid cell in
+      if locs <> [] then begin
+        let cell_locs_pd =
+          List.filter
+            (fun (pred_sid, taken) ->
+              List.exists
+                (fun loc ->
+                  Potential.could_reach_differently t.potential ~pred_sid
+                    ~taken ~use_sid ~loc)
+                locs)
+            (static_pd t ~use_sid)
+        in
+        List.iter
+          (fun (pred_sid, taken) ->
+            let candidates =
+              instances_between t pred_sid taken ~lo:def_idx ~hi:u
+            in
+            List.iter
+              (fun p ->
+                if not (is_control_ancestor t ~anc:p ~of_:u) then
+                  result := p :: !result)
+              candidates)
+          cell_locs_pd
+      end)
+    inst.Trace.uses;
+  List.sort_uniq compare !result
+
+(* The relevant slice: closure over explicit + potential dependences.
+   PD edges are generated lazily per instance as the closure reaches it,
+   which keeps the (potentially enormous) edge set implicit. *)
+let relevant_slice t ~criteria = Slice.compute ~extra:(pd t) t.trace ~criteria

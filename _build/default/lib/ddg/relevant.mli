@@ -1,0 +1,38 @@
+(** Relevant slicing (Gyimóthy et al. [3], as characterized in §2 of the
+    paper): dynamic slicing augmented with *potential dependence* edges
+    between a use and the earlier predicate instances whose opposite
+    branch could have brought a different definition to the use
+    (Definition 1).
+
+    This is the baseline the paper's technique improves on: it always
+    captures execution omission errors but over-approximates, so its
+    dynamic sizes blow up (Table 2, the RS columns). *)
+
+type t
+
+(** [create ?observed info trace]: [observed] is the optional
+    condition-(iv) evidence filter, typically
+    {!Union_graph.evidence_filter} over a test suite's runs. *)
+val create :
+  ?observed:(def_sid:int -> use_sid:int -> bool) ->
+  Exom_cfg.Proginfo.t ->
+  Exom_interp.Trace.t ->
+  t
+
+(** PD(u): the predicate instances the use instance [u] potentially
+    depends on, per Definition 1 (conditions (i)-(iii) checked
+    dynamically on the trace, condition (iv) statically, cached). *)
+val pd : t -> int -> int list
+
+(** Static locations a dynamic use cell may stand for (array elements
+    map to the alias classes read by the statement). *)
+val locs_of_use_cell :
+  t -> use_sid:int -> Exom_interp.Cell.t -> Exom_cfg.Locs.loc list
+
+(** Relevant slice of the criteria: closure over explicit + potential
+    dependence edges (PD edges generated lazily). *)
+val relevant_slice : t -> criteria:int list -> Slice.t
+
+(** [is_control_ancestor t ~anc ~of_] — is instance [anc] on the region
+    (dynamic control) ancestor chain of instance [of_]? *)
+val is_control_ancestor : t -> anc:int -> of_:int -> bool

@@ -1,0 +1,1 @@
+lib/interp/cell.mli: Fmt

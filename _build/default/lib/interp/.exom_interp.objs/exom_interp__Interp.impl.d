@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Cell Exom_lang Exom_util Fmt Hashtbl List Option Trace Value

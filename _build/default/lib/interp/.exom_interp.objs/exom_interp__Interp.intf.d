@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Exom_lang Trace Value

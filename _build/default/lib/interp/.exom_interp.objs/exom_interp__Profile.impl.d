@@ -1,0 +1,1 @@
+lib/interp/profile.ml: Hashtbl Int Interp List Option Set Trace Value

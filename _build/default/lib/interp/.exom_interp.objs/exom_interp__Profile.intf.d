@@ -1,0 +1,1 @@
+lib/interp/profile.mli: Exom_lang Interp Value

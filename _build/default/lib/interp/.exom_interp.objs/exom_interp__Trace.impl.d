@@ -1,0 +1,1 @@
+lib/interp/trace.ml: Array Cell Exom_util Fmt Hashtbl Option Printf Value

@@ -1,0 +1,1 @@
+lib/interp/trace.mli: Cell Fmt Value

@@ -1,0 +1,1 @@
+lib/interp/trace_io.ml: Buffer Cell Fun List Printf String Trace Value

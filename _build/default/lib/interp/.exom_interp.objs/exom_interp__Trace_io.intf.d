@@ -1,0 +1,1 @@
+lib/interp/trace_io.mli: Trace

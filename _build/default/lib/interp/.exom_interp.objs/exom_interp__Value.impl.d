@@ -1,0 +1,1 @@
+lib/interp/value.ml: Exom_lang Fmt Printf

@@ -1,0 +1,21 @@
+type t =
+  | Global of string
+  | Local of int * string
+  | Elem of int * int
+  | Ret of int
+
+let to_string = function
+  | Global x -> x
+  | Local (frame, x) -> Printf.sprintf "%s@f%d" x frame
+  | Elem (arr, i) -> Printf.sprintf "arr%d[%d]" arr i
+  | Ret frame -> Printf.sprintf "ret@f%d" frame
+
+let pp ppf c = Fmt.string ppf (to_string c)
+
+let equal (a : t) (b : t) = a = b
+
+(** Static variable class of a cell: the name the dependence analyses use
+    ([None] for return cells, which have no static counterpart). *)
+let static_var = function
+  | Global x | Local (_, x) -> Some x
+  | Elem _ | Ret _ -> None

@@ -1,0 +1,19 @@
+(** Abstract memory cells: the unit of dynamic data dependence.
+
+    - [Global x]: a global variable;
+    - [Local (frame, x)]: variable [x] in stack frame [frame] (frame ids
+      are allocated deterministically in call order);
+    - [Elem (arr, i)]: element [i] of array [arr];
+    - [Ret frame]: the anonymous cell carrying frame [frame]'s return
+      value to its caller. *)
+
+type t =
+  | Global of string
+  | Local of int * string
+  | Elem of int * int
+  | Ret of int
+
+val to_string : t -> string
+val pp : t Fmt.t
+val equal : t -> t -> bool
+val static_var : t -> string option

@@ -1,0 +1,55 @@
+(** The instrumented MCL interpreter: the substitute for the paper's
+    valgrind-based online tracing component.
+
+    A run executes global initializers then [main], producing:
+    - an execution {!Trace.t} (unless [tracing:false], the "Plain" mode
+      timed in Table 4),
+    - the output stream with the producing instance of each value,
+    - an outcome: normal termination, step-budget exhaustion (the
+      substitute for the paper's verification timer), or a crash
+      (runtime error / input exhaustion).
+
+    {b Predicate switching}: pass [switch] to flip the branch outcome of
+    the [switch_occ]-th dynamic instance of predicate [switch_sid] — the
+    paper's core mechanism for exposing implicit dependences. *)
+
+type switch_spec = { switch_sid : int; switch_occ : int }
+
+(** Value perturbation (§5 of the paper): override the value produced by
+    the [vswitch_occ]-th execution of assignment [vswitch_sid]. *)
+type value_switch_spec = {
+  vswitch_sid : int;
+  vswitch_occ : int;
+  vswitch_value : Value.t;
+}
+
+type abort = Budget_exhausted | Crashed of string
+
+type run = {
+  trace : Trace.t option;
+  outputs : (int * int) list;
+      (** (producing instance index, printed value), in output order;
+          the index is [-1] when tracing is off *)
+  outcome : (unit, abort) result;
+  steps : int;  (** executed statement instances *)
+  switch_fired : bool;
+      (** whether the switched predicate instance was actually reached *)
+}
+
+val default_budget : int
+
+(** [run prog ~input] executes a typechecked program.  Raises nothing:
+    all failures are reported through [outcome].  Behaviour on programs
+    that did not pass {!Exom_lang.Typecheck} is unspecified (may raise
+    [Invalid_argument]). *)
+val run :
+  ?switch:switch_spec ->
+  ?vswitch:value_switch_spec ->
+  ?budget:int ->
+  ?tracing:bool ->
+  Exom_lang.Ast.program ->
+  input:int list ->
+  run
+
+(** Just the printed values. *)
+val output_values : run -> int list

@@ -1,0 +1,23 @@
+(** Value profiles: the per-statement value domains collected by running
+    the program over a passing test suite.  The paper's confidence
+    analysis [19] approximates the range of a definition "by the value
+    profile"; ranges feed the confidence formula
+    [C = 1 - log(|alt|)/log(|range|)]. *)
+
+type t
+
+val create : unit -> t
+
+(** Record all values produced by a traced run. *)
+val add_run : t -> Interp.run -> unit
+
+(** [collect prog inputs] runs [prog] on every input and accumulates the
+    profile. *)
+val collect : Exom_lang.Ast.program -> int list list -> t
+
+(** Profiled int domain of a statement, with [observed] (the value seen
+    in the failing run) always included.  Sorted, duplicate-free. *)
+val range : t -> int -> observed:Value.t -> int list
+
+val range_size : t -> int -> observed:Value.t -> int
+val runs : t -> int

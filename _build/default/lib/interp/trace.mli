@@ -1,0 +1,74 @@
+(** Execution traces: the dynamic dependence information the technique
+    consumes.
+
+    A trace is a sequence of statement *instances* in execution-start
+    order.  Each instance records its static statement id ([sid]), its
+    occurrence count ([occ], 1-based: the [occ]-th execution of [sid]),
+    its *control parent* (the instance index of the predicate / call
+    instance whose region structurally encloses it; [-1] for top level),
+    the cells it read together with their defining instances and observed
+    values, the cells it defined, and its principal value (assigned
+    value, printed value, branch outcome, or return value).
+
+    Because instance slots are reserved when a statement *starts*
+    executing, a statement containing calls appears in the trace before
+    its callees' instances — matching the trace layout of Figure 2 of
+    the paper — and its [uses] may reference later instances (return
+    cells). *)
+
+type ikind =
+  | Kassign
+  | Kpredicate of bool  (** branch outcome, after any switching *)
+  | Koutput
+  | Kcall  (** a statement that (also) passes parameters to a callee *)
+  | Kreturn
+  | Kother
+
+type instance = {
+  idx : int;
+  sid : int;
+  occ : int;
+  parent : int;
+  mutable kind : ikind;
+  mutable uses : (Cell.t * int * Value.t) list;
+      (** cell read, defining instance index ([-1] if the cell was never
+          written, e.g. a fresh array element), value observed *)
+  mutable defs : (Cell.t * Value.t) list;
+  mutable value : Value.t;
+}
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val get : t -> int -> instance
+
+(** Reserve the next instance slot for the [occ]-th execution of [sid]
+    and return its index; [fill] completes it once the statement finishes
+    evaluating.  The interpreter supplies occurrence counts (it tracks
+    them even when tracing is off, for predicate switching). *)
+val reserve : t -> sid:int -> occ:int -> parent:int -> int
+
+val fill :
+  t ->
+  int ->
+  kind:ikind ->
+  uses:(Cell.t * int * Value.t) list ->
+  defs:(Cell.t * Value.t) list ->
+  value:Value.t ->
+  unit
+
+(** Number of executed instances of a statement. *)
+val occurrences : t -> int -> int
+
+val iter : (instance -> unit) -> t -> unit
+val find_instance : t -> sid:int -> occ:int -> instance option
+
+(** [children t] precomputes the region tree: [children t idx] lists the
+    instances whose control parent is [idx], in execution order; pass a
+    negative index for the top-level instances. *)
+val children : t -> int -> int list
+
+val is_predicate : instance -> bool
+val branch_of : instance -> bool option
+val pp_instance : instance Fmt.t

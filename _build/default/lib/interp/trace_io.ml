@@ -1,0 +1,134 @@
+(* Plain-text serialization of execution traces, one instance per line:
+
+     idx sid occ parent kind value | use cell:def:value ... | def cell:value ...
+
+   The format is line-oriented and whitespace-separated so traces can be
+   grepped, diffed and post-processed outside the process that produced
+   them (the CLI's --dump-trace), and round-trips exactly. *)
+
+let string_of_value = function
+  | Value.Vint n -> "i" ^ string_of_int n
+  | Value.Vbool b -> if b then "bt" else "bf"
+  | Value.Varr id -> "a" ^ string_of_int id
+  | Value.Vunit -> "u"
+
+let value_of_string s =
+  let num off = int_of_string (String.sub s off (String.length s - off)) in
+  match s with
+  | "u" -> Value.Vunit
+  | "bt" -> Value.Vbool true
+  | "bf" -> Value.Vbool false
+  | _ when s.[0] = 'i' -> Value.Vint (num 1)
+  | _ when s.[0] = 'a' -> Value.Varr (num 1)
+  | _ -> failwith ("Trace_io: bad value " ^ s)
+
+let string_of_cell = function
+  | Cell.Global x -> "G." ^ x
+  | Cell.Local (fid, x) -> Printf.sprintf "L.%d.%s" fid x
+  | Cell.Elem (arr, i) -> Printf.sprintf "E.%d.%d" arr i
+  | Cell.Ret fid -> Printf.sprintf "R.%d" fid
+
+let cell_of_string s =
+  match String.split_on_char '.' s with
+  | "G" :: rest -> Cell.Global (String.concat "." rest)
+  | "L" :: fid :: rest -> Cell.Local (int_of_string fid, String.concat "." rest)
+  | [ "E"; arr; i ] -> Cell.Elem (int_of_string arr, int_of_string i)
+  | [ "R"; fid ] -> Cell.Ret (int_of_string fid)
+  | _ -> failwith ("Trace_io: bad cell " ^ s)
+
+let string_of_kind = function
+  | Trace.Kassign -> "assign"
+  | Trace.Kpredicate true -> "pred+"
+  | Trace.Kpredicate false -> "pred-"
+  | Trace.Koutput -> "output"
+  | Trace.Kcall -> "call"
+  | Trace.Kreturn -> "return"
+  | Trace.Kother -> "other"
+
+let kind_of_string = function
+  | "assign" -> Trace.Kassign
+  | "pred+" -> Trace.Kpredicate true
+  | "pred-" -> Trace.Kpredicate false
+  | "output" -> Trace.Koutput
+  | "call" -> Trace.Kcall
+  | "return" -> Trace.Kreturn
+  | "other" -> Trace.Kother
+  | s -> failwith ("Trace_io: bad kind " ^ s)
+
+let write_instance buf (inst : Trace.instance) =
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d %d %d %s %s |" inst.Trace.idx inst.Trace.sid
+       inst.Trace.occ inst.Trace.parent
+       (string_of_kind inst.Trace.kind)
+       (string_of_value inst.Trace.value));
+  List.iter
+    (fun (c, d, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf " %s:%d:%s" (string_of_cell c) d (string_of_value v)))
+    inst.Trace.uses;
+  Buffer.add_string buf " |";
+  List.iter
+    (fun (c, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf " %s:%s" (string_of_cell c) (string_of_value v)))
+    inst.Trace.defs;
+  Buffer.add_char buf '\n'
+
+let to_string trace =
+  let buf = Buffer.create 4096 in
+  Trace.iter (write_instance buf) trace;
+  Buffer.contents buf
+
+(* [cell:def:value] — cells may contain dots but not colons. *)
+let parse_use s =
+  match String.split_on_char ':' s with
+  | [ c; d; v ] -> (cell_of_string c, int_of_string d, value_of_string v)
+  | _ -> failwith ("Trace_io: bad use " ^ s)
+
+let parse_def s =
+  match String.split_on_char ':' s with
+  | [ c; v ] -> (cell_of_string c, value_of_string v)
+  | _ -> failwith ("Trace_io: bad def " ^ s)
+
+let parse_line trace line =
+  let words =
+    String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | idx :: sid :: occ :: parent :: kind :: value :: "|" :: rest ->
+    let rec split_uses acc = function
+      | "|" :: defs -> (List.rev acc, defs)
+      | u :: more -> split_uses (parse_use u :: acc) more
+      | [] -> failwith "Trace_io: missing defs separator"
+    in
+    let uses, defs = split_uses [] rest in
+    let idx' =
+      Trace.reserve trace ~sid:(int_of_string sid) ~occ:(int_of_string occ)
+        ~parent:(int_of_string parent)
+    in
+    if idx' <> int_of_string idx then
+      failwith "Trace_io: non-contiguous instance indices";
+    Trace.fill trace idx' ~kind:(kind_of_string kind) ~uses
+      ~defs:(List.map parse_def defs)
+      ~value:(value_of_string value)
+  | [] -> ()
+  | _ -> failwith ("Trace_io: bad line " ^ line)
+
+let of_string s =
+  let trace = Trace.create () in
+  List.iter
+    (fun line -> if String.trim line <> "" then parse_line trace line)
+    (String.split_on_char '\n' s);
+  trace
+
+let save path trace =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string trace))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

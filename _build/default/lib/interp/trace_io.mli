@@ -1,0 +1,11 @@
+(** Plain-text (de)serialization of execution traces: one instance per
+    line, greppable and diffable, exact round trip.  Used by the CLI's
+    [--dump-trace] and by offline analyses. *)
+
+val to_string : Trace.t -> string
+
+(** Raises [Failure] on malformed input. *)
+val of_string : string -> Trace.t
+
+val save : string -> Trace.t -> unit
+val load : string -> Trace.t

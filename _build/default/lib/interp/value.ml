@@ -1,0 +1,29 @@
+type t = Vint of int | Vbool of bool | Varr of int | Vunit
+
+let to_string = function
+  | Vint n -> string_of_int n
+  | Vbool b -> string_of_bool b
+  | Varr id -> Printf.sprintf "<array #%d>" id
+  | Vunit -> "()"
+
+let pp ppf v = Fmt.string ppf (to_string v)
+
+let equal (a : t) (b : t) = a = b
+
+let as_int = function
+  | Vint n -> n
+  | v -> invalid_arg ("Value.as_int: " ^ to_string v)
+
+let as_bool = function
+  | Vbool b -> b
+  | v -> invalid_arg ("Value.as_bool: " ^ to_string v)
+
+let as_array = function
+  | Varr id -> id
+  | v -> invalid_arg ("Value.as_array: " ^ to_string v)
+
+let default_of_typ = function
+  | Exom_lang.Ast.Tint -> Vint 0
+  | Exom_lang.Ast.Tbool -> Vbool false
+  | Exom_lang.Ast.Tarray -> Varr (-1)  (* null array; dereference is an error *)
+  | Exom_lang.Ast.Tvoid -> Vunit

@@ -1,0 +1,21 @@
+(** Runtime values of MCL.  Arrays are represented by ids into the
+    interpreter's array store; ids are allocated deterministically, so
+    two executions of the same program on the same input assign the same
+    ids in the common prefix (which the alignment analyses rely on). *)
+
+type t = Vint of int | Vbool of bool | Varr of int | Vunit
+
+val to_string : t -> string
+val pp : t Fmt.t
+val equal : t -> t -> bool
+
+(** Partial projections; raise [Invalid_argument] on the wrong
+    constructor (the typechecker rules this out for checked programs). *)
+val as_int : t -> int
+
+val as_bool : t -> bool
+val as_array : t -> int
+
+(** Value of an uninitialized declaration: [0], [false], or the null
+    array (id [-1], whose dereference is a runtime error). *)
+val default_of_typ : Exom_lang.Ast.typ -> t

@@ -1,0 +1,1 @@
+lib/lang/builtin.mli: Ast

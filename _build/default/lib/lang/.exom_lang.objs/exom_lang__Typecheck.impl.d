@@ -1,0 +1,1 @@
+lib/lang/typecheck.ml: Ast Builtin Hashtbl List Loc Map Option Parser String

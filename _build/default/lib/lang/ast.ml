@@ -1,0 +1,115 @@
+type typ = Tint | Tbool | Tarray | Tvoid
+
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+type expr = { edesc : edesc; eloc : Loc.t }
+
+and edesc =
+  | Eint of int
+  | Ebool of bool
+  | Evar of string
+  | Eindex of string * expr
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Ecall of string * expr list
+
+type stmt = { sid : int; sloc : Loc.t; skind : skind }
+
+and skind =
+  | Sdecl of typ * string * expr option
+  | Sassign of string * expr
+  | Sstore of string * expr * expr
+  | Sif of expr * block * block
+  | Swhile of expr * block
+  | Sbreak
+  | Scontinue
+  | Sreturn of expr option
+  | Sexpr of expr
+
+and block = stmt list
+
+type func = {
+  fname : string;
+  fret : typ;
+  fparams : (typ * string) list;
+  fbody : block;
+  floc : Loc.t;
+}
+
+type program = { globals : stmt list; funcs : func list }
+
+let typ_to_string = function
+  | Tint -> "int"
+  | Tbool -> "bool"
+  | Tarray -> "int[]"
+  | Tvoid -> "void"
+
+let unop_to_string = function Neg -> "-" | Not -> "!"
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | And -> "&&" | Or -> "||"
+
+let is_predicate stmt =
+  match stmt.skind with Sif _ | Swhile _ -> true | _ -> false
+
+let rec expr_vars acc expr =
+  match expr.edesc with
+  | Eint _ | Ebool _ -> acc
+  | Evar x -> x :: acc
+  | Eindex (a, e) -> expr_vars (a :: acc) e
+  | Eunop (_, e) -> expr_vars acc e
+  | Ebinop (_, e1, e2) -> expr_vars (expr_vars acc e1) e2
+  | Ecall (_, args) -> List.fold_left expr_vars acc args
+
+let rec expr_calls acc expr =
+  match expr.edesc with
+  | Eint _ | Ebool _ | Evar _ -> acc
+  | Eindex (_, e) | Eunop (_, e) -> expr_calls acc e
+  | Ebinop (_, e1, e2) -> expr_calls (expr_calls acc e1) e2
+  | Ecall (f, args) -> List.fold_left expr_calls (f :: acc) args
+
+let rec iter_stmts f block = List.iter (iter_stmt f) block
+
+and iter_stmt f stmt =
+  f stmt;
+  match stmt.skind with
+  | Sif (_, b1, b2) ->
+    iter_stmts f b1;
+    iter_stmts f b2
+  | Swhile (_, b) -> iter_stmts f b
+  | Sdecl _ | Sassign _ | Sstore _ | Sbreak | Scontinue | Sreturn _ | Sexpr _
+    -> ()
+
+let iter_program f prog =
+  iter_stmts f prog.globals;
+  List.iter (fun fn -> iter_stmts f fn.fbody) prog.funcs
+
+let stmt_count prog =
+  let n = ref 0 in
+  iter_program (fun _ -> incr n) prog;
+  !n
+
+let find_func prog name = List.find_opt (fun f -> f.fname = name) prog.funcs
+
+(** Table from statement id to statement, plus the enclosing function name
+    ([None] for global initializers). *)
+let stmt_table prog =
+  let tbl = Hashtbl.create 64 in
+  iter_stmts (fun s -> Hashtbl.replace tbl s.sid (s, None)) prog.globals;
+  List.iter
+    (fun fn ->
+      iter_stmts (fun s -> Hashtbl.replace tbl s.sid (s, Some fn.fname)) fn.fbody)
+    prog.funcs;
+  tbl
+
+let stmt_line prog sid =
+  match Hashtbl.find_opt (stmt_table prog) sid with
+  | Some (s, _) -> Loc.line s.sloc
+  | None -> 0

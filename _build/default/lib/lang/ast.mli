@@ -1,0 +1,78 @@
+(** Abstract syntax of MCL, the mini C-like language used as the tracing
+    substrate for the execution-omission-error experiments.
+
+    Every statement carries a unique id ([sid]) assigned by the parser;
+    statement *instances* in execution traces are identified by a pair of
+    a [sid] and an occurrence count. *)
+
+type typ = Tint | Tbool | Tarray | Tvoid
+
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+type expr = { edesc : edesc; eloc : Loc.t }
+
+and edesc =
+  | Eint of int
+  | Ebool of bool
+  | Evar of string
+  | Eindex of string * expr  (** [a[e]] *)
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Ecall of string * expr list  (** user function or builtin *)
+
+type stmt = { sid : int; sloc : Loc.t; skind : skind }
+
+and skind =
+  | Sdecl of typ * string * expr option
+  | Sassign of string * expr
+  | Sstore of string * expr * expr  (** [a[i] = e] *)
+  | Sif of expr * block * block
+  | Swhile of expr * block
+  | Sbreak
+  | Scontinue
+  | Sreturn of expr option
+  | Sexpr of expr  (** call for effect, e.g. [print(e)] *)
+
+and block = stmt list
+
+type func = {
+  fname : string;
+  fret : typ;
+  fparams : (typ * string) list;
+  fbody : block;
+  floc : Loc.t;
+}
+
+type program = { globals : stmt list; funcs : func list }
+
+val typ_to_string : typ -> string
+val unop_to_string : unop -> string
+val binop_to_string : binop -> string
+
+(** [is_predicate s] holds for [Sif] and [Swhile] statements, the statements
+    whose dynamic instances are predicate instances eligible for switching. *)
+val is_predicate : stmt -> bool
+
+(** Variables read by an expression (array names included), prepended to the
+    accumulator in unspecified order. *)
+val expr_vars : string list -> expr -> string list
+
+(** Names of functions called (directly or nested) by an expression. *)
+val expr_calls : string list -> expr -> string list
+
+(** Pre-order iteration over all statements of a block, descending into
+    branches and loop bodies. *)
+val iter_stmts : (stmt -> unit) -> block -> unit
+
+val iter_stmt : (stmt -> unit) -> stmt -> unit
+val iter_program : (stmt -> unit) -> program -> unit
+val stmt_count : program -> int
+val find_func : program -> string -> func option
+
+val stmt_table : program -> (int, stmt * string option) Hashtbl.t
+val stmt_line : program -> int -> int

@@ -1,0 +1,20 @@
+type t = Print | Input | New_array | Len
+
+let of_name = function
+  | "print" -> Some Print
+  | "input" -> Some Input
+  | "new_array" -> Some New_array
+  | "len" -> Some Len
+  | _ -> None
+
+let name = function
+  | Print -> "print"
+  | Input -> "input"
+  | New_array -> "new_array"
+  | Len -> "len"
+
+let signature = function
+  | Print -> ([ Ast.Tint ], Ast.Tvoid)
+  | Input -> ([], Ast.Tint)
+  | New_array -> ([ Ast.Tint ], Ast.Tarray)
+  | Len -> ([ Ast.Tarray ], Ast.Tint)

@@ -1,0 +1,12 @@
+(** The four MCL builtins: [print(e)] appends an int to the program
+    output, [input()] reads the next int of the program input,
+    [new_array(n)] allocates a zero-filled int array, [len(a)] returns
+    an array's length. *)
+
+type t = Print | Input | New_array | Len
+
+val of_name : string -> t option
+val name : t -> string
+
+(** Parameter types and return type. *)
+val signature : t -> Ast.typ list * Ast.typ

@@ -1,0 +1,143 @@
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of the beginning of the current line *)
+}
+
+let create src = { src; pos = 0; line = 1; bol = 0 }
+
+let loc lx = Loc.make ~line:lx.line ~col:(lx.pos - lx.bol + 1)
+
+let peek_char lx =
+  if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (match peek_char lx with
+  | Some '\n' ->
+    lx.line <- lx.line + 1;
+    lx.bol <- lx.pos + 1
+  | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let rec skip_blanks_and_comments lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_blanks_and_comments lx
+  | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/'
+    ->
+    let rec to_eol () =
+      match peek_char lx with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance lx;
+        to_eol ()
+    in
+    to_eol ();
+    skip_blanks_and_comments lx
+  | _ -> ()
+
+let keyword_of_string = function
+  | "int" -> Some Token.KW_INT
+  | "bool" -> Some Token.KW_BOOL
+  | "void" -> Some Token.KW_VOID
+  | "true" -> Some Token.KW_TRUE
+  | "false" -> Some Token.KW_FALSE
+  | "if" -> Some Token.KW_IF
+  | "else" -> Some Token.KW_ELSE
+  | "while" -> Some Token.KW_WHILE
+  | "break" -> Some Token.KW_BREAK
+  | "continue" -> Some Token.KW_CONTINUE
+  | "return" -> Some Token.KW_RETURN
+  | _ -> None
+
+let lex_ident_or_keyword lx =
+  let start = lx.pos in
+  while (match peek_char lx with Some c -> is_alnum c | None -> false) do
+    advance lx
+  done;
+  let word = String.sub lx.src start (lx.pos - start) in
+  match keyword_of_string word with
+  | Some kw -> kw
+  | None -> Token.IDENT word
+
+let lex_int lx =
+  let start = lx.pos in
+  while (match peek_char lx with Some c -> is_digit c | None -> false) do
+    advance lx
+  done;
+  Token.INT (int_of_string (String.sub lx.src start (lx.pos - start)))
+
+(* Lex a token whose first character is an operator or delimiter. *)
+let lex_symbol lx c =
+  let l = loc lx in
+  let two expect tok1 tok0 =
+    advance lx;
+    match peek_char lx with
+    | Some c2 when c2 = expect ->
+      advance lx;
+      tok1
+    | _ -> tok0
+  in
+  let one tok =
+    advance lx;
+    tok
+  in
+  match c with
+  | '(' -> one Token.LPAREN
+  | ')' -> one Token.RPAREN
+  | '{' -> one Token.LBRACE
+  | '}' -> one Token.RBRACE
+  | '[' -> one Token.LBRACKET
+  | ']' -> one Token.RBRACKET
+  | ',' -> one Token.COMMA
+  | ';' -> one Token.SEMI
+  | '+' -> one Token.PLUS
+  | '-' -> one Token.MINUS
+  | '*' -> one Token.STAR
+  | '/' -> one Token.SLASH
+  | '%' -> one Token.PERCENT
+  | '=' -> two '=' Token.EQ Token.ASSIGN
+  | '<' -> two '=' Token.LE Token.LT
+  | '>' -> two '=' Token.GE Token.GT
+  | '!' -> two '=' Token.NE Token.BANG
+  | '&' ->
+    advance lx;
+    (match peek_char lx with
+    | Some '&' ->
+      advance lx;
+      Token.AMPAMP
+    | _ -> Loc.error l "stray '&' (did you mean '&&'?)")
+  | '|' ->
+    advance lx;
+    (match peek_char lx with
+    | Some '|' ->
+      advance lx;
+      Token.BARBAR
+    | _ -> Loc.error l "stray '|' (did you mean '||'?)")
+  | c -> Loc.error l "unexpected character %C" c
+
+let next lx =
+  skip_blanks_and_comments lx;
+  let l = loc lx in
+  let tok =
+    match peek_char lx with
+    | None -> Token.EOF
+    | Some c when is_digit c -> lex_int lx
+    | Some c when is_alpha c -> lex_ident_or_keyword lx
+    | Some c -> lex_symbol lx c
+  in
+  (tok, l)
+
+let tokenize src =
+  let lx = create src in
+  let rec loop acc =
+    let ((tok, _) as t) = next lx in
+    if tok = Token.EOF then List.rev (t :: acc) else loop (t :: acc)
+  in
+  loop []

@@ -1,0 +1,15 @@
+(** Hand-written lexer for MCL.
+
+    Comments run from [//] to end of line.  Raises {!Loc.Error} on
+    malformed input. *)
+
+type t
+
+val create : string -> t
+
+(** Next token with its location; returns [Token.EOF] at end of input
+    (repeatedly, if called again). *)
+val next : t -> Token.t * Loc.t
+
+(** Whole-input tokenization, EOF token included as the last element. *)
+val tokenize : string -> (Token.t * Loc.t) list

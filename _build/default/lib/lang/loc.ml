@@ -1,0 +1,13 @@
+type t = { line : int; col : int }
+
+let make ~line ~col = { line; col }
+let dummy = { line = 0; col = 0 }
+let line t = t.line
+let col t = t.col
+let pp ppf t = Fmt.pf ppf "%d:%d" t.line t.col
+
+exception Error of t * string
+
+let error loc fmt = Fmt.kstr (fun msg -> raise (Error (loc, msg))) fmt
+
+let error_to_string (loc, msg) = Fmt.str "%a: %s" pp loc msg

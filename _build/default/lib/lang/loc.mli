@@ -1,0 +1,17 @@
+(** Source locations and located errors for MCL front-end phases. *)
+
+type t = { line : int; col : int }
+
+val make : line:int -> col:int -> t
+val dummy : t
+val line : t -> int
+val col : t -> int
+val pp : t Fmt.t
+
+(** Raised by the lexer, parser and typechecker on malformed input. *)
+exception Error of t * string
+
+(** [error loc fmt ...] raises {!Error} with a formatted message. *)
+val error : t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val error_to_string : t * string -> string

@@ -1,0 +1,310 @@
+type t = {
+  lexer : Lexer.t;
+  mutable tok : Token.t;
+  mutable tok_loc : Loc.t;
+  mutable next_sid : int;
+}
+
+let create src =
+  let lexer = Lexer.create src in
+  let tok, tok_loc = Lexer.next lexer in
+  { lexer; tok; tok_loc; next_sid = 0 }
+
+let advance p =
+  let tok, tok_loc = Lexer.next p.lexer in
+  p.tok <- tok;
+  p.tok_loc <- tok_loc
+
+let fresh_sid p =
+  let sid = p.next_sid in
+  p.next_sid <- sid + 1;
+  sid
+
+let expect p tok =
+  if p.tok = tok then advance p
+  else
+    Loc.error p.tok_loc "expected '%s' but found '%s'" (Token.to_string tok)
+      (Token.to_string p.tok)
+
+let expect_ident p =
+  match p.tok with
+  | Token.IDENT name ->
+    advance p;
+    name
+  | tok ->
+    Loc.error p.tok_loc "expected identifier but found '%s'"
+      (Token.to_string tok)
+
+(* A type keyword optionally followed by [] for arrays. *)
+let parse_typ p =
+  let base =
+    match p.tok with
+    | Token.KW_INT -> Ast.Tint
+    | Token.KW_BOOL -> Ast.Tbool
+    | Token.KW_VOID -> Ast.Tvoid
+    | tok -> Loc.error p.tok_loc "expected a type but found '%s'" (Token.to_string tok)
+  in
+  advance p;
+  if p.tok = Token.LBRACKET then begin
+    if base <> Ast.Tint then
+      Loc.error p.tok_loc "only int arrays are supported";
+    advance p;
+    expect p Token.RBRACKET;
+    Ast.Tarray
+  end
+  else base
+
+let starts_typ = function
+  | Token.KW_INT | Token.KW_BOOL | Token.KW_VOID -> true
+  | _ -> false
+
+(* Expressions, by precedence climbing.  Levels from loosest to tightest:
+   || ; && ; == != ; < <= > >= ; + - ; * / % ; unary ; primary. *)
+
+let binop_of_token = function
+  | Token.BARBAR -> Some (Ast.Or, 1)
+  | Token.AMPAMP -> Some (Ast.And, 2)
+  | Token.EQ -> Some (Ast.Eq, 3)
+  | Token.NE -> Some (Ast.Ne, 3)
+  | Token.LT -> Some (Ast.Lt, 4)
+  | Token.LE -> Some (Ast.Le, 4)
+  | Token.GT -> Some (Ast.Gt, 4)
+  | Token.GE -> Some (Ast.Ge, 4)
+  | Token.PLUS -> Some (Ast.Add, 5)
+  | Token.MINUS -> Some (Ast.Sub, 5)
+  | Token.STAR -> Some (Ast.Mul, 6)
+  | Token.SLASH -> Some (Ast.Div, 6)
+  | Token.PERCENT -> Some (Ast.Mod, 6)
+  | _ -> None
+
+let rec parse_expr p = parse_binary p 1
+
+and parse_binary p min_prec =
+  let lhs = parse_unary p in
+  let rec loop lhs =
+    match binop_of_token p.tok with
+    | Some (op, prec) when prec >= min_prec ->
+      let loc = p.tok_loc in
+      advance p;
+      let rhs = parse_binary p (prec + 1) in
+      loop { Ast.edesc = Ast.Ebinop (op, lhs, rhs); eloc = loc }
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary p =
+  let loc = p.tok_loc in
+  match p.tok with
+  | Token.MINUS ->
+    advance p;
+    let e = parse_unary p in
+    { Ast.edesc = Ast.Eunop (Ast.Neg, e); eloc = loc }
+  | Token.BANG ->
+    advance p;
+    let e = parse_unary p in
+    { Ast.edesc = Ast.Eunop (Ast.Not, e); eloc = loc }
+  | _ -> parse_primary p
+
+and parse_primary p =
+  let loc = p.tok_loc in
+  match p.tok with
+  | Token.INT n ->
+    advance p;
+    { Ast.edesc = Ast.Eint n; eloc = loc }
+  | Token.KW_TRUE ->
+    advance p;
+    { Ast.edesc = Ast.Ebool true; eloc = loc }
+  | Token.KW_FALSE ->
+    advance p;
+    { Ast.edesc = Ast.Ebool false; eloc = loc }
+  | Token.LPAREN ->
+    advance p;
+    let e = parse_expr p in
+    expect p Token.RPAREN;
+    e
+  | Token.IDENT name -> (
+    advance p;
+    match p.tok with
+    | Token.LPAREN ->
+      advance p;
+      let args = parse_args p in
+      { Ast.edesc = Ast.Ecall (name, args); eloc = loc }
+    | Token.LBRACKET ->
+      advance p;
+      let idx = parse_expr p in
+      expect p Token.RBRACKET;
+      { Ast.edesc = Ast.Eindex (name, idx); eloc = loc }
+    | _ -> { Ast.edesc = Ast.Evar name; eloc = loc })
+  | tok ->
+    Loc.error loc "expected an expression but found '%s'" (Token.to_string tok)
+
+and parse_args p =
+  if p.tok = Token.RPAREN then begin
+    advance p;
+    []
+  end
+  else
+    let rec loop acc =
+      let e = parse_expr p in
+      match p.tok with
+      | Token.COMMA ->
+        advance p;
+        loop (e :: acc)
+      | _ ->
+        expect p Token.RPAREN;
+        List.rev (e :: acc)
+    in
+    loop []
+
+(* Statements. *)
+
+let rec parse_stmt p =
+  let loc = p.tok_loc in
+  let sid = fresh_sid p in
+  let mk skind = { Ast.sid; sloc = loc; skind } in
+  match p.tok with
+  | tok when starts_typ tok ->
+    let typ = parse_typ p in
+    let name = expect_ident p in
+    let init =
+      if p.tok = Token.ASSIGN then begin
+        advance p;
+        Some (parse_expr p)
+      end
+      else None
+    in
+    expect p Token.SEMI;
+    mk (Ast.Sdecl (typ, name, init))
+  | Token.KW_IF ->
+    advance p;
+    expect p Token.LPAREN;
+    let cond = parse_expr p in
+    expect p Token.RPAREN;
+    let then_blk = parse_block p in
+    let else_blk =
+      if p.tok = Token.KW_ELSE then begin
+        advance p;
+        if p.tok = Token.KW_IF then [ parse_stmt p ] else parse_block p
+      end
+      else []
+    in
+    mk (Ast.Sif (cond, then_blk, else_blk))
+  | Token.KW_WHILE ->
+    advance p;
+    expect p Token.LPAREN;
+    let cond = parse_expr p in
+    expect p Token.RPAREN;
+    let body = parse_block p in
+    mk (Ast.Swhile (cond, body))
+  | Token.KW_BREAK ->
+    advance p;
+    expect p Token.SEMI;
+    mk Ast.Sbreak
+  | Token.KW_CONTINUE ->
+    advance p;
+    expect p Token.SEMI;
+    mk Ast.Scontinue
+  | Token.KW_RETURN ->
+    advance p;
+    if p.tok = Token.SEMI then begin
+      advance p;
+      mk (Ast.Sreturn None)
+    end
+    else begin
+      let e = parse_expr p in
+      expect p Token.SEMI;
+      mk (Ast.Sreturn (Some e))
+    end
+  | Token.IDENT name -> (
+    advance p;
+    match p.tok with
+    | Token.ASSIGN ->
+      advance p;
+      let e = parse_expr p in
+      expect p Token.SEMI;
+      mk (Ast.Sassign (name, e))
+    | Token.LBRACKET ->
+      advance p;
+      let idx = parse_expr p in
+      expect p Token.RBRACKET;
+      expect p Token.ASSIGN;
+      let e = parse_expr p in
+      expect p Token.SEMI;
+      mk (Ast.Sstore (name, idx, e))
+    | Token.LPAREN ->
+      advance p;
+      let args = parse_args p in
+      expect p Token.SEMI;
+      mk (Ast.Sexpr { Ast.edesc = Ast.Ecall (name, args); eloc = loc })
+    | tok ->
+      Loc.error p.tok_loc "expected '=', '[' or '(' after identifier, found '%s'"
+        (Token.to_string tok))
+  | tok ->
+    Loc.error loc "expected a statement but found '%s'" (Token.to_string tok)
+
+and parse_block p =
+  expect p Token.LBRACE;
+  let rec loop acc =
+    if p.tok = Token.RBRACE then begin
+      advance p;
+      List.rev acc
+    end
+    else loop (parse_stmt p :: acc)
+  in
+  loop []
+
+let parse_params p =
+  expect p Token.LPAREN;
+  if p.tok = Token.RPAREN then begin
+    advance p;
+    []
+  end
+  else
+    let rec loop acc =
+      let typ = parse_typ p in
+      let name = expect_ident p in
+      match p.tok with
+      | Token.COMMA ->
+        advance p;
+        loop ((typ, name) :: acc)
+      | _ ->
+        expect p Token.RPAREN;
+        List.rev ((typ, name) :: acc)
+    in
+    loop []
+
+(* A top-level item: either a global variable declaration or a function.
+   Both start with a type and a name; a '(' then signals a function. *)
+let parse_item p =
+  let loc = p.tok_loc in
+  let typ = parse_typ p in
+  let name = expect_ident p in
+  if p.tok = Token.LPAREN then begin
+    let params = parse_params p in
+    let body = parse_block p in
+    `Func { Ast.fname = name; fret = typ; fparams = params; fbody = body; floc = loc }
+  end
+  else begin
+    let sid = fresh_sid p in
+    let init =
+      if p.tok = Token.ASSIGN then begin
+        advance p;
+        Some (parse_expr p)
+      end
+      else None
+    in
+    expect p Token.SEMI;
+    `Global { Ast.sid; sloc = loc; skind = Ast.Sdecl (typ, name, init) }
+  end
+
+let parse_program src =
+  let p = create src in
+  let rec loop globals funcs =
+    if p.tok = Token.EOF then
+      { Ast.globals = List.rev globals; funcs = List.rev funcs }
+    else
+      match parse_item p with
+      | `Global g -> loop (g :: globals) funcs
+      | `Func f -> loop globals (f :: funcs)
+  in
+  loop [] []

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for MCL.
+
+    Assigns a fresh, dense statement id to every statement in program
+    order (globals first, then functions in source order); ids are stable
+    across re-parses of the same source, which lets a faulty program and
+    its corrected version share statement ids as long as the fault is an
+    expression-level mutation. *)
+
+(** Parse a complete program.  Raises {!Loc.Error} on syntax errors. *)
+val parse_program : string -> Ast.program

@@ -1,0 +1,68 @@
+open Format
+
+let rec pp_expr ppf expr =
+  match expr.Ast.edesc with
+  | Ast.Eint n -> fprintf ppf "%d" n
+  | Ast.Ebool b -> fprintf ppf "%b" b
+  | Ast.Evar x -> pp_print_string ppf x
+  | Ast.Eindex (a, e) -> fprintf ppf "%s[%a]" a pp_expr e
+  | Ast.Eunop (op, e) -> fprintf ppf "%s%a" (Ast.unop_to_string op) pp_atom e
+  | Ast.Ebinop (op, e1, e2) ->
+    fprintf ppf "%a %s %a" pp_atom e1 (Ast.binop_to_string op) pp_atom e2
+  | Ast.Ecall (f, args) ->
+    fprintf ppf "%s(%a)" f
+      (pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf ", ") pp_expr)
+      args
+
+(* Parenthesize compound sub-expressions; precedence is not reconstructed,
+   which keeps the printer simple and the output unambiguous. *)
+and pp_atom ppf expr =
+  match expr.Ast.edesc with
+  | Ast.Ebinop _ -> fprintf ppf "(%a)" pp_expr expr
+  | _ -> pp_expr ppf expr
+
+let rec pp_stmt ppf stmt =
+  match stmt.Ast.skind with
+  | Ast.Sdecl (typ, x, None) -> fprintf ppf "%s %s;" (Ast.typ_to_string typ) x
+  | Ast.Sdecl (typ, x, Some e) ->
+    fprintf ppf "%s %s = %a;" (Ast.typ_to_string typ) x pp_expr e
+  | Ast.Sassign (x, e) -> fprintf ppf "%s = %a;" x pp_expr e
+  | Ast.Sstore (a, i, e) -> fprintf ppf "%s[%a] = %a;" a pp_expr i pp_expr e
+  | Ast.Sif (cond, b1, []) ->
+    fprintf ppf "@[<v 2>if (%a) {%a@]@,}" pp_expr cond pp_block_body b1
+  | Ast.Sif (cond, b1, b2) ->
+    fprintf ppf "@[<v 2>if (%a) {%a@]@,@[<v 2>} else {%a@]@,}" pp_expr cond
+      pp_block_body b1 pp_block_body b2
+  | Ast.Swhile (cond, body) ->
+    fprintf ppf "@[<v 2>while (%a) {%a@]@,}" pp_expr cond pp_block_body body
+  | Ast.Sbreak -> pp_print_string ppf "break;"
+  | Ast.Scontinue -> pp_print_string ppf "continue;"
+  | Ast.Sreturn None -> pp_print_string ppf "return;"
+  | Ast.Sreturn (Some e) -> fprintf ppf "return %a;" pp_expr e
+  | Ast.Sexpr e -> fprintf ppf "%a;" pp_expr e
+
+and pp_block_body ppf block =
+  List.iter (fun s -> fprintf ppf "@,%a" pp_stmt s) block
+
+let pp_func ppf fn =
+  let pp_param ppf (typ, x) = fprintf ppf "%s %s" (Ast.typ_to_string typ) x in
+  fprintf ppf "@[<v 2>%s %s(%a) {%a@]@,}"
+    (Ast.typ_to_string fn.Ast.fret)
+    fn.Ast.fname
+    (pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf ", ") pp_param)
+    fn.Ast.fparams pp_block_body fn.Ast.fbody
+
+let pp_program ppf prog =
+  fprintf ppf "@[<v>";
+  List.iter (fun g -> fprintf ppf "%a@," pp_stmt g) prog.Ast.globals;
+  pp_print_list ~pp_sep:pp_print_cut pp_func ppf prog.Ast.funcs;
+  fprintf ppf "@]"
+
+let program_to_string prog = asprintf "%a" pp_program prog
+let expr_to_string e = asprintf "%a" pp_expr e
+
+let stmt_head stmt =
+  match stmt.Ast.skind with
+  | Ast.Sif (cond, _, _) -> asprintf "if (%a)" pp_expr cond
+  | Ast.Swhile (cond, _) -> asprintf "while (%a)" pp_expr cond
+  | _ -> asprintf "%a" pp_stmt stmt

@@ -1,0 +1,14 @@
+(** Pretty-printing of MCL programs.  Round-trips through the parser
+    (modulo statement ids, which depend only on statement order and are
+    therefore preserved). *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_func : Format.formatter -> Ast.func -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val program_to_string : Ast.program -> string
+val expr_to_string : Ast.expr -> string
+
+(** One-line rendering of a statement for reports: compound statements
+    are shown as their header ("if (c)", "while (c)"). *)
+val stmt_head : Ast.stmt -> string

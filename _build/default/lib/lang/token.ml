@@ -1,0 +1,55 @@
+type t =
+  | INT of int
+  | IDENT of string
+  | KW_INT | KW_BOOL | KW_VOID
+  | KW_TRUE | KW_FALSE
+  | KW_IF | KW_ELSE | KW_WHILE
+  | KW_BREAK | KW_CONTINUE | KW_RETURN
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQ | NE
+  | AMPAMP | BARBAR | BANG
+  | EOF
+
+let to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW_INT -> "int"
+  | KW_BOOL -> "bool"
+  | KW_VOID -> "void"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | KW_RETURN -> "return"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQ -> "=="
+  | NE -> "!="
+  | AMPAMP -> "&&"
+  | BARBAR -> "||"
+  | BANG -> "!"
+  | EOF -> "<eof>"
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,19 @@
+(** Lexical tokens of MCL. *)
+
+type t =
+  | INT of int
+  | IDENT of string
+  | KW_INT | KW_BOOL | KW_VOID
+  | KW_TRUE | KW_FALSE
+  | KW_IF | KW_ELSE | KW_WHILE
+  | KW_BREAK | KW_CONTINUE | KW_RETURN
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQ | NE
+  | AMPAMP | BARBAR | BANG
+  | EOF
+
+val to_string : t -> string
+val pp : t Fmt.t

@@ -1,0 +1,213 @@
+module Smap = Map.Make (String)
+
+type fsig = { psig : Ast.typ list; rsig : Ast.typ }
+
+type env = {
+  vars : Ast.typ Smap.t;  (* globals + locals in scope *)
+  funcs : fsig Smap.t;
+  ret : Ast.typ;  (* return type of the enclosing function *)
+  in_loop : bool;
+}
+
+let lookup_var env loc x =
+  match Smap.find_opt x env.vars with
+  | Some t -> t
+  | None -> Loc.error loc "unbound variable '%s'" x
+
+let check_num_args loc f expected got =
+  if expected <> got then
+    Loc.error loc "function '%s' expects %d argument(s) but got %d" f expected
+      got
+
+let rec type_of_expr env expr =
+  let loc = expr.Ast.eloc in
+  match expr.Ast.edesc with
+  | Ast.Eint _ -> Ast.Tint
+  | Ast.Ebool _ -> Ast.Tbool
+  | Ast.Evar x -> lookup_var env loc x
+  | Ast.Eindex (a, idx) ->
+    (match lookup_var env loc a with
+    | Ast.Tarray -> ()
+    | t -> Loc.error loc "'%s' has type %s, expected int[]" a (Ast.typ_to_string t));
+    check_expr env idx Ast.Tint;
+    Ast.Tint
+  | Ast.Eunop (Ast.Neg, e) ->
+    check_expr env e Ast.Tint;
+    Ast.Tint
+  | Ast.Eunop (Ast.Not, e) ->
+    check_expr env e Ast.Tbool;
+    Ast.Tbool
+  | Ast.Ebinop (op, e1, e2) -> (
+    match op with
+    | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+      check_expr env e1 Ast.Tint;
+      check_expr env e2 Ast.Tint;
+      Ast.Tint
+    | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      check_expr env e1 Ast.Tint;
+      check_expr env e2 Ast.Tint;
+      Ast.Tbool
+    | Ast.Eq | Ast.Ne ->
+      let t1 = type_of_expr env e1 in
+      (match t1 with
+      | Ast.Tint | Ast.Tbool -> ()
+      | t ->
+        Loc.error loc "values of type %s cannot be compared" (Ast.typ_to_string t));
+      check_expr env e2 t1;
+      Ast.Tbool
+    | Ast.And | Ast.Or ->
+      check_expr env e1 Ast.Tbool;
+      check_expr env e2 Ast.Tbool;
+      Ast.Tbool)
+  | Ast.Ecall (f, args) -> (
+    match Builtin.of_name f with
+    | Some b ->
+      let psig, rsig = Builtin.signature b in
+      check_num_args loc f (List.length psig) (List.length args);
+      List.iter2 (check_expr env) args psig;
+      rsig
+    | None -> (
+      match Smap.find_opt f env.funcs with
+      | Some { psig; rsig } ->
+        check_num_args loc f (List.length psig) (List.length args);
+        List.iter2 (check_expr env) args psig;
+        rsig
+      | None -> Loc.error loc "unknown function '%s'" f))
+
+and check_expr env expr expected =
+  let actual = type_of_expr env expr in
+  if actual <> expected then
+    Loc.error expr.Ast.eloc "this expression has type %s but %s was expected"
+      (Ast.typ_to_string actual)
+      (Ast.typ_to_string expected)
+
+(* Statements.  Declarations extend the environment for the rest of the
+   enclosing block; re-declaring a name visible at the declaration point is
+   rejected so that a (function, name) pair denotes a unique static cell,
+   which the dependence analyses rely on. *)
+let rec check_block env block =
+  let check_stmt env stmt =
+    let loc = stmt.Ast.sloc in
+    match stmt.Ast.skind with
+    | Ast.Sdecl (typ, x, init) ->
+      if typ = Ast.Tvoid then Loc.error loc "variables cannot have type void";
+      if Smap.mem x env.vars then
+        Loc.error loc "'%s' is already declared (shadowing is not allowed)" x;
+      Option.iter (fun e -> check_expr env e typ) init;
+      { env with vars = Smap.add x typ env.vars }
+    | Ast.Sassign (x, e) ->
+      check_expr env e (lookup_var env loc x);
+      env
+    | Ast.Sstore (a, idx, e) ->
+      (match lookup_var env loc a with
+      | Ast.Tarray -> ()
+      | t -> Loc.error loc "'%s' has type %s, expected int[]" a (Ast.typ_to_string t));
+      check_expr env idx Ast.Tint;
+      check_expr env e Ast.Tint;
+      env
+    | Ast.Sif (cond, b1, b2) ->
+      check_expr env cond Ast.Tbool;
+      check_block env b1;
+      check_block env b2;
+      env
+    | Ast.Swhile (cond, body) ->
+      check_expr env cond Ast.Tbool;
+      check_block { env with in_loop = true } body;
+      env
+    | Ast.Sbreak | Ast.Scontinue ->
+      if not env.in_loop then
+        Loc.error loc "break/continue outside of a loop";
+      env
+    | Ast.Sreturn None ->
+      if env.ret <> Ast.Tvoid then
+        Loc.error loc "this function must return a value of type %s"
+          (Ast.typ_to_string env.ret);
+      env
+    | Ast.Sreturn (Some e) ->
+      if env.ret = Ast.Tvoid then
+        Loc.error loc "void function cannot return a value";
+      check_expr env e env.ret;
+      env
+    | Ast.Sexpr e ->
+      ignore (type_of_expr env e);
+      env
+  in
+  ignore (List.fold_left check_stmt env block)
+
+let func_signatures prog =
+  List.fold_left
+    (fun acc fn ->
+      if Smap.mem fn.Ast.fname acc then
+        Loc.error fn.Ast.floc "function '%s' is defined twice" fn.Ast.fname;
+      if Builtin.of_name fn.Ast.fname <> None then
+        Loc.error fn.Ast.floc "'%s' is a builtin and cannot be redefined"
+          fn.Ast.fname;
+      (* Arrays flow only through variables and parameters; forbidding
+         array returns keeps the alias analysis a simple unification over
+         variable handles. *)
+      if fn.Ast.fret = Ast.Tarray then
+        Loc.error fn.Ast.floc "functions cannot return arrays";
+      Smap.add fn.Ast.fname
+        { psig = List.map fst fn.Ast.fparams; rsig = fn.Ast.fret }
+        acc)
+    Smap.empty prog.Ast.funcs
+
+let check_program prog =
+  let funcs = func_signatures prog in
+  (* Globals: each initializer sees the globals declared before it. *)
+  let globals =
+    List.fold_left
+      (fun vars stmt ->
+        match stmt.Ast.skind with
+        | Ast.Sdecl (typ, x, init) ->
+          if typ = Ast.Tvoid then
+            Loc.error stmt.Ast.sloc "variables cannot have type void";
+          if Smap.mem x vars then
+            Loc.error stmt.Ast.sloc "global '%s' is declared twice" x;
+          let env = { vars; funcs; ret = Ast.Tvoid; in_loop = false } in
+          Option.iter (fun e -> check_expr env e typ) init;
+          Smap.add x typ vars
+        | _ -> assert false)
+      Smap.empty prog.Ast.globals
+  in
+  (* The dependence analyses rely on a (function, name) pair denoting a
+     unique static cell, so reject a second declaration of the same name
+     anywhere in one function, even in disjoint blocks. *)
+  let check_unique_decls fn =
+    let seen = Hashtbl.create 8 in
+    List.iter (fun (_, x) -> Hashtbl.replace seen x ()) fn.Ast.fparams;
+    Ast.iter_stmts
+      (fun s ->
+        match s.Ast.skind with
+        | Ast.Sdecl (_, x, _) ->
+          if Hashtbl.mem seen x then
+            Loc.error s.Ast.sloc
+              "'%s' is declared twice in function '%s' (each name may be \
+               declared once per function)"
+              x fn.Ast.fname;
+          Hashtbl.replace seen x ()
+        | _ -> ())
+      fn.Ast.fbody
+  in
+  List.iter check_unique_decls prog.Ast.funcs;
+  List.iter
+    (fun fn ->
+      let vars =
+        List.fold_left
+          (fun vars (typ, x) ->
+            if Smap.mem x vars then
+              Loc.error fn.Ast.floc
+                "parameter '%s' of '%s' is already bound (shadowing is not allowed)"
+                x fn.Ast.fname;
+            Smap.add x typ vars)
+          globals fn.Ast.fparams
+      in
+      check_block { vars; funcs; ret = fn.Ast.fret; in_loop = false } fn.Ast.fbody)
+    prog.Ast.funcs;
+  (match Smap.find_opt "main" funcs with
+  | Some { psig = []; _ } -> ()
+  | Some _ -> failwith "main must take no parameters"
+  | None -> failwith "program has no main function");
+  prog
+
+let parse_and_check src = check_program (Parser.parse_program src)

@@ -1,0 +1,12 @@
+(** Static type checking for MCL.
+
+    Beyond ordinary type errors this rejects variable shadowing (so a
+    (function, name) pair is a unique static cell, which the dependence
+    analyses in [exom_cfg] rely on) and requires a parameterless [main]. *)
+
+(** Returns its argument unchanged on success; raises {!Loc.Error} on a
+    located error and [Failure] on program-level errors (missing [main]). *)
+val check_program : Ast.program -> Ast.program
+
+(** Convenience: parse then check. *)
+val parse_and_check : string -> Ast.program

@@ -1,0 +1,60 @@
+type align = Left | Right
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ?aligns headers =
+  let aligns =
+    match aligns with
+    | Some a ->
+      if List.length a <> List.length headers then
+        invalid_arg "Table.create: aligns/headers length mismatch";
+      a
+    | None -> List.map (fun _ -> Left) headers
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong number of columns";
+  t.rows <- row :: t.rows
+
+let widths t =
+  let update acc row =
+    List.map2 (fun w cell -> max w (String.length cell)) acc row
+  in
+  List.fold_left update
+    (List.map String.length t.headers)
+    (List.rev t.rows)
+
+let pad align width s =
+  let fill = String.make (width - String.length s) ' ' in
+  match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render_row aligns ws row =
+  let cells = List.map2 (fun (a, w) s -> pad a w s)
+      (List.combine aligns ws) row in
+  "| " ^ String.concat " | " cells ^ " |"
+
+let render t =
+  let ws = widths t in
+  let sep =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') ws)
+    ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_row t.aligns ws t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row t.aligns ws row);
+      Buffer.add_char buf '\n')
+    (List.rev t.rows);
+  Buffer.contents buf
+
+let print t = print_string (render t)

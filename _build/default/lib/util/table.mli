@@ -1,0 +1,16 @@
+(** Plain-text tables, used by the benchmark harness to print the rows
+    of the paper's Tables 1-4. *)
+
+type align = Left | Right
+
+type t
+
+(** [create ?aligns headers] starts a table; [aligns] defaults to all
+    [Left] and must match the number of headers. *)
+val create : ?aligns:align list -> string list -> t
+
+(** Raises [Invalid_argument] on column-count mismatch. *)
+val add_row : t -> string list -> unit
+
+val render : t -> string
+val print : t -> unit

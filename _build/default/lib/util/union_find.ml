@@ -1,0 +1,31 @@
+type 'a t = {
+  parent : ('a, 'a) Hashtbl.t;
+  rank : ('a, int) Hashtbl.t;
+}
+
+let create () = { parent = Hashtbl.create 16; rank = Hashtbl.create 16 }
+
+let rec find t x =
+  match Hashtbl.find_opt t.parent x with
+  | None -> x
+  | Some p when p = x -> x
+  | Some p ->
+    let root = find t p in
+    Hashtbl.replace t.parent x root;
+    root
+
+let rank t x = Option.value ~default:0 (Hashtbl.find_opt t.rank x)
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx <> ry then begin
+    let kx = rank t rx and ky = rank t ry in
+    if kx < ky then Hashtbl.replace t.parent rx ry
+    else if kx > ky then Hashtbl.replace t.parent ry rx
+    else begin
+      Hashtbl.replace t.parent ry rx;
+      Hashtbl.replace t.rank rx (kx + 1)
+    end
+  end
+
+let same t x y = find t x = find t y

@@ -1,0 +1,10 @@
+(** Union-find over hashable keys, with path compression and union by
+    rank.  Elements need not be registered before use: an unseen element
+    is its own singleton class. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val find : 'a t -> 'a -> 'a
+val union : 'a t -> 'a -> 'a -> unit
+val same : 'a t -> 'a -> 'a -> bool

@@ -1,0 +1,1 @@
+test/test_align.ml: Alcotest Exom_align Exom_interp Exom_lang List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_bench.ml: Alcotest Array Exom_bench Exom_cfg Exom_core Exom_interp Exom_lang List String

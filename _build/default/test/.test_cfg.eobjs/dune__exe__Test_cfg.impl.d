@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Exom_cfg Exom_lang List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_conf.ml: Alcotest Array Exom_cfg Exom_conf Exom_ddg Exom_interp Exom_lang List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Buffer Exom_core Exom_ddg Exom_interp Exom_lang List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ddg.ml: Alcotest Exom_cfg Exom_ddg Exom_interp Exom_lang List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Exom_interp Exom_lang List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Exom_lang List Printf QCheck QCheck_alcotest

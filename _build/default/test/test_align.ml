@@ -1,0 +1,535 @@
+(* Tests for region trees and the execution alignment algorithm
+   (Algorithm 1), including the paper's Figure 2 (loop + recursion
+   alignment) and Figure 3 (single-entry-multiple-exit) scenarios. *)
+
+module Ast = Exom_lang.Ast
+module Typecheck = Exom_lang.Typecheck
+module Align = Exom_align.Align
+module Region = Exom_align.Region
+module Interp = Exom_interp.Interp
+module Trace = Exom_interp.Trace
+module Value = Exom_interp.Value
+
+let compile src = Typecheck.parse_and_check src
+
+let sid_on_line prog line =
+  let found = ref None in
+  Ast.iter_program
+    (fun s ->
+      if Exom_lang.Loc.line s.Ast.sloc = line && !found = None then
+        found := Some s.Ast.sid)
+    prog;
+  match !found with
+  | Some sid -> sid
+  | None -> Alcotest.failf "no statement on line %d" line
+
+let traced ?switch prog input =
+  let r = Interp.run ?switch prog ~input in
+  match r.Interp.trace with
+  | Some t -> (r, t)
+  | None -> Alcotest.fail "no trace"
+
+let instance t ~sid ~occ =
+  match Trace.find_instance t ~sid ~occ with
+  | Some i -> i.Trace.idx
+  | None -> Alcotest.failf "no instance of s%d occ %d" sid occ
+
+(* Region trees *)
+
+let region_src =
+  {|
+void main() {
+  int i = 0;
+  while (i < 2) {
+    if (i == 0) {
+      print(100);
+    }
+    i = i + 1;
+  }
+  print(i);
+}
+|}
+
+let test_region_tree_shape () =
+  let prog = compile region_src in
+  let _, t = traced prog [] in
+  let reg = Region.build t in
+  let w = sid_on_line prog 4 in
+  let w1 = instance t ~sid:w ~occ:1 in
+  let w2 = instance t ~sid:w ~occ:2 in
+  let w3 = instance t ~sid:w ~occ:3 in
+  (* loop entry forms one region: w2 nests under w1, w3 under w2 *)
+  Alcotest.(check int) "w2 child of w1" w1 (Region.parent reg w2);
+  Alcotest.(check int) "w3 child of w2" w2 (Region.parent reg w3);
+  Alcotest.(check bool) "w3 inside w1's region" true
+    (Region.in_region reg ~u:w3 ~r:w1);
+  (* print(i) after the loop is outside the loop region *)
+  let out = instance t ~sid:(sid_on_line prog 10) ~occ:1 in
+  Alcotest.(check bool) "print(i) outside loop" false
+    (Region.in_region reg ~u:out ~r:w1);
+  Alcotest.(check bool) "everything in root" true
+    (Region.in_region reg ~u:out ~r:Region.root)
+
+let test_region_siblings () =
+  let prog = compile region_src in
+  let _, t = traced prog [] in
+  let reg = Region.build t in
+  let if_sid = sid_on_line prog 5 in
+  let inc_sid = sid_on_line prog 8 in
+  let if1 = instance t ~sid:if_sid ~occ:1 in
+  let inc1 = instance t ~sid:inc_sid ~occ:1 in
+  Alcotest.(check (option int)) "if's sibling is inc" (Some inc1)
+    (Region.sibling reg if1);
+  (* first subregion of the if's region is the print *)
+  let pr = instance t ~sid:(sid_on_line prog 6) ~occ:1 in
+  Alcotest.(check (option int)) "if's first subregion" (Some pr)
+    (Region.first_subregion reg if1)
+
+let test_region_rendering () =
+  let prog = compile region_src in
+  let _, t = traced prog [] in
+  let reg = Region.build t in
+  let rendered = Region.render_forest reg in
+  (* shape: decl, then one loop region nesting its iterations, then the
+     final print -- exactly the paper's bracket notation *)
+  Alcotest.(check bool) "brackets present" true
+    (String.contains rendered '[' && String.contains rendered ']');
+  let commas = String.split_on_char ',' rendered in
+  Alcotest.(check int) "three top-level regions" 3 (List.length commas);
+  (* every instance's sid appears; spot-check the loop head *)
+  let w = string_of_int (sid_on_line prog 4) in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "loop head rendered" true (contains ("[" ^ w) rendered)
+
+(* Alignment fast path and simple region matching *)
+
+let simple_switch_src =
+  {|
+void main() {
+  int flag = 0;
+  int x = 1;
+  if (flag == 1) {
+    x = 2;
+  }
+  print(x);
+  print(7);
+}
+|}
+
+let test_match_simple () =
+  let prog = compile simple_switch_src in
+  let if_sid = sid_on_line prog 5 in
+  let r1, t1 = traced prog [] in
+  let r2, t2 =
+    traced ~switch:{ Interp.switch_sid = if_sid; switch_occ = 1 } prog []
+  in
+  ignore r1;
+  ignore r2;
+  let reg1 = Region.build t1 and reg2 = Region.build t2 in
+  let p = instance t1 ~sid:if_sid ~occ:1 in
+  (* the decl of x, before the switch: matches itself *)
+  let xdecl = instance t1 ~sid:(sid_on_line prog 4) ~occ:1 in
+  Alcotest.(check (option int)) "prefix self-match" (Some xdecl)
+    (Align.to_option (Align.match_from reg1 reg2 ~p ~u:xdecl));
+  (* print(x), after the if: siblings shift by one (x=2 now runs) *)
+  let px = instance t1 ~sid:(sid_on_line prog 8) ~occ:1 in
+  let px' = instance t2 ~sid:(sid_on_line prog 8) ~occ:1 in
+  Alcotest.(check (option int)) "print(x) found across switch" (Some px')
+    (Align.to_option (Align.match_from reg1 reg2 ~p ~u:px));
+  Alcotest.(check bool) "indices differ" true (px <> px');
+  (* the matched instance carries the changed value *)
+  Alcotest.(check bool) "value changed by switch" true
+    (Value.equal (Trace.get t2 px').Trace.value (Value.Vint 2))
+
+(* Figure 2 of the paper, transliterated to MCL.  Globals play the
+   role of the initialized variables; the while loop executes only when
+   P is switched; statement 15 (print of x) sits under two nested ifs. *)
+
+let fig2_src =
+  {|
+int i = 0;
+int t = 0;
+int x = 0;
+int p = 0;
+int c1 = 0;
+int c2 = 0;
+void main() {
+  if (p == 1) {
+    t = 1;
+    x = 5;
+  }
+  while (i < t) {
+    if (c1 == 1) {
+      x = 9;
+    }
+    i = i + 1;
+  }
+  if (t < 9) {
+    if (c2 == 0) {
+      print(x);
+    }
+    print(77);
+  }
+}
+|}
+
+let fig2 () =
+  let prog = compile fig2_src in
+  let if_p = sid_on_line prog 9 in
+  let use = sid_on_line prog 21 in
+  (prog, if_p, use)
+
+let test_fig2_match_exists () =
+  let prog, if_p, use = fig2 () in
+  let _, t1 = traced prog [] in
+  let _, t2 =
+    traced ~switch:{ Interp.switch_sid = if_p; switch_occ = 1 } prog []
+  in
+  let reg1 = Region.build t1 and reg2 = Region.build t2 in
+  let p = instance t1 ~sid:if_p ~occ:1 in
+  let u = instance t1 ~sid:use ~occ:1 in
+  (* In the switched run the loop executes an extra iteration, so the
+     use's index shifts, but the region walk finds it. *)
+  let u' = instance t2 ~sid:use ~occ:1 in
+  Alcotest.(check (option int)) "15 found in switched run" (Some u')
+    (Align.to_option (Align.match_from reg1 reg2 ~p ~u));
+  (* and the value at the matched point reflects the switch: x = 5 *)
+  Alcotest.(check bool) "switched value" true
+    (Value.equal (Trace.get t2 u').Trace.value (Value.Vint 5))
+
+(* Execution (3) of Figure 2: the then-branch also sets c2, so after
+   switching, the inner if takes the other branch and print(x) does NOT
+   execute — alignment must report Not_found, not mis-match another
+   print. *)
+let fig2_c2_src =
+  {|
+int i = 0;
+int t = 0;
+int x = 0;
+int p = 0;
+int c1 = 0;
+int c2 = 0;
+void main() {
+  if (p == 1) {
+    t = 1;
+    x = 5;
+    c2 = 1;
+  }
+  while (i < t) {
+    if (c1 == 1) {
+      x = 9;
+    }
+    i = i + 1;
+  }
+  if (t < 9) {
+    if (c2 == 0) {
+      print(x);
+    }
+    print(77);
+  }
+}
+|}
+
+let test_fig2_no_match () =
+  let prog = compile fig2_c2_src in
+  let if_p = sid_on_line prog 9 in
+  let use = sid_on_line prog 22 in
+  let _, t1 = traced prog [] in
+  let _, t2 =
+    traced ~switch:{ Interp.switch_sid = if_p; switch_occ = 1 } prog []
+  in
+  let reg1 = Region.build t1 and reg2 = Region.build t2 in
+  let p = instance t1 ~sid:if_p ~occ:1 in
+  let u = instance t1 ~sid:use ~occ:1 in
+  Alcotest.(check (option int)) "print(x) has no counterpart" None
+    (Align.to_option (Align.match_from reg1 reg2 ~p ~u));
+  (* but its sibling print(77) still matches *)
+  let p77 = sid_on_line prog 24 in
+  let u77 = instance t1 ~sid:p77 ~occ:1 in
+  let u77' = instance t2 ~sid:p77 ~occ:1 in
+  Alcotest.(check (option int)) "print(77) still matches" (Some u77')
+    (Align.to_option (Align.match_from reg1 reg2 ~p ~u:u77))
+
+(* Figure 3: single-entry-multiple-exit.  Switching the guard that sets
+   c0 makes the loop break in its first iteration; the use inside the
+   second if must be reported unmatched via sibling exhaustion. *)
+
+let fig3_src =
+  {|
+int c0 = 0;
+int c1 = 1;
+int x = 3;
+int q = 0;
+void main() {
+  if (q == 1) {
+    c0 = 1;
+  }
+  int i = 0;
+  while (i < 2) {
+    if (c0 == 1) {
+      break;
+    }
+    if (c1 == 1) {
+      print(x);
+    }
+    i = i + 1;
+  }
+  print(50);
+}
+|}
+
+let test_fig3_break_exhaustion () =
+  let prog = compile fig3_src in
+  let if_q = sid_on_line prog 7 in
+  let use = sid_on_line prog 16 in
+  let after = sid_on_line prog 20 in
+  let _, t1 = traced prog [] in
+  let _, t2 =
+    traced ~switch:{ Interp.switch_sid = if_q; switch_occ = 1 } prog []
+  in
+  let reg1 = Region.build t1 and reg2 = Region.build t2 in
+  let p = instance t1 ~sid:if_q ~occ:1 in
+  (* print(x) executed twice originally; neither instance exists after
+     the switch (the loop breaks immediately) *)
+  let u1 = instance t1 ~sid:use ~occ:1 in
+  Alcotest.(check (option int)) "print(x)#1 unmatched" None
+    (Align.to_option (Align.match_from reg1 reg2 ~p ~u:u1));
+  let u2 = instance t1 ~sid:use ~occ:2 in
+  Alcotest.(check (option int)) "print(x)#2 unmatched" None
+    (Align.to_option (Align.match_from reg1 reg2 ~p ~u:u2));
+  (* code after the loop still aligns *)
+  let a = instance t1 ~sid:after ~occ:1 in
+  let a' = instance t2 ~sid:after ~occ:1 in
+  Alcotest.(check (option int)) "print(50) matches" (Some a')
+    (Align.to_option (Align.match_from reg1 reg2 ~p ~u:a))
+
+(* Recursion: switching a predicate that triggers a recursive call must
+   not confuse the matcher into pairing instances from different call
+   depths (the paper's "statement 7 makes a recursive self call"). *)
+
+let recursion_src =
+  {|
+int depth = 0;
+int x = 1;
+int go = 0;
+void walk(int d) {
+  if (go == 1) {
+    if (d < 2) {
+      walk(d + 1);
+    }
+  }
+  depth = depth + 1;
+}
+void main() {
+  walk(0);
+  print(x);
+}
+|}
+
+let test_recursion_alignment () =
+  let prog = compile recursion_src in
+  let if_go = sid_on_line prog 6 in
+  let use = sid_on_line prog 15 in
+  let _, t1 = traced prog [] in
+  let _, t2 =
+    traced ~switch:{ Interp.switch_sid = if_go; switch_occ = 1 } prog []
+  in
+  let reg1 = Region.build t1 and reg2 = Region.build t2 in
+  let p = instance t1 ~sid:if_go ~occ:1 in
+  (* the final print matches despite the recursive calls in between *)
+  let u = instance t1 ~sid:use ~occ:1 in
+  let u' = instance t2 ~sid:use ~occ:1 in
+  Alcotest.(check bool) "switched run longer" true
+    (Trace.length t2 > Trace.length t1);
+  Alcotest.(check (option int)) "print matches across recursion" (Some u')
+    (Align.to_option (Align.match_from reg1 reg2 ~p ~u));
+  (* depth's increment in the OUTER frame must match the outer one, not
+     the recursive callee's instance: in the switched run the callee's
+     increment executes first, so the outer one is occurrence 2 *)
+  let inc = sid_on_line prog 11 in
+  let d1 = instance t1 ~sid:inc ~occ:1 in
+  (match Align.to_option (Align.match_from reg1 reg2 ~p ~u:d1) with
+  | Some d1' ->
+    let got = Trace.get t2 d1' in
+    Alcotest.(check int) "same statement" inc got.Trace.sid;
+    Alcotest.(check int) "outer frame pairs with outer occurrence" 2
+      got.Trace.occ
+  | None -> Alcotest.fail "outer increment should match")
+
+(* Root alignment across program variants (the oracle's use case). *)
+let test_root_alignment_variants () =
+  let faulty =
+    compile
+      "void main() { int k = 0; int y = 2; if (k == 1) { y = 5; } print(y); }"
+  in
+  let correct =
+    compile
+      "void main() { int k = 1; int y = 2; if (k == 1) { y = 5; } print(y); }"
+  in
+  let _, t1 = traced faulty [] in
+  let _, t2 = traced correct [] in
+  let reg1 = Region.build t1 and reg2 = Region.build t2 in
+  (* y decl matches and has equal value: benign *)
+  Alcotest.(check (option int)) "y decl matches" (Some 1)
+    (Align.to_option (Align.match_root reg1 reg2 ~u:1));
+  (* print(y) matches but carries different values *)
+  let pr = instance t1 ~sid:4 ~occ:1 in
+  (match Align.to_option (Align.match_root reg1 reg2 ~u:pr) with
+  | Some pr' ->
+    Alcotest.(check bool) "values differ" false
+      (Value.equal (Trace.get t1 pr).Trace.value (Trace.get t2 pr').Trace.value)
+  | None -> Alcotest.fail "print should match")
+
+(* Property: aligning an execution with itself is the identity. *)
+let prop_self_alignment_identity =
+  QCheck.Test.make ~name:"self-alignment is the identity" ~count:20
+    QCheck.(int_range 0 8)
+    (fun n ->
+      let src =
+        {|
+int acc = 0;
+void bump(int k) {
+  if (k % 2 == 0) {
+    acc = acc + k;
+  }
+}
+void main() {
+  int n = input();
+  int i = 0;
+  while (i < n) {
+    bump(i);
+    i = i + 1;
+  }
+  print(acc);
+}
+|}
+      in
+      let prog = compile src in
+      let r1 = Interp.run prog ~input:[ n ] in
+      let r2 = Interp.run prog ~input:[ n ] in
+      match (r1.Interp.trace, r2.Interp.trace) with
+      | Some t1, Some t2 ->
+        let reg1 = Region.build t1 and reg2 = Region.build t2 in
+        let ok = ref true in
+        for u = 0 to Trace.length t1 - 1 do
+          if Align.to_option (Align.match_root reg1 reg2 ~u) <> Some u then
+            ok := false
+        done;
+        !ok
+      | _ -> false)
+
+(* Property: region trees are consistent — every instance is inside the
+   region of each of its ancestors, siblings are ordered, and the
+   rendered forest mentions every instance exactly once. *)
+let prop_region_tree_consistent =
+  QCheck.Test.make ~name:"region trees are consistent" ~count:20
+    QCheck.(int_range 0 10)
+    (fun n ->
+      let src =
+        {|
+void main() {
+  int n = input();
+  int i = 0;
+  while (i < n) {
+    if (i % 2 == 0) {
+      print(i);
+    }
+    i = i + 1;
+  }
+}
+|}
+      in
+      let prog = compile src in
+      match (Interp.run prog ~input:[ n ]).Interp.trace with
+      | None -> false
+      | Some t ->
+        let reg = Region.build t in
+        let ok = ref true in
+        for u = 0 to Trace.length t - 1 do
+          (* in_region along the whole ancestor chain *)
+          let rec walk a =
+            if a >= 0 then begin
+              if not (Region.in_region reg ~u ~r:a) then ok := false;
+              walk (Region.parent reg a)
+            end
+          in
+          walk u;
+          (* children round-trip: u appears in its parent's child list *)
+          let p = Region.parent reg u in
+          if not (List.mem u (Region.children reg p)) then ok := false
+        done;
+        !ok)
+
+(* Property: matching is injective on a prefix-preserving switch — the
+   matched counterpart always has the same sid. *)
+let prop_match_same_sid =
+  QCheck.Test.make ~name:"matched instances share their statement" ~count:25
+    QCheck.(pair (int_range 1 4) (int_range 0 20))
+    (fun (occ, seed) ->
+      let src =
+        {|
+void main() {
+  int n = input();
+  int acc = 0;
+  int i = 0;
+  while (i < 6) {
+    if ((i + n) % 3 == 0) {
+      acc = acc + i;
+    }
+    i = i + 1;
+  }
+  print(acc);
+}
+|}
+      in
+      let prog = compile src in
+      let if_sid = sid_on_line prog 7 in
+      let r1 = Interp.run prog ~input:[ seed ] in
+      let r2 =
+        Interp.run prog
+          ~switch:{ Interp.switch_sid = if_sid; switch_occ = occ }
+          ~input:[ seed ]
+      in
+      match (r1.Interp.trace, r2.Interp.trace) with
+      | Some t1, Some t2 ->
+        let reg1 = Region.build t1 and reg2 = Region.build t2 in
+        let p =
+          match Trace.find_instance t1 ~sid:if_sid ~occ with
+          | Some i -> i.Trace.idx
+          | None -> -1
+        in
+        p >= 0
+        &&
+        let ok = ref true in
+        for u = 0 to Trace.length t1 - 1 do
+          match Align.to_option (Align.match_from reg1 reg2 ~p ~u) with
+          | Some u' ->
+            if (Trace.get t1 u).Trace.sid <> (Trace.get t2 u').Trace.sid then
+              ok := false
+          | None -> ()
+        done;
+        !ok
+      | _ -> false)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "align"
+    [ ( "regions",
+        [ tc "tree shape" test_region_tree_shape;
+          tc "siblings" test_region_siblings;
+          tc "paper-style rendering" test_region_rendering ] );
+      ( "matching",
+        [ tc "simple switch" test_match_simple;
+          tc "figure 2: match exists" test_fig2_match_exists;
+          tc "figure 2(3): no match" test_fig2_no_match;
+          tc "figure 3: break exhaustion" test_fig3_break_exhaustion;
+          tc "recursion" test_recursion_alignment;
+          tc "root alignment" test_root_alignment_variants ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_match_same_sid; prop_self_alignment_identity;
+            prop_region_tree_consistent ] ) ]

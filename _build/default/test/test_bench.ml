@@ -1,0 +1,374 @@
+(* Tests for the benchmark suite: fault validity, the Table 1-3
+   properties the paper's evaluation rests on, and end-to-end
+   localization of representative faults from each benchmark. *)
+
+module B = Exom_bench.Bench_types
+module Runner = Exom_bench.Runner
+module Suite = Exom_bench.Suite
+module Demand = Exom_core.Demand
+module Interp = Exom_interp.Interp
+module Typecheck = Exom_lang.Typecheck
+
+let find_bench name =
+  match Suite.find name with
+  | Some b -> b
+  | None -> Alcotest.failf "no benchmark %s" name
+
+let find_fault bench fid =
+  match Suite.find_fault bench fid with
+  | Some f -> f
+  | None -> Alcotest.failf "no fault %s" fid
+
+(* Infrastructure *)
+
+let test_input_encoding () =
+  Alcotest.(check (list int)) "abc" [ 3; 97; 98; 99 ] (B.input_of_string "abc");
+  Alcotest.(check (list int)) "empty" [ 0 ] (B.input_of_string "")
+
+let test_fault_line_and_source () =
+  let bench = find_bench "gzipsim" in
+  let fault = find_fault bench "V2-F3" in
+  Alcotest.(check int) "fault on line 2" 2 (B.fault_line bench fault);
+  let faulty = B.faulty_source bench fault in
+  Alcotest.(check bool) "replacement applied" true
+    (String.length faulty = String.length bench.B.source
+    && faulty <> bench.B.source)
+
+let test_root_sids () =
+  let bench = find_bench "gzipsim" in
+  let fault = find_fault bench "V2-F3" in
+  let prog = Typecheck.parse_and_check (B.faulty_source bench fault) in
+  let roots = B.root_sids bench fault prog in
+  Alcotest.(check int) "single root" 1 (List.length roots)
+
+let test_unknown_pattern_rejected () =
+  let bench = find_bench "gzipsim" in
+  let bogus =
+    { B.fid = "X"; description = ""; pattern = "no such line";
+      replacement = ""; failing_input = [] }
+  in
+  match B.faulty_source bench bogus with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* Benchmark programs behave correctly (the correct versions). *)
+
+let run_correct name input =
+  let bench = find_bench name in
+  let prog = Typecheck.parse_and_check bench.B.source in
+  Interp.output_values (Interp.run ~tracing:false prog ~input)
+
+let test_flexsim_scans () =
+  (* "let x = 42;" => keyword(3), ident(1), punct(=), number(2), punct(;) *)
+  let out = run_correct "flexsim" (B.input_of_string "let x = 42;") in
+  let token_stream =
+    (* (kind, len) pairs precede the 9 summary values *)
+    let rec take k = function
+      | x :: rest when k > 0 -> x :: take (k - 1) rest
+      | _ -> []
+    in
+    take (List.length out - 9) out
+  in
+  Alcotest.(check (list int))
+    "token stream"
+    [ 4; 3; 2; 1; 3; 1; 1; 2; 3; 1 ]
+    token_stream
+
+let test_grepsim_counts () =
+  (* pattern "ab" over 4 lines, 3 contain ab (case folded) *)
+  let bench = find_bench "grepsim" in
+  let fault = find_fault bench "V4-F2" in
+  let out = run_correct "grepsim" fault.B.failing_input in
+  match out with
+  | [ lines_seen; match_count; first_match; _check ] ->
+    Alcotest.(check int) "lines" 4 lines_seen;
+    Alcotest.(check int) "matches" 3 match_count;
+    Alcotest.(check int) "first" 1 first_match
+  | _ -> Alcotest.fail "unexpected output shape"
+
+let test_gzipsim_header () =
+  let out = run_correct "gzipsim" (B.input_of_string "abcabcabcxyz") in
+  (match out with
+  | m1 :: m2 :: meth :: flags :: _ ->
+    Alcotest.(check int) "magic1" 31 m1;
+    Alcotest.(check int) "magic2" 139 m2;
+    Alcotest.(check int) "method" 8 meth;
+    (* level bit (4) + name bit (8) *)
+    Alcotest.(check int) "flags" 12 flags
+  | _ -> Alcotest.fail "short output");
+  (* repetitive input must produce at least one match, and the built-in
+     decoder must round-trip: zero mismatches *)
+  let nth_back k = List.nth out (List.length out - k) in
+  Alcotest.(check bool) "lz77 found matches" true (nth_back 4 >= 1);
+  Alcotest.(check int) "round trip clean" 0 (nth_back 1)
+
+let test_gzipsim_roundtrippable () =
+  (* every literal/match token must be decodable back to the input *)
+  let text = "abcabcabcxyz" in
+  let input = B.input_of_string text in
+  let bench = find_bench "gzipsim" in
+  let prog = Typecheck.parse_and_check bench.B.source in
+  let run = Interp.run ~tracing:false prog ~input in
+  let out = Array.of_list (Interp.output_values run) in
+  (* outputs: 12 header/stream bytes, outcnt, literals, matches, crc; the
+     full stream lives in outbuf, of which we see a prefix - so decode
+     from a fresh run's full token list instead: re-simulate here *)
+  ignore out;
+  (* decode by re-running LZ77 in OCaml and comparing statistics *)
+  let n = String.length text in
+  let window = 16 and min_match = 3 in
+  let literals = ref 0 and matches = ref 0 in
+  let pos = ref 0 in
+  while !pos < n do
+    let best_len = ref 0 in
+    let start = max 0 (!pos - window) in
+    for cand = start to !pos - 1 do
+      let len = ref 0 in
+      while
+        !pos + !len < n
+        && text.[cand + !len] = text.[!pos + !len]
+        && !len < 255
+      do
+        incr len
+      done;
+      if !len > !best_len then best_len := !len
+    done;
+    if !best_len >= min_match then begin
+      incr matches;
+      pos := !pos + !best_len
+    end
+    else begin
+      incr literals;
+      incr pos
+    end
+  done;
+  let out_list = Interp.output_values run in
+  (* outputs end with: ..., literals, matches, crc, dpos, mismatches *)
+  let got_matches = List.nth out_list (List.length out_list - 4) in
+  let got_literals = List.nth out_list (List.length out_list - 5) in
+  Alcotest.(check int) "literal count agrees" !literals got_literals;
+  Alcotest.(check int) "match count agrees" !matches got_matches
+
+let test_sedsim_substitutes () =
+  let out = run_correct "sedsim" (B.input_of_string "banana") in
+  (* line number 1, then "bonono", newline, counters *)
+  match out with
+  | 1 :: rest ->
+    let line = List.filteri (fun i _ -> i < 6) rest in
+    Alcotest.(check (list int))
+      "substituted" [ 98; 111; 110; 111; 110; 111 ] line
+  | _ -> Alcotest.fail "expected line number first"
+
+(* The benchmark sources exercise the whole front end: they must
+   pretty-print and re-parse to the same statement structure, build
+   CFGs for every function, and profile cleanly on their test suites. *)
+
+let test_sources_roundtrip () =
+  List.iter
+    (fun b ->
+      let prog = Typecheck.parse_and_check b.B.source in
+      let printed = Exom_lang.Pretty.program_to_string prog in
+      let reparsed = Typecheck.parse_and_check printed in
+      Alcotest.(check int)
+        (b.B.name ^ " statement count survives round trip")
+        (Exom_lang.Ast.stmt_count prog)
+        (Exom_lang.Ast.stmt_count reparsed))
+    Suite.all
+
+let test_sources_analyses () =
+  List.iter
+    (fun b ->
+      let prog = Typecheck.parse_and_check b.B.source in
+      let info = Exom_cfg.Proginfo.build prog in
+      List.iter
+        (fun fn ->
+          let cfg = Exom_cfg.Proginfo.cfg_of info (Some fn.Exom_lang.Ast.fname) in
+          Alcotest.(check bool)
+            (b.B.name ^ "." ^ fn.Exom_lang.Ast.fname ^ " cfg nonempty")
+            true
+            (cfg.Exom_cfg.Cfg.nnodes >= 2);
+          (* control dependence computes without blowing up *)
+          Exom_lang.Ast.iter_stmts
+            (fun s -> ignore (Exom_cfg.Proginfo.control_deps info s.Exom_lang.Ast.sid))
+            fn.Exom_lang.Ast.fbody)
+        prog.Exom_lang.Ast.funcs)
+    Suite.all
+
+let test_sources_pass_their_suites () =
+  (* every test input runs the correct program to completion *)
+  List.iter
+    (fun b ->
+      let prog = Typecheck.parse_and_check b.B.source in
+      List.iter
+        (fun input ->
+          let r = Interp.run ~tracing:false prog ~input in
+          Alcotest.(check bool)
+            (b.B.name ^ " test input terminates normally")
+            true
+            (r.Interp.outcome = Ok ()))
+        b.B.test_inputs)
+    Suite.all
+
+(* Fault validity: every seeded fault manifests as a wrong value. *)
+
+let test_all_faults_valid () =
+  List.iter (fun (b, f) -> Runner.validate_fault b f) Suite.rows
+
+let test_suite_shape () =
+  Alcotest.(check int) "four benchmarks" 4 (List.length Suite.all);
+  Alcotest.(check bool) "at least 9 faults (paper's row count)" true
+    (List.length Suite.rows >= 9)
+
+(* End-to-end localization on one representative fault per benchmark.
+   These are the paper's headline claims:
+   - the dynamic slice misses the root (execution omission error),
+   - the relevant slice catches it but is much bigger dynamically,
+   - the demand-driven procedure locates it with few iterations/edges. *)
+
+let check_localization ?(ips_factor = 5) name fid ~max_iterations =
+  let bench = find_bench name in
+  let fault = find_fault bench fid in
+  let r = Runner.run_fault bench fault in
+  Alcotest.(check bool) (fid ^ ": DS misses root") false r.Runner.root_in_ds;
+  Alcotest.(check bool) (fid ^ ": RS catches root") true r.Runner.root_in_rs;
+  Alcotest.(check bool)
+    (fid ^ ": RS dynamic >= DS dynamic")
+    true
+    (r.Runner.rs.Runner.dynamic_size >= r.Runner.ds.Runner.dynamic_size);
+  Alcotest.(check bool) (fid ^ ": located") true r.Runner.report.Demand.found;
+  Alcotest.(check bool)
+    (fid ^ ": few iterations")
+    true
+    (r.Runner.report.Demand.iterations <= max_iterations);
+  Alcotest.(check bool)
+    (fid ^ ": IPS is small")
+    true
+    (r.Runner.ips.Runner.dynamic_size * ips_factor
+    <= max (25 * ips_factor) r.Runner.rs.Runner.dynamic_size)
+
+let test_locate_gzip () = check_localization "gzipsim" "V2-F3" ~max_iterations:2
+let test_locate_sed () = check_localization "sedsim" "V3-F2" ~max_iterations:2
+let test_locate_flex () = check_localization "flexsim" "V5-F6" ~max_iterations:2
+
+let test_locate_grep () =
+  (* grep is the paper's hardest case: more iterations and edges *)
+  check_localization ~ips_factor:2 "grepsim" "V4-F2" ~max_iterations:35
+
+(* Scale: a trace in the tens of thousands of instances must still be
+   handled, and the paper's static-vs-dynamic blowup grows with it. *)
+let test_scale_gzip () =
+  let bench = find_bench "gzipsim" in
+  let base = "the quick brown fox jumps over the lazy dog; " in
+  let big = String.concat "" (List.init 6 (fun _ -> base)) in
+  let fault =
+    { (find_fault bench "V2-F3") with B.failing_input = B.input_of_string big }
+  in
+  let r = Runner.run_fault bench fault in
+  Alcotest.(check bool) "big trace" true (r.Runner.trace_length > 10_000);
+  Alcotest.(check bool) "still located" true r.Runner.report.Demand.found;
+  Alcotest.(check bool) "few verifications" true
+    (r.Runner.report.Demand.verifications <= 10);
+  (* RS dynamic blowup grows with trace size (paper: orders of magnitude) *)
+  Alcotest.(check bool) "RS dynamic >> RS static" true
+    (r.Runner.rs.Runner.dynamic_size > 100 * r.Runner.rs.Runner.static_size)
+
+(* Ablations *)
+
+let test_potential_confidence_sanitizes_gzip () =
+  (* §3.2's rejected alternative, on the paper's own example: blind
+     potential edges raise the faulty save_orig_name's confidence to 1 *)
+  let bench = find_bench "gzipsim" in
+  let fault = find_fault bench "V2-F3" in
+  let s = Exom_bench.Ablation.potential_confidence_sanitizes bench fault in
+  Alcotest.(check bool) "verified graph leaves root suspicious" true
+    (s.Exom_bench.Ablation.conf_verified < 0.5);
+  Alcotest.(check bool) "potential edges sanitize the root" true
+    s.Exom_bench.Ablation.sanitized
+
+let test_union_graph_backend () =
+  (* the union-dependence-graph condition (iv): never loses the root,
+     prunes false pairs — sharply on gzip V2-F3 *)
+  let bench = find_bench "gzipsim" in
+  let fault = find_fault bench "V2-F3" in
+  let r = Exom_bench.Ablation.compare_rs_backends bench fault in
+  Alcotest.(check bool) "root kept under static (iv)" true
+    r.Exom_bench.Ablation.root_in_static;
+  Alcotest.(check bool) "root kept under union (iv)" true
+    r.Exom_bench.Ablation.root_in_union;
+  let _, sd = r.Exom_bench.Ablation.rs_static in
+  let _, ud = r.Exom_bench.Ablation.rs_union in
+  Alcotest.(check bool) "union RS no larger" true (ud <= sd);
+  Alcotest.(check bool) "union RS much smaller here" true (ud * 2 < sd)
+
+let test_verify_modes_agree_on_suite () =
+  (* the paper: "we have not encountered such a case in our study" —
+     edge and path mode locate the same faults here too *)
+  let bench = find_bench "sedsim" in
+  let fault = find_fault bench "V3-F2" in
+  let c = Exom_bench.Ablation.compare_verify_modes bench fault in
+  Alcotest.(check bool) "edge mode finds" true
+    c.Exom_bench.Ablation.edge_report.Demand.found;
+  Alcotest.(check bool) "path mode finds" true
+    c.Exom_bench.Ablation.path_report.Demand.found
+
+let test_critical_search_comparison () =
+  (* gzip V2-F3 (the paper's Figure 1): the flags bit and the name bytes
+     hang under two instances of the faulty condition, so no single flip
+     repairs the output — whole-output critical-predicate search finds
+     nothing while the demand-driven technique locates the root *)
+  let bench = find_bench "gzipsim" in
+  let fault = find_fault bench "V2-F3" in
+  let c = Exom_bench.Ablation.compare_with_critical_search bench fault in
+  Alcotest.(check int) "no critical predicate exists" 0
+    c.Exom_bench.Ablation.critical_found;
+  Alcotest.(check bool) "demand-driven still locates" true
+    c.Exom_bench.Ablation.demand_found;
+  Alcotest.(check bool) "critical search cost is high" true
+    (c.Exom_bench.Ablation.critical_executions
+    > 10 * c.Exom_bench.Ablation.demand_verifications)
+
+let test_sed_cascade_two_edges () =
+  (* the two-deep omission cascade needs exactly two expansions along
+     strong implicit dependence edges (the paper's sed V3-F2 row) *)
+  let bench = find_bench "sedsim" in
+  let fault = find_fault bench "V3-F2" in
+  let r = Runner.run_fault bench fault in
+  Alcotest.(check int) "2 iterations" 2 r.Runner.report.Demand.iterations;
+  Alcotest.(check int) "2 edges" 2 r.Runner.report.Demand.expanded_edges
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "bench"
+    [ ( "infrastructure",
+        [ tc "input encoding" test_input_encoding;
+          tc "fault line and source" test_fault_line_and_source;
+          tc "root sids" test_root_sids;
+          tc "unknown pattern" test_unknown_pattern_rejected;
+          tc "suite shape" test_suite_shape ] );
+      ( "program semantics",
+        [ tc "flexsim scans" test_flexsim_scans;
+          tc "grepsim counts" test_grepsim_counts;
+          tc "gzipsim header" test_gzipsim_header;
+          tc "gzipsim statistics" test_gzipsim_roundtrippable;
+          tc "sedsim substitutes" test_sedsim_substitutes ] );
+      ( "front-end coverage",
+        [ tc "sources round-trip" test_sources_roundtrip;
+          tc "static analyses" test_sources_analyses;
+          tc "test suites pass" test_sources_pass_their_suites ] );
+      ("fault validity", [ tc "all faults manifest" test_all_faults_valid ]);
+      ( "localization",
+        [ slow "gzip V2-F3 (figure 1)" test_locate_gzip;
+          slow "sed V3-F2 (cascade)" test_locate_sed;
+          slow "flex V5-F6" test_locate_flex;
+          slow "grep V4-F2 (hardest)" test_locate_grep;
+          slow "sed cascade needs 2 edges" test_sed_cascade_two_edges;
+          slow "gzip at scale (35k instances)" test_scale_gzip ] );
+      ( "ablations",
+        [ slow "potential-edge confidence sanitizes gzip"
+            test_potential_confidence_sanitizes_gzip;
+          slow "edge and path modes agree on the suite"
+            test_verify_modes_agree_on_suite;
+          slow "union-graph condition (iv)" test_union_graph_backend;
+          slow "critical-predicate search fails where demand succeeds"
+            test_critical_search_comparison ] ) ]

@@ -1,0 +1,516 @@
+(* Tests for dynamic slicing, potential dependences (Definition 1) and
+   relevant slicing — including the paper's headline behaviour: dynamic
+   slices MISS execution omission errors, relevant slices catch them. *)
+
+module Ast = Exom_lang.Ast
+module Typecheck = Exom_lang.Typecheck
+module Interp = Exom_interp.Interp
+module Trace = Exom_interp.Trace
+module Proginfo = Exom_cfg.Proginfo
+module Relevant = Exom_ddg.Relevant
+module Slice = Exom_ddg.Slice
+
+let compile src = Typecheck.parse_and_check src
+
+let sid_on_line prog line =
+  let found = ref None in
+  Ast.iter_program
+    (fun s ->
+      if Exom_lang.Loc.line s.Ast.sloc = line && !found = None then
+        found := Some s.Ast.sid)
+    prog;
+  match !found with
+  | Some sid -> sid
+  | None -> Alcotest.failf "no statement on line %d" line
+
+let traced_run prog input =
+  let r = Interp.run prog ~input in
+  match (r.Interp.outcome, r.Interp.trace) with
+  | Ok (), Some t -> (r, t)
+  | Error _, _ -> Alcotest.fail "run aborted"
+  | _, None -> Alcotest.fail "no trace"
+
+(* nth output instance index *)
+let output_instance (r : Interp.run) n = fst (List.nth r.Interp.outputs n)
+
+(* Dynamic slicing on straight-line data flow *)
+
+let test_slice_straight_line () =
+  let src =
+    {|
+void main() {
+  int a = 1;
+  int b = 2;
+  int c = a + 3;
+  print(c);
+  print(b);
+}
+|}
+  in
+  let prog = compile src in
+  let r, t = traced_run prog [] in
+  let slice_c = Slice.compute t ~criteria:[ output_instance r 0 ] in
+  (* print(c) <- c <- a; not b *)
+  Alcotest.(check int) "3 instances" 3 (Slice.dynamic_size slice_c);
+  Alcotest.(check bool) "a in slice" true
+    (Slice.mem_sid slice_c (sid_on_line prog 3));
+  Alcotest.(check bool) "b not in slice" false
+    (Slice.mem_sid slice_c (sid_on_line prog 4))
+
+let test_slice_control_dependence () =
+  let src =
+    {|
+void main() {
+  int k = input();
+  int y = 0;
+  if (k > 0) {
+    y = 1;
+  }
+  print(y);
+}
+|}
+  in
+  let prog = compile src in
+  let r, t = traced_run prog [ 5 ] in
+  let slice = Slice.compute t ~criteria:[ output_instance r 0 ] in
+  (* y=1 executed inside the branch: slice must pull in the predicate
+     (dynamic control dependence) and then k. *)
+  Alcotest.(check bool) "if in slice" true
+    (Slice.mem_sid slice (sid_on_line prog 5));
+  Alcotest.(check bool) "k in slice" true
+    (Slice.mem_sid slice (sid_on_line prog 3))
+
+let test_slice_through_call () =
+  let src =
+    {|
+int add(int a, int b) { return a + b; }
+void main() {
+  int x = input();
+  int unused = 99;
+  int s = add(x, 1);
+  print(s);
+}
+|}
+  in
+  let prog = compile src in
+  let r, t = traced_run prog [ 4 ] in
+  let slice = Slice.compute t ~criteria:[ output_instance r 0 ] in
+  Alcotest.(check bool) "x in slice" true
+    (Slice.mem_sid slice (sid_on_line prog 4));
+  Alcotest.(check bool) "return in slice" true
+    (Slice.mem_sid slice (sid_on_line prog 2));
+  Alcotest.(check bool) "unused not in slice" false
+    (Slice.mem_sid slice (sid_on_line prog 5))
+
+let test_slice_arrays () =
+  let src =
+    {|
+void main() {
+  int[] a = new_array(4);
+  a[0] = 10;
+  a[1] = 20;
+  print(a[0]);
+}
+|}
+  in
+  let prog = compile src in
+  let r, t = traced_run prog [] in
+  let slice = Slice.compute t ~criteria:[ output_instance r 0 ] in
+  Alcotest.(check bool) "a[0]=10 in slice" true
+    (Slice.mem_sid slice (sid_on_line prog 4));
+  Alcotest.(check bool) "a[1]=20 not in slice" false
+    (Slice.mem_sid slice (sid_on_line prog 5))
+
+(* The paper's Figure 1 scenario: an execution omission error.  The
+   fault is save_orig_name = 0 (should be 1); the branch at line 6 is
+   wrongly not taken, flags keeps 0, and print(flags) shows the wrong
+   value. *)
+
+let fig1_src =
+  {|
+int save_orig_name = 0;
+int flags = 0;
+void main() {
+  int deflated = 8;
+  if (save_orig_name == 1) {
+    flags = flags + 32;
+  }
+  print(deflated);
+  print(flags);
+}
+|}
+
+let fig1_setup () =
+  let prog = compile fig1_src in
+  let info = Proginfo.build prog in
+  let r, t = traced_run prog [] in
+  let rel = Relevant.create info t in
+  (prog, info, r, t, rel)
+
+let test_fig1_dynamic_slice_misses () =
+  let prog, _, r, t, _ = fig1_setup () in
+  let wrong = output_instance r 1 (* print(flags) *) in
+  let ds = Slice.compute t ~criteria:[ wrong ] in
+  (* DS contains the flags init and the print, but NOT the root cause
+     save_orig_name or the untaken if. *)
+  Alcotest.(check bool) "flags init in DS" true
+    (Slice.mem_sid ds (sid_on_line prog 3));
+  Alcotest.(check bool) "root cause NOT in DS" false
+    (Slice.mem_sid ds (sid_on_line prog 2));
+  Alcotest.(check bool) "if NOT in DS" false
+    (Slice.mem_sid ds (sid_on_line prog 6))
+
+let test_fig1_pd () =
+  let prog, _, r, _, rel = fig1_setup () in
+  let wrong = output_instance r 1 in
+  let pd = Relevant.pd rel wrong in
+  (* print(flags) potentially depends on the if instance *)
+  let if_sid = sid_on_line prog 6 in
+  Alcotest.(check int) "one PD edge" 1 (List.length pd);
+  let _, t = traced_run prog [] in
+  Alcotest.(check bool) "PD is the if" true
+    (List.for_all (fun i -> (Trace.get t i).Trace.sid = if_sid) pd);
+  (* print(deflated) has no PD *)
+  Alcotest.(check (list int)) "deflated PD empty" []
+    (Relevant.pd rel (output_instance r 0))
+
+let test_fig1_relevant_slice_catches () =
+  let prog, _, r, _, rel = fig1_setup () in
+  let wrong = output_instance r 1 in
+  let rs = Relevant.relevant_slice rel ~criteria:[ wrong ] in
+  Alcotest.(check bool) "if in RS" true (Slice.mem_sid rs (sid_on_line prog 6));
+  Alcotest.(check bool) "root cause in RS" true
+    (Slice.mem_sid rs (sid_on_line prog 2))
+
+(* Condition (iii): the kill case from the paper's Definition 1
+   discussion — the reaching definition executes after the predicate, so
+   no PD edge must be added even though the static check is true. *)
+let test_pd_condition_iii () =
+  let src =
+    {|
+void main() {
+  int x = 0;
+  int p = input();
+  if (p > 0) {
+    x = 1;
+  }
+  x = 2;
+  print(x);
+}
+|}
+  in
+  let prog = compile src in
+  let info = Proginfo.build prog in
+  let r, t = traced_run prog [ 0 ] in
+  let rel = Relevant.create info t in
+  let wrong = output_instance r 0 in
+  Alcotest.(check (list int)) "no PD: reaching def after predicate" []
+    (Relevant.pd rel wrong);
+  ignore prog
+
+(* Condition (ii): a use inside the branch is control dependent on the
+   predicate — explicit dependence, not a potential one. *)
+let test_pd_condition_ii () =
+  let src =
+    {|
+void main() {
+  int x = 0;
+  int p = input();
+  if (p > 0) {
+    print(x);
+  }
+}
+|}
+  in
+  let prog = compile src in
+  let info = Proginfo.build prog in
+  let r, t = traced_run prog [ 1 ] in
+  let rel = Relevant.create info t in
+  Alcotest.(check (list int)) "no PD for control-dependent use" []
+    (Relevant.pd rel (output_instance r 0));
+  ignore prog
+
+(* Loop-carried potential dependences: every earlier qualifying
+   iteration's predicate instance appears in PD. *)
+let test_pd_loop_instances () =
+  let src =
+    {|
+void main() {
+  int x = 0;
+  int i = 0;
+  while (i < 4) {
+    if (i == 9) {
+      x = 100;
+    }
+    i = i + 1;
+  }
+  print(x);
+}
+|}
+  in
+  let prog = compile src in
+  let info = Proginfo.build prog in
+  let r, t = traced_run prog [] in
+  let rel = Relevant.create info t in
+  let pd = Relevant.pd rel (output_instance r 0) in
+  let if_sid = sid_on_line prog 6 in
+  let if_instances =
+    List.filter (fun i -> (Trace.get t i).Trace.sid = if_sid) pd
+  in
+  (* the if executed 4 times, all after x's def and before the use *)
+  Alcotest.(check int) "all four if instances" 4 (List.length if_instances)
+
+(* The dynamic-instance blowup of relevant slicing (paper §2): RS pulls
+   in orders of magnitude more instances than DS when a hot predicate
+   guards a rare def. *)
+let test_rs_dynamic_blowup () =
+  let src =
+    {|
+void main() {
+  int x = 0;
+  int i = 0;
+  while (i < 50) {
+    if (i == 999) {
+      x = 1;
+    }
+    i = i + 1;
+  }
+  print(x);
+}
+|}
+  in
+  let prog = compile src in
+  let info = Proginfo.build prog in
+  let r, t = traced_run prog [] in
+  let rel = Relevant.create info t in
+  let wrong = output_instance r 0 in
+  let ds = Slice.compute t ~criteria:[ wrong ] in
+  let rs = Relevant.relevant_slice rel ~criteria:[ wrong ] in
+  Alcotest.(check bool) "RS dynamic much larger" true
+    (Slice.dynamic_size rs >= 10 * Slice.dynamic_size ds);
+  Alcotest.(check bool) "RS static close to DS static" true
+    (Slice.static_size rs <= Slice.static_size ds + 4);
+  ignore prog
+
+(* Union dependence graph *)
+
+let test_union_graph_pairs () =
+  let src =
+    {|
+void main() {
+  int k = input();
+  int y = 0;
+  if (k > 0) {
+    y = 1;
+  }
+  print(y);
+}
+|}
+  in
+  let prog = compile src in
+  let union = Exom_ddg.Union_graph.collect prog [ [ 1 ]; [ -1 ] ] in
+  Alcotest.(check int) "two runs" 2 (Exom_ddg.Union_graph.runs union);
+  let k = sid_on_line prog 3 in
+  let y0 = sid_on_line prog 4 in
+  let y1 = sid_on_line prog 6 in
+  let pr = sid_on_line prog 8 in
+  (* both defs of y reach the print across the two runs *)
+  Alcotest.(check bool) "y=0 -> print witnessed" true
+    (Exom_ddg.Union_graph.observed union ~def_sid:y0 ~use_sid:pr);
+  Alcotest.(check bool) "y=1 -> print witnessed" true
+    (Exom_ddg.Union_graph.observed union ~def_sid:y1 ~use_sid:pr);
+  (* k never flows to the print *)
+  Alcotest.(check bool) "k -> print never witnessed" false
+    (Exom_ddg.Union_graph.observed union ~def_sid:k ~use_sid:pr);
+  Alcotest.(check bool) "all statements executed" true
+    (Exom_ddg.Union_graph.executed union y1)
+
+let test_union_graph_evidence_filter () =
+  (* a never-executed definition passes the filter (the omission case);
+     an executed-but-unwitnessed pair is discarded *)
+  let src =
+    {|
+int flag = 0;
+void main() {
+  int y = 0;
+  if (flag == 1) {
+    y = 1;
+  }
+  print(y);
+}
+|}
+  in
+  let prog = compile src in
+  let union = Exom_ddg.Union_graph.collect prog [ [] ] in
+  let y1 = sid_on_line prog 6 in
+  let pr = sid_on_line prog 8 in
+  let y0 = sid_on_line prog 4 in
+  Alcotest.(check bool) "unexecuted def passes" true
+    (Exom_ddg.Union_graph.evidence_filter union ~def_sid:y1 ~use_sid:pr);
+  Alcotest.(check bool) "witnessed pair passes" true
+    (Exom_ddg.Union_graph.evidence_filter union ~def_sid:y0 ~use_sid:pr);
+  (* y=0 executed but never flows to itself *)
+  Alcotest.(check bool) "executed unwitnessed pair discarded" false
+    (Exom_ddg.Union_graph.evidence_filter union ~def_sid:y0 ~use_sid:y0)
+
+(* DOT rendering *)
+
+let test_dot_render () =
+  let src =
+    {|
+void main() {
+  int a = 1;
+  int b = a + 1;
+  print(b);
+}
+|}
+  in
+  let prog = compile src in
+  let r, t = traced_run prog [] in
+  let criterion = output_instance r 0 in
+  let slice = Slice.compute t ~criteria:[ criterion ] in
+  let dot =
+    Exom_ddg.Dot.render ~slice ~highlight:[ criterion ]
+      ~describe:(fun i -> Printf.sprintf "i%d" i)
+      t
+  in
+  Alcotest.(check bool) "digraph header" true
+    (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  (* all three slice nodes and both data edges appear *)
+  let contains needle =
+    let n = String.length needle and h = String.length dot in
+    let rec scan i = i + n <= h && (String.sub dot i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "node a" true (contains "n0 [");
+  Alcotest.(check bool) "edge b->a" true (contains "n1 -> n0");
+  Alcotest.(check bool) "edge print->b" true (contains "n2 -> n1");
+  Alcotest.(check bool) "criterion highlighted" true (contains "fillcolor");
+  (* implicit edges render bold red *)
+  let dot2 =
+    Exom_ddg.Dot.render ~implicit:[ (0, 2) ]
+      ~describe:(fun i -> string_of_int i)
+      t
+  in
+  let contains2 needle =
+    let n = String.length needle and h = String.length dot2 in
+    let rec scan i = i + n <= h && (String.sub dot2 i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "implicit edge styled" true
+    (contains2 "color=red")
+
+(* Shortest chains (the paper's OS) *)
+
+let test_shortest_chain () =
+  let src =
+    {|
+void main() {
+  int a = input();
+  int b = a + 1;
+  int c = b + 1;
+  print(c);
+}
+|}
+  in
+  let prog = compile src in
+  let r, t = traced_run prog [ 7 ] in
+  let criterion = output_instance r 0 in
+  (match Slice.shortest_chain t ~criterion ~from_sids:[ sid_on_line prog 3 ] with
+  | Some chain ->
+    Alcotest.(check int) "chain a->b->c->print" 4 (List.length chain);
+    Alcotest.(check int) "ends at criterion" criterion
+      (List.nth chain (List.length chain - 1))
+  | None -> Alcotest.fail "chain not found");
+  match Slice.shortest_chain t ~criterion ~from_sids:[ 99999 ] with
+  | Some _ -> Alcotest.fail "phantom chain"
+  | None -> ()
+
+(* Property: a dynamic slice is closed under explicit predecessors. *)
+let prop_slice_closed =
+  QCheck.Test.make ~name:"slices are dependence-closed" ~count:40
+    QCheck.(int_range 0 30)
+    (fun n ->
+      let src =
+        {|
+void main() {
+  int n = input();
+  int s = 0;
+  int i = 0;
+  while (i < n) {
+    if (i % 3 == 0) {
+      s = s + i;
+    }
+    i = i + 1;
+  }
+  print(s);
+}
+|}
+      in
+      let prog = compile src in
+      let r, t = traced_run prog [ n ] in
+      let slice = Slice.compute t ~criteria:[ output_instance r 0 ] in
+      Slice.Iset.for_all
+        (fun idx ->
+          List.for_all
+            (fun p -> p < 0 || Slice.mem slice p)
+            (Slice.explicit_preds t idx))
+        (Slice.members slice))
+
+(* Property: DS ⊆ RS, both as instance sets and statement sets. *)
+let prop_ds_subset_rs =
+  QCheck.Test.make ~name:"dynamic slice is contained in relevant slice"
+    ~count:20
+    QCheck.(int_range 0 12)
+    (fun n ->
+      let src =
+        {|
+void main() {
+  int n = input();
+  int x = 0;
+  int i = 0;
+  while (i < n) {
+    if (i % 2 == 0) {
+      x = x + i;
+    }
+    i = i + 1;
+  }
+  print(x);
+}
+|}
+      in
+      let prog = compile src in
+      let info = Proginfo.build prog in
+      let r, t = traced_run prog [ n ] in
+      let rel = Relevant.create info t in
+      let c = output_instance r 0 in
+      let ds = Slice.compute t ~criteria:[ c ] in
+      let rs = Relevant.relevant_slice rel ~criteria:[ c ] in
+      Slice.Iset.subset (Slice.members ds) (Slice.members rs))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ddg"
+    [ ( "dynamic slicing",
+        [ tc "straight line" test_slice_straight_line;
+          tc "control dependence" test_slice_control_dependence;
+          tc "through call" test_slice_through_call;
+          tc "arrays" test_slice_arrays ] );
+      ( "figure 1",
+        [ tc "dynamic slice misses root cause" test_fig1_dynamic_slice_misses;
+          tc "PD edges" test_fig1_pd;
+          tc "relevant slice catches root cause" test_fig1_relevant_slice_catches
+        ] );
+      ( "potential dependence conditions",
+        [ tc "condition (iii): late reaching def" test_pd_condition_iii;
+          tc "condition (ii): control dependence" test_pd_condition_ii;
+          tc "loop instances" test_pd_loop_instances;
+          tc "dynamic blowup" test_rs_dynamic_blowup ] );
+      ( "union graph",
+        [ tc "witnessed pairs" test_union_graph_pairs;
+          tc "evidence filter" test_union_graph_evidence_filter ] );
+      ("dot", [ tc "render" test_dot_render ]);
+      ("chains", [ tc "shortest chain" test_shortest_chain ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_slice_closed; prop_ds_subset_rs ] ) ]

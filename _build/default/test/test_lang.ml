@@ -1,0 +1,278 @@
+(* Tests for the MCL front end: lexer, parser, typechecker, printer. *)
+
+module Ast = Exom_lang.Ast
+module Lexer = Exom_lang.Lexer
+module Loc = Exom_lang.Loc
+module Parser = Exom_lang.Parser
+module Pretty = Exom_lang.Pretty
+module Token = Exom_lang.Token
+module Typecheck = Exom_lang.Typecheck
+
+let parse = Parser.parse_program
+let check src = ignore (Typecheck.parse_and_check src)
+
+let rejects src =
+  match check src with
+  | () -> Alcotest.failf "expected a front-end error for:@.%s" src
+  | exception (Loc.Error _ | Failure _) -> ()
+
+let sample =
+  {|
+int g = 3;
+void main() {
+  int x = input();
+  int s = 0;
+  int i = 0;
+  while (i < x) {
+    if (i % 2 == 0) {
+      s = s + i;
+    } else {
+      s = s - 1;
+    }
+    i = i + 1;
+  }
+  print(s + g);
+}
+|}
+
+(* Lexer *)
+
+let test_tokens () =
+  let toks = List.map fst (Lexer.tokenize "if (x <= 10) { y = -x % 2; } // c") in
+  Alcotest.(check (list string))
+    "token stream"
+    [ "if"; "("; "x"; "<="; "10"; ")"; "{"; "y"; "="; "-"; "x"; "%"; "2"; ";";
+      "}"; "<eof>" ]
+    (List.map Token.to_string toks)
+
+let test_token_locations () =
+  let toks = Lexer.tokenize "x\n  yy" in
+  match toks with
+  | [ (Token.IDENT "x", l1); (Token.IDENT "yy", l2); (Token.EOF, _) ] ->
+    Alcotest.(check int) "line of x" 1 (Loc.line l1);
+    Alcotest.(check int) "col of x" 1 (Loc.col l1);
+    Alcotest.(check int) "line of yy" 2 (Loc.line l2);
+    Alcotest.(check int) "col of yy" 3 (Loc.col l2)
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_two_char_operators () =
+  let ops = [ "<="; ">="; "=="; "!="; "&&"; "||" ] in
+  List.iter
+    (fun op ->
+      match Lexer.tokenize op with
+      | [ (tok, _); (Token.EOF, _) ] ->
+        Alcotest.(check string) op op (Token.to_string tok)
+      | _ -> Alcotest.failf "bad lexing of %s" op)
+    ops
+
+let test_comment_skipping () =
+  let toks = Lexer.tokenize "// only a comment\n// another\n42" in
+  match toks with
+  | [ (Token.INT 42, l); (Token.EOF, _) ] ->
+    Alcotest.(check int) "line" 3 (Loc.line l)
+  | _ -> Alcotest.fail "comments not skipped"
+
+let test_lexer_rejects_stray_amp () =
+  match Lexer.tokenize "x & y" with
+  | _ -> Alcotest.fail "expected lexer error"
+  | exception Loc.Error _ -> ()
+
+(* Parser *)
+
+let test_parse_sample () =
+  let prog = parse sample in
+  Alcotest.(check int) "one function" 1 (List.length prog.Ast.funcs);
+  Alcotest.(check int) "one global" 1 (List.length prog.Ast.globals);
+  Alcotest.(check int) "statement count" 10 (Ast.stmt_count prog)
+
+let test_sid_dense_and_unique () =
+  let prog = parse sample in
+  let sids = ref [] in
+  Ast.iter_program (fun s -> sids := s.Ast.sid :: !sids) prog;
+  let sorted = List.sort_uniq compare !sids in
+  Alcotest.(check int) "unique sids" (List.length !sids) (List.length sorted);
+  Alcotest.(check int) "dense from 0"
+    (List.length sorted - 1)
+    (List.fold_left max 0 sorted)
+
+let test_precedence () =
+  let prog = parse "void main() { int x = 1 + 2 * 3; bool b = 1 < 2 && true; }" in
+  match (List.hd prog.Ast.funcs).Ast.fbody with
+  | [ { Ast.skind = Ast.Sdecl (_, _, Some e1); _ };
+      { Ast.skind = Ast.Sdecl (_, _, Some e2); _ } ] ->
+    Alcotest.(check string) "mul binds tighter" "1 + (2 * 3)"
+      (Pretty.expr_to_string e1);
+    Alcotest.(check string) "cmp binds tighter than &&" "(1 < 2) && true"
+      (Pretty.expr_to_string e2)
+  | _ -> Alcotest.fail "unexpected ast"
+
+let test_left_associativity () =
+  let prog = parse "void main() { int x = 10 - 3 - 2; }" in
+  match (List.hd prog.Ast.funcs).Ast.fbody with
+  | [ { Ast.skind = Ast.Sdecl (_, _, Some e); _ } ] ->
+    Alcotest.(check string) "left assoc" "(10 - 3) - 2" (Pretty.expr_to_string e)
+  | _ -> Alcotest.fail "unexpected ast"
+
+let test_else_if_chain () =
+  let prog =
+    parse
+      "void main() { int x = 0; if (x == 0) { x = 1; } else if (x == 1) { x = \
+       2; } else { x = 3; } }"
+  in
+  match (List.hd prog.Ast.funcs).Ast.fbody with
+  | [ _; { Ast.skind = Ast.Sif (_, _, [ { Ast.skind = Ast.Sif (_, _, [ _ ]); _ } ]); _ } ]
+    -> ()
+  | _ -> Alcotest.fail "else-if not nested as expected"
+
+let test_parse_errors () =
+  let bad = [ "void main() { x = ; }"; "void main() { if x { } }"; "int f(" ] in
+  List.iter
+    (fun src ->
+      match parse src with
+      | _ -> Alcotest.failf "expected parse error: %s" src
+      | exception Loc.Error _ -> ())
+    bad
+
+let test_roundtrip () =
+  let prog = parse sample in
+  let printed = Pretty.program_to_string prog in
+  let reparsed = parse printed in
+  Alcotest.(check string) "pretty is a fixpoint"
+    printed
+    (Pretty.program_to_string reparsed);
+  Alcotest.(check int) "same statement count" (Ast.stmt_count prog)
+    (Ast.stmt_count reparsed)
+
+(* Typechecker *)
+
+let test_accepts_sample () = check sample
+
+let test_rejects () =
+  rejects "void main() { x = 1; }" (* unbound *);
+  rejects "void main() { int x = true; }" (* type clash *);
+  rejects "void main() { int x = 0; int x = 1; }" (* redecl *);
+  rejects "void main() { int x = 0; if (x) { } }" (* int as cond *);
+  rejects "void main() { break; }" (* break outside loop *);
+  rejects "int f() { return true; }  void main() { }" (* wrong return type *);
+  rejects "void main() { print(true); }" (* builtin arg type *);
+  rejects "void main() { print(1, 2); }" (* builtin arity *);
+  rejects "void f() { } void f() { } void main() { }" (* duplicate function *);
+  rejects "int len(int x) { return x; } void main() { }" (* builtin redef *);
+  rejects "void main() { int a = 0; int y = a[0]; }" (* indexing non-array *);
+  rejects "int g = 0; void main() { int g = 1; }" (* shadowing a global *)
+
+let test_rejects_no_main () =
+  match check "void f() { }" with
+  | () -> Alcotest.fail "expected failure"
+  | exception Failure _ -> ()
+
+let test_array_ops_typecheck () =
+  check
+    {|
+void main() {
+  int[] a = new_array(10);
+  a[0] = 5;
+  int n = len(a);
+  int v = a[n - 1];
+  print(v);
+}
+|}
+
+let test_recursion_typechecks () =
+  check
+    {|
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+void main() { print(fib(10)); }
+|}
+
+(* Property tests. *)
+
+let gen_expr =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then
+           oneof
+             [ map (fun i -> Ast.Eint i) (int_range 0 1000);
+               return (Ast.Evar "x") ]
+           |> map (fun edesc -> { Ast.edesc; eloc = Loc.dummy })
+         else
+           let sub = self (n / 2) in
+           let binop op =
+             map2
+               (fun e1 e2 ->
+                 { Ast.edesc = Ast.Ebinop (op, e1, e2); eloc = Loc.dummy })
+               sub sub
+           in
+           oneof
+             [ binop Ast.Add; binop Ast.Mul; binop Ast.Sub;
+               map
+                 (fun e -> { Ast.edesc = Ast.Eunop (Ast.Neg, e); eloc = Loc.dummy })
+                 sub ])
+
+let arb_expr = QCheck.make ~print:Pretty.expr_to_string gen_expr
+
+let rec expr_equal e1 e2 =
+  match (e1.Ast.edesc, e2.Ast.edesc) with
+  | Ast.Eint a, Ast.Eint b -> a = b
+  | Ast.Ebool a, Ast.Ebool b -> a = b
+  | Ast.Evar a, Ast.Evar b -> a = b
+  | Ast.Eindex (a, i), Ast.Eindex (b, j) -> a = b && expr_equal i j
+  | Ast.Eunop (o1, a), Ast.Eunop (o2, b) -> o1 = o2 && expr_equal a b
+  | Ast.Ebinop (o1, a1, b1), Ast.Ebinop (o2, a2, b2) ->
+    o1 = o2 && expr_equal a1 a2 && expr_equal b1 b2
+  | Ast.Ecall (f, xs), Ast.Ecall (g, ys) ->
+    f = g
+    && List.length xs = List.length ys
+    && List.for_all2 expr_equal xs ys
+  | _ -> false
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~name:"printed expressions reparse to the same tree"
+    ~count:200 arb_expr (fun e ->
+      let src =
+        Printf.sprintf "void main() { int y = %s; }" (Pretty.expr_to_string e)
+      in
+      let prog = parse src in
+      match (List.hd prog.Ast.funcs).Ast.fbody with
+      | [ { Ast.skind = Ast.Sdecl (_, _, Some e'); _ } ] -> expr_equal e e'
+      | _ -> false)
+
+let prop_lexer_total =
+  QCheck.Test.make ~name:"lexer terminates or errors on arbitrary strings"
+    ~count:300
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 40))
+    (fun s ->
+      match Lexer.tokenize s with
+      | _ -> true
+      | exception Loc.Error _ -> true)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "lang"
+    [ ( "lexer",
+        [ tc "token stream" test_tokens;
+          tc "locations" test_token_locations;
+          tc "two-char operators" test_two_char_operators;
+          tc "comments" test_comment_skipping;
+          tc "stray &" test_lexer_rejects_stray_amp ] );
+      ( "parser",
+        [ tc "sample program" test_parse_sample;
+          tc "sids dense and unique" test_sid_dense_and_unique;
+          tc "precedence" test_precedence;
+          tc "left associativity" test_left_associativity;
+          tc "else-if chain" test_else_if_chain;
+          tc "syntax errors" test_parse_errors;
+          tc "pretty/parse round trip" test_roundtrip ] );
+      ( "typecheck",
+        [ tc "accepts sample" test_accepts_sample;
+          tc "rejects ill-typed programs" test_rejects;
+          tc "rejects missing main" test_rejects_no_main;
+          tc "array operations" test_array_ops_typecheck;
+          tc "recursion" test_recursion_typechecks ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_expr_roundtrip; prop_lexer_total ] ) ]
