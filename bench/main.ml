@@ -136,6 +136,35 @@ let print_table_4 results =
   Table.print t;
   print_newline ()
 
+let print_robustness results =
+  print_endline
+    "== Robustness telemetry (switched re-executions during Table 3/4 runs) ==";
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "Benchmark"; "Error"; "runs"; "completed"; "aborted"; "retried";
+        "breaker trips/skips"; "deadline"; "captured" ]
+  in
+  List.iter
+    (fun (r : Runner.result) ->
+      let g = r.Runner.robustness in
+      Table.add_row t
+        [ r.Runner.bench.B.name;
+          r.Runner.fault.B.fid;
+          string_of_int r.Runner.report.Demand.verifications;
+          string_of_int g.Exom_core.Guard.completed;
+          string_of_int g.Exom_core.Guard.aborted;
+          string_of_int g.Exom_core.Guard.retried;
+          Printf.sprintf "%d/%d" g.Exom_core.Guard.breaker_trips
+            g.Exom_core.Guard.breaker_skips;
+          string_of_int g.Exom_core.Guard.deadline_expired;
+          string_of_int g.Exom_core.Guard.captured ])
+    results;
+  Table.print t;
+  print_newline ()
+
 (* Ablations: the design decisions DESIGN.md calls out. *)
 
 let print_ablations () =
@@ -332,6 +361,7 @@ let () =
   print_table_2 results;
   print_table_3 results;
   print_table_4 results;
+  print_robustness results;
   print_ablations ();
   if not skip_bechamel then run_bechamel ();
   let located =

@@ -202,18 +202,73 @@ let rslice_cmd =
 
 (* locate *)
 
+module Guard = Exom_core.Guard
+module Chaos = Exom_interp.Chaos
+
+let resilience_policy ~max_retries ~deadline ~breaker =
+  match (max_retries, deadline, breaker) with
+  | Some r, _, _ when r < 0 -> Error "exom: --max-retries must be >= 0"
+  | _, Some d, _ when d <= 0.0 ->
+    Error "exom: --verify-deadline must be positive"
+  | _, _, Some k when k < 1 -> Error "exom: --breaker must be >= 1"
+  | _ ->
+    let backoff =
+      match max_retries with
+      | None -> Guard.default_policy.Guard.backoff
+      | Some r ->
+        (* grow the cap with the retries so every requested doubling can
+           actually happen *)
+        Exom_util.Backoff.make ~factor:2 ~max_retries:r
+          ~cap_factor:(1 lsl min r 20)
+    in
+    Ok
+      {
+        Guard.backoff;
+        deadline;
+        breaker_threshold =
+          Option.value ~default:Guard.default_policy.Guard.breaker_threshold
+            breaker;
+      }
+
+let print_robustness (report : Demand.report) =
+  let g = report.Demand.robustness in
+  Printf.printf
+    "robustness: %d re-executions (%d completed, %d aborted, %d retried), \
+     breaker trips %d (skips %d), deadline expirations %d, contained \
+     exceptions %d\n"
+    report.Demand.verifications g.Guard.completed g.Guard.aborted
+    g.Guard.retried g.Guard.breaker_trips g.Guard.breaker_skips
+    g.Guard.deadline_expired g.Guard.captured;
+  (match report.Demand.degraded with
+  | Some reason -> Printf.printf "DEGRADED result: %s\n" reason
+  | None -> ());
+  List.iter
+    (fun (sid, f) ->
+      Printf.printf "  s%-4d %s\n" sid (Guard.failure_to_string f))
+    report.Demand.failures
+
 let locate_cmd =
-  let action file correct_file input text root_line =
+  let action file correct_file input text root_line chaos_seed verify_deadline
+      max_retries breaker =
     match (compile_file file, compile_file correct_file) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
       1
     | Ok faulty, Ok correct -> (
+      match resilience_policy ~max_retries ~deadline:verify_deadline ~breaker with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok policy -> (
       let input = resolve_input input text in
       let expected = Oracle.expected ~correct_prog:correct ~input in
+      let chaos = Option.map Chaos.of_seed chaos_seed in
+      (match chaos with
+      | Some c -> Format.eprintf "%a@." Chaos.pp c
+      | None -> ());
       match
-        Session.create ~prog:faulty ~input ~expected ~profile_inputs:[ input ]
-          ()
+        Session.create ~policy ?chaos ~prog:faulty ~input ~expected
+          ~profile_inputs:[ input ] ()
       with
       | exception Session.No_failure ->
         prerr_endline "the two programs agree on this input: nothing to locate";
@@ -242,6 +297,7 @@ let locate_cmd =
            prunings: %d\n"
           report.Demand.verifications report.Demand.iterations
           report.Demand.expanded_edges report.Demand.user_prunings;
+        print_robustness report;
         (match root_line with
         | Some line ->
           Printf.printf "root cause (line %d) %s\n" line
@@ -254,7 +310,7 @@ let locate_cmd =
             Printf.printf "  line %-4d %s\n" (Loc.line stmt.Ast.sloc)
               (Exom_lang.Pretty.stmt_head stmt))
           (Slice.sids report.Demand.ips);
-        0)
+        0))
   in
   let correct_arg =
     Arg.(
@@ -269,11 +325,49 @@ let locate_cmd =
       & info [ "root-line" ] ~docv:"LINE"
           ~doc:"Ground-truth fault line (stops the search when reached)")
   in
+  let chaos_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-seed" ] ~docv:"SEED"
+          ~doc:
+            "Inject a deterministic, seed-derived fault (crash, budget \
+             truncation, value corruption, or a raw exception) into every \
+             switched re-execution; the locator must degrade, not die")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "verify-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock deadline for one verification: budget escalation \
+             stops once it is exceeded")
+  in
+  let max_retries_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:
+            "Budget-escalation retries for a switched run that exhausts its \
+             step budget (each retry doubles the budget)")
+  in
+  let breaker_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "breaker" ] ~docv:"K"
+          ~doc:
+            "Circuit-breaker threshold: stop re-verifying a predicate after \
+             K consecutive aborted switched runs")
+  in
   Cmd.v
     (Cmd.info "locate"
        ~doc:"Demand-driven execution-omission-error localization")
     Term.(
-      const action $ file_arg $ correct_arg $ input_arg $ text_arg $ root_arg)
+      const action $ file_arg $ correct_arg $ input_arg $ text_arg $ root_arg
+      $ chaos_seed_arg $ deadline_arg $ max_retries_arg $ breaker_arg)
 
 (* explain *)
 
@@ -475,6 +569,13 @@ let bench_cmd =
           r.Runner.report.Demand.iterations
           r.Runner.report.Demand.expanded_edges
           (if r.Runner.report.Demand.found then "LOCATED" else "not located");
+        let g = r.Runner.robustness in
+        Printf.printf
+          "  robustness: %d completed, %d aborted, %d retried, breaker \
+           trips/skips %d/%d, deadline %d, captured %d\n"
+          g.Guard.completed g.Guard.aborted g.Guard.retried
+          g.Guard.breaker_trips g.Guard.breaker_skips g.Guard.deadline_expired
+          g.Guard.captured;
         0)
   in
   let name_arg =

@@ -31,6 +31,8 @@ type result = {
   graph_seconds : float;
   verif_seconds : float;
   trace_length : int;
+  robustness : Exom_core.Guard.stats;
+      (* switched-re-execution telemetry for this fault's locate run *)
 }
 
 let sizes_of_slice s =
@@ -48,7 +50,8 @@ let time_run f =
   let r = f () in
   (r, Sys.time () -. t0)
 
-let run_fault ?config ?(budget = Interp.default_budget) bench fault =
+let run_fault ?config ?(budget = Interp.default_budget) ?policy ?chaos bench
+    fault =
   let faulty_src = Bench_types.faulty_source bench fault in
   let faulty = Typecheck.parse_and_check faulty_src in
   let correct = Typecheck.parse_and_check bench.Bench_types.source in
@@ -60,7 +63,7 @@ let run_fault ?config ?(budget = Interp.default_budget) bench fault =
   in
   let session, graph_seconds =
     time_run (fun () ->
-        Session.create ~budget ~prog:faulty ~input ~expected
+        Session.create ~budget ?policy ?chaos ~prog:faulty ~input ~expected
           ~profile_inputs:bench.Bench_types.test_inputs ())
   in
   let oracle =
@@ -92,6 +95,7 @@ let run_fault ?config ?(budget = Interp.default_budget) bench fault =
     graph_seconds;
     verif_seconds = report.Demand.verif_seconds;
     trace_length = Trace.length trace;
+    robustness = report.Demand.robustness;
   }
 
 (* Sanity checks used by tests and the harness: every fault's faulty
@@ -103,21 +107,28 @@ let validate_fault bench fault =
   if Ast.stmt_count faulty <> Ast.stmt_count correct then
     failwith (Printf.sprintf "%s: statement count changed" fault.Bench_types.fid);
   let input = fault.Bench_types.failing_input in
-  let out_faulty =
-    Interp.output_values (Interp.run ~tracing:false faulty ~input)
-  in
+  let run_faulty = Interp.run ~tracing:false faulty ~input in
+  let out_faulty = Interp.output_values run_faulty in
   let out_correct =
     Interp.output_values (Interp.run ~tracing:false correct ~input)
   in
-  if out_faulty = out_correct then
+  if out_faulty = out_correct && run_faulty.Interp.outcome = Ok () then
     failwith (Printf.sprintf "%s: fault does not manifest" fault.Bench_types.fid);
-  (* the failure must be an observable wrong value at a shared position *)
+  (* The failure must be anchorable: an observable wrong value at a
+     shared output position, or — for crash/hang faults — an aborting
+     run (whose last trace instance anchors the session instead). *)
   match
     Session.classify_outputs
       ~outputs:(List.mapi (fun i v -> (i, v)) out_faulty)
       ~expected:out_correct
   with
   | _ -> ()
+  | exception Session.No_failure ->
+    if run_faulty.Interp.outcome = Ok () then
+      failwith
+        (Printf.sprintf
+           "%s: no observable wrong value at a shared output position"
+           fault.Bench_types.fid)
 
 let validate_all () =
   List.iter (fun (b, f) -> validate_fault b f) Suite.rows

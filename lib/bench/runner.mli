@@ -19,17 +19,23 @@ type result = {
   graph_seconds : float;
   verif_seconds : float;
   trace_length : int;
+  robustness : Exom_core.Guard.stats;
+      (** switched-re-execution telemetry for this fault's locate run *)
 }
 
 val run_fault :
   ?config:Exom_core.Demand.config ->
   ?budget:int ->
+  ?policy:Exom_core.Guard.policy ->
+  ?chaos:Exom_interp.Chaos.t ->
   Bench_types.t ->
   Bench_types.fault ->
   result
 
 (** Raises [Failure] when a fault does not typecheck, changes the
-    statement count, or fails to manifest as a wrong output value. *)
+    statement count, or fails to manifest observably — as a wrong value
+    at a shared output position, or as a crash/hang of the failing
+    run. *)
 val validate_fault : Bench_types.t -> Bench_types.fault -> unit
 
 val validate_all : unit -> unit

@@ -32,6 +32,12 @@ type report = {
   ps0 : Slice.t;  (* initial pruned slice (before expansion), for Table 2 *)
   os_chain : int list option;  (* failure-inducing dependence chain *)
   verif_seconds : float;
+  robustness : Guard.stats;  (* snapshot of the session's guard counters *)
+  failures : (int * Guard.verify_failure) list;
+      (* journal of degraded verifications, oldest first *)
+  degraded : string option;
+      (* [Some reason] when the expansion loop itself was cut short by a
+         contained exception: the report covers what was computed *)
 }
 
 type config = {
@@ -188,25 +194,31 @@ let locate ?(config = default_config) (s : Session.t) ~oracle ~root_sids =
   let iterations = ref 0 in
   let found = ref (root_reached !ps) in
   let exhausted = ref false in
-  while (not !found) && (not !exhausted) && !iterations < config.max_iterations
-  do
-    (* Walk the ranked unexpanded uses until one expansion verifies
-       something; a full sweep with no new edges ends the search. *)
-    let candidates =
-      List.filter
-        (fun e -> not (Hashtbl.mem expanded e.Prune.idx))
-        (Prune.entries !ps)
-    in
-    let progress =
-      List.exists (fun e -> expand e.Prune.idx) candidates
-    in
-    if progress then begin
-      incr iterations;
-      ps := prune_interactively (pruned ());
-      found := root_reached !ps
-    end
-    else exhausted := true
-  done;
+  let degraded = ref None in
+  (* Individual verifications are already contained by {!Guard}; this
+     outer net catches anything the expansion/pruning machinery itself
+     throws, so [locate] degrades instead of raising: the report then
+     describes the search up to the failure point. *)
+  (try
+     while
+       (not !found) && (not !exhausted) && !iterations < config.max_iterations
+     do
+       (* Walk the ranked unexpanded uses until one expansion verifies
+          something; a full sweep with no new edges ends the search. *)
+       let candidates =
+         List.filter
+           (fun e -> not (Hashtbl.mem expanded e.Prune.idx))
+           (Prune.entries !ps)
+       in
+       let progress = List.exists (fun e -> expand e.Prune.idx) candidates in
+       if progress then begin
+         incr iterations;
+         ps := prune_interactively (pruned ());
+         found := root_reached !ps
+       end
+       else exhausted := true
+     done
+   with exn -> degraded := Some (Printexc.to_string exn));
   let ips = Prune.as_slice trace !ps in
   let os_chain =
     Slice.shortest_chain ~extra trace ~criterion ~from_sids:root_sids
@@ -225,4 +237,7 @@ let locate ?(config = default_config) (s : Session.t) ~oracle ~root_sids =
     ps0;
     os_chain;
     verif_seconds = s.Session.verif_seconds;
+    robustness = Guard.snapshot (Guard.stats s.Session.guard);
+    failures = Guard.failures s.Session.guard;
+    degraded = !degraded;
   }

@@ -23,6 +23,17 @@ type report = {
   os_chain : int list option;
       (** failure-inducing dependence chain (Table 3 OS) *)
   verif_seconds : float;  (** Table 4 Verif. *)
+  robustness : Guard.stats;
+      (** robustness telemetry: completed/aborted/retried re-executions,
+          breaker trips and skips, deadline expirations, contained
+          exceptions.  [completed + aborted = verifications]. *)
+  failures : (int * Guard.verify_failure) list;
+      (** journal of every degraded verification, oldest first: (static
+          predicate sid, failure) *)
+  degraded : string option;
+      (** [Some reason] when the expansion loop was cut short by a
+          contained exception; the slices and counts cover the search up
+          to that point *)
 }
 
 type config = {

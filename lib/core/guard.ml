@@ -1,0 +1,149 @@
+module Backoff = Exom_util.Backoff
+module Interp = Exom_interp.Interp
+
+type verify_failure =
+  | Run_crashed of string
+  | Run_budget_exhausted
+  | Deadline_expired of float
+  | Breaker_open of int
+  | Captured of string
+
+let failure_to_string = function
+  | Run_crashed msg -> "switched run crashed: " ^ msg
+  | Run_budget_exhausted -> "switched run exhausted every escalated budget"
+  | Deadline_expired s -> Printf.sprintf "verification deadline expired (%.3fs)" s
+  | Breaker_open sid -> Printf.sprintf "circuit breaker open for predicate s%d" sid
+  | Captured msg -> "unexpected exception contained: " ^ msg
+
+type policy = {
+  backoff : Backoff.t;
+  deadline : float option;
+  breaker_threshold : int;
+}
+
+let default_policy =
+  { backoff = Backoff.default; deadline = None; breaker_threshold = 8 }
+
+let strict_policy =
+  { backoff = Backoff.none; deadline = None; breaker_threshold = max_int }
+
+type stats = {
+  mutable completed : int;
+  mutable aborted : int;
+  mutable retried : int;
+  mutable deadline_expired : int;
+  mutable breaker_trips : int;
+  mutable breaker_skips : int;
+  mutable captured : int;
+}
+
+let snapshot s =
+  { completed = s.completed; aborted = s.aborted; retried = s.retried;
+    deadline_expired = s.deadline_expired; breaker_trips = s.breaker_trips;
+    breaker_skips = s.breaker_skips; captured = s.captured }
+
+type breaker = { mutable consecutive : int; mutable opened : bool }
+
+type t = {
+  policy : policy;
+  stats : stats;
+  breakers : (int, breaker) Hashtbl.t;
+  journal : (int * verify_failure) list ref;  (* newest first *)
+}
+
+let create ?(policy = default_policy) () =
+  {
+    policy;
+    stats =
+      { completed = 0; aborted = 0; retried = 0; deadline_expired = 0;
+        breaker_trips = 0; breaker_skips = 0; captured = 0 };
+    breakers = Hashtbl.create 16;
+    journal = ref [];
+  }
+
+let policy t = t.policy
+let stats t = t.stats
+let failures t = List.rev !(t.journal)
+let note t sid failure = t.journal := (sid, failure) :: !(t.journal)
+
+let breaker_for t sid =
+  match Hashtbl.find_opt t.breakers sid with
+  | Some b -> b
+  | None ->
+    let b = { consecutive = 0; opened = false } in
+    Hashtbl.replace t.breakers sid b;
+    b
+
+let breaker_open t ~sid = (breaker_for t sid).opened
+
+let note_captured t ~sid ~msg =
+  t.stats.captured <- t.stats.captured + 1;
+  note t sid (Captured msg)
+
+(* One more consecutive abort of [sid]; open its breaker at the
+   threshold (a completed run resets the streak — see [execute]). *)
+let record_abort t sid =
+  let b = breaker_for t sid in
+  b.consecutive <- b.consecutive + 1;
+  if (not b.opened) && b.consecutive >= t.policy.breaker_threshold then begin
+    b.opened <- true;
+    t.stats.breaker_trips <- t.stats.breaker_trips + 1
+  end
+
+type outcome =
+  | Completed of Interp.run
+  | Degraded of Interp.run * verify_failure
+  | Skipped of verify_failure
+
+let execute t ~sid ~base_budget ~run =
+  if breaker_open t ~sid then begin
+    t.stats.breaker_skips <- t.stats.breaker_skips + 1;
+    let f = Breaker_open sid in
+    note t sid f;
+    Skipped f
+  end
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let fail f =
+      record_abort t sid;
+      note t sid f;
+      f
+    in
+    let rec attempt = function
+      | [] -> assert false (* Backoff.budgets is never empty *)
+      | budget :: rest -> (
+        match run ~budget with
+        | exception exn ->
+          t.stats.aborted <- t.stats.aborted + 1;
+          t.stats.captured <- t.stats.captured + 1;
+          Skipped (fail (Captured (Printexc.to_string exn)))
+        | r -> (
+          match r.Interp.outcome with
+          | Ok () ->
+            t.stats.completed <- t.stats.completed + 1;
+            (breaker_for t sid).consecutive <- 0;
+            Completed r
+          | Error (Interp.Crashed msg) ->
+            (* Deterministic for a given budget: retrying cannot help. *)
+            t.stats.aborted <- t.stats.aborted + 1;
+            Degraded (r, fail (Run_crashed msg))
+          | Error Interp.Budget_exhausted ->
+            t.stats.aborted <- t.stats.aborted + 1;
+            let elapsed = Unix.gettimeofday () -. t0 in
+            let overdue =
+              match t.policy.deadline with
+              | Some d -> elapsed >= d
+              | None -> false
+            in
+            if rest <> [] && not overdue then begin
+              t.stats.retried <- t.stats.retried + 1;
+              attempt rest
+            end
+            else if overdue then begin
+              t.stats.deadline_expired <- t.stats.deadline_expired + 1;
+              Degraded (r, fail (Deadline_expired elapsed))
+            end
+            else Degraded (r, fail Run_budget_exhausted)))
+    in
+    attempt (Backoff.budgets t.policy.backoff ~base:base_budget)
+  end

@@ -1,0 +1,105 @@
+(** The resilience layer around switched re-executions.
+
+    The paper's verifier treats every aborted switched run as a terminal
+    verdict and lets any unexpected exception kill the whole session.
+    This module centralizes the counter-measures:
+
+    - {b adaptive budget escalation}: a [Budget_exhausted] run is
+      retried with a grown step budget (see {!Exom_util.Backoff}) before
+      the abort is accepted — a tight timer must not masquerade as "the
+      switch hangs the program";
+    - {b per-verification deadline}: escalation stops once the wall
+      clock spent on one verification exceeds the configured deadline;
+    - {b circuit breaker}: after [breaker_threshold] {e consecutive}
+      aborted switched runs of one static predicate in a session, that
+      predicate is no longer re-verified — its verifications are skipped
+      outright (ruled NOT_ID) instead of burning budget on a predicate
+      whose switches never complete;
+    - {b containment}: exceptions escaping the interpreter (e.g.
+      injected by {!Exom_interp.Chaos}) are captured and converted into
+      failures, never propagated.
+
+    Every skipped, aborted, retried, or captured verification is
+    accounted for in {!stats} and logged in the failure journal, so a
+    degraded localization is distinguishable from a clean one. *)
+
+(** Why one verification produced no (or only a degraded) verdict. *)
+type verify_failure =
+  | Run_crashed of string  (** final attempt crashed in the interpreter *)
+  | Run_budget_exhausted  (** still out of budget after every escalation *)
+  | Deadline_expired of float
+      (** escalation abandoned after this many seconds *)
+  | Breaker_open of int  (** skipped: the breaker for this sid is open *)
+  | Captured of string  (** unexpected exception, converted not raised *)
+
+val failure_to_string : verify_failure -> string
+
+type policy = {
+  backoff : Exom_util.Backoff.t;  (** budget escalation ladder *)
+  deadline : float option;
+      (** wall-clock seconds one verification may spend before
+          escalation is abandoned; [None] = unlimited *)
+  breaker_threshold : int;
+      (** consecutive aborts of one static predicate that open its
+          breaker; [max_int] disables the breaker *)
+}
+
+(** {!Exom_util.Backoff.default}, no deadline, breaker at 8. *)
+val default_policy : policy
+
+(** A policy with no retries, no deadline and no breaker — the
+    pre-resilience behaviour, useful for differential tests. *)
+val strict_policy : policy
+
+(** Mutable per-session accounting.  Invariant maintained by
+    {!execute}: [completed + aborted] equals the number of re-executions
+    actually performed (= [Session.verifications]); [breaker_skips]
+    perform no re-execution and are counted separately. *)
+type stats = {
+  mutable completed : int;  (** re-executions that ran to termination *)
+  mutable aborted : int;  (** re-executions that crashed / ran out *)
+  mutable retried : int;  (** escalation re-attempts (subset of runs) *)
+  mutable deadline_expired : int;  (** verifications cut by the deadline *)
+  mutable breaker_trips : int;  (** breakers that opened *)
+  mutable breaker_skips : int;  (** verifications skipped while open *)
+  mutable captured : int;  (** exceptions contained (runs or analysis) *)
+}
+
+(** An independent copy (reports snapshot it; the live record keeps
+    counting). *)
+val snapshot : stats -> stats
+
+type t
+
+val create : ?policy:policy -> unit -> t
+val policy : t -> policy
+val stats : t -> stats
+
+(** The failure journal, oldest first: (static predicate sid, failure). *)
+val failures : t -> (int * verify_failure) list
+
+(** Is the circuit breaker for [sid] open? *)
+val breaker_open : t -> sid:int -> bool
+
+(** Record an unexpected exception that was contained {e outside} a
+    re-execution (e.g. during alignment of a corrupted trace). *)
+val note_captured : t -> sid:int -> msg:string -> unit
+
+(** The outcome of one guarded verification. *)
+type outcome =
+  | Completed of Exom_interp.Interp.run  (** ran to termination *)
+  | Degraded of Exom_interp.Interp.run * verify_failure
+      (** aborted, but the trace prefix is still usable for alignment *)
+  | Skipped of verify_failure  (** no run happened / nothing usable *)
+
+(** [execute t ~sid ~base_budget ~run] performs one verification
+    end-to-end under the policy: breaker check, budget ladder, deadline,
+    exception containment, stats and breaker bookkeeping.  [run] is one
+    re-execution attempt at a given budget; it is called between one and
+    [Backoff.attempts] times. *)
+val execute :
+  t ->
+  sid:int ->
+  base_budget:int ->
+  run:(budget:int -> Exom_interp.Interp.run) ->
+  outcome

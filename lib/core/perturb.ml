@@ -18,19 +18,27 @@ module Value = Exom_interp.Value
    plays the role of the switch point for alignment purposes (both
    executions agree up to [d]). *)
 
-let verify_value (s : Session.t) ~d ~candidate ~u =
+(* Mirrors [Verify.counted]: every perturbed re-execution — even one an
+   injected fault aborts by exception — lands in the session tally. *)
+let counted (s : Session.t) f =
+  let t0 = Sys.time () in
+  Fun.protect
+    ~finally:(fun () ->
+      s.Session.verifications <- s.Session.verifications + 1;
+      s.Session.verif_seconds <- s.Session.verif_seconds +. Sys.time () -. t0)
+    f
+
+let perturbed_run (s : Session.t) ~budget ~d ~candidate =
   let inst = Trace.get s.Session.trace d in
   let vswitch =
     { Interp.vswitch_sid = inst.Trace.sid; vswitch_occ = inst.Trace.occ;
       vswitch_value = candidate }
   in
-  let t0 = Sys.time () in
-  let run' =
-    Interp.run ~vswitch ~budget:s.Session.budget s.Session.prog
-      ~input:s.Session.input
-  in
-  s.Session.verifications <- s.Session.verifications + 1;
-  s.Session.verif_seconds <- s.Session.verif_seconds +. Sys.time () -. t0;
+  counted s (fun () ->
+      Interp.run ~vswitch ?chaos:s.Session.chaos ~budget s.Session.prog
+        ~input:s.Session.input)
+
+let classify (s : Session.t) ~(run' : Interp.run) ~d ~u =
   match run'.Interp.trace with
   | None -> Verdict.Not_id
   | Some trace' ->
@@ -67,6 +75,19 @@ let verify_value (s : Session.t) ~d ~candidate ~u =
         if strong then Verdict.Strong_id else Verdict.Id
       end
     end
+
+let verify_value (s : Session.t) ~d ~candidate ~u =
+  let sid = (Trace.get s.Session.trace d).Trace.sid in
+  match
+    Guard.execute s.Session.guard ~sid ~base_budget:s.Session.budget
+      ~run:(fun ~budget -> perturbed_run s ~budget ~d ~candidate)
+  with
+  | Guard.Skipped _ -> Verdict.Not_id
+  | Guard.Completed run' | Guard.Degraded (run', _) -> (
+    try classify s ~run' ~d ~u
+    with exn ->
+      Guard.note_captured s.Session.guard ~sid ~msg:(Printexc.to_string exn);
+      Verdict.Not_id)
 
 (* Try every profiled value of the definition's statement (the paper's
    integer-domain search): the strongest verdict wins. *)

@@ -23,6 +23,10 @@ type t = {
          where no expected value exists and strong verification is
          unavailable *)
   budget : int;
+  guard : Guard.t;
+  chaos : Exom_interp.Chaos.t option;
+      (* injected into switched re-executions only; the failing run
+         under diagnosis is never subjected to chaos *)
   mutable verifications : int;
   mutable verif_seconds : float;
   verdict_cache : (int * int, Verdict.result) Hashtbl.t;
@@ -67,8 +71,8 @@ let classify ~(run : Interp.run) ~trace ~expected =
       (List.map fst run.Interp.outputs, Trace.length trace - 1, None)
     | _ -> raise No_failure)
 
-let create ?(budget = Interp.default_budget) ~prog ~input ~expected
-    ~profile_inputs () =
+let create ?(budget = Interp.default_budget) ?policy ?chaos ~prog ~input
+    ~expected ~profile_inputs () =
   let run = Interp.run ~budget prog ~input in
   let trace =
     match run.Interp.trace with
@@ -90,6 +94,8 @@ let create ?(budget = Interp.default_budget) ~prog ~input ~expected
     wrong_output;
     vexp;
     budget;
+    guard = Guard.create ?policy ();
+    chaos;
     verifications = 0;
     verif_seconds = 0.0;
     verdict_cache = Hashtbl.create 64;

@@ -18,6 +18,12 @@ type t = {
       (** expected value at o×; [None] for crash failures (no strong
           verification possible) *)
   budget : int;
+  guard : Guard.t;
+      (** the session's resilience state: retry/deadline policy, circuit
+          breakers, robustness accounting, failure journal *)
+  chaos : Exom_interp.Chaos.t option;
+      (** fault injection applied to switched re-executions only; the
+          failing run under diagnosis is never subjected to chaos *)
   mutable verifications : int;
   mutable verif_seconds : float;
   verdict_cache : (int * int, Verdict.result) Hashtbl.t;
@@ -38,9 +44,13 @@ val classify_outputs :
 (** [create ~prog ~input ~expected ~profile_inputs ()] executes the
     failing run and prepares the session.  [expected] is the correct
     output stream (from the spec or a corrected version);
-    [profile_inputs] drive the value-profile collection runs. *)
+    [profile_inputs] drive the value-profile collection runs.  [policy]
+    configures the resilience layer ({!Guard.default_policy} when
+    omitted); [chaos] injects faults into switched re-executions. *)
 val create :
   ?budget:int ->
+  ?policy:Guard.policy ->
+  ?chaos:Exom_interp.Chaos.t ->
   prog:Exom_lang.Ast.program ->
   input:int list ->
   expected:int list ->

@@ -33,18 +33,25 @@ type mode = Edge_approximation | Path_exact
      with the paper's deliberate edge-not-path approximation, §3.2).
    - Otherwise NOT_ID. *)
 
-let switched_run (s : Session.t) ~p =
+(* Every re-execution — including ones an injected fault aborts by
+   exception — counts toward the session's verification tally, keeping
+   [Guard.stats.completed + aborted = Session.verifications]. *)
+let counted (s : Session.t) f =
+  let t0 = Sys.time () in
+  Fun.protect
+    ~finally:(fun () ->
+      s.Session.verifications <- s.Session.verifications + 1;
+      s.Session.verif_seconds <- s.Session.verif_seconds +. Sys.time () -. t0)
+    f
+
+let switched_run (s : Session.t) ~budget ~p =
   let inst = Trace.get s.Session.trace p in
   let switch =
     { Interp.switch_sid = inst.Trace.sid; switch_occ = inst.Trace.occ }
   in
-  let t0 = Sys.time () in
-  let run = Interp.run ~switch ~budget:s.Session.budget s.Session.prog
-      ~input:s.Session.input
-  in
-  s.Session.verifications <- s.Session.verifications + 1;
-  s.Session.verif_seconds <- s.Session.verif_seconds +. Sys.time () -. t0;
-  run
+  counted s (fun () ->
+      Interp.run ~switch ?chaos:s.Session.chaos ~budget s.Session.prog
+        ~input:s.Session.input)
 
 (* Does some use of [u'] read a definition that lies inside the region
    of the switched predicate [p'] (i.e. executed only because of the
@@ -65,8 +72,9 @@ let rerouted_definition region' ~p' ~u' trace' =
    slicing, but says nothing about the predicate's outcome being
    correct, so it must not pin it during confidence propagation. *)
 
-let verify_uncached (s : Session.t) ~mode ~p ~u =
-  let run' = switched_run s ~p in
+let not_id = { Verdict.verdict = Verdict.Not_id; value_affected = false }
+
+let classify (s : Session.t) ~mode ~(run' : Interp.run) ~p ~u =
   match run'.Interp.trace with
   | None -> { Verdict.verdict = Verdict.Not_id; value_affected = false }
   | Some trace' ->
@@ -130,6 +138,24 @@ let verify_uncached (s : Session.t) ~mode ~p ~u =
         }
       end
     end
+
+(* The guarded re-execution: breaker check, budget escalation, deadline
+   and exception containment all live in {!Guard.execute}.  A degraded
+   (aborted) run still carries a usable trace prefix, so the
+   classification proceeds on it exactly as before. *)
+let verify_uncached (s : Session.t) ~mode ~p ~u =
+  let sid = (Trace.get s.Session.trace p).Trace.sid in
+  match
+    Guard.execute s.Session.guard ~sid ~base_budget:s.Session.budget
+      ~run:(fun ~budget -> switched_run s ~budget ~p)
+  with
+  | Guard.Skipped _ -> not_id
+  | Guard.Completed run' | Guard.Degraded (run', _) -> (
+    try classify s ~mode ~run' ~p ~u
+    with exn ->
+      (* e.g. alignment over a chaos-corrupted trace: contain, degrade *)
+      Guard.note_captured s.Session.guard ~sid ~msg:(Printexc.to_string exn);
+      not_id)
 
 let verify_full ?(mode = Edge_approximation) (s : Session.t) ~p ~u =
   (* The cache is per-session; sessions are not shared across modes. *)

@@ -50,6 +50,8 @@ type state = {
   occ_tbl : (int, int) Hashtbl.t;  (* sid -> executions so far *)
   switch : switch_spec option;
   vswitch : value_switch_spec option;
+  chaos : Chaos.t option;
+  mutable chaos_corrupted : bool;  (* Corrupt_value fires once per run *)
   mutable switch_fired : bool;
   mutable steps : int;
   budget : int;
@@ -68,6 +70,9 @@ let crash fmt = Fmt.kstr (fun msg -> raise (Abort_exn (Crashed msg))) fmt
 let reserve st ~sid ~parent =
   st.steps <- st.steps + 1;
   if st.steps > st.budget then raise (Abort_exn Budget_exhausted);
+  (match Chaos.action st.chaos ~step:st.steps with
+  | `Continue -> ()
+  | `Crash msg -> raise (Abort_exn (Crashed msg)));
   let occ = 1 + Option.value ~default:0 (Hashtbl.find_opt st.occ_tbl sid) in
   Hashtbl.replace st.occ_tbl sid occ;
   let idx =
@@ -366,6 +371,15 @@ and maybe_switch st ctx sid outcome =
   | _ -> outcome
 
 and maybe_value_switch st ctx sid value =
+  let value =
+    if st.chaos_corrupted then value
+    else
+      match Chaos.corrupt st.chaos ~step:st.steps value with
+      | Some v ->
+        st.chaos_corrupted <- true;
+        v
+      | None -> value
+  in
   match st.vswitch with
   | Some { vswitch_sid; vswitch_occ; vswitch_value }
     when vswitch_sid = sid && vswitch_occ = ctx.occ ->
@@ -373,10 +387,11 @@ and maybe_value_switch st ctx sid value =
     vswitch_value
   | _ -> value
 
-let run ?switch ?vswitch ?(budget = default_budget) ?(tracing = true) prog
-    ~input =
+let run ?switch ?vswitch ?chaos ?(budget = default_budget) ?(tracing = true)
+    prog ~input =
   let funcs = Hashtbl.create 16 in
   List.iter (fun fn -> Hashtbl.replace funcs fn.Ast.fname fn) prog.Ast.funcs;
+  let budget = Chaos.budget_cap chaos budget in
   let st =
     {
       funcs;
@@ -392,6 +407,8 @@ let run ?switch ?vswitch ?(budget = default_budget) ?(tracing = true) prog
       occ_tbl = Hashtbl.create 64;
       switch;
       vswitch;
+      chaos;
+      chaos_corrupted = false;
       switch_fired = false;
       steps = 0;
       budget;

@@ -38,13 +38,17 @@ type run = {
 
 val default_budget : int
 
-(** [run prog ~input] executes a typechecked program.  Raises nothing:
-    all failures are reported through [outcome].  Behaviour on programs
-    that did not pass {!Exom_lang.Typecheck} is unspecified (may raise
-    [Invalid_argument]). *)
+(** [run prog ~input] executes a typechecked program.  Raises nothing —
+    all failures are reported through [outcome] — with one deliberate
+    exception: a [chaos] spec whose fault is {!Chaos.Raise_at} raises
+    {!Chaos.Injected}, modelling failure modes outside the interpreter's
+    own abort machinery (the resilience layer above must contain it).
+    Behaviour on programs that did not pass {!Exom_lang.Typecheck} is
+    unspecified (may raise [Invalid_argument]). *)
 val run :
   ?switch:switch_spec ->
   ?vswitch:value_switch_spec ->
+  ?chaos:Chaos.t ->
   ?budget:int ->
   ?tracing:bool ->
   Exom_lang.Ast.program ->

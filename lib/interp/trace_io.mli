@@ -1,11 +1,50 @@
 (** Plain-text (de)serialization of execution traces: one instance per
     line, greppable and diffable, exact round trip.  Used by the CLI's
-    [--dump-trace] and by offline analyses. *)
+    [--dump-trace] and by offline analyses.
+
+    Serialized traces start with a versioned header line
+    ([#exom-trace v1]); [#]-prefixed lines are otherwise comments.
+    Headerless input is accepted for compatibility with pre-versioning
+    dumps.
+
+    Two reading disciplines:
+    - {e strict} ({!of_string_result}, {!load_result}): the first
+      malformed line fails the whole parse, with its 1-based line number
+      in the error — nothing half-parsed is returned;
+    - {e salvage} ({!salvage_of_string}, {!salvage_load}): the valid
+      prefix before the first malformed line is recovered — the right
+      tool for truncated dumps of aborted runs, where the tail of the
+      file died with the process. *)
+
+val version : int
+
+(** A parse failure, located: [line] is 1-based. *)
+type error = { line : int; msg : string }
+
+val error_to_string : error -> string
 
 val to_string : Trace.t -> string
 
-(** Raises [Failure] on malformed input. *)
+(** Strict parse. *)
+val of_string_result : string -> (Trace.t, error) result
+
+(** Strict parse; raises [Failure] (with the line number in the
+    message) on malformed input. *)
 val of_string : string -> Trace.t
 
+(** Salvage parse: the instances before the first malformed line, plus
+    the error that ended the parse ([None] on fully valid input). *)
+val salvage_of_string : string -> Trace.t * error option
+
 val save : string -> Trace.t -> unit
+
+(** Strict load; raises [Failure] on malformed input, [Sys_error] on an
+    unreadable path. *)
 val load : string -> Trace.t
+
+(** Strict load as a [result]; still raises [Sys_error] on an
+    unreadable path. *)
+val load_result : string -> (Trace.t, error) result
+
+(** Salvage load; raises only [Sys_error]. *)
+val salvage_load : string -> Trace.t * error option

@@ -1,0 +1,27 @@
+type t = { factor : int; max_retries : int; cap_factor : int }
+
+let make ~factor ~max_retries ~cap_factor =
+  if factor < 2 then invalid_arg "Backoff.make: factor must be >= 2";
+  if max_retries < 0 then invalid_arg "Backoff.make: max_retries must be >= 0";
+  if cap_factor < 1 then invalid_arg "Backoff.make: cap_factor must be >= 1";
+  { factor; max_retries; cap_factor }
+
+let default = { factor = 2; max_retries = 2; cap_factor = 8 }
+
+let none = { factor = 2; max_retries = 0; cap_factor = 1 }
+
+(* [a * b] clamped to [max_int] instead of wrapping. *)
+let mul_sat a b = if a > max_int / b then max_int else a * b
+
+let budgets t ~base =
+  if base <= 0 then invalid_arg "Backoff.budgets: base must be positive";
+  let cap = mul_sat base t.cap_factor in
+  let rec grow acc b k =
+    if k >= t.max_retries then List.rev acc
+    else
+      let b' = min cap (mul_sat b t.factor) in
+      if b' <= b then List.rev acc else grow (b' :: acc) b' (k + 1)
+  in
+  grow [ base ] base 0
+
+let attempts t = t.max_retries + 1

@@ -1,0 +1,38 @@
+(** Budget-escalation policy for re-executions that abort on their step
+    budget (the paper's verification timer).
+
+    A switched re-execution that exhausts its budget is ambiguous: the
+    switch may genuinely have sent the program into an infinite loop, or
+    the timer may simply have been too tight for the rerouted execution.
+    The policy answers "how many times, and how far, is the budget grown
+    before the abort is accepted as final": each retry multiplies the
+    budget by [factor], never exceeding [cap_factor] times the base
+    budget and never more than [max_retries] escalations. *)
+
+type t = {
+  factor : int;  (** budget multiplier per escalation; [>= 2] *)
+  max_retries : int;  (** escalations after the first attempt; [>= 0] *)
+  cap_factor : int;
+      (** ceiling, as a multiple of the base budget; [>= 1] *)
+}
+
+(** Doubling, two retries, capped at 8x: attempts run at [b], [2b], [4b]. *)
+val default : t
+
+(** No escalation: a single attempt at the base budget. *)
+val none : t
+
+(** [make ~factor ~max_retries ~cap_factor] validates the fields.
+    Raises [Invalid_argument] on a factor < 2, negative retries, or a
+    cap below 1. *)
+val make : factor:int -> max_retries:int -> cap_factor:int -> t
+
+(** The budget ladder for one verification: the base budget followed by
+    up to [max_retries] escalations.  Always non-empty, strictly
+    increasing, bounded by [base * cap_factor] (escalations that would
+    no longer grow the budget are dropped, so hitting the cap early
+    shortens the ladder).  Overflow-safe for any positive [base]. *)
+val budgets : t -> base:int -> int list
+
+(** [attempts t] = maximum ladder length = [max_retries + 1]. *)
+val attempts : t -> int

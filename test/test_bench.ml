@@ -327,6 +327,69 @@ let test_critical_search_comparison () =
     (c.Exom_bench.Ablation.critical_executions
     > 10 * c.Exom_bench.Ablation.demand_verifications)
 
+(* Robustness: a seed sweep of injected faults over real benchmark
+   localizations.  Whatever the chaos does to the switched
+   re-executions — crashes, truncated budgets, corrupted values, raw
+   exceptions — the locator must return a report, and its robustness
+   accounting must add up. *)
+let test_chaos_sweep_never_raises () =
+  let cases = [ ("gzipsim", "V2-F3"); ("sedsim", "V3-F2") ] in
+  List.iter
+    (fun (name, fid) ->
+      let bench = find_bench name in
+      let fault = find_fault bench fid in
+      for seed = 0 to 19 do
+        let chaos = Exom_interp.Chaos.of_seed seed in
+        let label fmt =
+          Printf.ksprintf
+            (fun s ->
+              Printf.sprintf "%s %s seed %d (%s): %s" name fid seed
+                (Exom_interp.Chaos.fault_to_string chaos.Exom_interp.Chaos.fault)
+                s)
+            fmt
+        in
+        let r =
+          try Runner.run_fault ~chaos bench fault
+          with exn -> Alcotest.failf "%s" (label "raised %s" (Printexc.to_string exn))
+        in
+        let g = r.Runner.robustness in
+        let module G = Exom_core.Guard in
+        Alcotest.(check int)
+          (label "every re-execution accounted")
+          r.Runner.report.Demand.verifications
+          (g.G.completed + g.G.aborted);
+        Alcotest.(check bool)
+          (label "retries bounded by aborts")
+          true (g.G.retried <= g.G.aborted);
+        Alcotest.(check bool)
+          (label "counters non-negative")
+          true
+          (g.G.completed >= 0 && g.G.aborted >= 0 && g.G.retried >= 0
+          && g.G.deadline_expired >= 0 && g.G.breaker_trips >= 0
+          && g.G.breaker_skips >= 0 && g.G.captured >= 0);
+        Alcotest.(check bool)
+          (label "journal covers skips")
+          true
+          (List.length r.Runner.report.Demand.failures >= g.G.breaker_skips)
+      done)
+    cases
+
+let test_chaos_free_runs_report_clean () =
+  (* without chaos, the benchmark rows must report a clean bill: no
+     retries, trips, skips, deadline expirations or captures (aborted
+     switched runs are legitimate — a switch may genuinely hang) *)
+  let bench = find_bench "sedsim" in
+  let fault = find_fault bench "V3-F2" in
+  let r = Runner.run_fault bench fault in
+  let module G = Exom_core.Guard in
+  let g = r.Runner.robustness in
+  Alcotest.(check int) "no breaker trips" 0 g.G.breaker_trips;
+  Alcotest.(check int) "no skips" 0 g.G.breaker_skips;
+  Alcotest.(check int) "no captures" 0 g.G.captured;
+  Alcotest.(check int) "no deadline expirations" 0 g.G.deadline_expired;
+  Alcotest.(check int) "accounted" r.Runner.report.Demand.verifications
+    (g.G.completed + g.G.aborted)
+
 let test_sed_cascade_two_edges () =
   (* the two-deep omission cascade needs exactly two expansions along
      strong implicit dependence edges (the paper's sed V3-F2 row) *)
@@ -364,6 +427,10 @@ let () =
           slow "grep V4-F2 (hardest)" test_locate_grep;
           slow "sed cascade needs 2 edges" test_sed_cascade_two_edges;
           slow "gzip at scale (35k instances)" test_scale_gzip ] );
+      ( "robustness",
+        [ slow "20-seed chaos sweep never raises" test_chaos_sweep_never_raises;
+          slow "chaos-free runs report clean" test_chaos_free_runs_report_clean
+        ] );
       ( "ablations",
         [ slow "potential-edge confidence sanitizes gzip"
             test_potential_confidence_sanitizes_gzip;

@@ -4,7 +4,10 @@
 
 module Ast = Exom_lang.Ast
 module Typecheck = Exom_lang.Typecheck
+module Backoff = Exom_util.Backoff
+module Chaos = Exom_interp.Chaos
 module Demand = Exom_core.Demand
+module Guard = Exom_core.Guard
 module Oracle = Exom_core.Oracle
 module Session = Exom_core.Session
 module Verdict = Exom_core.Verdict
@@ -563,6 +566,207 @@ void main() {
   Alcotest.(check string) "budget abort is NOT_ID" "NOT_ID"
     (Verdict.to_string (Verify.verify session ~p ~u))
 
+(* Resilience: the guard around switched re-executions.  Chaos faults
+   are injected into every re-execution (never the failing run); the
+   verifier must degrade to NOT_ID, count everything, and let nothing
+   escape. *)
+
+let gzip_session_with ?policy ?chaos () =
+  let faulty = compile gzip_faulty in
+  let correct = compile gzip_correct in
+  let expected = Oracle.expected ~correct_prog:correct ~input:[] in
+  let session =
+    Session.create ?policy ?chaos ~prog:faulty ~input:[] ~expected
+      ~profile_inputs:[ [] ] ()
+  in
+  (faulty, session)
+
+let stats_of (s : Session.t) = Guard.stats s.Session.guard
+
+let test_chaos_crash_degrades () =
+  (* every switched run dies at its first step: the strong verdict of
+     test_verify_strong_id degrades to NOT_ID, with the abort counted *)
+  let prog, session =
+    gzip_session_with ~chaos:{ Chaos.seed = 0; fault = Chaos.Crash_at 1 } ()
+  in
+  let t = session.Session.trace in
+  let p = instance_of t ~sid:(sid_on_line prog l_if_flags) ~occ:1 in
+  let u = instance_of t ~sid:(sid_on_line prog l_store_flags) ~occ:1 in
+  Alcotest.(check string) "degrades to NOT_ID" "NOT_ID"
+    (Verdict.to_string (Verify.verify session ~p ~u));
+  let g = stats_of session in
+  Alcotest.(check int) "aborted" 1 g.Guard.aborted;
+  Alcotest.(check int) "completed" 0 g.Guard.completed;
+  Alcotest.(check int) "accounted" session.Session.verifications
+    (g.Guard.completed + g.Guard.aborted);
+  match Guard.failures session.Session.guard with
+  | [ (_, Guard.Run_crashed _) ] -> ()
+  | fs -> Alcotest.failf "unexpected journal (%d entries)" (List.length fs)
+
+let test_chaos_exception_contained () =
+  (* an exception the interpreter does not convert to an outcome must be
+     captured by the guard, not propagated out of the verifier *)
+  let prog, session =
+    gzip_session_with ~chaos:{ Chaos.seed = 0; fault = Chaos.Raise_at 1 } ()
+  in
+  let t = session.Session.trace in
+  let p = instance_of t ~sid:(sid_on_line prog l_if_flags) ~occ:1 in
+  let u = instance_of t ~sid:(sid_on_line prog l_store_flags) ~occ:1 in
+  Alcotest.(check string) "contained to NOT_ID" "NOT_ID"
+    (Verdict.to_string (Verify.verify session ~p ~u));
+  let g = stats_of session in
+  Alcotest.(check int) "captured" 1 g.Guard.captured;
+  Alcotest.(check int) "aborted" 1 g.Guard.aborted;
+  (* the run attempt still counts toward the session tally *)
+  Alcotest.(check int) "accounted" session.Session.verifications
+    (g.Guard.completed + g.Guard.aborted)
+
+let test_breaker_opens_and_skips () =
+  (* two consecutive aborts of the same static predicate open its
+     breaker; the third verification is skipped without a re-execution *)
+  let policy = { Guard.default_policy with Guard.breaker_threshold = 2 } in
+  let prog, session =
+    gzip_session_with ~policy
+      ~chaos:{ Chaos.seed = 0; fault = Chaos.Raise_at 1 } ()
+  in
+  let t = session.Session.trace in
+  let sid_p = sid_on_line prog l_if_flags in
+  let p = instance_of t ~sid:sid_p ~occ:1 in
+  let u1 = instance_of t ~sid:(sid_on_line prog l_store_flags) ~occ:1 in
+  let u2 = session.Session.wrong_output in
+  let u3 = instance_of t ~sid:(sid_on_line prog 7) ~occ:1 in
+  ignore (Verify.verify session ~p ~u:u1);
+  Alcotest.(check bool) "breaker still closed" false
+    (Guard.breaker_open session.Session.guard ~sid:sid_p);
+  ignore (Verify.verify session ~p ~u:u2);
+  Alcotest.(check bool) "breaker open after threshold" true
+    (Guard.breaker_open session.Session.guard ~sid:sid_p);
+  Alcotest.(check string) "skipped verification is NOT_ID" "NOT_ID"
+    (Verdict.to_string (Verify.verify session ~p ~u:u3));
+  let g = stats_of session in
+  Alcotest.(check int) "one trip" 1 g.Guard.breaker_trips;
+  Alcotest.(check int) "one skip" 1 g.Guard.breaker_skips;
+  (* the skip performed no re-execution *)
+  Alcotest.(check int) "two runs only" 2 session.Session.verifications;
+  Alcotest.(check int) "accounted" session.Session.verifications
+    (g.Guard.completed + g.Guard.aborted)
+
+(* Budget escalation: switching the guard sends the program through a
+   long loop the base budget cannot afford, but one doubling can. *)
+
+let escalation_template = {|
+int skip = 1;
+void main() {
+  int x = 0;
+  int i = 0;
+  if (skip == 0) {
+    while (i < 60) {
+      i = i + 1;
+    }
+    x = 1;
+  }
+  print(x);
+}
+|}
+
+let escalation_session policy =
+  let faulty = compile escalation_template in
+  let session =
+    Session.create ~budget:100 ~policy ~prog:faulty ~input:[] ~expected:[ 1 ]
+      ~profile_inputs:[ [] ] ()
+  in
+  let t = session.Session.trace in
+  let p = instance_of t ~sid:(sid_on_line faulty 6) ~occ:1 in
+  (faulty, session, p)
+
+let test_escalation_rescues_tight_budget () =
+  let policy =
+    { Guard.strict_policy with
+      Guard.backoff = Backoff.make ~factor:2 ~max_retries:2 ~cap_factor:8 }
+  in
+  let _, session, p = escalation_session policy in
+  Alcotest.(check string) "verified after escalation" "STRONG_ID"
+    (Verdict.to_string
+       (Verify.verify session ~p ~u:session.Session.wrong_output));
+  let g = stats_of session in
+  Alcotest.(check bool) "at least one retry" true (g.Guard.retried >= 1);
+  Alcotest.(check int) "final attempt completed" 1 g.Guard.completed;
+  Alcotest.(check int) "earlier attempts aborted" g.Guard.retried
+    g.Guard.aborted;
+  Alcotest.(check int) "every attempt accounted" session.Session.verifications
+    (g.Guard.completed + g.Guard.aborted)
+
+let test_no_escalation_misses () =
+  (* differential: under the strict (no-retry) policy the same
+     verification times out and is conservatively NOT_ID *)
+  let _, session, p = escalation_session Guard.strict_policy in
+  Alcotest.(check string) "timer abort without escalation" "NOT_ID"
+    (Verdict.to_string
+       (Verify.verify session ~p ~u:session.Session.wrong_output));
+  let g = stats_of session in
+  Alcotest.(check int) "no retries" 0 g.Guard.retried;
+  Alcotest.(check int) "one abort" 1 g.Guard.aborted
+
+let test_deadline_stops_escalation () =
+  (* a zero deadline is always overdue after the first attempt: the
+     ladder is abandoned even though retries remain *)
+  let policy =
+    { Guard.backoff = Backoff.make ~factor:2 ~max_retries:2 ~cap_factor:8;
+      deadline = Some 0.0;
+      breaker_threshold = max_int }
+  in
+  let _, session, p = escalation_session policy in
+  Alcotest.(check string) "deadline abort is NOT_ID" "NOT_ID"
+    (Verdict.to_string
+       (Verify.verify session ~p ~u:session.Session.wrong_output));
+  let g = stats_of session in
+  Alcotest.(check int) "no retries" 0 g.Guard.retried;
+  Alcotest.(check int) "deadline recorded" 1 g.Guard.deadline_expired;
+  match Guard.failures session.Session.guard with
+  | [ (_, Guard.Deadline_expired _) ] -> ()
+  | fs -> Alcotest.failf "unexpected journal (%d entries)" (List.length fs)
+
+let test_locate_under_chaos_never_raises () =
+  (* a seed sweep over the full locate loop: whatever the injected fault
+     does to the re-executions, locate returns a report whose robustness
+     accounting is consistent *)
+  for seed = 0 to 19 do
+    let chaos = Chaos.of_seed ~max_step:48 seed in
+    let faulty = compile gzip_faulty in
+    let correct = compile gzip_correct in
+    let expected = Oracle.expected ~correct_prog:correct ~input:[] in
+    let session =
+      Session.create ~chaos ~prog:faulty ~input:[] ~expected
+        ~profile_inputs:[ [] ] ()
+    in
+    let oracle =
+      Oracle.create ~faulty_trace:session.Session.trace ~correct_prog:correct
+        ~input:[]
+    in
+    let root = sid_on_line faulty l_root in
+    let report =
+      try Demand.locate session ~oracle ~root_sids:[ root ]
+      with exn ->
+        Alcotest.failf "locate raised under %s: %s"
+          (Chaos.fault_to_string chaos.Chaos.fault)
+          (Printexc.to_string exn)
+    in
+    let g = report.Demand.robustness in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: every run accounted" seed)
+      report.Demand.verifications
+      (g.Guard.completed + g.Guard.aborted);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: retries bounded by aborts" seed)
+      true
+      (g.Guard.retried <= g.Guard.aborted);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: journal covers the failures" seed)
+      true
+      (List.length report.Demand.failures
+      >= g.Guard.breaker_skips + g.Guard.deadline_expired)
+  done
+
 (* Systematic property: random programs with a synthesized execution
    omission error — a guarded update whose guard flag is wrongly 0 —
    must always be locatable.  The generator varies the arithmetic
@@ -675,6 +879,16 @@ let () =
       ( "locate",
         [ tc "gzip scenario end-to-end" test_locate_gzip;
           tc "classic value error" test_locate_value_error ] );
+      ( "resilience",
+        [ tc "injected crash degrades" test_chaos_crash_degrades;
+          tc "injected exception contained" test_chaos_exception_contained;
+          tc "circuit breaker opens and skips" test_breaker_opens_and_skips;
+          tc "escalation rescues a tight budget"
+            test_escalation_rescues_tight_budget;
+          tc "no escalation misses it" test_no_escalation_misses;
+          tc "deadline stops escalation" test_deadline_stops_escalation;
+          tc "locate never raises under chaos"
+            test_locate_under_chaos_never_raises ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_synthesized_omissions_located; prop_found_implies_in_ips ] ) ]

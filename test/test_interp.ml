@@ -4,9 +4,11 @@
 module Ast = Exom_lang.Ast
 module Typecheck = Exom_lang.Typecheck
 module Cell = Exom_interp.Cell
+module Chaos = Exom_interp.Chaos
 module Interp = Exom_interp.Interp
 module Profile = Exom_interp.Profile
 module Trace = Exom_interp.Trace
+module Trace_io = Exom_interp.Trace_io
 module Value = Exom_interp.Value
 
 let compile src = Typecheck.parse_and_check src
@@ -563,6 +565,241 @@ let test_trace_io_rejects_garbage () =
   | _ -> Alcotest.fail "expected Failure"
   | exception Failure _ -> ()
 
+(* A moderately rich trace for the hardening tests: loops, calls,
+   arrays, so the dump has many line shapes. *)
+let contains_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+let io_fixture () =
+  let src =
+    {|
+int g = 7;
+int helper(int k) { return k * g; }
+void main() {
+  int[] a = new_array(3);
+  int i = 0;
+  while (i < 3) {
+    a[i] = helper(i);
+    i = i + 1;
+  }
+  print(a[2]);
+}
+|}
+  in
+  trace_of (run src ~input:[])
+
+let test_trace_io_header () =
+  let t = io_fixture () in
+  let s = Trace_io.to_string t in
+  (* dumps are versioned *)
+  Alcotest.(check bool) "header first" true
+    (String.length s > 14 && String.sub s 0 14 = "#exom-trace v1");
+  (* a future version is refused, with the offending line number *)
+  let future =
+    "#exom-trace v99\n" ^ String.concat "\n" (List.tl (String.split_on_char '\n' s))
+  in
+  (match Trace_io.of_string_result future with
+  | Error e ->
+    Alcotest.(check int) "error on line 1" 1 e.Trace_io.line;
+    Alcotest.(check bool) "mentions the version" true
+      (contains_sub (Trace_io.error_to_string e) "v99")
+  | Ok _ -> Alcotest.fail "future version accepted");
+  (* headerless dumps (pre-versioning) still load *)
+  let headerless =
+    String.concat "\n" (List.tl (String.split_on_char '\n' s))
+  in
+  (match Trace_io.of_string_result headerless with
+  | Ok t' -> Alcotest.(check bool) "headerless round trip" true (trace_equal t t')
+  | Error e -> Alcotest.failf "headerless refused: %s" (Trace_io.error_to_string e));
+  (* comment lines are skipped *)
+  match Trace_io.of_string_result ("# a comment\n" ^ s) with
+  | Ok t' -> Alcotest.(check bool) "comments skipped" true (trace_equal t t')
+  | Error e -> Alcotest.failf "comment refused: %s" (Trace_io.error_to_string e)
+
+let test_trace_io_reports_line_number () =
+  let t = io_fixture () in
+  let lines = String.split_on_char '\n' (Trace_io.to_string t) in
+  (* garble an instance line in the middle of the dump *)
+  let victim = 1 + ((List.length lines - 2) / 2) in
+  let garbled =
+    String.concat "\n"
+      (List.mapi
+         (fun i l -> if i = victim - 1 then "12 zz" ^ l else l)
+         lines)
+  in
+  (match Trace_io.of_string_result garbled with
+  | Ok _ -> Alcotest.fail "garbled dump accepted"
+  | Error e -> Alcotest.(check int) "offending line" victim e.Trace_io.line);
+  (* the raising reader carries the same position in its message *)
+  match Trace_io.of_string garbled with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+    let expect = Printf.sprintf "line %d:" victim in
+    Alcotest.(check bool)
+      (Printf.sprintf "message %S mentions %S" msg expect)
+      true (contains_sub msg expect)
+
+let test_trace_io_salvage_clean_prefix () =
+  let t = io_fixture () in
+  let lines =
+    String.split_on_char '\n' (Trace_io.to_string t)
+    |> List.filter (fun l -> l <> "")
+  in
+  let n = Trace.length t in
+  (* dropping k whole instance lines salvages exactly the remaining
+     prefix, with nothing to report *)
+  for k = 0 to n do
+    let kept = List.filteri (fun i _ -> i < List.length lines - k) lines in
+    let t', err = Trace_io.salvage_of_string (String.concat "\n" kept) in
+    Alcotest.(check int)
+      (Printf.sprintf "prefix length with %d lines dropped" k)
+      (n - k) (Trace.length t');
+    Alcotest.(check bool) "no error" true (err = None);
+    for i = 0 to Trace.length t' - 1 do
+      let a = Trace.get t i and b = Trace.get t' i in
+      Alcotest.(check bool) "prefix instance matches" true
+        (a.Trace.sid = b.Trace.sid && a.Trace.occ = b.Trace.occ
+        && a.Trace.uses = b.Trace.uses && a.Trace.defs = b.Trace.defs
+        && Value.equal a.Trace.value b.Trace.value)
+    done
+  done
+
+let test_trace_io_salvage_torn_line () =
+  let t = io_fixture () in
+  let s = Trace_io.to_string t in
+  (* tear the final line before its uses separator — definitely
+     malformed: salvage recovers everything before it and reports where
+     parsing stopped *)
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+  in
+  let last = List.nth lines (List.length lines - 1) in
+  let torn =
+    String.concat "\n"
+      (List.filteri (fun i _ -> i < List.length lines - 1) lines
+      @ [ String.sub last 0 (String.index last '|') ])
+  in
+  let t', err = Trace_io.salvage_of_string torn in
+  Alcotest.(check int) "all but the torn instance"
+    (Trace.length t - 1) (Trace.length t');
+  match err with
+  | None -> Alcotest.fail "torn line not reported"
+  | Some e ->
+    (* header is line 1, instance i on line i + 1 *)
+    Alcotest.(check int) "error on the torn line" (Trace.length t + 1)
+      e.Trace_io.line;
+  (* the strict readers refuse the same input *)
+  (match Trace_io.of_string_result torn with
+  | Ok _ -> Alcotest.fail "strict reader accepted a torn dump"
+  | Error e' ->
+    Alcotest.(check int) "same position" e.Trace_io.line e'.Trace_io.line)
+
+let prop_salvage_never_raises =
+  (* salvage at any byte cut: no exception, and everything recovered
+     except possibly the torn last instance is an exact prefix *)
+  QCheck.Test.make ~name:"salvage of any truncation is a valid prefix"
+    ~count:120
+    QCheck.(int_range 0 10000)
+    (fun cut ->
+      let t = io_fixture () in
+      let s = Trace_io.to_string t in
+      let cut = cut mod (String.length s + 1) in
+      let t', _ = Trace_io.salvage_of_string (String.sub s 0 cut) in
+      Trace.length t' <= Trace.length t
+      && begin
+           (* the last recovered instance may have lost the tail of its
+              defs to the tear; everything before it is exact *)
+           let exact = ref true in
+           for i = 0 to Trace.length t' - 2 do
+             let a = Trace.get t i and b = Trace.get t' i in
+             if
+               a.Trace.sid <> b.Trace.sid
+               || a.Trace.occ <> b.Trace.occ
+               || a.Trace.uses <> b.Trace.uses
+               || a.Trace.defs <> b.Trace.defs
+               || not (Value.equal a.Trace.value b.Trace.value)
+             then exact := false
+           done;
+           !exact
+         end)
+
+(* Chaos: deterministic fault injection *)
+
+let chaos_src =
+  {|
+void main() {
+  int i = 0;
+  int acc = 0;
+  while (i < 50) {
+    acc = acc + i;
+    i = i + 1;
+  }
+  print(acc);
+}
+|}
+
+let test_chaos_of_seed_deterministic () =
+  for seed = 0 to 40 do
+    Alcotest.(check bool) "same seed, same fault" true
+      (Chaos.of_seed seed = Chaos.of_seed seed)
+  done;
+  (* a small seed sweep exercises every fault kind *)
+  let kinds =
+    List.init 64 (fun seed ->
+        match (Chaos.of_seed seed).Chaos.fault with
+        | Chaos.Crash_at _ -> 0
+        | Chaos.Truncate_budget _ -> 1
+        | Chaos.Corrupt_value _ -> 2
+        | Chaos.Raise_at _ -> 3)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "all kinds reachable" [ 0; 1; 2; 3 ] kinds
+
+let test_chaos_crash_at () =
+  let chaos = { Chaos.seed = 0; fault = Chaos.Crash_at 20 } in
+  let r = Interp.run ~chaos (compile chaos_src) ~input:[] in
+  (match r.Interp.outcome with
+  | Error (Interp.Crashed _) -> ()
+  | _ -> Alcotest.fail "expected an injected crash");
+  Alcotest.(check int) "at the chosen step" 20 r.Interp.steps
+
+let test_chaos_truncate_budget () =
+  let chaos = { Chaos.seed = 0; fault = Chaos.Truncate_budget 10 } in
+  let r = Interp.run ~chaos (compile chaos_src) ~input:[] in
+  Alcotest.(check bool) "budget abort" true
+    (r.Interp.outcome = Error Interp.Budget_exhausted);
+  (* the step that tripped the truncated budget is counted *)
+  Alcotest.(check int) "at the truncated budget" 11 r.Interp.steps
+
+let test_chaos_raise_at () =
+  let chaos = { Chaos.seed = 0; fault = Chaos.Raise_at 15 } in
+  match Interp.run ~chaos (compile chaos_src) ~input:[] with
+  | _ -> Alcotest.fail "expected the injected exception to escape"
+  | exception Chaos.Injected _ -> ()
+
+let test_chaos_corrupt_value () =
+  let clean = Interp.output_values (Interp.run (compile chaos_src) ~input:[]) in
+  let chaos = { Chaos.seed = 0; fault = Chaos.Corrupt_value 8 } in
+  let r1 = Interp.run ~chaos (compile chaos_src) ~input:[] in
+  let r2 = Interp.run ~chaos (compile chaos_src) ~input:[] in
+  (* the poison changes the result, deterministically *)
+  Alcotest.(check bool) "output corrupted" true
+    (Interp.output_values r1 <> clean || r1.Interp.outcome <> Ok ());
+  Alcotest.(check bool) "corruption deterministic" true
+    (Interp.output_values r1 = Interp.output_values r2
+    && r1.Interp.outcome = r2.Interp.outcome)
+
+let test_chaos_none_is_inert () =
+  let clean = run chaos_src ~input:[] in
+  let r = Interp.run ?chaos:None (compile chaos_src) ~input:[] in
+  Alcotest.(check bool) "no chaos, same run" true
+    (Interp.output_values clean = Interp.output_values r
+    && clean.Interp.steps = r.Interp.steps)
+
 let prop_trace_roundtrip =
   QCheck.Test.make ~name:"trace serialization round-trips" ~count:25
     QCheck.(int_range 0 12)
@@ -714,9 +951,20 @@ let () =
           tc "value switch occurrence" test_value_switch_specific_occurrence ] );
       ( "serialization",
         [ tc "round trip" test_trace_roundtrip;
-          tc "rejects garbage" test_trace_io_rejects_garbage ] );
+          tc "rejects garbage" test_trace_io_rejects_garbage;
+          tc "versioned header" test_trace_io_header;
+          tc "errors carry line numbers" test_trace_io_reports_line_number;
+          tc "salvage of a clean prefix" test_trace_io_salvage_clean_prefix;
+          tc "salvage of a torn line" test_trace_io_salvage_torn_line ] );
+      ( "chaos",
+        [ tc "seed derivation deterministic" test_chaos_of_seed_deterministic;
+          tc "injected crash" test_chaos_crash_at;
+          tc "truncated budget" test_chaos_truncate_budget;
+          tc "injected exception escapes" test_chaos_raise_at;
+          tc "value corruption" test_chaos_corrupt_value;
+          tc "no chaos, no effect" test_chaos_none_is_inert ] );
       ("profiles", [ tc "collect" test_profile ]);
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_loop_count; prop_switch_prefix_identical;
-            prop_trace_roundtrip ] ) ]
+            prop_trace_roundtrip; prop_salvage_never_raises ] ) ]
