@@ -271,6 +271,153 @@ let print_ablations () =
      switching at any cost)";
   print_newline ()
 
+(* Scheduler comparison: the whole suite at -j1 (cold store), -jN
+   (cold) and -j1 again against the store the cold run just filled.
+   Checks the determinism contract (bit-identical reports at any job
+   count) while measuring it, and prices the warm-store shortcut. *)
+
+module Pool = Exom_sched.Pool
+module Store = Exom_sched.Store
+
+let sched_jobs =
+  (* architectural comparison, not a hardware claim: on a single-core
+     runner the -jN pass measures scheduling overhead, not speedup *)
+  match Sys.getenv_opt "EXOM_JOBS" with
+  | Some v when (match int_of_string_opt v with Some n -> n > 1 | None -> false)
+    -> int_of_string v
+  | _ -> 4
+
+let now () = Unix.gettimeofday ()
+
+(* Everything a localization claims, minus timings: the fields the
+   determinism contract promises are identical at any -j and any store
+   temperature. *)
+let locate_signature (r : Runner.result) =
+  let rep = r.Runner.report in
+  ( rep.Demand.found, rep.Demand.user_prunings, rep.Demand.total_prunings,
+    rep.Demand.iterations, rep.Demand.expanded_edges,
+    rep.Demand.implicit_edges, rep.Demand.benign,
+    Slice.sids rep.Demand.ips, Slice.sids rep.Demand.ds,
+    Slice.sids rep.Demand.ps0, rep.Demand.os_chain )
+
+(* Cold runs additionally promise identical run counts and robustness
+   telemetry (warm runs skip the re-executions, so only the
+   localization fields are comparable there). *)
+let full_signature (r : Runner.result) =
+  let rep = r.Runner.report in
+  ( locate_signature r, rep.Demand.verifications, rep.Demand.verify_queries,
+    rep.Demand.robustness, rep.Demand.failures )
+
+type sched_row = {
+  sr_bench : string;
+  sr_fault : string;
+  sr_seq : float;  (* whole run_fault wall secs, -j1, cold store *)
+  sr_par : float;  (* -jN, cold store *)
+  sr_warm : float;  (* -j1, warm store *)
+  sr_verifs : int;
+  sr_queries : int;
+  sr_warm_hits : int;
+  sr_identical : bool;  (* -j1 = -jN (full) and = warm (localization) *)
+}
+
+let run_sched_comparison () =
+  Printf.printf
+    "== Scheduler: sequential vs parallel (-j %d) vs warm store ==\n"
+    sched_jobs;
+  let seq_pool = Pool.create ~jobs:1 () in
+  let par_pool = Pool.create ~jobs:sched_jobs () in
+  let rows =
+    List.map
+      (fun (b, f) ->
+        let timed pool store =
+          let t0 = now () in
+          let r = Runner.run_fault ~pool ?store b f in
+          (r, now () -. t0)
+        in
+        let store = Store.create () in
+        let seq, seq_s = timed seq_pool (Some store) in
+        let par, par_s = timed par_pool None in
+        (* third pass re-reads the verdicts the -j1 pass stored *)
+        let warm, warm_s = timed seq_pool (Some store) in
+        {
+          sr_bench = b.B.name;
+          sr_fault = f.B.fid;
+          sr_seq = seq_s;
+          sr_par = par_s;
+          sr_warm = warm_s;
+          sr_verifs = seq.Runner.report.Demand.verifications;
+          sr_queries = seq.Runner.report.Demand.verify_queries;
+          sr_warm_hits =
+            warm.Runner.report.Demand.store.Store.hits
+            + warm.Runner.report.Demand.store.Store.disk_hits;
+          sr_identical =
+            full_signature seq = full_signature par
+            && locate_signature seq = locate_signature warm;
+        })
+      Suite.rows
+  in
+  Pool.shutdown seq_pool;
+  Pool.shutdown par_pool;
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Left ]
+      [ "Benchmark"; "Error"; "verif/queries"; "-j1 (sec.)";
+        Printf.sprintf "-j%d (sec.)" sched_jobs; "warm (sec.)"; "warm hits";
+        "identical" ]
+  in
+  List.iter
+    (fun row ->
+      Table.add_row t
+        [ row.sr_bench; row.sr_fault;
+          Printf.sprintf "%d/%d" row.sr_verifs row.sr_queries;
+          Printf.sprintf "%.4f" row.sr_seq;
+          Printf.sprintf "%.4f" row.sr_par;
+          Printf.sprintf "%.4f" row.sr_warm;
+          string_of_int row.sr_warm_hits;
+          (if row.sr_identical then "yes" else "NO") ])
+    rows;
+  Table.print t;
+  let all_identical = List.for_all (fun r -> r.sr_identical) rows in
+  Printf.printf
+    "(reports %s across -j1 / -j%d / warm store; warm runs answered %d \
+     verdicts without a single re-execution)\n\n"
+    (if all_identical then "identical" else "DIVERGED")
+    sched_jobs
+    (List.fold_left (fun acc r -> acc + r.sr_warm_hits) 0 rows);
+  rows
+
+let write_sched_json path rows =
+  let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  let seq_total = total (fun r -> r.sr_seq) in
+  let par_total = total (fun r -> r.sr_par) in
+  let warm_total = total (fun r -> r.sr_warm) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n";
+      Printf.fprintf oc "  \"jobs_parallel\": %d,\n" sched_jobs;
+      Printf.fprintf oc "  \"sequential_seconds\": %.6f,\n" seq_total;
+      Printf.fprintf oc "  \"parallel_seconds\": %.6f,\n" par_total;
+      Printf.fprintf oc "  \"warm_store_seconds\": %.6f,\n" warm_total;
+      Printf.fprintf oc "  \"identical_reports\": %b,\n"
+        (List.for_all (fun r -> r.sr_identical) rows);
+      Printf.fprintf oc "  \"faults\": [\n";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"bench\": %S, \"fault\": %S, \"verifications\": %d, \
+             \"queries\": %d, \"seq_seconds\": %.6f, \"par_seconds\": %.6f, \
+             \"warm_seconds\": %.6f, \"warm_hits\": %d, \"identical\": %b}%s\n"
+            r.sr_bench r.sr_fault r.sr_verifs r.sr_queries r.sr_seq r.sr_par
+            r.sr_warm r.sr_warm_hits r.sr_identical
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n}\n");
+  Printf.printf "scheduler timings written to %s\n" path
+
 (* Bechamel microbenchmarks: one Test.make per table, exercising the
    machinery that regenerates it. *)
 
@@ -350,22 +497,40 @@ let () =
   let skip_bechamel =
     List.mem "--skip-bechamel" args || List.mem "--tables-only" args
   in
+  let sched_only = List.mem "--sched-only" args in
+  let rec json_path = function
+    | "--sched-json" :: path :: _ -> Some path
+    | _ :: rest -> json_path rest
+    | [] -> None
+  in
+  let json_path = json_path args in
   print_endline
     "exom benchmark harness: reproducing the evaluation of \"Towards \
      Locating Execution Omission Errors\" (PLDI 2007)";
   print_newline ();
-  print_table_1 ();
-  print_endline "(running all 11 fault-localization experiments...)";
-  let results = List.map (fun (b, f) -> Runner.run_fault b f) Suite.rows in
-  print_newline ();
-  print_table_2 results;
-  print_table_3 results;
-  print_table_4 results;
-  print_robustness results;
-  print_ablations ();
-  if not skip_bechamel then run_bechamel ();
-  let located =
-    List.length (List.filter (fun r -> r.Runner.report.Demand.found) results)
-  in
-  Printf.printf "Located %d/%d seeded execution omission errors.\n" located
-    (List.length results)
+  if sched_only then begin
+    let rows = run_sched_comparison () in
+    Option.iter (fun p -> write_sched_json p rows) json_path;
+    if not (List.for_all (fun r -> r.sr_identical) rows) then exit 1
+  end
+  else begin
+    print_table_1 ();
+    print_endline "(running all 11 fault-localization experiments...)";
+    let results = List.map (fun (b, f) -> Runner.run_fault b f) Suite.rows in
+    print_newline ();
+    print_table_2 results;
+    print_table_3 results;
+    print_table_4 results;
+    print_robustness results;
+    print_ablations ();
+    let rows = run_sched_comparison () in
+    Option.iter (fun p -> write_sched_json p rows) json_path;
+    if not skip_bechamel then run_bechamel ();
+    let located =
+      List.length
+        (List.filter (fun r -> r.Runner.report.Demand.found) results)
+    in
+    Printf.printf "Located %d/%d seeded execution omission errors.\n" located
+      (List.length results);
+    if not (List.for_all (fun r -> r.sr_identical) rows) then exit 1
+  end

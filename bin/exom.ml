@@ -204,6 +204,44 @@ let rslice_cmd =
 
 module Guard = Exom_core.Guard
 module Chaos = Exom_interp.Chaos
+module Pool = Exom_sched.Pool
+module Store = Exom_sched.Store
+
+(* -j: verification scheduler parallelism.  Defaults to the EXOM_JOBS
+   environment variable (1 when unset); 0 means one job per core. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Verification jobs: switched re-executions of one Demand \
+           iteration run on N domains (0 = one per core; default \
+           \\$(b,EXOM_JOBS) or 1).  Reports are identical at any N")
+
+let make_pool jobs =
+  match jobs with
+  | None -> Pool.default ()
+  | Some j when j < 0 -> invalid_arg "exom: -j must be >= 0"
+  | Some j -> Pool.create ~jobs:j ()
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Persistent verdict store: cached verification verdicts are \
+           read from and written to DIR (created if missing), keyed by \
+           content hash of program, input, switch, budget and mode")
+
+let print_store_stats (st : Store.stats) =
+  Printf.printf
+    "store: %d mem + %d disk hits / %d misses (hit rate %.0f%%), %d writes, \
+     %d evictions, %d corrupted\n"
+    st.Store.hits st.Store.disk_hits st.Store.misses
+    (100.0 *. Store.hit_rate st)
+    st.Store.writes st.Store.evictions st.Store.corrupted
 
 let resilience_policy ~max_retries ~deadline ~breaker =
   match (max_retries, deadline, breaker) with
@@ -249,7 +287,7 @@ let print_robustness (report : Demand.report) =
 
 let locate_cmd =
   let action file correct_file input text root_line chaos_seed verify_deadline
-      max_retries breaker =
+      max_retries breaker jobs store_dir =
     match (compile_file file, compile_file correct_file) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -266,8 +304,10 @@ let locate_cmd =
       (match chaos with
       | Some c -> Format.eprintf "%a@." Chaos.pp c
       | None -> ());
+      let pool = make_pool jobs in
+      let store = Option.map (fun dir -> Store.create ~dir ()) store_dir in
       match
-        Session.create ~policy ?chaos ~prog:faulty ~input ~expected
+        Session.create ~policy ?chaos ?store ~prog:faulty ~input ~expected
           ~profile_inputs:[ input ] ()
       with
       | exception Session.No_failure ->
@@ -291,12 +331,15 @@ let locate_cmd =
             (* no ground truth given: run to exhaustion and report *)
             [ -1 ]
         in
-        let report = Demand.locate session ~oracle ~root_sids in
+        let report = Demand.locate ~pool session ~oracle ~root_sids in
         Printf.printf
-          "verifications: %d, iterations: %d, implicit edges: %d, user \
-           prunings: %d\n"
-          report.Demand.verifications report.Demand.iterations
-          report.Demand.expanded_edges report.Demand.user_prunings;
+          "verifications: %d (of %d queries), iterations: %d, implicit \
+           edges: %d, user prunings: %d\n"
+          report.Demand.verifications report.Demand.verify_queries
+          report.Demand.iterations report.Demand.expanded_edges
+          report.Demand.user_prunings;
+        Printf.printf "scheduler: %d job(s)\n" (Pool.jobs pool);
+        print_store_stats report.Demand.store;
         print_robustness report;
         (match root_line with
         | Some line ->
@@ -367,7 +410,8 @@ let locate_cmd =
        ~doc:"Demand-driven execution-omission-error localization")
     Term.(
       const action $ file_arg $ correct_arg $ input_arg $ text_arg $ root_arg
-      $ chaos_seed_arg $ deadline_arg $ max_retries_arg $ breaker_arg)
+      $ chaos_seed_arg $ deadline_arg $ max_retries_arg $ breaker_arg
+      $ jobs_arg $ store_arg)
 
 (* explain *)
 
@@ -540,7 +584,7 @@ let regions_cmd =
 (* bench *)
 
 let bench_cmd =
-  let action name fid =
+  let action name fid jobs store_dir =
     match Suite.find name with
     | None ->
       Printf.eprintf "unknown benchmark %s (have: %s)\n" name
@@ -554,8 +598,11 @@ let bench_cmd =
              (List.map (fun f -> f.B.fid) bench.B.faults));
         1
       | Some fault ->
-        let r = Runner.run_fault bench fault in
-        Printf.printf "%s %s: %s\n" name fid fault.B.description;
+        let pool = make_pool jobs in
+        let store = Option.map (fun dir -> Store.create ~dir ()) store_dir in
+        let r = Runner.run_fault ~pool ?store bench fault in
+        Printf.printf "%s %s (%d job(s)): %s\n" name fid (Pool.jobs pool)
+          fault.B.description;
         Printf.printf
           "  RS %d/%d  DS %d/%d  PS %d/%d  IPS %d/%d\n"
           r.Runner.rs.Runner.static_size r.Runner.rs.Runner.dynamic_size
@@ -563,12 +610,16 @@ let bench_cmd =
           r.Runner.ps.Runner.static_size r.Runner.ps.Runner.dynamic_size
           r.Runner.ips.Runner.static_size r.Runner.ips.Runner.dynamic_size;
         Printf.printf
-          "  prunings %d, verifications %d, iterations %d, edges %d -> %s\n"
+          "  prunings %d, verifications %d (of %d queries), iterations %d, \
+           edges %d -> %s\n"
           r.Runner.report.Demand.user_prunings
           r.Runner.report.Demand.verifications
+          r.Runner.report.Demand.verify_queries
           r.Runner.report.Demand.iterations
           r.Runner.report.Demand.expanded_edges
           (if r.Runner.report.Demand.found then "LOCATED" else "not located");
+        Printf.printf "  ";
+        print_store_stats r.Runner.report.Demand.store;
         let g = r.Runner.robustness in
         Printf.printf
           "  robustness: %d completed, %d aborted, %d retried, breaker \
@@ -590,7 +641,7 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Run one benchmark fault from the built-in suite")
-    Term.(const action $ name_arg $ fid_arg)
+    Term.(const action $ name_arg $ fid_arg $ jobs_arg $ store_arg)
 
 let () =
   let doc = "locating execution omission errors via implicit dependences" in

@@ -45,13 +45,15 @@ let sizes_of_chain trace chain =
   in
   { static_size = List.length sids; dynamic_size = List.length chain }
 
+(* Wall clock, not [Sys.time]: process CPU time double-counts across
+   pool domains and under-counts blocking, both wrong for Table 4. *)
 let time_run f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let r = f () in
-  (r, Sys.time () -. t0)
+  (r, Unix.gettimeofday () -. t0)
 
-let run_fault ?config ?(budget = Interp.default_budget) ?policy ?chaos bench
-    fault =
+let run_fault ?config ?(budget = Interp.default_budget) ?policy ?chaos ?pool
+    ?store bench fault =
   let faulty_src = Bench_types.faulty_source bench fault in
   let faulty = Typecheck.parse_and_check faulty_src in
   let correct = Typecheck.parse_and_check bench.Bench_types.source in
@@ -63,8 +65,8 @@ let run_fault ?config ?(budget = Interp.default_budget) ?policy ?chaos bench
   in
   let session, graph_seconds =
     time_run (fun () ->
-        Session.create ~budget ?policy ?chaos ~prog:faulty ~input ~expected
-          ~profile_inputs:bench.Bench_types.test_inputs ())
+        Session.create ~budget ?policy ?chaos ?store ~prog:faulty ~input
+          ~expected ~profile_inputs:bench.Bench_types.test_inputs ())
   in
   let oracle =
     Oracle.create ~faulty_trace:session.Session.trace ~correct_prog:correct
@@ -76,7 +78,7 @@ let run_fault ?config ?(budget = Interp.default_budget) ?policy ?chaos bench
     Relevant.relevant_slice session.Session.rel
       ~criteria:[ session.Session.wrong_output ]
   in
-  let report = Demand.locate ?config session ~oracle ~root_sids in
+  let report = Demand.locate ?config ?pool session ~oracle ~root_sids in
   let trace = session.Session.trace in
   let in_slice slice = List.exists (Slice.mem_sid slice) root_sids in
   {

@@ -23,11 +23,17 @@ type result = {
       (** switched-re-execution telemetry for this fault's locate run *)
 }
 
+(** [pool] drives the verification scheduler (inline sequential when
+    omitted and [EXOM_JOBS] is unset); [store] supplies a verdict cache
+    shared across faults or processes — results are identical at any
+    job count and any store temperature (modulo timings). *)
 val run_fault :
   ?config:Exom_core.Demand.config ->
   ?budget:int ->
   ?policy:Exom_core.Guard.policy ->
   ?chaos:Exom_interp.Chaos.t ->
+  ?pool:Exom_sched.Pool.t ->
+  ?store:Exom_sched.Store.t ->
   Bench_types.t ->
   Bench_types.fault ->
   result

@@ -2,6 +2,7 @@ module Confidence = Exom_conf.Confidence
 module Prune = Exom_conf.Prune
 module Relevant = Exom_ddg.Relevant
 module Slice = Exom_ddg.Slice
+module Store = Exom_sched.Store
 module Trace = Exom_interp.Trace
 
 (* The demand-driven procedure (Algorithm 2, LocateFault): alternate
@@ -12,7 +13,14 @@ module Trace = Exom_interp.Trace
    answers the interactive-pruning questions (benign program state?) and
    the known root cause decides when the error has been located —
    exactly how Table 3's user prunings / verifications / iterations /
-   expanded edges were measured. *)
+   expanded edges were measured.
+
+   Verification is dispatched in waves through {!Verify.verify_batch}:
+   each PD fan-out and each related-target fan-out becomes one batch,
+   which the scheduler dedups (one switched run per predicate instance)
+   and spreads over the pool.  Everything *between* batches — slicing,
+   confidence, pruning, target selection — stays on the coordinator,
+   so the search itself is exactly the sequential algorithm. *)
 
 type report = {
   found : bool;
@@ -23,6 +31,7 @@ type report = {
          total_prunings *)
   total_prunings : int;
   verifications : int;
+  verify_queries : int;
   iterations : int;
   expanded_edges : int;
   implicit_edges : (int * int) list;  (* (switched predicate, target) *)
@@ -33,6 +42,7 @@ type report = {
   os_chain : int list option;  (* failure-inducing dependence chain *)
   verif_seconds : float;
   robustness : Guard.stats;  (* snapshot of the session's guard counters *)
+  store : Store.stats;  (* snapshot of the verdict store's counters *)
   failures : (int * Guard.verify_failure) list;
       (* journal of degraded verifications, oldest first *)
   degraded : string option;
@@ -72,8 +82,12 @@ let dedup_by_sid ~per_sid trace candidates =
     by_sid []
   |> List.sort compare
 
-let locate ?(config = default_config) (s : Session.t) ~oracle ~root_sids =
+let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
+    ~root_sids =
   let trace = s.Session.trace in
+  let verify_batch pairs =
+    Verify.verify_batch ~mode:config.verify_mode ?pool s pairs
+  in
   (* (switched predicate, target, value_affected): all edges extend the
      dependence graph; only value-affecting ones may pin predicates
      during confidence propagation (see Verify). *)
@@ -122,9 +136,9 @@ let locate ?(config = default_config) (s : Session.t) ~oracle ~root_sids =
     List.exists (fun sid -> Prune.mem_sid trace ps sid) root_sids
   in
   (* One expansion attempt: select use [u], verify its potential
-     dependences, add the verified (strong) implicit edges — strong
-     edges override plain ones (Algorithm 2 lines 10-11).  Returns
-     whether any edge was added. *)
+     dependences (one batch), add the verified (strong) implicit edges —
+     strong edges override plain ones (Algorithm 2 lines 10-11).
+     Returns whether any edge was added. *)
   let edges_added = ref 0 in
   let expand u =
     Hashtbl.replace expanded u ();
@@ -137,9 +151,7 @@ let locate ?(config = default_config) (s : Session.t) ~oracle ~root_sids =
       |> dedup_by_sid ~per_sid:config.max_instances_per_pred trace
     in
     let verdicts =
-      List.map
-        (fun p -> (p, Verify.verify_full ~mode:config.verify_mode s ~p ~u))
-        pd
+      List.combine pd (verify_batch (List.map (fun p -> (p, u)) pd))
     in
     let strong =
       List.filter
@@ -158,7 +170,10 @@ let locate ?(config = default_config) (s : Session.t) ~oracle ~root_sids =
         (* Verify the other uses potentially depending on p, enabling
            more pruning (Figure 5): targets come from both the failure's
            and the correct outputs' slices — the latter are the ones
-           whose high confidence can sanitize p. *)
+           whose high confidence can sanitize p.  Target selection
+           (slices, PD membership, the bound) happens before the batch
+           and depends only on edges added so far, so batching the
+           verifications is exactly the sequential loop. *)
         let correct_slice =
           Slice.compute ~extra trace ~criteria:s.Session.correct_outputs
         in
@@ -170,20 +185,26 @@ let locate ?(config = default_config) (s : Session.t) ~oracle ~root_sids =
           |> List.filter (fun t -> t <> u && t > p)
         in
         let related = ref 0 in
+        let selected = ref [] in
         List.iter
           (fun t ->
             if !related < config.max_related_targets then begin
               let pd_t = Relevant.pd s.Session.rel t in
               if List.mem p pd_t then begin
                 incr related;
-                let rt = Verify.verify_full ~mode:config.verify_mode s ~p ~u:t in
-                if rt.Verdict.verdict = wanted then begin
-                  implicit := (p, t, rt.Verdict.value_affected) :: !implicit;
-                  incr edges_added
-                end
+                selected := t :: !selected
               end
             end)
-          targets)
+          targets;
+        let ts = List.rev !selected in
+        let rts = verify_batch (List.map (fun t -> (p, t)) ts) in
+        List.iter2
+          (fun t (rt : Verdict.result) ->
+            if rt.Verdict.verdict = wanted then begin
+              implicit := (p, t, rt.Verdict.value_affected) :: !implicit;
+              incr edges_added
+            end)
+          ts rts)
       chosen;
     chosen <> []
   in
@@ -227,7 +248,8 @@ let locate ?(config = default_config) (s : Session.t) ~oracle ~root_sids =
     found = !found;
     user_prunings = initial_prunings;
     total_prunings = !user_prunings;
-    verifications = s.Session.verifications;
+    verifications = Session.verifications s;
+    verify_queries = Session.verify_queries s;
     iterations = !iterations;
     expanded_edges = !edges_added;
     implicit_edges = all_edges ();
@@ -236,8 +258,9 @@ let locate ?(config = default_config) (s : Session.t) ~oracle ~root_sids =
     ds;
     ps0;
     os_chain;
-    verif_seconds = s.Session.verif_seconds;
+    verif_seconds = Session.verif_seconds s;
     robustness = Guard.snapshot (Guard.stats s.Session.guard);
+    store = Store.snapshot (Session.store_stats s);
     failures = Guard.failures s.Session.guard;
     degraded = !degraded;
   }

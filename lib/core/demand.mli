@@ -12,7 +12,10 @@ type report = {
           minimal {e initial} pruned slice, the paper's definition *)
   total_prunings : int;
       (** all oracle marks across the whole demand-driven run *)
-  verifications : int;  (** Table 3: # of verifications *)
+  verifications : int;  (** Table 3: # of verifications (re-executions) *)
+  verify_queries : int;
+      (** verdicts requested, cache hits and deduped runs included
+          (≥ [verifications]) *)
   iterations : int;  (** Table 3: # of iterations *)
   expanded_edges : int;  (** Table 3: # of expanded edges *)
   implicit_edges : (int * int) list;
@@ -27,6 +30,9 @@ type report = {
       (** robustness telemetry: completed/aborted/retried re-executions,
           breaker trips and skips, deadline expirations, contained
           exceptions.  [completed + aborted = verifications]. *)
+  store : Exom_sched.Store.stats;
+      (** verdict-store counters: memory/disk hits, misses, evictions,
+          corrupted entries rejected, writes *)
   failures : (int * Guard.verify_failure) list;
       (** journal of every degraded verification, oldest first: (static
           predicate sid, failure) *)
@@ -50,6 +56,13 @@ val default_config : config
 
 (** [locate s ~oracle ~root_sids]: run the procedure; [root_sids] is the
     seeded fault's ground truth, used — as in the paper's evaluation —
-    only to decide that the error has been located. *)
+    only to decide that the error has been located.  [pool] supplies the
+    verification scheduler's worker pool ({!Exom_sched.Pool.default}
+    when omitted); the report is identical at any job count. *)
 val locate :
-  ?config:config -> Session.t -> oracle:Oracle.t -> root_sids:int list -> report
+  ?config:config ->
+  ?pool:Exom_sched.Pool.t ->
+  Session.t ->
+  oracle:Oracle.t ->
+  root_sids:int list ->
+  report

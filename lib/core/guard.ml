@@ -37,34 +37,55 @@ type stats = {
   mutable captured : int;
 }
 
+let zero_stats () =
+  { completed = 0; aborted = 0; retried = 0; deadline_expired = 0;
+    breaker_trips = 0; breaker_skips = 0; captured = 0 }
+
 let snapshot s =
   { completed = s.completed; aborted = s.aborted; retried = s.retried;
     deadline_expired = s.deadline_expired; breaker_trips = s.breaker_trips;
     breaker_skips = s.breaker_skips; captured = s.captured }
 
+(* A worker-local accounting view: stats and journal entries land here
+   while the shared breaker table (sid-serialized by the batch planner)
+   stays on the guard.  [absorb] folds shards back in submission order,
+   which keeps the merged journal — and therefore reports — identical
+   regardless of the job count. *)
+type shard = {
+  sh_stats : stats;
+  mutable sh_journal : (int * verify_failure) list;  (* newest first *)
+}
+
+let new_shard () = { sh_stats = zero_stats (); sh_journal = [] }
+let shard_stats sh = sh.sh_stats
+
 type breaker = { mutable consecutive : int; mutable opened : bool }
 
 type t = {
   policy : policy;
-  stats : stats;
   breakers : (int, breaker) Hashtbl.t;
-  journal : (int * verify_failure) list ref;  (* newest first *)
+  root : shard;  (* the session's merged accounting *)
 }
 
 let create ?(policy = default_policy) () =
-  {
-    policy;
-    stats =
-      { completed = 0; aborted = 0; retried = 0; deadline_expired = 0;
-        breaker_trips = 0; breaker_skips = 0; captured = 0 };
-    breakers = Hashtbl.create 16;
-    journal = ref [];
-  }
+  { policy; breakers = Hashtbl.create 16; root = new_shard () }
 
 let policy t = t.policy
-let stats t = t.stats
-let failures t = List.rev !(t.journal)
-let note t sid failure = t.journal := (sid, failure) :: !(t.journal)
+let stats t = t.root.sh_stats
+let failures t = List.rev t.root.sh_journal
+let note sh sid failure = sh.sh_journal <- (sid, failure) :: sh.sh_journal
+
+let absorb t sh =
+  let a = t.root.sh_stats and b = sh.sh_stats in
+  a.completed <- a.completed + b.completed;
+  a.aborted <- a.aborted + b.aborted;
+  a.retried <- a.retried + b.retried;
+  a.deadline_expired <- a.deadline_expired + b.deadline_expired;
+  a.breaker_trips <- a.breaker_trips + b.breaker_trips;
+  a.breaker_skips <- a.breaker_skips + b.breaker_skips;
+  a.captured <- a.captured + b.captured;
+  (* both lists are newest-first; prepending keeps shard order *)
+  t.root.sh_journal <- sh.sh_journal @ t.root.sh_journal
 
 let breaker_for t sid =
   match Hashtbl.find_opt t.breakers sid with
@@ -74,20 +95,26 @@ let breaker_for t sid =
     Hashtbl.replace t.breakers sid b;
     b
 
+(* Materialize breaker records before dispatching a batch: workers then
+   only mutate their own sid's record, never the table structure. *)
+let prepare t ~sids = List.iter (fun sid -> ignore (breaker_for t sid)) sids
+
 let breaker_open t ~sid = (breaker_for t sid).opened
 
-let note_captured t ~sid ~msg =
-  t.stats.captured <- t.stats.captured + 1;
-  note t sid (Captured msg)
+let note_captured_in sh ~sid ~msg =
+  sh.sh_stats.captured <- sh.sh_stats.captured + 1;
+  note sh sid (Captured msg)
+
+let note_captured t ~sid ~msg = note_captured_in t.root ~sid ~msg
 
 (* One more consecutive abort of [sid]; open its breaker at the
-   threshold (a completed run resets the streak — see [execute]). *)
-let record_abort t sid =
+   threshold (a completed run resets the streak — see [execute_in]). *)
+let record_abort t sh sid =
   let b = breaker_for t sid in
   b.consecutive <- b.consecutive + 1;
   if (not b.opened) && b.consecutive >= t.policy.breaker_threshold then begin
     b.opened <- true;
-    t.stats.breaker_trips <- t.stats.breaker_trips + 1
+    sh.sh_stats.breaker_trips <- sh.sh_stats.breaker_trips + 1
   end
 
 type outcome =
@@ -95,18 +122,19 @@ type outcome =
   | Degraded of Interp.run * verify_failure
   | Skipped of verify_failure
 
-let execute t ~sid ~base_budget ~run =
+let execute_in t sh ~sid ~base_budget ~run =
+  let stats = sh.sh_stats in
   if breaker_open t ~sid then begin
-    t.stats.breaker_skips <- t.stats.breaker_skips + 1;
+    stats.breaker_skips <- stats.breaker_skips + 1;
     let f = Breaker_open sid in
-    note t sid f;
+    note sh sid f;
     Skipped f
   end
   else begin
     let t0 = Unix.gettimeofday () in
     let fail f =
-      record_abort t sid;
-      note t sid f;
+      record_abort t sh sid;
+      note sh sid f;
       f
     in
     let rec attempt = function
@@ -114,21 +142,21 @@ let execute t ~sid ~base_budget ~run =
       | budget :: rest -> (
         match run ~budget with
         | exception exn ->
-          t.stats.aborted <- t.stats.aborted + 1;
-          t.stats.captured <- t.stats.captured + 1;
+          stats.aborted <- stats.aborted + 1;
+          stats.captured <- stats.captured + 1;
           Skipped (fail (Captured (Printexc.to_string exn)))
         | r -> (
           match r.Interp.outcome with
           | Ok () ->
-            t.stats.completed <- t.stats.completed + 1;
+            stats.completed <- stats.completed + 1;
             (breaker_for t sid).consecutive <- 0;
             Completed r
           | Error (Interp.Crashed msg) ->
             (* Deterministic for a given budget: retrying cannot help. *)
-            t.stats.aborted <- t.stats.aborted + 1;
+            stats.aborted <- stats.aborted + 1;
             Degraded (r, fail (Run_crashed msg))
           | Error Interp.Budget_exhausted ->
-            t.stats.aborted <- t.stats.aborted + 1;
+            stats.aborted <- stats.aborted + 1;
             let elapsed = Unix.gettimeofday () -. t0 in
             let overdue =
               match t.policy.deadline with
@@ -136,14 +164,16 @@ let execute t ~sid ~base_budget ~run =
               | None -> false
             in
             if rest <> [] && not overdue then begin
-              t.stats.retried <- t.stats.retried + 1;
+              stats.retried <- stats.retried + 1;
               attempt rest
             end
             else if overdue then begin
-              t.stats.deadline_expired <- t.stats.deadline_expired + 1;
+              stats.deadline_expired <- stats.deadline_expired + 1;
               Degraded (r, fail (Deadline_expired elapsed))
             end
             else Degraded (r, fail Run_budget_exhausted)))
     in
     attempt (Backoff.budgets t.policy.backoff ~base:base_budget)
   end
+
+let execute t ~sid ~base_budget ~run = execute_in t t.root ~sid ~base_budget ~run

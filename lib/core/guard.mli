@@ -71,6 +71,27 @@ val snapshot : stats -> stats
 
 type t
 
+(** A worker-local accounting view for the parallel scheduler: stats
+    and journal entries accumulate privately per pool task while the
+    circuit-breaker table stays shared on the guard (the batch planner
+    serializes all runs of one sid into one task, so breaker records
+    are never mutated concurrently).  Shards are merged back with
+    {!absorb} in submission order, which keeps the session's journal —
+    and therefore reports — identical regardless of the job count. *)
+type shard
+
+val new_shard : unit -> shard
+val shard_stats : shard -> stats
+
+(** [absorb t shard] folds a worker's stats and journal into the
+    guard's merged accounting.  Call in submission order. *)
+val absorb : t -> shard -> unit
+
+(** Materialize breaker records for [sids] before dispatching a batch,
+    so worker domains only mutate their own sid's record and never the
+    table structure. *)
+val prepare : t -> sids:int list -> unit
+
 val create : ?policy:policy -> unit -> t
 val policy : t -> policy
 val stats : t -> stats
@@ -84,6 +105,9 @@ val breaker_open : t -> sid:int -> bool
 (** Record an unexpected exception that was contained {e outside} a
     re-execution (e.g. during alignment of a corrupted trace). *)
 val note_captured : t -> sid:int -> msg:string -> unit
+
+(** Like {!note_captured}, into a worker shard. *)
+val note_captured_in : shard -> sid:int -> msg:string -> unit
 
 (** The outcome of one guarded verification. *)
 type outcome =
@@ -99,6 +123,18 @@ type outcome =
     [Backoff.attempts] times. *)
 val execute :
   t ->
+  sid:int ->
+  base_budget:int ->
+  run:(budget:int -> Exom_interp.Interp.run) ->
+  outcome
+
+(** Like {!execute}, but accounting into a worker shard.  The breaker
+    table on [t] is still consulted and updated — callers must ensure
+    all runs of one [sid] stay on one worker (the batch planner's
+    sid-grouping guarantees this). *)
+val execute_in :
+  t ->
+  shard ->
   sid:int ->
   base_budget:int ->
   run:(budget:int -> Exom_interp.Interp.run) ->

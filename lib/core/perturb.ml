@@ -18,23 +18,17 @@ module Value = Exom_interp.Value
    plays the role of the switch point for alignment purposes (both
    executions agree up to [d]). *)
 
-(* Mirrors [Verify.counted]: every perturbed re-execution — even one an
-   injected fault aborts by exception — lands in the session tally. *)
-let counted (s : Session.t) f =
-  let t0 = Sys.time () in
-  Fun.protect
-    ~finally:(fun () ->
-      s.Session.verifications <- s.Session.verifications + 1;
-      s.Session.verif_seconds <- s.Session.verif_seconds +. Sys.time () -. t0)
-    f
-
+(* Every perturbed re-execution — even one an injected fault aborts by
+   exception — lands in the session tally.  Perturbation runs on the
+   coordinator (it is not batched), so it charges the session's merged
+   tally directly. *)
 let perturbed_run (s : Session.t) ~budget ~d ~candidate =
   let inst = Trace.get s.Session.trace d in
   let vswitch =
     { Interp.vswitch_sid = inst.Trace.sid; vswitch_occ = inst.Trace.occ;
       vswitch_value = candidate }
   in
-  counted s (fun () ->
+  Exom_sched.Tally.counted s.Session.tally (fun () ->
       Interp.run ~vswitch ?chaos:s.Session.chaos ~budget s.Session.prog
         ~input:s.Session.input)
 

@@ -4,6 +4,8 @@ module Profile = Exom_interp.Profile
 module Proginfo = Exom_cfg.Proginfo
 module Region = Exom_align.Region
 module Relevant = Exom_ddg.Relevant
+module Store = Exom_sched.Store
+module Tally = Exom_sched.Tally
 module Trace = Exom_interp.Trace
 module Value = Exom_interp.Value
 
@@ -27,9 +29,11 @@ type t = {
   chaos : Exom_interp.Chaos.t option;
       (* injected into switched re-executions only; the failing run
          under diagnosis is never subjected to chaos *)
-  mutable verifications : int;
-  mutable verif_seconds : float;
-  verdict_cache : (int * int, Verdict.result) Hashtbl.t;
+  tally : Tally.t;  (* merged verification accounting (coordinator) *)
+  store : Store.t;  (* verdict cache; possibly persistent *)
+  key_prefix : string;
+      (* content hash of everything a verdict depends on besides
+         (mode, p, u): program, input, expected stream, budget, chaos *)
 }
 
 exception No_failure
@@ -71,8 +75,26 @@ let classify ~(run : Interp.run) ~trace ~expected =
       (List.map fst run.Interp.outputs, Trace.length trace - 1, None)
     | _ -> raise No_failure)
 
-let create ?(budget = Interp.default_budget) ?policy ?chaos ~prog ~input
-    ~expected ~profile_inputs () =
+(* Everything a verdict depends on besides (mode, p, u).  The chaos spec
+   is included so a store shared between chaotic and clean sessions can
+   never serve a fault-injected verdict to a clean run. *)
+let derive_key_prefix ~prog ~input ~expected ~budget ~chaos =
+  let ints l = String.concat "," (List.map string_of_int l) in
+  Store.digest
+    [
+      Marshal.to_string (prog : Ast.program) [];
+      ints input;
+      ints expected;
+      string_of_int budget;
+      (match chaos with
+      | None -> ""
+      | Some c ->
+        Printf.sprintf "%d:%s" c.Exom_interp.Chaos.seed
+          (Exom_interp.Chaos.fault_to_string c.Exom_interp.Chaos.fault));
+    ]
+
+let create ?(budget = Interp.default_budget) ?policy ?chaos ?store ~prog
+    ~input ~expected ~profile_inputs () =
   let run = Interp.run ~budget prog ~input in
   let trace =
     match run.Interp.trace with
@@ -81,6 +103,9 @@ let create ?(budget = Interp.default_budget) ?policy ?chaos ~prog ~input
   in
   let correct_outputs, wrong_output, vexp = classify ~run ~trace ~expected in
   let info = Proginfo.build prog in
+  let store =
+    match store with Some s -> s | None -> Store.create ()
+  in
   {
     prog;
     info;
@@ -96,7 +121,12 @@ let create ?(budget = Interp.default_budget) ?policy ?chaos ~prog ~input
     budget;
     guard = Guard.create ?policy ();
     chaos;
-    verifications = 0;
-    verif_seconds = 0.0;
-    verdict_cache = Hashtbl.create 64;
+    tally = Tally.create ();
+    store;
+    key_prefix = derive_key_prefix ~prog ~input ~expected ~budget ~chaos;
   }
+
+let verifications s = s.tally.Tally.runs
+let verif_seconds s = s.tally.Tally.seconds
+let verify_queries s = s.tally.Tally.queries
+let store_stats s = Store.stats s.store

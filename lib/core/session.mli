@@ -1,7 +1,13 @@
 (** A debugging session: one failing traced run plus everything the
     demand-driven algorithm needs around it (static info, value profile,
     region tree, potential-dependence machinery, output classification,
-    verification bookkeeping for Tables 3-4). *)
+    verification bookkeeping for Tables 3-4).
+
+    The session itself is a read-only view once created: verification
+    accounting lives in a {!Exom_sched.Tally.t} merged by the scheduler
+    on the coordinator, and cached verdicts live in a
+    {!Exom_sched.Store.t}, so worker domains can share the session
+    freely while only the coordinator mutates the tally and store. *)
 
 type t = {
   prog : Exom_lang.Ast.program;
@@ -24,9 +30,15 @@ type t = {
   chaos : Exom_interp.Chaos.t option;
       (** fault injection applied to switched re-executions only; the
           failing run under diagnosis is never subjected to chaos *)
-  mutable verifications : int;
-  mutable verif_seconds : float;
-  verdict_cache : (int * int, Verdict.result) Hashtbl.t;
+  tally : Exom_sched.Tally.t;
+      (** merged verification accounting; coordinator-only *)
+  store : Exom_sched.Store.t;
+      (** verdict cache (in-memory, optionally persistent);
+          coordinator-only *)
+  key_prefix : string;
+      (** content hash of everything a verdict depends on besides
+          (mode, p, u) — program, input, expected stream, budget,
+          chaos — prepended to every store key *)
 }
 
 (** Raised when the run's outputs don't disagree with the expected
@@ -46,14 +58,32 @@ val classify_outputs :
     output stream (from the spec or a corrected version);
     [profile_inputs] drive the value-profile collection runs.  [policy]
     configures the resilience layer ({!Guard.default_policy} when
-    omitted); [chaos] injects faults into switched re-executions. *)
+    omitted); [chaos] injects faults into switched re-executions.
+    [store] supplies a verdict cache to reuse across sessions (e.g. a
+    persistent one); a fresh memory-only store is created when
+    omitted. *)
 val create :
   ?budget:int ->
   ?policy:Guard.policy ->
   ?chaos:Exom_interp.Chaos.t ->
+  ?store:Exom_sched.Store.t ->
   prog:Exom_lang.Ast.program ->
   input:int list ->
   expected:int list ->
   profile_inputs:int list list ->
   unit ->
   t
+
+(** {2 Accounting views} *)
+
+(** Re-executions actually performed (= [Guard] completed + aborted). *)
+val verifications : t -> int
+
+(** Wall-clock seconds spent inside re-executions. *)
+val verif_seconds : t -> float
+
+(** Verdicts asked for, including cache hits (≥ {!verifications}). *)
+val verify_queries : t -> int
+
+(** Live counters of the session's verdict store. *)
+val store_stats : t -> Exom_sched.Store.stats

@@ -1,7 +1,11 @@
 module Align = Exom_align.Align
+module Batch = Exom_sched.Batch
 module Interp = Exom_interp.Interp
+module Pool = Exom_sched.Pool
 module Region = Exom_align.Region
 module Slice = Exom_ddg.Slice
+module Store = Exom_sched.Store
+module Tally = Exom_sched.Tally
 module Trace = Exom_interp.Trace
 module Value = Exom_interp.Value
 
@@ -34,22 +38,15 @@ type mode = Edge_approximation | Path_exact
    - Otherwise NOT_ID. *)
 
 (* Every re-execution — including ones an injected fault aborts by
-   exception — counts toward the session's verification tally, keeping
-   [Guard.stats.completed + aborted = Session.verifications]. *)
-let counted (s : Session.t) f =
-  let t0 = Sys.time () in
-  Fun.protect
-    ~finally:(fun () ->
-      s.Session.verifications <- s.Session.verifications + 1;
-      s.Session.verif_seconds <- s.Session.verif_seconds +. Sys.time () -. t0)
-    f
-
-let switched_run (s : Session.t) ~budget ~p =
+   exception — is charged to the given tally (a worker-local record
+   under the scheduler; merged into the session by the coordinator),
+   keeping [Guard.stats.completed + aborted = Session.verifications]. *)
+let switched_run (s : Session.t) tally ~budget ~p =
   let inst = Trace.get s.Session.trace p in
   let switch =
     { Interp.switch_sid = inst.Trace.sid; switch_occ = inst.Trace.occ }
   in
-  counted s (fun () ->
+  Tally.counted tally (fun () ->
       Interp.run ~switch ?chaos:s.Session.chaos ~budget s.Session.prog
         ~input:s.Session.input)
 
@@ -74,7 +71,10 @@ let rerouted_definition region' ~p' ~u' trace' =
 
 let not_id = { Verdict.verdict = Verdict.Not_id; value_affected = false }
 
-let classify (s : Session.t) ~mode ~(run' : Interp.run) ~p ~u =
+(* [region'] is shared lazily across every use verified against the
+   same switched run (the batch planner groups them), so the region
+   tree of one re-execution is built at most once. *)
+let classify (s : Session.t) ~mode ~(run' : Interp.run) ~region' ~p ~u =
   match run'.Interp.trace with
   | None -> { Verdict.verdict = Verdict.Not_id; value_affected = false }
   | Some trace' ->
@@ -88,7 +88,7 @@ let classify (s : Session.t) ~mode ~(run' : Interp.run) ~p ~u =
     if not run'.Interp.switch_fired then
       { Verdict.verdict = Verdict.Not_id; value_affected = false }
     else begin
-      let region' = Region.build trace' in
+      let region' = Lazy.force region' in
       let region = s.Session.region in
       (* Definition 2 first: does u implicitly depend on p at all?
          (The paper's pseudocode short-circuits on the o× test alone,
@@ -139,32 +139,173 @@ let classify (s : Session.t) ~mode ~(run' : Interp.run) ~p ~u =
       end
     end
 
-(* The guarded re-execution: breaker check, budget escalation, deadline
-   and exception containment all live in {!Guard.execute}.  A degraded
-   (aborted) run still carries a usable trace prefix, so the
-   classification proceeds on it exactly as before. *)
-let verify_uncached (s : Session.t) ~mode ~p ~u =
-  let sid = (Trace.get s.Session.trace p).Trace.sid in
-  match
-    Guard.execute s.Session.guard ~sid ~base_budget:s.Session.budget
-      ~run:(fun ~budget -> switched_run s ~budget ~p)
-  with
-  | Guard.Skipped _ -> not_id
-  | Guard.Completed run' | Guard.Degraded (run', _) -> (
-    try classify s ~mode ~run' ~p ~u
-    with exn ->
-      (* e.g. alignment over a chaos-corrupted trace: contain, degrade *)
-      Guard.note_captured s.Session.guard ~sid ~msg:(Printexc.to_string exn);
-      not_id)
+(* {2 Verdict store codec and keys}
 
-let verify_full ?(mode = Edge_approximation) (s : Session.t) ~p ~u =
-  (* The cache is per-session; sessions are not shared across modes. *)
-  match Hashtbl.find_opt s.Session.verdict_cache (p, u) with
-  | Some v -> v
-  | None ->
-    let v = verify_uncached s ~mode ~p ~u in
-    Hashtbl.replace s.Session.verdict_cache (p, u) v;
-    v
+   A verdict is a pure function of (program, input, expected stream,
+   budget, chaos spec, mode, p, u).  The session's [key_prefix] hashes
+   the first five; the per-pair key adds the rest, so a persistent
+   store can be shared across sessions and processes without ever
+   serving a stale or foreign verdict. *)
+
+let mode_tag = function Edge_approximation -> "E" | Path_exact -> "P"
+
+let pair_key (s : Session.t) ~mode ~p ~u =
+  Store.digest
+    [ s.Session.key_prefix; mode_tag mode; string_of_int p; string_of_int u ]
+
+let encode_result { Verdict.verdict; value_affected } =
+  let v =
+    match verdict with
+    | Verdict.Strong_id -> 'S'
+    | Verdict.Id -> 'I'
+    | Verdict.Not_id -> 'N'
+  in
+  Printf.sprintf "%c%c" v (if value_affected then '1' else '0')
+
+let decode_result payload =
+  if String.length payload <> 2 then None
+  else
+    let verdict =
+      match payload.[0] with
+      | 'S' -> Some Verdict.Strong_id
+      | 'I' -> Some Verdict.Id
+      | 'N' -> Some Verdict.Not_id
+      | _ -> None
+    in
+    match (verdict, payload.[1]) with
+    | Some verdict, ('0' | '1') ->
+      Some { Verdict.verdict; value_affected = payload.[1] = '1' }
+    | _ -> None
+
+(* {2 The batch verification planner}
+
+   One call verifies a whole wave of (p, u) candidates:
+
+   1. {b resolve}: store hits are answered on the coordinator; the
+      remaining unique pairs are the misses, kept in first-occurrence
+      order (the deterministic spine of everything below).
+   2. {b dedup}: misses sharing a predicate instance p share {e one}
+      switched re-execution — the paper's verifier re-ran the program
+      per pair; one run per p is the batch planner's main saving.
+   3. {b dispatch}: p-groups are grouped again by static predicate sid
+      and each sid becomes one pool task, because the circuit breaker
+      is a per-sid sequential state machine — serializing a sid's runs
+      on one worker (in submission order) makes breaker decisions
+      independent of the job count.  Workers accumulate into private
+      {!Guard.shard}s and {!Tally.t}s and write verdicts into disjoint
+      slots of a shared array.
+   4. {b merge}: shards and tallies are absorbed in submission order,
+      fresh verdicts are persisted in miss order, results are returned
+      in the caller's pair order — bit-identical reports at any -j. *)
+let verify_batch ?(mode = Edge_approximation) ?pool (s : Session.t) pairs =
+  match pairs with
+  | [] -> []
+  | _ ->
+    let pool = match pool with Some p -> p | None -> Pool.default () in
+    let tally = s.Session.tally in
+    tally.Tally.queries <- tally.Tally.queries + List.length pairs;
+    (* resolve: store hits on the coordinator, unique misses in order *)
+    let resolved = Hashtbl.create 64 in
+    let miss_key = Hashtbl.create 64 in
+    let miss_order = ref [] in
+    List.iter
+      (fun (p, u) ->
+        if
+          (not (Hashtbl.mem resolved (p, u)))
+          && not (Hashtbl.mem miss_key (p, u))
+        then begin
+          let key = pair_key s ~mode ~p ~u in
+          match Option.bind (Store.find s.Session.store key) decode_result with
+          | Some r -> Hashtbl.replace resolved (p, u) r
+          | None ->
+            Hashtbl.replace miss_key (p, u) key;
+            miss_order := (p, u) :: !miss_order
+        end)
+      pairs;
+    let misses = List.rev !miss_order in
+    (match misses with
+    | [] -> ()
+    | _ ->
+      let answers = Array.make (List.length misses) None in
+      let indexed = List.mapi (fun i pu -> (i, pu)) misses in
+      (* one switched run per predicate instance p ... *)
+      let by_p = Batch.group_by ~key:(fun (_, (p, _)) -> p) indexed in
+      (* ... and all runs of one static predicate on one worker *)
+      let sid_of p = (Trace.get s.Session.trace p).Trace.sid in
+      let by_sid = Batch.group_by ~key:(fun (p, _) -> sid_of p) by_p in
+      Guard.prepare s.Session.guard ~sids:(List.map fst by_sid);
+      let task (_sid, pgroups) () =
+        let shard = Guard.new_shard () in
+        let wtally = Tally.create () in
+        List.iter
+          (fun (p, items) ->
+            let sid = sid_of p in
+            match
+              Guard.execute_in s.Session.guard shard ~sid
+                ~base_budget:s.Session.budget
+                ~run:(fun ~budget -> switched_run s wtally ~budget ~p)
+            with
+            | Guard.Skipped _ ->
+              List.iter (fun (i, _) -> answers.(i) <- Some not_id) items
+            | Guard.Completed run' | Guard.Degraded (run', _) ->
+              let region' =
+                lazy
+                  (match run'.Interp.trace with
+                  | Some trace' -> Region.build trace'
+                  | None -> assert false (* forced only under Some *))
+              in
+              List.iter
+                (fun (i, (_, u)) ->
+                  let r =
+                    try classify s ~mode ~run' ~region' ~p ~u
+                    with exn ->
+                      (* e.g. alignment over a chaos-corrupted trace:
+                         contain, degrade *)
+                      Guard.note_captured_in shard ~sid
+                        ~msg:(Printexc.to_string exn);
+                      not_id
+                  in
+                  answers.(i) <- Some r)
+                items)
+          pgroups;
+        (shard, wtally)
+      in
+      let outcomes = Batch.run_tasks pool (List.map task by_sid) in
+      (* merge in submission order: reports are j-independent *)
+      List.iter2
+        (fun (sid, _) outcome ->
+          match outcome with
+          | Ok (shard, wtally) ->
+            Guard.absorb s.Session.guard shard;
+            Tally.absorb ~into:tally wtally
+          | Error exn ->
+            (* the task itself died (should be impossible: everything
+               inside is contained) — record it, rule NOT_ID below *)
+            Guard.note_captured s.Session.guard ~sid
+              ~msg:(Printexc.to_string exn))
+        by_sid outcomes;
+      List.iteri
+        (fun i (p, u) ->
+          match answers.(i) with
+          | Some r ->
+            Hashtbl.replace resolved (p, u) r;
+            Store.add s.Session.store ~key:(Hashtbl.find miss_key (p, u))
+              (encode_result r)
+          | None ->
+            (* unanswered (task died): NOT_ID, but never persisted *)
+            Hashtbl.replace resolved (p, u) not_id)
+        misses);
+    List.map (fun (p, u) -> Hashtbl.find resolved (p, u)) pairs
+
+(* The single-pair entry points route through the batch planner with an
+   inline pool, so cached/sequential/parallel paths share one engine
+   (and therefore one accounting scheme). *)
+let seq_pool = lazy (Pool.create ~jobs:1 ())
+
+let verify_full ?mode (s : Session.t) ~p ~u =
+  match verify_batch ?mode ~pool:(Lazy.force seq_pool) s [ (p, u) ] with
+  | [ r ] -> r
+  | _ -> assert false
 
 let verify ?mode (s : Session.t) ~p ~u =
   (verify_full ?mode s ~p ~u).Verdict.verdict

@@ -1,10 +1,19 @@
 (** Implicit-dependence verification by predicate switching (VerifyDep
     of Algorithm 2; Definitions 2 and 4).
 
-    Each uncached call re-executes the program once with the candidate
-    predicate instance's branch outcome flipped, aligns the two
-    executions, and classifies the dependence.  Verification counts and
-    wall time accumulate on the session (Tables 3 and 4). *)
+    Each uncached verdict re-executes the program once with the
+    candidate predicate instance's branch outcome flipped, aligns the
+    two executions, and classifies the dependence.  Verification counts
+    and wall time accumulate on the session (Tables 3 and 4).
+
+    {!verify_batch} is the scheduler entry point: it answers a whole
+    wave of (p, u) candidates at once — store hits resolved up front,
+    one switched re-execution shared by every pair with the same p,
+    remaining work spread over a {!Exom_sched.Pool} with all runs of
+    one static predicate serialized on one worker (the circuit breaker
+    is a per-sid sequential state machine).  Per-worker accounting is
+    merged in submission order, so counts, journals and verdicts are
+    identical regardless of the job count. *)
 
 (** How Definition 2's "explicit dependence path between p' and u'" is
     decided: the paper's edge approximation (default; unsafe in the
@@ -13,10 +22,21 @@
 type mode = Edge_approximation | Path_exact
 
 (** [verify s ~p ~u]: is there an implicit dependence from predicate
-    instance [p] to use instance [u]?  Cached per (p, u); do not mix
-    modes on one session. *)
+    instance [p] to use instance [u]?  Verdicts are cached in the
+    session's store; do not mix modes on one session. *)
 val verify : ?mode:mode -> Session.t -> p:int -> u:int -> Verdict.t
 
 (** Like {!verify}, also reporting whether the switch observably changed
     the target's value (see {!Verdict.result}). *)
 val verify_full : ?mode:mode -> Session.t -> p:int -> u:int -> Verdict.result
+
+(** [verify_batch s pairs] returns one {!Verdict.result} per pair, in
+    the caller's order.  [pool] defaults to {!Exom_sched.Pool.default}
+    (sized by [EXOM_JOBS]); with one job everything runs inline on the
+    caller.  Results are independent of the pool's job count. *)
+val verify_batch :
+  ?mode:mode ->
+  ?pool:Exom_sched.Pool.t ->
+  Session.t ->
+  (int * int) list ->
+  Verdict.result list

@@ -1,0 +1,42 @@
+(* The batch verification planner's generic half: order-preserving
+   parallel execution and stable grouping.
+
+   Determinism contract: [run_tasks] returns results in submission
+   order no matter how the pool interleaves execution, and [group_by]
+   keeps both group order (first occurrence) and within-group order
+   stable.  A planner that (1) groups work that must be serialized —
+   e.g. all switched runs of one static predicate, whose circuit
+   breaker is a sequential state machine — into one task, and
+   (2) merges per-task accounting in submission order, produces output
+   bit-identical to the sequential engine at any job count. *)
+
+exception Cancelled
+
+let run_tasks ?(cancel = fun () -> false) pool tasks =
+  let tasks = Array.of_list tasks in
+  let results = Array.make (Array.length tasks) (Error Cancelled) in
+  let wrapped =
+    Array.to_list
+      (Array.mapi
+         (fun i task () ->
+           if not (cancel ()) then
+             results.(i) <- (try Ok (task ()) with exn -> Error exn))
+         tasks)
+  in
+  Pool.run pool wrapped;
+  Array.to_list results
+
+let group_by ~key items =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun item ->
+      let k = key item in
+      match Hashtbl.find_opt tbl k with
+      | Some group -> group := item :: !group
+      | None ->
+        let group = ref [ item ] in
+        Hashtbl.add tbl k group;
+        order := (k, group) :: !order)
+    items;
+  List.rev_map (fun (k, group) -> (k, List.rev !group)) !order

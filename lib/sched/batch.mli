@@ -1,0 +1,28 @@
+(** Generic batch planning over a {!Pool}: order-preserving parallel
+    execution and stable grouping.
+
+    These two primitives carry the scheduler's determinism argument:
+    results and groups always come back in submission order, so a
+    caller that serializes order-sensitive work (e.g. all switched runs
+    of one static predicate, whose circuit breaker is a sequential
+    state machine) into a single task and merges per-task accounting in
+    list order gets output independent of the job count. *)
+
+(** The result of a task that was never run because [cancel] returned
+    true before it started. *)
+exception Cancelled
+
+(** [run_tasks pool tasks] executes every task on the pool and returns
+    their outcomes {e in submission order}.  A task that raises yields
+    [Error exn] in its slot; the remaining tasks still run.  [cancel]
+    is polled before each task starts — once it returns true, tasks
+    not yet started yield [Error Cancelled]. *)
+val run_tasks :
+  ?cancel:(unit -> bool) ->
+  Pool.t ->
+  (unit -> 'a) list ->
+  ('a, exn) result list
+
+(** Stable grouping: groups ordered by first occurrence of their key,
+    items within a group in input order. *)
+val group_by : key:('a -> 'k) -> 'a list -> ('k * 'a list) list

@@ -1,0 +1,139 @@
+(* A fixed-size OCaml 5 domain pool with one shared work queue.
+
+   Sizing: [jobs] is the total degree of parallelism.  The coordinator
+   participates in draining the queue during {!run}, so [jobs - 1]
+   domains are spawned; [jobs = 1] degenerates to inline sequential
+   execution with no domains, no locks taken and no scheduling overhead
+   — the property the determinism tests lean on (`-j 1` is *exactly*
+   the sequential engine, not a one-worker simulation of it).
+
+   Tasks must not raise: the layer above (see {!Batch}) wraps every
+   task so exceptions are captured into its result slot.  A raise that
+   slips through anyway is swallowed here rather than killing the
+   worker domain — losing one task's result is recoverable upstream,
+   losing a domain of a fixed-size pool is not. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_cond : Condition.t;  (* queue became non-empty, or shutdown *)
+  done_cond : Condition.t;  (* pending reached zero *)
+  queue : (unit -> unit) Queue.t;
+  mutable pending : int;  (* tasks queued or running *)
+  mutable stopped : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+let default_jobs () =
+  match Sys.getenv_opt "EXOM_JOBS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some 0 -> Domain.recommended_domain_count ()
+    | _ -> 1)
+
+let finish_task t =
+  t.pending <- t.pending - 1;
+  if t.pending = 0 then Condition.broadcast t.done_cond
+
+let rec worker_loop t =
+  (* called with the mutex held *)
+  if t.stopped then Mutex.unlock t.mutex
+  else
+    match Queue.take_opt t.queue with
+    | Some task ->
+      Mutex.unlock t.mutex;
+      (try task () with _ -> ());
+      Mutex.lock t.mutex;
+      finish_task t;
+      worker_loop t
+    | None ->
+      Condition.wait t.work_cond t.mutex;
+      worker_loop t
+
+let create ?(jobs = 1) () =
+  let jobs =
+    if jobs = 0 then Domain.recommended_domain_count ()
+    else if jobs < 0 then invalid_arg "Pool.create: jobs must be >= 0"
+    else jobs
+  in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_cond = Condition.create ();
+      done_cond = Condition.create ();
+      queue = Queue.create ();
+      pending = 0;
+      stopped = false;
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init (max 0 (jobs - 1)) (fun _ ->
+        Domain.spawn (fun () ->
+            Mutex.lock t.mutex;
+            worker_loop t));
+  t
+
+(* The coordinator's share of the drain: run queued tasks until the
+   queue is empty, then wait for in-flight tasks on other domains. *)
+let rec drive t =
+  (* called with the mutex held *)
+  match Queue.take_opt t.queue with
+  | Some task ->
+    Mutex.unlock t.mutex;
+    (try task () with _ -> ());
+    Mutex.lock t.mutex;
+    finish_task t;
+    drive t
+  | None ->
+    if t.pending > 0 then begin
+      Condition.wait t.done_cond t.mutex;
+      drive t
+    end
+    else Mutex.unlock t.mutex
+
+let run t tasks =
+  if t.stopped then invalid_arg "Pool.run: pool is shut down";
+  match tasks with
+  | [] -> ()
+  | [ task ] -> (try task () with _ -> ())
+  | _ when t.jobs <= 1 -> List.iter (fun task -> try task () with _ -> ()) tasks
+  | _ ->
+    Mutex.lock t.mutex;
+    if t.stopped then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    List.iter (fun task -> Queue.add task t.queue) tasks;
+    t.pending <- t.pending + List.length tasks;
+    Condition.broadcast t.work_cond;
+    drive t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if not t.stopped then begin
+    t.stopped <- true;
+    Condition.broadcast t.work_cond
+  end;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+(* One shared pool for callers that don't manage their own, sized by
+   EXOM_JOBS (so e.g. CI can run the whole test suite under -j 2
+   without touching any call site).  Created on first use: with the
+   default of 1 job no domain is ever spawned. *)
+let default_pool = ref None
+
+let default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+    let p = create ~jobs:(default_jobs ()) () in
+    default_pool := Some p;
+    p

@@ -1,0 +1,38 @@
+(** A fixed-size OCaml 5 domain pool with a shared work queue.
+
+    [jobs] is the total degree of parallelism: the coordinator thread
+    participates in draining the queue during {!run}, so a pool of
+    [jobs = n] spawns [n - 1] domains.  A pool of 1 runs everything
+    inline on the caller — the sequential engine itself, not a
+    simulation of it — which is the anchor for the scheduler's
+    determinism guarantee.
+
+    Tasks are expected not to raise (see {!Batch}, which captures
+    exceptions into result slots); an exception that escapes a task is
+    swallowed so it cannot kill a pool domain. *)
+
+type t
+
+(** [create ~jobs ()] — [jobs = 0] means [Domain.recommended_domain_count ()];
+    defaults to 1 (inline execution, no domains). *)
+val create : ?jobs:int -> unit -> t
+
+val jobs : t -> int
+
+(** Run every task to completion (blocking).  Tasks may execute on any
+    domain and in any order; completion of all of them is the only
+    guarantee.  Not reentrant: do not call [run] from inside a task. *)
+val run : t -> (unit -> unit) list -> unit
+
+(** Stop the workers and join their domains.  Idempotent.  [run] after
+    shutdown raises [Invalid_argument]. *)
+val shutdown : t -> unit
+
+(** The job count requested by the [EXOM_JOBS] environment variable
+    (1 when unset or unparsable; [0] maps to the recommended domain
+    count). *)
+val default_jobs : unit -> int
+
+(** A lazily created process-wide pool sized by {!default_jobs}.  With
+    the default of one job it never spawns a domain. *)
+val default : unit -> t

@@ -1,0 +1,237 @@
+(* The persistent verdict store: a content-addressed cache keyed by a
+   hex digest, with an in-memory LRU front and an optional on-disk tier.
+
+   Disk layout (one file per entry, sharded by the key's first two hex
+   chars to keep directories small):
+
+     DIR/ab/<rest-of-key>
+
+   Entry format, versioned like Trace_io so future layouts can be
+   rejected instead of misread:
+
+     #exom-store v1
+     <key>
+     <payload-length>
+     <payload bytes>
+
+   The key is echoed inside the entry and checked on read: a file
+   renamed, truncated or swapped on disk is detected and rejected (the
+   [corrupted] counter), never returned as a hit.  Writes go through a
+   temp file + rename so a crash mid-write leaves no torn entry behind.
+
+   Thread-safety: the store is coordinator-only by design — the batch
+   planner resolves hits before dispatch and records results after the
+   merge, so worker domains never touch it and no lock is needed. *)
+
+let version = 1
+
+let header = Printf.sprintf "#exom-store v%d" version
+
+type stats = {
+  mutable hits : int;  (* answered from the in-memory front *)
+  mutable disk_hits : int;  (* answered from disk (then promoted) *)
+  mutable misses : int;
+  mutable evictions : int;  (* LRU entries dropped from memory *)
+  mutable corrupted : int;  (* disk entries rejected on read *)
+  mutable writes : int;  (* entries persisted to disk *)
+}
+
+let snapshot s =
+  { hits = s.hits; disk_hits = s.disk_hits; misses = s.misses;
+    evictions = s.evictions; corrupted = s.corrupted; writes = s.writes }
+
+let hit_rate s =
+  let total = s.hits + s.disk_hits + s.misses in
+  if total = 0 then 0.0
+  else float_of_int (s.hits + s.disk_hits) /. float_of_int total
+
+(* Intrusive doubly-linked LRU list over the memory tier: [head] is the
+   most recently used entry, [tail] the eviction candidate. *)
+type entry = {
+  e_key : string;
+  mutable e_value : string;
+  mutable e_prev : entry option;  (* toward head *)
+  mutable e_next : entry option;  (* toward tail *)
+}
+
+type t = {
+  dir : string option;
+  capacity : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable head : entry option;
+  mutable tail : entry option;
+  stats : stats;
+}
+
+let default_capacity = 65_536
+
+let create ?dir ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Store.create: capacity must be >= 1";
+  (match dir with
+  | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
+  | Some d when not (Sys.is_directory d) ->
+    invalid_arg (Printf.sprintf "Store.create: %s is not a directory" d)
+  | _ -> ());
+  {
+    dir;
+    capacity;
+    tbl = Hashtbl.create 256;
+    head = None;
+    tail = None;
+    stats =
+      { hits = 0; disk_hits = 0; misses = 0; evictions = 0; corrupted = 0;
+        writes = 0 };
+  }
+
+let stats t = t.stats
+let mem_size t = Hashtbl.length t.tbl
+
+(* Content addressing: each part is length-prefixed before hashing so
+   part boundaries cannot collide ("ab"+"c" vs "a"+"bc"). *)
+let digest parts =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int (String.length p));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf p)
+    parts;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* LRU plumbing *)
+
+let unlink t e =
+  (match e.e_prev with
+  | Some p -> p.e_next <- e.e_next
+  | None -> t.head <- e.e_next);
+  (match e.e_next with
+  | Some n -> n.e_prev <- e.e_prev
+  | None -> t.tail <- e.e_prev);
+  e.e_prev <- None;
+  e.e_next <- None
+
+let push_front t e =
+  e.e_next <- t.head;
+  (match t.head with
+  | Some h -> h.e_prev <- Some e
+  | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let touch t e =
+  if t.head != Some e then begin
+    unlink t e;
+    push_front t e
+  end
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some e ->
+    unlink t e;
+    Hashtbl.remove t.tbl e.e_key;
+    t.stats.evictions <- t.stats.evictions + 1
+
+let insert_mem t key value =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+    e.e_value <- value;
+    touch t e
+  | None ->
+    if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
+    let e = { e_key = key; e_value = value; e_prev = None; e_next = None } in
+    Hashtbl.replace t.tbl key e;
+    push_front t e
+
+(* Disk tier *)
+
+let entry_path dir key =
+  (* keys are hex digests; anything shorter still shards safely *)
+  if String.length key < 3 then Filename.concat dir key
+  else Filename.concat (Filename.concat dir (String.sub key 0 2))
+      (String.sub key 2 (String.length key - 2))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Returns [Some payload] only for a well-formed entry whose embedded
+   key matches; anything else is corruption. *)
+let decode_entry ~key content =
+  let fail () = None in
+  match String.index_opt content '\n' with
+  | None -> fail ()
+  | Some i1 ->
+    if String.sub content 0 i1 <> header then fail ()
+    else begin
+      match String.index_from_opt content (i1 + 1) '\n' with
+      | None -> fail ()
+      | Some i2 ->
+        if String.sub content (i1 + 1) (i2 - i1 - 1) <> key then fail ()
+        else begin
+          match String.index_from_opt content (i2 + 1) '\n' with
+          | None -> fail ()
+          | Some i3 -> (
+            match
+              int_of_string_opt (String.sub content (i2 + 1) (i3 - i2 - 1))
+            with
+            | None -> fail ()
+            | Some len ->
+              if len < 0 || String.length content < i3 + 1 + len then fail ()
+              else Some (String.sub content (i3 + 1) len))
+        end
+    end
+
+let disk_find t key =
+  match t.dir with
+  | None -> None
+  | Some dir ->
+    let path = entry_path dir key in
+    if not (Sys.file_exists path) then None
+    else begin
+      match decode_entry ~key (read_file path) with
+      | Some payload -> Some payload
+      | None | (exception Sys_error _) ->
+        t.stats.corrupted <- t.stats.corrupted + 1;
+        None
+    end
+
+let disk_add t key value =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+    let path = entry_path dir key in
+    let shard = Filename.dirname path in
+    if not (Sys.file_exists shard) then Sys.mkdir shard 0o755;
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Printf.fprintf oc "%s\n%s\n%d\n%s" header key (String.length value)
+          value);
+    Sys.rename tmp path;
+    t.stats.writes <- t.stats.writes + 1
+
+(* Public lookups *)
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+    t.stats.hits <- t.stats.hits + 1;
+    touch t e;
+    Some e.e_value
+  | None -> (
+    match disk_find t key with
+    | Some payload ->
+      t.stats.disk_hits <- t.stats.disk_hits + 1;
+      insert_mem t key payload;
+      Some payload
+    | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      None)
+
+let add t ~key value =
+  insert_mem t key value;
+  disk_add t key value

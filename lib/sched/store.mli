@@ -1,0 +1,51 @@
+(** A content-addressed cache with an in-memory LRU front and an
+    optional persistent on-disk tier.
+
+    Keys are caller-derived digests (see {!digest}); values are opaque
+    strings (the caller owns the codec).  The disk tier stores one
+    versioned, self-identifying file per entry — a renamed, truncated
+    or version-skewed entry is rejected on read (counted in
+    [corrupted]) rather than returned as a hit.
+
+    The store is {b coordinator-only}: the batch planner resolves hits
+    before dispatching work to the pool and records results after the
+    deterministic merge, so worker domains never touch it and it needs
+    no internal locking. *)
+
+type t
+
+type stats = {
+  mutable hits : int;  (** answered from the in-memory front *)
+  mutable disk_hits : int;  (** answered from disk (then promoted) *)
+  mutable misses : int;
+  mutable evictions : int;  (** LRU entries dropped from memory *)
+  mutable corrupted : int;  (** disk entries rejected on read *)
+  mutable writes : int;  (** entries persisted to disk *)
+}
+
+(** An independent copy (reports snapshot it; the live record keeps
+    counting). *)
+val snapshot : stats -> stats
+
+(** Fraction of queries answered from either tier; 0 when none asked. *)
+val hit_rate : stats -> float
+
+(** [create ?dir ?capacity ()]: memory-only when [dir] is omitted;
+    with [dir], entries also persist under it (created if missing).
+    [capacity] bounds the in-memory front (default 65536 entries). *)
+val create : ?dir:string -> ?capacity:int -> unit -> t
+
+(** Derive a content-addressed key: parts are length-prefixed before
+    hashing, so boundaries cannot collide. *)
+val digest : string list -> string
+
+val find : t -> string -> string option
+val add : t -> key:string -> string -> unit
+
+(** Entries currently held in the in-memory front. *)
+val mem_size : t -> int
+
+val stats : t -> stats
+
+(** Entry-format version of the disk tier. *)
+val version : int

@@ -1,0 +1,27 @@
+(* The per-worker accounting record for verification work.  Workers
+   never touch shared session counters: each pool task accumulates into
+   its own tally, and the coordinator merges them in submission order,
+   which is what keeps reports identical regardless of the job count. *)
+
+type t = {
+  mutable queries : int;  (* verdicts asked for (cache hits included) *)
+  mutable runs : int;  (* re-executions actually attempted *)
+  mutable seconds : float;  (* wall-clock spent inside re-executions *)
+}
+
+let create () = { queries = 0; runs = 0; seconds = 0.0 }
+
+let absorb ~into t =
+  into.queries <- into.queries + t.queries;
+  into.runs <- into.runs + t.runs;
+  into.seconds <- into.seconds +. t.seconds
+
+(* Wall clock, not [Sys.time]: process CPU time double-counts across
+   domains and under-counts blocking, both wrong for reported timings. *)
+let counted t f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      t.runs <- t.runs + 1;
+      t.seconds <- t.seconds +. Unix.gettimeofday () -. t0)
+    f

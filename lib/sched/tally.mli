@@ -1,0 +1,22 @@
+(** Per-worker accounting for verification work.
+
+    Mutable counters deliberately live in worker-local records rather
+    than on the shared session: each scheduler task gets a fresh tally,
+    and {!absorb} merges them on the coordinator in submission order, so
+    the totals are independent of how work was spread over domains. *)
+
+type t = {
+  mutable queries : int;  (** verdicts asked for (cache hits included) *)
+  mutable runs : int;  (** re-executions actually attempted *)
+  mutable seconds : float;  (** wall-clock spent inside re-executions *)
+}
+
+val create : unit -> t
+
+(** [absorb ~into t] adds [t]'s counters into [into]. *)
+val absorb : into:t -> t -> unit
+
+(** [counted t f] runs [f], charging one run and its wall-clock duration
+    to [t] even when [f] raises (an injected fault aborting a
+    re-execution still counts toward the tally). *)
+val counted : t -> (unit -> 'a) -> 'a

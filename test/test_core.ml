@@ -124,7 +124,7 @@ let test_verify_counts_runs () =
   ignore (Verify.verify session ~p ~u);
   ignore (Verify.verify session ~p ~u);
   (* cached *)
-  Alcotest.(check int) "one re-execution" 1 session.Session.verifications
+  Alcotest.(check int) "one re-execution" 1 (Session.verifications session)
 
 let test_locate_gzip () =
   let prog, session, oracle = gzip_session () in
@@ -597,7 +597,7 @@ let test_chaos_crash_degrades () =
   let g = stats_of session in
   Alcotest.(check int) "aborted" 1 g.Guard.aborted;
   Alcotest.(check int) "completed" 0 g.Guard.completed;
-  Alcotest.(check int) "accounted" session.Session.verifications
+  Alcotest.(check int) "accounted" (Session.verifications session)
     (g.Guard.completed + g.Guard.aborted);
   match Guard.failures session.Session.guard with
   | [ (_, Guard.Run_crashed _) ] -> ()
@@ -618,7 +618,7 @@ let test_chaos_exception_contained () =
   Alcotest.(check int) "captured" 1 g.Guard.captured;
   Alcotest.(check int) "aborted" 1 g.Guard.aborted;
   (* the run attempt still counts toward the session tally *)
-  Alcotest.(check int) "accounted" session.Session.verifications
+  Alcotest.(check int) "accounted" (Session.verifications session)
     (g.Guard.completed + g.Guard.aborted)
 
 let test_breaker_opens_and_skips () =
@@ -647,8 +647,8 @@ let test_breaker_opens_and_skips () =
   Alcotest.(check int) "one trip" 1 g.Guard.breaker_trips;
   Alcotest.(check int) "one skip" 1 g.Guard.breaker_skips;
   (* the skip performed no re-execution *)
-  Alcotest.(check int) "two runs only" 2 session.Session.verifications;
-  Alcotest.(check int) "accounted" session.Session.verifications
+  Alcotest.(check int) "two runs only" 2 (Session.verifications session);
+  Alcotest.(check int) "accounted" (Session.verifications session)
     (g.Guard.completed + g.Guard.aborted)
 
 (* Budget escalation: switching the guard sends the program through a
@@ -693,7 +693,7 @@ let test_escalation_rescues_tight_budget () =
   Alcotest.(check int) "final attempt completed" 1 g.Guard.completed;
   Alcotest.(check int) "earlier attempts aborted" g.Guard.retried
     g.Guard.aborted;
-  Alcotest.(check int) "every attempt accounted" session.Session.verifications
+  Alcotest.(check int) "every attempt accounted" (Session.verifications session)
     (g.Guard.completed + g.Guard.aborted)
 
 let test_no_escalation_misses () =

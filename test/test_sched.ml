@@ -1,0 +1,356 @@
+(* Tests for the Exom_sched subsystem: the verdict store (round-trip,
+   LRU, corruption rejection), the domain pool and batch planner, and
+   the scheduler's determinism contract — localization reports are
+   bit-identical at -j1 and -j4, and warm-store reruns reproduce the
+   cold localization without a single re-execution. *)
+
+module Pool = Exom_sched.Pool
+module Batch = Exom_sched.Batch
+module Store = Exom_sched.Store
+module Tally = Exom_sched.Tally
+module Demand = Exom_core.Demand
+module Slice = Exom_ddg.Slice
+module B = Exom_bench.Bench_types
+module Runner = Exom_bench.Runner
+module Suite = Exom_bench.Suite
+
+let temp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "exom_store_test_%d_%d" (Unix.getpid ()) !n)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_dir f =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f dir)
+
+(* {2 Store} *)
+
+let test_digest () =
+  Alcotest.(check string)
+    "deterministic"
+    (Store.digest [ "a"; "bc" ])
+    (Store.digest [ "a"; "bc" ]);
+  Alcotest.(check bool)
+    "length-prefixed parts do not collide" false
+    (Store.digest [ "ab"; "c" ] = Store.digest [ "a"; "bc" ]);
+  Alcotest.(check bool)
+    "part count matters" false
+    (Store.digest [ "abc" ] = Store.digest [ "abc"; "" ])
+
+let test_memory_round_trip () =
+  let s = Store.create () in
+  let k = Store.digest [ "k" ] in
+  Alcotest.(check (option string)) "miss before add" None (Store.find s k);
+  Store.add s ~key:k "payload";
+  Alcotest.(check (option string))
+    "hit after add" (Some "payload") (Store.find s k);
+  Store.add s ~key:k "replaced";
+  Alcotest.(check (option string))
+    "add replaces" (Some "replaced") (Store.find s k);
+  let st = Store.stats s in
+  Alcotest.(check int) "two hits" 2 st.Store.hits;
+  Alcotest.(check int) "one miss" 1 st.Store.misses;
+  Alcotest.(check int) "no disk writes without a dir" 0 st.Store.writes
+
+let test_lru_eviction () =
+  let s = Store.create ~capacity:2 () in
+  let k i = Store.digest [ string_of_int i ] in
+  Store.add s ~key:(k 1) "one";
+  Store.add s ~key:(k 2) "two";
+  (* touch 1 so 2 becomes the LRU victim *)
+  ignore (Store.find s (k 1));
+  Store.add s ~key:(k 3) "three";
+  Alcotest.(check int) "capacity respected" 2 (Store.mem_size s);
+  Alcotest.(check (option string))
+    "recently used survives" (Some "one")
+    (Store.find s (k 1));
+  Alcotest.(check (option string)) "LRU evicted" None (Store.find s (k 2));
+  Alcotest.(check (option string))
+    "newcomer present" (Some "three")
+    (Store.find s (k 3));
+  Alcotest.(check int) "one eviction" 1 (Store.stats s).Store.evictions
+
+let test_disk_round_trip () =
+  with_temp_dir (fun dir ->
+      let k = Store.digest [ "persisted" ] in
+      let s1 = Store.create ~dir () in
+      Store.add s1 ~key:k "the payload\nwith a newline";
+      Alcotest.(check int) "written" 1 (Store.stats s1).Store.writes;
+      (* a fresh store over the same dir: miss in memory, hit on disk *)
+      let s2 = Store.create ~dir () in
+      Alcotest.(check (option string))
+        "disk hit" (Some "the payload\nwith a newline")
+        (Store.find s2 k);
+      Alcotest.(check int) "counted as disk hit" 1
+        (Store.stats s2).Store.disk_hits;
+      (* promoted to memory: second lookup is a memory hit *)
+      ignore (Store.find s2 k);
+      Alcotest.(check int) "promoted" 1 (Store.stats s2).Store.hits)
+
+let entry_file dir =
+  (* the single entry's file, wherever the shard put it *)
+  let files = ref [] in
+  let rec walk p =
+    if Sys.is_directory p then
+      Array.iter (fun f -> walk (Filename.concat p f)) (Sys.readdir p)
+    else files := p :: !files
+  in
+  walk dir;
+  match !files with
+  | [ f ] -> f
+  | l -> Alcotest.failf "expected one entry file, found %d" (List.length l)
+
+let corrupt_with dir content =
+  let path = entry_file dir in
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let test_corrupted_rejected () =
+  let try_corruption content =
+    with_temp_dir (fun dir ->
+        let k = Store.digest [ "x" ] in
+        let s1 = Store.create ~dir () in
+        Store.add s1 ~key:k "value";
+        corrupt_with dir content;
+        let s2 = Store.create ~dir () in
+        let r = Store.find s2 k in
+        Alcotest.(check (option string)) "rejected" None r;
+        Alcotest.(check int) "counted corrupted" 1
+          (Store.stats s2).Store.corrupted)
+  in
+  try_corruption "garbage";
+  try_corruption "#exom-store v999\nwrongversion\n5\nvalue";
+  (* right header, wrong key echo (a renamed/swapped file) *)
+  try_corruption
+    (Printf.sprintf "#exom-store v%d\n%s\n5\nvalue" Store.version
+       (Store.digest [ "other" ]));
+  (* truncated payload *)
+  try_corruption
+    (Printf.sprintf "#exom-store v%d\n%s\n100\nshort" Store.version
+       (Store.digest [ "x" ]))
+
+let test_hit_rate () =
+  let s = Store.create () in
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Store.hit_rate (Store.stats s));
+  let k = Store.digest [ "k" ] in
+  ignore (Store.find s k);
+  Store.add s ~key:k "v";
+  ignore (Store.find s k);
+  Alcotest.(check (float 1e-9)) "1 hit / 2 lookups" 0.5
+    (Store.hit_rate (Store.stats s))
+
+(* {2 Pool and Batch} *)
+
+let test_pool_inline () =
+  let p = Pool.create ~jobs:1 () in
+  Alcotest.(check int) "one job" 1 (Pool.jobs p);
+  let acc = ref [] in
+  Pool.run p (List.map (fun i () -> acc := i :: !acc) [ 1; 2; 3 ]);
+  (* jobs=1 runs inline, in order *)
+  Alcotest.(check (list int)) "inline, in order" [ 3; 2; 1 ] !acc;
+  Pool.shutdown p
+
+let test_pool_parallel_completes () =
+  let p = Pool.create ~jobs:4 () in
+  let n = 100 in
+  let hits = Array.make n false in
+  Pool.run p (List.init n (fun i () -> hits.(i) <- true));
+  Alcotest.(check bool) "every task ran" true (Array.for_all Fun.id hits);
+  (* reusable across run calls *)
+  let count = Atomic.make 0 in
+  Pool.run p (List.init n (fun _ () -> Atomic.incr count));
+  Alcotest.(check int) "second wave" n (Atomic.get count);
+  Pool.shutdown p;
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Pool.run: pool is shut down") (fun () ->
+      Pool.run p [ (fun () -> ()) ])
+
+let test_batch_order_and_errors () =
+  List.iter
+    (fun jobs ->
+      let p = Pool.create ~jobs () in
+      let tasks =
+        List.init 20 (fun i () ->
+            if i = 7 then failwith "boom" else i * 10)
+      in
+      let results = Batch.run_tasks p tasks in
+      List.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> Alcotest.(check int) "submission order" (i * 10) v
+          | Error (Failure msg) ->
+            Alcotest.(check int) "only the failing slot" 7 i;
+            Alcotest.(check string) "its exception" "boom" msg
+          | Error e -> raise e)
+        results;
+      Pool.shutdown p)
+    [ 1; 4 ]
+
+let test_batch_cancel () =
+  let p = Pool.create ~jobs:1 () in
+  let ran = ref 0 in
+  let results =
+    Batch.run_tasks
+      ~cancel:(fun () -> !ran >= 2)
+      p
+      (List.init 5 (fun i () ->
+           incr ran;
+           i))
+  in
+  Alcotest.(check int) "stopped after two" 2 !ran;
+  Alcotest.(check int) "cancelled slots" 3
+    (List.length
+       (List.filter (function Error Batch.Cancelled -> true | _ -> false)
+          results));
+  Pool.shutdown p
+
+let test_group_by_stable () =
+  let groups =
+    Batch.group_by ~key:(fun x -> x mod 3) [ 5; 3; 1; 4; 6; 2; 8 ]
+  in
+  Alcotest.(check (list (pair int (list int))))
+    "keys by first occurrence, items in input order"
+    [ (2, [ 5; 2; 8 ]); (0, [ 3; 6 ]); (1, [ 1; 4 ]) ]
+    groups
+
+let test_tally () =
+  let t = Tally.create () in
+  let v = Tally.counted t (fun () -> 42) in
+  Alcotest.(check int) "returns" 42 v;
+  (try Tally.counted t (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "raising runs still counted" 2 t.Tally.runs;
+  Alcotest.(check bool) "wall clock advances" true (t.Tally.seconds >= 0.0);
+  let into = Tally.create () in
+  into.Tally.queries <- 5;
+  Tally.absorb ~into t;
+  Alcotest.(check int) "absorb sums" 2 into.Tally.runs
+
+(* {2 Determinism: -j1 vs -j4, warm vs cold} *)
+
+let fault_of name fid =
+  let b = Option.get (Suite.find name) in
+  (b, Option.get (Suite.find_fault b fid))
+
+(* What a localization claims, minus timings. *)
+let locate_sig (r : Runner.result) =
+  let rep = r.Runner.report in
+  ( rep.Demand.found, rep.Demand.user_prunings, rep.Demand.total_prunings,
+    rep.Demand.iterations, rep.Demand.expanded_edges,
+    rep.Demand.implicit_edges, rep.Demand.benign,
+    Slice.sids rep.Demand.ips, Slice.sids rep.Demand.ds,
+    Slice.sids rep.Demand.ps0, rep.Demand.os_chain )
+
+(* Cold runs additionally promise identical accounting. *)
+let full_sig (r : Runner.result) =
+  let rep = r.Runner.report in
+  ( locate_sig r, rep.Demand.verifications, rep.Demand.verify_queries,
+    rep.Demand.robustness, rep.Demand.failures )
+
+(* grep V4-F2 is the suite's heaviest locate (it also exercises
+   switched-run dedup: more queries than runs); gzip V2-F9 dedups
+   hardest. *)
+let determinism_rows =
+  [ ("grepsim", "V4-F2"); ("gzipsim", "V2-F9"); ("sedsim", "V3-F2") ]
+
+let test_j1_vs_j4 () =
+  let p1 = Pool.create ~jobs:1 () in
+  let p4 = Pool.create ~jobs:4 () in
+  List.iter
+    (fun (name, fid) ->
+      let b, f = fault_of name fid in
+      let seq = Runner.run_fault ~pool:p1 b f in
+      let par = Runner.run_fault ~pool:p4 b f in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s %s: -j1 = -j4" name fid)
+        true
+        (full_sig seq = full_sig par);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s %s locates" name fid)
+        true seq.Runner.report.Demand.found)
+    determinism_rows;
+  Pool.shutdown p1;
+  Pool.shutdown p4
+
+let test_warm_vs_cold () =
+  let pool = Pool.create ~jobs:2 () in
+  List.iter
+    (fun (name, fid) ->
+      let b, f = fault_of name fid in
+      let store = Store.create () in
+      let cold = Runner.run_fault ~pool ~store b f in
+      let warm = Runner.run_fault ~pool ~store b f in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s %s: warm = cold localization" name fid)
+        true
+        (locate_sig cold = locate_sig warm);
+      Alcotest.(check int)
+        (Printf.sprintf "%s %s: warm run re-executes nothing" name fid)
+        0 warm.Runner.report.Demand.verifications;
+      Alcotest.(check int)
+        (Printf.sprintf "%s %s: every warm query a hit" name fid)
+        warm.Runner.report.Demand.verify_queries
+        warm.Runner.report.Demand.store.Store.hits)
+    determinism_rows;
+  Pool.shutdown pool
+
+let test_persistent_warm_across_stores () =
+  (* cold process fills the disk tier; a second process (fresh store
+     over the same dir) reproduces the localization from disk alone *)
+  with_temp_dir (fun dir ->
+      let b, f = fault_of "gzipsim" "V2-F3" in
+      let cold = Runner.run_fault ~store:(Store.create ~dir ()) b f in
+      let warm = Runner.run_fault ~store:(Store.create ~dir ()) b f in
+      Alcotest.(check bool) "localization reproduced" true
+        (locate_sig cold = locate_sig warm);
+      Alcotest.(check int) "no re-executions" 0
+        warm.Runner.report.Demand.verifications;
+      Alcotest.(check int) "answered from disk"
+        warm.Runner.report.Demand.verify_queries
+        warm.Runner.report.Demand.store.Store.disk_hits)
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "digest" `Quick test_digest;
+          Alcotest.test_case "memory round-trip" `Quick test_memory_round_trip;
+          Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "disk round-trip" `Quick test_disk_round_trip;
+          Alcotest.test_case "corrupted entries rejected" `Quick
+            test_corrupted_rejected;
+          Alcotest.test_case "hit rate" `Quick test_hit_rate;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "jobs=1 runs inline" `Quick test_pool_inline;
+          Alcotest.test_case "jobs=4 completes everything" `Quick
+            test_pool_parallel_completes;
+          Alcotest.test_case "batch preserves submission order" `Quick
+            test_batch_order_and_errors;
+          Alcotest.test_case "batch cancellation" `Quick test_batch_cancel;
+          Alcotest.test_case "stable grouping" `Quick test_group_by_stable;
+          Alcotest.test_case "tally" `Quick test_tally;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "-j1 = -j4 reports" `Quick test_j1_vs_j4;
+          Alcotest.test_case "warm store = cold localization" `Quick
+            test_warm_vs_cold;
+          Alcotest.test_case "warm across processes (disk tier)" `Quick
+            test_persistent_warm_across_stores;
+        ] );
+    ]
