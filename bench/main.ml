@@ -287,8 +287,6 @@ let sched_jobs =
     -> int_of_string v
   | _ -> 4
 
-let now () = Unix.gettimeofday ()
-
 (* Everything a localization claims, minus timings: the fields the
    determinism contract promises are identical at any -j and any store
    temperature. *)
@@ -329,10 +327,19 @@ let run_sched_comparison () =
   let rows =
     List.map
       (fun (b, f) ->
+        (* duration comes from the metrics registry of the run itself
+           (one timing path shared with `exom stats`), not an ad-hoc
+           stopwatch around it *)
         let timed pool store =
-          let t0 = now () in
-          let r = Runner.run_fault ~pool ?store b f in
-          (r, now () -. t0)
+          let obs = Exom_obs.Obs.create () in
+          let r =
+            Exom_obs.Obs.timed obs "bench.run_fault" (fun () ->
+                Runner.run_fault ~obs ~pool ?store b f)
+          in
+          ( r,
+            Exom_obs.Metrics.timer_seconds
+              (Exom_obs.Obs.metrics obs)
+              "bench.run_fault" )
         in
         let store = Store.create () in
         let seq, seq_s = timed seq_pool (Some store) in

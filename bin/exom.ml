@@ -9,7 +9,8 @@
      explain confidence analysis of a failing run (ranked candidates)
      dot     Graphviz rendering of the dynamic dependence graph
      regions the execution's region decomposition (Definition 3)
-     bench   run one benchmark fault from the built-in suite            *)
+     bench   run one benchmark fault from the built-in suite
+     stats   pretty-print the metric tree of a --metrics-out file       *)
 
 module Ast = Exom_lang.Ast
 module Typecheck = Exom_lang.Typecheck
@@ -206,6 +207,45 @@ module Guard = Exom_core.Guard
 module Chaos = Exom_interp.Chaos
 module Pool = Exom_sched.Pool
 module Store = Exom_sched.Store
+module Obs = Exom_obs.Obs
+module Export = Exom_obs.Export
+
+(* Observability: span recording is enabled exactly when --trace-out is
+   given (metrics are always live — reports are built from them). *)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's span tree as Chrome trace-event JSON to FILE \
+           (loadable in chrome://tracing or Perfetto); also enables span \
+           recording")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's metrics (and spans, when recorded) as a \
+           versioned JSONL event log to FILE; read it back with \
+           $(b,exom stats)")
+
+let make_obs ~trace_out = Obs.create ~trace:(trace_out <> None) ()
+
+let write_obs obs ~trace_out ~metrics_out =
+  (match trace_out with
+  | Some path ->
+    Export.write_chrome path obs;
+    Printf.eprintf "trace written to %s\n" path
+  | None -> ());
+  match metrics_out with
+  | Some path ->
+    Export.write_jsonl path obs;
+    Printf.eprintf "metrics written to %s\n" path
+  | None -> ()
 
 (* -j: verification scheduler parallelism.  Defaults to the EXOM_JOBS
    environment variable (1 when unset); 0 means one job per core. *)
@@ -287,7 +327,7 @@ let print_robustness (report : Demand.report) =
 
 let locate_cmd =
   let action file correct_file input text root_line chaos_seed verify_deadline
-      max_retries breaker jobs store_dir =
+      max_retries breaker jobs store_dir trace_out metrics_out =
     match (compile_file file, compile_file correct_file) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -305,10 +345,13 @@ let locate_cmd =
       | Some c -> Format.eprintf "%a@." Chaos.pp c
       | None -> ());
       let pool = make_pool jobs in
-      let store = Option.map (fun dir -> Store.create ~dir ()) store_dir in
+      let obs = make_obs ~trace_out in
+      let store =
+        Option.map (fun dir -> Store.create ~obs ~dir ()) store_dir
+      in
       match
-        Session.create ~policy ?chaos ?store ~prog:faulty ~input ~expected
-          ~profile_inputs:[ input ] ()
+        Session.create ~obs ~policy ?chaos ?store ~prog:faulty ~input
+          ~expected ~profile_inputs:[ input ] ()
       with
       | exception Session.No_failure ->
         prerr_endline "the two programs agree on this input: nothing to locate";
@@ -332,6 +375,7 @@ let locate_cmd =
             [ -1 ]
         in
         let report = Demand.locate ~pool session ~oracle ~root_sids in
+        write_obs obs ~trace_out ~metrics_out;
         Printf.printf
           "verifications: %d (of %d queries), iterations: %d, implicit \
            edges: %d, user prunings: %d\n"
@@ -411,7 +455,7 @@ let locate_cmd =
     Term.(
       const action $ file_arg $ correct_arg $ input_arg $ text_arg $ root_arg
       $ chaos_seed_arg $ deadline_arg $ max_retries_arg $ breaker_arg
-      $ jobs_arg $ store_arg)
+      $ jobs_arg $ store_arg $ trace_out_arg $ metrics_out_arg)
 
 (* explain *)
 
@@ -584,7 +628,7 @@ let regions_cmd =
 (* bench *)
 
 let bench_cmd =
-  let action name fid jobs store_dir =
+  let action name fid jobs store_dir trace_out metrics_out =
     match Suite.find name with
     | None ->
       Printf.eprintf "unknown benchmark %s (have: %s)\n" name
@@ -599,8 +643,12 @@ let bench_cmd =
         1
       | Some fault ->
         let pool = make_pool jobs in
-        let store = Option.map (fun dir -> Store.create ~dir ()) store_dir in
-        let r = Runner.run_fault ~pool ?store bench fault in
+        let obs = make_obs ~trace_out in
+        let store =
+          Option.map (fun dir -> Store.create ~obs ~dir ()) store_dir
+        in
+        let r = Runner.run_fault ~obs ~pool ?store bench fault in
+        write_obs obs ~trace_out ~metrics_out;
         Printf.printf "%s %s (%d job(s)): %s\n" name fid (Pool.jobs pool)
           fault.B.description;
         Printf.printf
@@ -641,7 +689,45 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Run one benchmark fault from the built-in suite")
-    Term.(const action $ name_arg $ fid_arg $ jobs_arg $ store_arg)
+    Term.(
+      const action $ name_arg $ fid_arg $ jobs_arg $ store_arg $ trace_out_arg
+      $ metrics_out_arg)
+
+(* stats *)
+
+let stats_cmd =
+  let action file no_timings =
+    match read_file file with
+    | exception Sys_error e ->
+      prerr_endline e;
+      1
+    | content -> (
+      match Export.metrics_of_jsonl content with
+      | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        1
+      | Ok reg ->
+        print_string (Exom_obs.Metrics.render ~timings:(not no_timings) reg);
+        0)
+  in
+  let stats_file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A JSONL event log written by --metrics-out")
+  in
+  let no_timings_arg =
+    Arg.(
+      value & flag
+      & info [ "no-timings" ]
+          ~doc:
+            "Suppress wall-clock figures, leaving the subset that is \
+             bit-identical across job counts and machines")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Pretty-print the metric tree of a --metrics-out event log")
+    Term.(const action $ stats_file_arg $ no_timings_arg)
 
 let () =
   let doc = "locating execution omission errors via implicit dependences" in
@@ -651,4 +737,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "exom" ~version:"1.0.0" ~doc)
           [ run_cmd; info_cmd; slice_cmd; rslice_cmd; locate_cmd; explain_cmd;
-            dot_cmd; regions_cmd; bench_cmd ]))
+            dot_cmd; regions_cmd; bench_cmd; stats_cmd ]))

@@ -40,7 +40,22 @@ let rec match_inside r1 reg_r r2 reg_r' ~u =
    [u] — because the executions agree up to [p], the corresponding
    region in the switched run is headed by the instance at the same
    index — and match inside (the paper's [Match]). *)
-let match_from reg reg' ~p ~u =
+(* Each alignment query bumps align.queries, each successful one
+   align.matched — the ratio is the paper's "how often switching leaves
+   the instance recognizable" figure. *)
+let counted obs verdict =
+  (match obs with
+  | None -> ()
+  | Some obs ->
+    Exom_obs.Obs.incr obs "align.queries";
+    (match verdict with
+    | Found _ -> Exom_obs.Obs.incr obs "align.matched"
+    | Not_found -> ()));
+  verdict
+
+let match_from ?obs reg reg' ~p ~u =
+  counted obs
+  @@
   if u < p then if u < Region.length reg' then Found u else Not_found
   else begin
     let rec climb r r' =
@@ -68,7 +83,7 @@ let match_from reg reg' ~p ~u =
 (* Match [u] across whole executions, pairing from the two roots: used
    when the executions may diverge anywhere (e.g. aligning a faulty run
    with the corrected program's run for the benign-state oracle). *)
-let match_root reg reg' ~u =
-  match_inside Region.root reg Region.root reg' ~u
+let match_root ?obs reg reg' ~u =
+  counted obs (match_inside Region.root reg Region.root reg' ~u)
 
 let to_option = function Found i -> Some i | Not_found -> None

@@ -13,12 +13,14 @@ type verdict = Found of int | Not_found
 (** [match_from reg reg' ~p ~u]: the two executions are identical up to
     instance [p] (the switched predicate, at the same index in both).
     Returns [u]'s counterpart in [reg'].  Instances before [p] match
-    themselves. *)
-val match_from : Region.t -> Region.t -> p:int -> u:int -> verdict
+    themselves.  With [obs], counts the query ([align.queries]) and its
+    success ([align.matched]). *)
+val match_from :
+  ?obs:Exom_obs.Obs.t -> Region.t -> Region.t -> p:int -> u:int -> verdict
 
 (** Whole-execution alignment from the roots, for executions that may
     diverge anywhere (e.g. faulty run vs. corrected-program run in the
     benign-state oracle). *)
-val match_root : Region.t -> Region.t -> u:int -> verdict
+val match_root : ?obs:Exom_obs.Obs.t -> Region.t -> Region.t -> u:int -> verdict
 
 val to_option : verdict -> int option

@@ -5,6 +5,7 @@ module Trace = Exom_interp.Trace
 module Slice = Exom_ddg.Slice
 module Relevant = Exom_ddg.Relevant
 module Demand = Exom_core.Demand
+module Obs = Exom_obs.Obs
 module Oracle = Exom_core.Oracle
 module Session = Exom_core.Session
 
@@ -45,29 +46,36 @@ let sizes_of_chain trace chain =
   in
   { static_size = List.length sids; dynamic_size = List.length chain }
 
-(* Wall clock, not [Sys.time]: process CPU time double-counts across
-   pool domains and under-counts blocking, both wrong for Table 4. *)
-let time_run f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
-
-let run_fault ?config ?(budget = Interp.default_budget) ?policy ?chaos ?pool
-    ?store bench fault =
+let run_fault ?obs ?config ?(budget = Interp.default_budget) ?policy ?chaos
+    ?pool ?store bench fault =
+  (* All Table 4 timing reads come from the metrics registry (wall
+     clock, not [Sys.time]: process CPU time double-counts across pool
+     domains and under-counts blocking) — one accounting path shared
+     with `exom stats`. *)
+  let obs = match obs with Some o -> o | None -> Obs.create () in
   let faulty_src = Bench_types.faulty_source bench fault in
   let faulty = Typecheck.parse_and_check faulty_src in
   let correct = Typecheck.parse_and_check bench.Bench_types.source in
   let input = fault.Bench_types.failing_input in
   let expected = Oracle.expected ~correct_prog:correct ~input in
   (* Table 4: plain vs graph-constructing execution *)
-  let _, plain_seconds =
-    time_run (fun () -> Interp.run ~tracing:false ~budget faulty ~input)
+  let timer name f = Exom_obs.Obs.timed obs name f in
+  let seconds name =
+    Exom_obs.Metrics.timer_seconds (Exom_obs.Obs.metrics obs) name
   in
-  let session, graph_seconds =
-    time_run (fun () ->
-        Session.create ~budget ?policy ?chaos ?store ~prog:faulty ~input
+  let plain0 = seconds "runner.plain_run" in
+  let graph0 = seconds "runner.session_build" in
+  let _ =
+    timer "runner.plain_run" (fun () ->
+        Interp.run ~tracing:false ~budget faulty ~input)
+  in
+  let session =
+    timer "runner.session_build" (fun () ->
+        Session.create ~obs ~budget ?policy ?chaos ?store ~prog:faulty ~input
           ~expected ~profile_inputs:bench.Bench_types.test_inputs ())
   in
+  let plain_seconds = seconds "runner.plain_run" -. plain0 in
+  let graph_seconds = seconds "runner.session_build" -. graph0 in
   let oracle =
     Oracle.create ~faulty_trace:session.Session.trace ~correct_prog:correct
       ~input

@@ -26,8 +26,13 @@ type result = {
 (** [pool] drives the verification scheduler (inline sequential when
     omitted and [EXOM_JOBS] is unset); [store] supplies a verdict cache
     shared across faults or processes — results are identical at any
-    job count and any store temperature (modulo timings). *)
+    job count and any store temperature (modulo timings).  [obs] is the
+    observability context the session inherits (pass
+    [Exom_obs.Obs.create ~trace:true ()] to record spans for
+    [--trace-out]); timing fields are read back from its metrics
+    registry ([runner.plain_run], [runner.session_build]). *)
 val run_fault :
+  ?obs:Exom_obs.Obs.t ->
   ?config:Exom_core.Demand.config ->
   ?budget:int ->
   ?policy:Exom_core.Guard.policy ->

@@ -1,4 +1,5 @@
 module Confidence = Exom_conf.Confidence
+module Obs = Exom_obs.Obs
 module Prune = Exom_conf.Prune
 module Relevant = Exom_ddg.Relevant
 module Slice = Exom_ddg.Slice
@@ -85,6 +86,8 @@ let dedup_by_sid ~per_sid trace candidates =
 let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
     ~root_sids =
   let trace = s.Session.trace in
+  let obs = s.Session.obs in
+  Obs.with_span obs ~cat:"demand" "demand.locate" @@ fun () ->
   let verify_batch pairs =
     Verify.verify_batch ~mode:config.verify_mode ?pool s pairs
   in
@@ -224,6 +227,10 @@ let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
      while
        (not !found) && (not !exhausted) && !iterations < config.max_iterations
      do
+       Obs.with_span obs ~cat:"demand"
+         ~args:[ ("n", string_of_int !iterations) ]
+         "demand.iteration"
+       @@ fun () ->
        (* Walk the ranked unexpanded uses until one expansion verifies
           something; a full sweep with no new edges ends the search. *)
        let candidates =
@@ -244,6 +251,26 @@ let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
   let os_chain =
     Slice.shortest_chain ~extra trace ~criterion ~from_sids:root_sids
   in
+  (* Sync the session-cumulative guard and search counters into the
+     metrics registry.  [sync] sets the counter to the current total (it
+     adds the delta against whatever a previous locate on this session
+     already recorded), so the tree is correct even across repeated
+     calls. *)
+  let sync name v =
+    Obs.add obs name (v - Exom_obs.Metrics.counter_value (Obs.metrics obs) name)
+  in
+  let g = Guard.stats s.Session.guard in
+  sync "guard.completed" g.Guard.completed;
+  sync "guard.aborted" g.Guard.aborted;
+  sync "guard.retried" g.Guard.retried;
+  sync "guard.deadline_expired" g.Guard.deadline_expired;
+  sync "guard.breaker_trips" g.Guard.breaker_trips;
+  sync "guard.breaker_skips" g.Guard.breaker_skips;
+  sync "guard.captured" g.Guard.captured;
+  sync "demand.iterations" !iterations;
+  sync "demand.expanded_edges" !edges_added;
+  sync "demand.user_prunings" !user_prunings;
+  sync "demand.benign" (List.length !benign);
   {
     found = !found;
     user_prunings = initial_prunings;

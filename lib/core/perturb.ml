@@ -19,17 +19,18 @@ module Value = Exom_interp.Value
    executions agree up to [d]). *)
 
 (* Every perturbed re-execution — even one an injected fault aborts by
-   exception — lands in the session tally.  Perturbation runs on the
-   coordinator (it is not batched), so it charges the session's merged
-   tally directly. *)
+   exception — is charged to the verify.run timer.  Perturbation runs on
+   the coordinator (it is not batched), so it charges the session's
+   merged registry directly. *)
 let perturbed_run (s : Session.t) ~budget ~d ~candidate =
   let inst = Trace.get s.Session.trace d in
   let vswitch =
     { Interp.vswitch_sid = inst.Trace.sid; vswitch_occ = inst.Trace.occ;
       vswitch_value = candidate }
   in
-  Exom_sched.Tally.counted s.Session.tally (fun () ->
-      Interp.run ~vswitch ?chaos:s.Session.chaos ~budget s.Session.prog
+  let obs = s.Session.obs in
+  Exom_obs.Obs.timed obs "verify.run" (fun () ->
+      Interp.run ~obs ~vswitch ?chaos:s.Session.chaos ~budget s.Session.prog
         ~input:s.Session.input)
 
 let classify (s : Session.t) ~(run' : Interp.run) ~d ~u =

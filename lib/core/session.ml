@@ -5,7 +5,7 @@ module Proginfo = Exom_cfg.Proginfo
 module Region = Exom_align.Region
 module Relevant = Exom_ddg.Relevant
 module Store = Exom_sched.Store
-module Tally = Exom_sched.Tally
+module Obs = Exom_obs.Obs
 module Trace = Exom_interp.Trace
 module Value = Exom_interp.Value
 
@@ -29,7 +29,9 @@ type t = {
   chaos : Exom_interp.Chaos.t option;
       (* injected into switched re-executions only; the failing run
          under diagnosis is never subjected to chaos *)
-  tally : Tally.t;  (* merged verification accounting (coordinator) *)
+  obs : Obs.t;
+      (* the observability context: merged metrics (the successor of the
+         old Tally) plus optional span recording; coordinator-owned *)
   store : Store.t;  (* verdict cache; possibly persistent *)
   key_prefix : string;
       (* content hash of everything a verdict depends on besides
@@ -93,9 +95,14 @@ let derive_key_prefix ~prog ~input ~expected ~budget ~chaos =
           (Exom_interp.Chaos.fault_to_string c.Exom_interp.Chaos.fault));
     ]
 
-let create ?(budget = Interp.default_budget) ?policy ?chaos ?store ~prog
+let create ?obs ?(budget = Interp.default_budget) ?policy ?chaos ?store ~prog
     ~input ~expected ~profile_inputs () =
-  let run = Interp.run ~budget prog ~input in
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  Obs.with_span obs ~cat:"session" "session.create" @@ fun () ->
+  let run =
+    Obs.with_span obs ~cat:"session" "session.failing_run" (fun () ->
+        Interp.run ~obs ~budget prog ~input)
+  in
   let trace =
     match run.Interp.trace with
     | Some t -> t
@@ -104,7 +111,15 @@ let create ?(budget = Interp.default_budget) ?policy ?chaos ?store ~prog
   let correct_outputs, wrong_output, vexp = classify ~run ~trace ~expected in
   let info = Proginfo.build prog in
   let store =
-    match store with Some s -> s | None -> Store.create ()
+    match store with Some s -> s | None -> Store.create ~obs ()
+  in
+  let region =
+    Obs.with_span obs ~cat:"session" "session.regions" (fun () ->
+        Region.build trace)
+  in
+  let profile =
+    Obs.with_span obs ~cat:"session" "session.profile" (fun () ->
+        Profile.collect prog profile_inputs)
   in
   {
     prog;
@@ -112,8 +127,8 @@ let create ?(budget = Interp.default_budget) ?policy ?chaos ?store ~prog
     input;
     run;
     trace;
-    region = Region.build trace;
-    profile = Profile.collect prog profile_inputs;
+    region;
+    profile;
     rel = Relevant.create info trace;
     correct_outputs;
     wrong_output;
@@ -121,12 +136,15 @@ let create ?(budget = Interp.default_budget) ?policy ?chaos ?store ~prog
     budget;
     guard = Guard.create ?policy ();
     chaos;
-    tally = Tally.create ();
+    obs;
     store;
     key_prefix = derive_key_prefix ~prog ~input ~expected ~budget ~chaos;
   }
 
-let verifications s = s.tally.Tally.runs
-let verif_seconds s = s.tally.Tally.seconds
-let verify_queries s = s.tally.Tally.queries
+(* The accounting views read the metrics registry: the verify.run timer
+   holds what Tally.runs/Tally.seconds used to, verify.queries the old
+   query count. *)
+let verifications s = Exom_obs.Metrics.timer_count (Obs.metrics s.obs) "verify.run"
+let verif_seconds s = Exom_obs.Metrics.timer_seconds (Obs.metrics s.obs) "verify.run"
+let verify_queries s = Exom_obs.Metrics.counter_value (Obs.metrics s.obs) "verify.queries"
 let store_stats s = Store.stats s.store

@@ -4,10 +4,10 @@
     verification bookkeeping for Tables 3-4).
 
     The session itself is a read-only view once created: verification
-    accounting lives in a {!Exom_sched.Tally.t} merged by the scheduler
-    on the coordinator, and cached verdicts live in a
-    {!Exom_sched.Store.t}, so worker domains can share the session
-    freely while only the coordinator mutates the tally and store. *)
+    accounting lives in the session's {!Exom_obs.Obs.t} metrics registry
+    merged by the scheduler on the coordinator, and cached verdicts live
+    in a {!Exom_sched.Store.t}, so worker domains can share the session
+    freely while only the coordinator mutates the registry and store. *)
 
 type t = {
   prog : Exom_lang.Ast.program;
@@ -30,8 +30,10 @@ type t = {
   chaos : Exom_interp.Chaos.t option;
       (** fault injection applied to switched re-executions only; the
           failing run under diagnosis is never subjected to chaos *)
-  tally : Exom_sched.Tally.t;
-      (** merged verification accounting; coordinator-only *)
+  obs : Exom_obs.Obs.t;
+      (** observability context: merged verification metrics (successor
+          of the old tally) plus optional span recording;
+          coordinator-only *)
   store : Exom_sched.Store.t;
       (** verdict cache (in-memory, optionally persistent);
           coordinator-only *)
@@ -61,8 +63,11 @@ val classify_outputs :
     omitted); [chaos] injects faults into switched re-executions.
     [store] supplies a verdict cache to reuse across sessions (e.g. a
     persistent one); a fresh memory-only store is created when
-    omitted. *)
+    omitted.  [obs] supplies the observability context (enable span
+    recording by passing [Exom_obs.Obs.create ~trace:true ()]); a
+    metrics-only context is created when omitted. *)
 val create :
+  ?obs:Exom_obs.Obs.t ->
   ?budget:int ->
   ?policy:Guard.policy ->
   ?chaos:Exom_interp.Chaos.t ->

@@ -5,7 +5,7 @@ module Pool = Exom_sched.Pool
 module Region = Exom_align.Region
 module Slice = Exom_ddg.Slice
 module Store = Exom_sched.Store
-module Tally = Exom_sched.Tally
+module Obs = Exom_obs.Obs
 module Trace = Exom_interp.Trace
 module Value = Exom_interp.Value
 
@@ -38,17 +38,18 @@ type mode = Edge_approximation | Path_exact
    - Otherwise NOT_ID. *)
 
 (* Every re-execution — including ones an injected fault aborts by
-   exception — is charged to the given tally (a worker-local record
-   under the scheduler; merged into the session by the coordinator),
-   keeping [Guard.stats.completed + aborted = Session.verifications]. *)
-let switched_run (s : Session.t) tally ~budget ~p =
+   exception — is charged to the verify.run timer of the given obs
+   shard (worker-local under the scheduler; merged into the session by
+   the coordinator), keeping
+   [Guard.stats.completed + aborted = Session.verifications]. *)
+let switched_run (s : Session.t) wobs ~budget ~p =
   let inst = Trace.get s.Session.trace p in
   let switch =
     { Interp.switch_sid = inst.Trace.sid; switch_occ = inst.Trace.occ }
   in
-  Tally.counted tally (fun () ->
-      Interp.run ~switch ?chaos:s.Session.chaos ~budget s.Session.prog
-        ~input:s.Session.input)
+  Obs.timed wobs "verify.run" (fun () ->
+      Interp.run ~obs:wobs ~switch ?chaos:s.Session.chaos ~budget
+        s.Session.prog ~input:s.Session.input)
 
 (* Does some use of [u'] read a definition that lies inside the region
    of the switched predicate [p'] (i.e. executed only because of the
@@ -74,7 +75,7 @@ let not_id = { Verdict.verdict = Verdict.Not_id; value_affected = false }
 (* [region'] is shared lazily across every use verified against the
    same switched run (the batch planner groups them), so the region
    tree of one re-execution is built at most once. *)
-let classify (s : Session.t) ~mode ~(run' : Interp.run) ~region' ~p ~u =
+let classify ?obs (s : Session.t) ~mode ~(run' : Interp.run) ~region' ~p ~u =
   match run'.Interp.trace with
   | None -> { Verdict.verdict = Verdict.Not_id; value_affected = false }
   | Some trace' ->
@@ -97,7 +98,7 @@ let classify (s : Session.t) ~mode ~(run' : Interp.run) ~region' ~p ~u =
          strong edges to *benign* targets and confidence propagation
          would sanitize it.) *)
       let id_holds, value_affected =
-        match Align.to_option (Align.match_from region region' ~p ~u) with
+        match Align.to_option (Align.match_from ?obs region region' ~p ~u) with
         | None ->
           (* case (i): u has no counterpart *)
           if aborted then (false, false) else (true, true)
@@ -127,7 +128,8 @@ let classify (s : Session.t) ~mode ~(run' : Interp.run) ~region' ~p ~u =
           | Some vexp -> (
             match
               Align.to_option
-                (Align.match_from region region' ~p ~u:s.Session.wrong_output)
+                (Align.match_from ?obs region region' ~p
+                   ~u:s.Session.wrong_output)
             with
             | Some o' -> Value.equal (Trace.get trace' o').Trace.value vexp
             | None -> false)
@@ -192,9 +194,10 @@ let decode_result payload =
       is a per-sid sequential state machine — serializing a sid's runs
       on one worker (in submission order) makes breaker decisions
       independent of the job count.  Workers accumulate into private
-      {!Guard.shard}s and {!Tally.t}s and write verdicts into disjoint
-      slots of a shared array.
-   4. {b merge}: shards and tallies are absorbed in submission order,
+      {!Guard.shard}s and {!Obs.t} shards (forked on the coordinator at
+      construction time, so span lanes are assigned deterministically)
+      and write verdicts into disjoint slots of a shared array.
+   4. {b merge}: guard and obs shards are absorbed in submission order,
       fresh verdicts are persisted in miss order, results are returned
       in the caller's pair order — bit-identical reports at any -j. *)
 let verify_batch ?(mode = Edge_approximation) ?pool (s : Session.t) pairs =
@@ -202,8 +205,12 @@ let verify_batch ?(mode = Edge_approximation) ?pool (s : Session.t) pairs =
   | [] -> []
   | _ ->
     let pool = match pool with Some p -> p | None -> Pool.default () in
-    let tally = s.Session.tally in
-    tally.Tally.queries <- tally.Tally.queries + List.length pairs;
+    let obs = s.Session.obs in
+    Obs.add obs "verify.queries" (List.length pairs);
+    Obs.with_span obs ~cat:"verify"
+      ~args:[ ("pairs", string_of_int (List.length pairs)) ]
+      "verify.batch"
+    @@ fun () ->
     (* resolve: store hits on the coordinator, unique misses in order *)
     let resolved = Hashtbl.create 64 in
     let miss_key = Hashtbl.create 64 in
@@ -234,50 +241,59 @@ let verify_batch ?(mode = Edge_approximation) ?pool (s : Session.t) pairs =
       let sid_of p = (Trace.get s.Session.trace p).Trace.sid in
       let by_sid = Batch.group_by ~key:(fun (p, _) -> sid_of p) by_p in
       Guard.prepare s.Session.guard ~sids:(List.map fst by_sid);
-      let task (_sid, pgroups) () =
-        let shard = Guard.new_shard () in
-        let wtally = Tally.create () in
-        List.iter
-          (fun (p, items) ->
-            let sid = sid_of p in
-            match
-              Guard.execute_in s.Session.guard shard ~sid
-                ~base_budget:s.Session.budget
-                ~run:(fun ~budget -> switched_run s wtally ~budget ~p)
-            with
-            | Guard.Skipped _ ->
-              List.iter (fun (i, _) -> answers.(i) <- Some not_id) items
-            | Guard.Completed run' | Guard.Degraded (run', _) ->
-              let region' =
-                lazy
-                  (match run'.Interp.trace with
-                  | Some trace' -> Region.build trace'
-                  | None -> assert false (* forced only under Some *))
-              in
-              List.iter
-                (fun (i, (_, u)) ->
-                  let r =
-                    try classify s ~mode ~run' ~region' ~p ~u
-                    with exn ->
-                      (* e.g. alignment over a chaos-corrupted trace:
-                         contain, degrade *)
-                      Guard.note_captured_in shard ~sid
-                        ~msg:(Printexc.to_string exn);
-                      not_id
-                  in
-                  answers.(i) <- Some r)
-                items)
-          pgroups;
-        (shard, wtally)
+      (* [Obs.fork] runs here, on the coordinator, while verify.batch is
+         the open span: lanes are numbered in submission order and every
+         worker's top-level spans parent to this batch. *)
+      let task (_sid, pgroups) =
+        let wobs = Obs.fork obs in
+        fun () ->
+          let shard = Guard.new_shard () in
+          List.iter
+            (fun (p, items) ->
+              let sid = sid_of p in
+              Obs.with_span wobs ~cat:"verify"
+                ~args:[ ("p", string_of_int p) ]
+                "verify.reexec"
+              @@ fun () ->
+              match
+                Guard.execute_in s.Session.guard shard ~sid
+                  ~base_budget:s.Session.budget
+                  ~run:(fun ~budget -> switched_run s wobs ~budget ~p)
+              with
+              | Guard.Skipped _ ->
+                List.iter (fun (i, _) -> answers.(i) <- Some not_id) items
+              | Guard.Completed run' | Guard.Degraded (run', _) ->
+                let region' =
+                  lazy
+                    (match run'.Interp.trace with
+                    | Some trace' -> Region.build trace'
+                    | None -> assert false (* forced only under Some *))
+                in
+                Obs.with_span wobs ~cat:"verify" "verify.align" @@ fun () ->
+                List.iter
+                  (fun (i, (_, u)) ->
+                    let r =
+                      try classify ~obs:wobs s ~mode ~run' ~region' ~p ~u
+                      with exn ->
+                        (* e.g. alignment over a chaos-corrupted trace:
+                           contain, degrade *)
+                        Guard.note_captured_in shard ~sid
+                          ~msg:(Printexc.to_string exn);
+                        not_id
+                    in
+                    answers.(i) <- Some r)
+                  items)
+            pgroups;
+          (shard, wobs)
       in
-      let outcomes = Batch.run_tasks pool (List.map task by_sid) in
+      let outcomes = Batch.run_tasks ~obs pool (List.map task by_sid) in
       (* merge in submission order: reports are j-independent *)
       List.iter2
         (fun (sid, _) outcome ->
           match outcome with
-          | Ok (shard, wtally) ->
+          | Ok (shard, wobs) ->
             Guard.absorb s.Session.guard shard;
-            Tally.absorb ~into:tally wtally
+            Obs.absorb ~into:obs wobs
           | Error exn ->
             (* the task itself died (should be impossible: everything
                inside is contained) — record it, rule NOT_ID below *)

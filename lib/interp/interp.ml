@@ -387,8 +387,8 @@ and maybe_value_switch st ctx sid value =
     vswitch_value
   | _ -> value
 
-let run ?switch ?vswitch ?chaos ?(budget = default_budget) ?(tracing = true)
-    prog ~input =
+let run_uninstrumented ?switch ?vswitch ?chaos ?(budget = default_budget)
+    ?(tracing = true) prog ~input =
   let funcs = Hashtbl.create 16 in
   List.iter (fun fn -> Hashtbl.replace funcs fn.Ast.fname fn) prog.Ast.funcs;
   let budget = Chaos.budget_cap chaos budget in
@@ -435,5 +435,24 @@ let run ?switch ?vswitch ?chaos ?(budget = default_budget) ?(tracing = true)
     steps = st.steps;
     switch_fired = st.switch_fired;
   }
+
+(* Observability wrapper.  Nothing is recorded per interpreter step —
+   the run reports its totals exactly once, on completion, so the hot
+   path ([reserve]/[eval]/[exec_stmt]) is identical with and without
+   [obs]. *)
+let run ?obs ?switch ?vswitch ?chaos ?budget ?tracing prog ~input =
+  let go () =
+    run_uninstrumented ?switch ?vswitch ?chaos ?budget ?tracing prog ~input
+  in
+  match obs with
+  | None -> go ()
+  | Some obs ->
+    let r = Exom_obs.Obs.with_span obs ~cat:"interp" "interp.run" go in
+    Exom_obs.Obs.incr obs "interp.runs";
+    Exom_obs.Obs.add obs "interp.steps" r.steps;
+    (match r.trace with
+    | Some tr -> Exom_obs.Obs.add obs "interp.trace_records" (Trace.length tr)
+    | None -> ());
+    r
 
 let output_values (r : run) = List.map snd r.outputs

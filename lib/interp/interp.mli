@@ -46,6 +46,7 @@ val default_budget : int
     Behaviour on programs that did not pass {!Exom_lang.Typecheck} is
     unspecified (may raise [Invalid_argument]). *)
 val run :
+  ?obs:Exom_obs.Obs.t ->
   ?switch:switch_spec ->
   ?vswitch:value_switch_spec ->
   ?chaos:Chaos.t ->

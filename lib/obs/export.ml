@@ -1,0 +1,192 @@
+(* The two exporters of the observability layer, both version-stamped:
+
+   - {b Chrome trace-event JSON} (`--trace-out`): one complete ("ph":"X")
+     event per span, loadable in chrome://tracing or Perfetto.  Lane 0
+     is the coordinator (session build, demand iterations, verification
+     batches); each scheduler task gets its own lane, so a parallel run
+     renders as a pool-utilization flame chart.  Cross-lane nesting is
+     preserved structurally in every event's [args.id]/[args.parent].
+
+   - {b JSONL event log} (`--metrics-out`): a self-describing header
+     line followed by one record per metric and per span.  This is the
+     machine-readable form `exom stats` reads back; the schema version
+     in the header lets future readers reject skewed files instead of
+     misreading them. *)
+
+let schema_name = "exom.obs"
+let schema_version = 1
+
+(* {2 Chrome trace events} *)
+
+let span_args (s : Span.t) =
+  Json.Obj
+    (("id", Json.Num (float_of_int s.Span.id))
+     :: ("parent", Json.Num (float_of_int s.Span.parent))
+     :: List.map (fun (k, v) -> (k, Json.Str v)) s.Span.args)
+
+let chrome_event (s : Span.t) =
+  Json.Obj
+    [
+      ("name", Json.Str s.Span.name);
+      ("cat", Json.Str s.Span.cat);
+      ("ph", Json.Str "X");
+      ("ts", Json.Num s.Span.ts_us);
+      ("dur", Json.Num s.Span.dur_us);
+      ("pid", Json.Num 1.0);
+      ("tid", Json.Num (float_of_int s.Span.tid));
+      ("args", span_args s);
+    ]
+
+let chrome_json obs =
+  Json.Obj
+    [
+      ("schemaVersion", Json.Num (float_of_int schema_version));
+      ("displayTimeUnit", Json.Str "ms");
+      ("traceEvents", Json.Arr (List.map chrome_event (Obs.spans obs)));
+    ]
+
+(* {2 JSONL event log} *)
+
+let header_line =
+  Json.to_string
+    (Json.Obj
+       [
+         ("type", Json.Str "header");
+         ("schema", Json.Str schema_name);
+         ("version", Json.Num (float_of_int schema_version));
+       ])
+
+let kind_to_string = function
+  | Metrics.Counter -> "counter"
+  | Metrics.Gauge -> "gauge"
+  | Metrics.Timer -> "timer"
+
+let kind_of_string = function
+  | "counter" -> Some Metrics.Counter
+  | "gauge" -> Some Metrics.Gauge
+  | "timer" -> Some Metrics.Timer
+  | _ -> None
+
+let metric_line (m : Metrics.metric) =
+  let base =
+    [
+      ("type", Json.Str "metric");
+      ("name", Json.Str m.Metrics.name);
+      ("kind", Json.Str (kind_to_string m.Metrics.kind));
+    ]
+  in
+  let fields =
+    match m.Metrics.kind with
+    | Metrics.Counter | Metrics.Gauge ->
+      [ ("value", Json.Num (float_of_int m.Metrics.value)) ]
+    | Metrics.Timer ->
+      [
+        ("count", Json.Num (float_of_int m.Metrics.count));
+        ("seconds", Json.Num m.Metrics.seconds);
+        ( "min",
+          if m.Metrics.count = 0 then Json.Null else Json.Num m.Metrics.min_s );
+        ( "max",
+          if m.Metrics.count = 0 then Json.Null else Json.Num m.Metrics.max_s );
+      ]
+  in
+  Json.to_string (Json.Obj (base @ fields))
+
+let span_line (s : Span.t) =
+  Json.to_string
+    (Json.Obj
+       [
+         ("type", Json.Str "span");
+         ("id", Json.Num (float_of_int s.Span.id));
+         ("parent", Json.Num (float_of_int s.Span.parent));
+         ("tid", Json.Num (float_of_int s.Span.tid));
+         ("name", Json.Str s.Span.name);
+         ("cat", Json.Str s.Span.cat);
+         ("ts_us", Json.Num s.Span.ts_us);
+         ("dur_us", Json.Num s.Span.dur_us);
+         ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.Span.args));
+       ])
+
+let jsonl_lines obs =
+  header_line
+  :: List.map metric_line (Metrics.to_list (Obs.metrics obs))
+  @ List.map span_line (Obs.spans obs)
+
+(* {2 File writers} *)
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+
+let write_chrome path obs = write_file path (Json.to_string (chrome_json obs) ^ "\n")
+
+let write_jsonl path obs =
+  write_file path (String.concat "\n" (jsonl_lines obs) ^ "\n")
+
+(* {2 Reading the JSONL log back (`exom stats`)} *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let require what = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed %s" what)
+
+let check_header line =
+  let* j = Json.parse line in
+  let* schema = require "schema" Option.(bind (Json.member "schema" j) Json.to_str) in
+  let* version =
+    require "version" Option.(bind (Json.member "version" j) Json.to_float)
+  in
+  if schema <> schema_name then Error (Printf.sprintf "foreign schema %S" schema)
+  else if int_of_float version <> schema_version then
+    Error (Printf.sprintf "schema version %d (expected %d)" (int_of_float version)
+             schema_version)
+  else Ok ()
+
+let restore_metric reg j =
+  let num key = Option.bind (Json.member key j) Json.to_float in
+  let* name = require "name" Option.(bind (Json.member "name" j) Json.to_str) in
+  let* kind_s = require "kind" Option.(bind (Json.member "kind" j) Json.to_str) in
+  let* kind = require "known kind" (kind_of_string kind_s) in
+  (match kind with
+  | Metrics.Counter | Metrics.Gauge ->
+    let* value = require "value" (num "value") in
+    Ok
+      (Metrics.restore reg ~kind ~name ~count:0 ~value:(int_of_float value)
+         ~seconds:0.0 ~min_s:infinity ~max_s:neg_infinity)
+  | Metrics.Timer ->
+    let* count = require "count" (num "count") in
+    let* seconds = require "seconds" (num "seconds") in
+    Ok
+      (Metrics.restore reg ~kind ~name ~count:(int_of_float count) ~value:0
+         ~seconds
+         ~min_s:(Option.value ~default:infinity (num "min"))
+         ~max_s:(Option.value ~default:neg_infinity (num "max"))))
+
+(* Rebuild the metrics registry from a JSONL log's contents.  Span
+   records are skipped (the registry is what `exom stats` renders);
+   unknown record types are skipped too, so minor-version additions stay
+   readable. *)
+let metrics_of_jsonl content =
+  let lines =
+    String.split_on_char '\n' content
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "empty file"
+  | header :: records ->
+    let* () = check_header header in
+    let reg = Metrics.create () in
+    let rec walk i = function
+      | [] -> Ok reg
+      | line :: rest -> (
+        match Json.parse line with
+        | Error e -> Error (Printf.sprintf "line %d: %s" i e)
+        | Ok j -> (
+          match Option.bind (Json.member "type" j) Json.to_str with
+          | Some "metric" -> (
+            match restore_metric reg j with
+            | Ok () -> walk (i + 1) rest
+            | Error e -> Error (Printf.sprintf "line %d: %s" i e))
+          | _ -> walk (i + 1) rest))
+    in
+    walk 2 records

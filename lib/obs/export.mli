@@ -1,0 +1,25 @@
+(** The observability exporters, both stamped with {!schema_version}:
+    Chrome trace-event JSON ([--trace-out], for chrome://tracing or
+    Perfetto) and a JSONL event log ([--metrics-out], read back by
+    [exom stats]). *)
+
+val schema_name : string
+val schema_version : int
+
+(** The whole trace as a Chrome trace-event document: one complete
+    ("ph":"X") event per span, lane 0 = coordinator, one lane per
+    scheduler task; [args.id]/[args.parent] carry the structural
+    nesting. *)
+val chrome_json : Obs.t -> Json.t
+
+(** The JSONL log: a header line (schema + version), one record per
+    metric, one per span. *)
+val jsonl_lines : Obs.t -> string list
+
+val write_chrome : string -> Obs.t -> unit
+val write_jsonl : string -> Obs.t -> unit
+
+(** Rebuild the metrics registry from a JSONL log's contents; rejects
+    foreign schemas and version skew.  Span and unknown records are
+    skipped. *)
+val metrics_of_jsonl : string -> (Metrics.t, string) result

@@ -1,0 +1,171 @@
+(* The metrics registry: named counters, gauges and timers addressed by
+   dot-separated paths ("verify.run", "store.hits") that form the metric
+   tree `exom stats` renders.
+
+   This absorbs what used to be Exom_sched.Tally: a worker-local
+   registry is created per scheduler task ({!create}), accumulates
+   privately, and is merged on the coordinator with {!absorb} in
+   submission order — counters and timer counts are sums (commutative,
+   so totals are independent of the job count), gauges merge by max
+   (high-water semantics, e.g. pool queue depth).  Everything except
+   wall-clock fields (timer seconds/min/max) is therefore deterministic
+   for a given localization at any -j; {!render} with [~timings:false]
+   shows exactly the deterministic subset. *)
+
+type kind = Counter | Gauge | Timer
+
+type metric = {
+  name : string;
+  kind : kind;
+  mutable count : int;  (* timer observations *)
+  mutable value : int;  (* counter total / gauge high-water mark *)
+  mutable seconds : float;  (* timer sum *)
+  mutable min_s : float;  (* timer minimum (infinity when empty) *)
+  mutable max_s : float;  (* timer maximum (neg_infinity when empty) *)
+}
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let get t name kind =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> m
+  | None ->
+    let m =
+      { name; kind; count = 0; value = 0; seconds = 0.0;
+        min_s = infinity; max_s = neg_infinity }
+    in
+    Hashtbl.replace t.tbl name m;
+    m
+
+let add t name n =
+  let m = get t name Counter in
+  m.value <- m.value + n
+
+let incr t name = add t name 1
+
+let gauge t name v =
+  let m = get t name Gauge in
+  if v > m.value || m.count = 0 then m.value <- v;
+  m.count <- m.count + 1
+
+let observe t name s =
+  let m = get t name Timer in
+  m.count <- m.count + 1;
+  m.seconds <- m.seconds +. s;
+  if s < m.min_s then m.min_s <- s;
+  if s > m.max_s then m.max_s <- s
+
+(* Charges the observation even when [f] raises: an injected fault
+   aborting a re-execution still counts toward the run total (the
+   Tally.counted contract this registry inherits). *)
+let timed t name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> observe t name (Unix.gettimeofday () -. t0)) f
+
+let find t name = Hashtbl.find_opt t.tbl name
+
+(* Rebuild a metric wholesale (the `exom stats` reader recreating a
+   registry from a JSONL file). *)
+let restore t ~kind ~name ~count ~value ~seconds ~min_s ~max_s =
+  let m = get t name kind in
+  m.count <- count;
+  m.value <- value;
+  m.seconds <- seconds;
+  m.min_s <- min_s;
+  m.max_s <- max_s
+
+let counter_value t name =
+  match find t name with Some m -> m.value | None -> 0
+
+let timer_count t name =
+  match find t name with Some m -> m.count | None -> 0
+
+let timer_seconds t name =
+  match find t name with Some m -> m.seconds | None -> 0.0
+
+let absorb ~into t =
+  let merge m =
+    let dst = get into m.name m.kind in
+    match m.kind with
+    | Counter -> dst.value <- dst.value + m.value
+    | Gauge ->
+      if m.value > dst.value || dst.count = 0 then dst.value <- m.value;
+      dst.count <- dst.count + m.count
+    | Timer ->
+      dst.count <- dst.count + m.count;
+      dst.seconds <- dst.seconds +. m.seconds;
+      if m.min_s < dst.min_s then dst.min_s <- m.min_s;
+      if m.max_s > dst.max_s then dst.max_s <- m.max_s
+  in
+  (* sorted so absorb order never depends on hash-table iteration *)
+  Hashtbl.fold (fun _ m acc -> m :: acc) t.tbl []
+  |> List.sort (fun a b -> compare a.name b.name)
+  |> List.iter merge
+
+let to_list t =
+  Hashtbl.fold (fun _ m acc -> m :: acc) t.tbl []
+  |> List.sort (fun a b -> compare a.name b.name)
+
+(* {2 Rendering}
+
+   Dot-paths become an indented tree:
+
+     verify
+       queries          144
+       run              98 runs, 1.2345s total, 0.0126s avg
+
+   [timings:false] suppresses every wall-clock figure (timers print
+   their counts only), yielding output that is bit-identical across job
+   counts and machines. *)
+
+let describe ~timings m =
+  match m.kind with
+  | Counter -> string_of_int m.value
+  | Gauge -> Printf.sprintf "%d (max)" m.value
+  | Timer ->
+    if not timings then Printf.sprintf "%d runs" m.count
+    else if m.count = 0 then "0 runs"
+    else
+      Printf.sprintf "%d runs, %.4fs total, %.4fs avg" m.count m.seconds
+        (m.seconds /. float_of_int m.count)
+
+type node = {
+  mutable subs : (string * node) list;  (* reversed during build *)
+  mutable here : metric option;
+}
+
+let render ?(timings = true) t =
+  let root = { subs = []; here = None } in
+  let rec place node segs m =
+    match segs with
+    | [] -> node.here <- Some m
+    | s :: rest ->
+      let child =
+        match List.assoc_opt s node.subs with
+        | Some c -> c
+        | None ->
+          let c = { subs = []; here = None } in
+          node.subs <- (s, c) :: node.subs;
+          c
+      in
+      place child rest m
+  in
+  List.iter (fun m -> place root (String.split_on_char '.' m.name) m) (to_list t);
+  let buf = Buffer.create 256 in
+  let rec print indent node =
+    List.iter
+      (fun (seg, child) ->
+        let pad = String.make indent ' ' in
+        (match child.here with
+        | Some m ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%-*s %s\n" pad (max 1 (24 - indent)) seg
+               (describe ~timings m))
+        | None -> Buffer.add_string buf (Printf.sprintf "%s%s\n" pad seg));
+        print (indent + 2) child)
+      (List.rev node.subs)
+  in
+  print 0 root;
+  Buffer.contents buf

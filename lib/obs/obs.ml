@@ -1,0 +1,109 @@
+(* The observability context threaded through the localization pipeline:
+   a metrics registry (always live — it carries the verification
+   accounting reports are built from) plus optional hierarchical span
+   recording.
+
+   Zero-cost discipline: span recording is gated on context creation
+   ([trace:true]); when off, {!with_span} is a single match and a call —
+   no clock reads, no allocation.  Metric updates are one hashtable
+   lookup and a field write, on a par with the Tally counters they
+   replace; nothing here runs per interpreter step (the interpreter
+   reports its step total once per run).
+
+   Determinism discipline (the same one as the scheduler's tally merge):
+   worker contexts are created with {!fork} on the coordinator in
+   submission order — which also assigns their span lane ids — and
+   folded back with {!absorb} in submission order.  Counters merge by
+   sum and gauges by max, so every non-wall-clock figure in the metric
+   tree is identical at any job count. *)
+
+type t = {
+  metrics : Metrics.t;
+  trace : Span.recorder option;
+  mutable stack : int list;  (* ids of open spans, innermost first *)
+  tid_alloc : int ref;  (* shared lane allocator; coordinator-only *)
+}
+
+let create ?(trace = false) () =
+  let origin = Unix.gettimeofday () in
+  {
+    metrics = Metrics.create ();
+    trace =
+      (if trace then Some (Span.make ~tid:0 ~origin ~fork_parent:(-1))
+       else None);
+    stack = [];
+    tid_alloc = ref 1;
+  }
+
+let metrics t = t.metrics
+let tracing t = t.trace <> None
+
+(* {2 Metric conveniences} *)
+
+let incr t name = Metrics.incr t.metrics name
+let add t name n = Metrics.add t.metrics name n
+let gauge t name v = Metrics.gauge t.metrics name v
+let observe t name s = Metrics.observe t.metrics name s
+let timed t name f = Metrics.timed t.metrics name f
+
+(* {2 Spans} *)
+
+let current_span t =
+  match t.stack with
+  | id :: _ -> id
+  | [] -> ( match t.trace with Some r -> Span.fork_parent r | None -> -1)
+
+let with_span t ?(cat = "exom") ?(args = []) name f =
+  match t.trace with
+  | None -> f ()
+  | Some r ->
+    let id = Span.alloc r in
+    let parent = current_span t in
+    let t0 = Unix.gettimeofday () in
+    t.stack <- id :: t.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        t.stack <- List.tl t.stack;
+        let t1 = Unix.gettimeofday () in
+        Span.push r
+          {
+            Span.id;
+            parent;
+            tid = Span.tid r;
+            name;
+            cat;
+            ts_us = (t0 -. Span.origin r) *. 1e6;
+            dur_us = (t1 -. t0) *. 1e6;
+            args;
+          })
+      f
+
+let spans t = match t.trace with None -> [] | Some r -> Span.spans r
+
+(* {2 Worker shards} *)
+
+(* Called on the coordinator when a scheduler task is *constructed* (in
+   submission order), not when it runs: lane ids and fork parents are
+   then deterministic, and the shared allocator is never touched from a
+   worker domain. *)
+let fork t =
+  {
+    metrics = Metrics.create ();
+    trace =
+      (match t.trace with
+      | None -> None
+      | Some r ->
+        let tid = !(t.tid_alloc) in
+        t.tid_alloc := tid + 1;
+        Some
+          (Span.make ~tid ~origin:(Span.origin r)
+             ~fork_parent:(current_span t)));
+    stack = [];
+    tid_alloc = t.tid_alloc;
+  }
+
+let absorb ~into t =
+  Metrics.absorb ~into:into.metrics t.metrics;
+  match (into.trace, t.trace) with
+  | Some dst, Some src -> Span.absorb ~into:dst src
+  | _ -> ()

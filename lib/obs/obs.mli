@@ -1,0 +1,64 @@
+(** The observability context threaded through the localization
+    pipeline: a {!Metrics} registry (always live — it carries the
+    verification accounting that reports are built from) plus optional
+    hierarchical {!Span} recording.
+
+    Span recording is decided at creation ([trace:true]); when off,
+    {!with_span} reduces to calling its body — no clock reads, no
+    allocation — and the interpreter's hot path is never instrumented
+    per step (runs report their totals once, at the end).
+
+    Worker shards follow the scheduler's tally-merge discipline: {!fork}
+    on the coordinator in submission order (this assigns span lanes
+    deterministically), {!absorb} back in submission order.  Every
+    non-wall-clock figure in the resulting metric tree is then identical
+    at any job count. *)
+
+type t
+
+(** [create ()] is a metrics-only context; [create ~trace:true ()] also
+    records spans. *)
+val create : ?trace:bool -> unit -> t
+
+val metrics : t -> Metrics.t
+
+(** Whether spans are being recorded. *)
+val tracing : t -> bool
+
+(** {2 Metric conveniences (delegate to {!Metrics})} *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val gauge : t -> string -> int -> unit
+val observe : t -> string -> float -> unit
+
+(** Timer semantics of {!Metrics.timed}: counts even when [f] raises. *)
+val timed : t -> string -> (unit -> 'a) -> 'a
+
+(** {2 Spans} *)
+
+(** [with_span t name f] runs [f] inside a span; spans opened during [f]
+    (on this context) become its children.  The span is recorded on
+    completion, exception or not.  A no-op without [trace]. *)
+val with_span :
+  t -> ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** The id of the innermost open span ([-1] when none / not tracing) —
+    the parent that {!fork} attaches worker lanes to. *)
+val current_span : t -> int
+
+(** Completed spans in deterministic structural order ([] without
+    [trace]). *)
+val spans : t -> Span.t list
+
+(** {2 Worker shards} *)
+
+(** A fresh shard for one scheduler task: empty metrics, a new span lane
+    whose top-level spans parent to the coordinator's currently open
+    span.  Must be called on the coordinator at task-construction time,
+    in submission order. *)
+val fork : t -> t
+
+(** Fold a shard back (metrics merge, span lanes accumulate).  Call in
+    submission order. *)
+val absorb : into:t -> t -> unit

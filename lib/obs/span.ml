@@ -1,0 +1,54 @@
+(* Completed-span records and per-context recorders.
+
+   Every span gets a globally unique id of [tid * stride + seq]: the
+   recorder's thread-lane id [tid] namespaces the sequence counter, so
+   worker recorders forked by the scheduler can allocate ids with no
+   shared state and still merge without collisions.  Parent links are
+   explicit (not inferred from timestamps), which is what lets the
+   exported span tree show iteration -> batch -> re-execution nesting
+   even when the re-executions ran on other domains. *)
+
+let stride = 1_000_000
+
+type t = {
+  id : int;
+  parent : int;  (* -1 for roots *)
+  tid : int;  (* lane: 0 = coordinator, 1.. = scheduler forks *)
+  name : string;
+  cat : string;
+  ts_us : float;  (* start, microseconds since the context's origin *)
+  dur_us : float;
+  args : (string * string) list;
+}
+
+type recorder = {
+  tid : int;
+  origin : float;  (* Unix.gettimeofday of the root context's creation *)
+  fork_parent : int;
+      (* parent id for this recorder's top-level spans: the span open at
+         the coordinator when the fork was made; -1 at the root *)
+  mutable next : int;
+  mutable completed : t list;  (* reversed *)
+}
+
+let make ~tid ~origin ~fork_parent = { tid; origin; fork_parent; next = 0; completed = [] }
+
+let tid r = r.tid
+let origin r = r.origin
+let fork_parent r = r.fork_parent
+
+let alloc r =
+  let id = (r.tid * stride) + r.next in
+  r.next <- r.next + 1;
+  id
+
+let push r span = r.completed <- span :: r.completed
+
+(* Merge a worker recorder's spans; ids are already unique by
+   construction, so this is pure accumulation. *)
+let absorb ~into r = into.completed <- r.completed @ into.completed
+
+(* Sorted by id (lane-major, then start order within the lane): a
+   deterministic structural order for exporters and tests, independent
+   of completion interleaving. *)
+let spans r = List.sort (fun a b -> compare a.id b.id) r.completed

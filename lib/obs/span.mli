@@ -1,0 +1,42 @@
+(** Completed-span records and per-context recorders (see {!Obs} for the
+    structured API that drives them).
+
+    Span ids are [tid * stride + seq]: the lane id namespaces each
+    recorder's counter so scheduler forks allocate without shared state
+    and merge without collisions.  Parent links are explicit, so the
+    exported tree shows cross-lane nesting (a worker's re-execution
+    span's parent is the coordinator's batch span). *)
+
+(** Id namespace width per lane. *)
+val stride : int
+
+type t = {
+  id : int;
+  parent : int;  (** -1 for roots *)
+  tid : int;  (** lane: 0 = coordinator, 1.. = scheduler forks *)
+  name : string;
+  cat : string;
+  ts_us : float;  (** start, microseconds since the context's origin *)
+  dur_us : float;
+  args : (string * string) list;
+}
+
+type recorder
+
+val make : tid:int -> origin:float -> fork_parent:int -> recorder
+
+val tid : recorder -> int
+val origin : recorder -> float
+val fork_parent : recorder -> int
+
+(** Allocate the next span id of this lane. *)
+val alloc : recorder -> int
+
+val push : recorder -> t -> unit
+
+(** Accumulate a fork's completed spans into [into]. *)
+val absorb : into:recorder -> recorder -> unit
+
+(** Completed spans sorted by id (lane-major, start order within a
+    lane) — a deterministic structural order. *)
+val spans : recorder -> t list

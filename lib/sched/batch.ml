@@ -12,7 +12,7 @@
 
 exception Cancelled
 
-let run_tasks ?(cancel = fun () -> false) pool tasks =
+let run_tasks ?obs ?(cancel = fun () -> false) pool tasks =
   let tasks = Array.of_list tasks in
   let results = Array.make (Array.length tasks) (Error Cancelled) in
   let wrapped =
@@ -23,7 +23,7 @@ let run_tasks ?(cancel = fun () -> false) pool tasks =
              results.(i) <- (try Ok (task ()) with exn -> Error exn))
          tasks)
   in
-  Pool.run pool wrapped;
+  Pool.run ?obs pool wrapped;
   Array.to_list results
 
 let group_by ~key items =

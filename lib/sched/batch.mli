@@ -16,8 +16,10 @@ exception Cancelled
     their outcomes {e in submission order}.  A task that raises yields
     [Error exn] in its slot; the remaining tasks still run.  [cancel]
     is polled before each task starts — once it returns true, tasks
-    not yet started yield [Error Cancelled]. *)
+    not yet started yield [Error Cancelled].  [obs] is passed through
+    to {!Pool.run}. *)
 val run_tasks :
+  ?obs:Exom_obs.Obs.t ->
   ?cancel:(unit -> bool) ->
   Pool.t ->
   (unit -> 'a) list ->

@@ -97,8 +97,20 @@ let rec drive t =
     end
     else Mutex.unlock t.mutex
 
-let run t tasks =
+(* The obs record is identical across all three execution paths below
+   (inline, sequential, pooled), so the metric tree stays independent of
+   the job count. *)
+let record_submission obs tasks =
+  match obs with
+  | None -> ()
+  | Some obs ->
+    let n = List.length tasks in
+    Exom_obs.Obs.add obs "pool.tasks" n;
+    Exom_obs.Obs.gauge obs "pool.queue_depth" n
+
+let run ?obs t tasks =
   if t.stopped then invalid_arg "Pool.run: pool is shut down";
+  record_submission obs tasks;
   match tasks with
   | [] -> ()
   | [ task ] -> (try task () with _ -> ())

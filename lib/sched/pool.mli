@@ -21,8 +21,11 @@ val jobs : t -> int
 
 (** Run every task to completion (blocking).  Tasks may execute on any
     domain and in any order; completion of all of them is the only
-    guarantee.  Not reentrant: do not call [run] from inside a task. *)
-val run : t -> (unit -> unit) list -> unit
+    guarantee.  Not reentrant: do not call [run] from inside a task.
+    With [obs], records the submitted batch size ([pool.tasks] counter,
+    [pool.queue_depth] high-water gauge) — identically on every
+    execution path, so the metric tree is independent of [jobs]. *)
+val run : ?obs:Exom_obs.Obs.t -> t -> (unit -> unit) list -> unit
 
 (** Stop the workers and join their domains.  Idempotent.  [run] after
     shutdown raises [Invalid_argument]. *)

@@ -61,11 +61,20 @@ type t = {
   mutable head : entry option;
   mutable tail : entry option;
   stats : stats;
+  obs : Exom_obs.Obs.t option;
 }
+
+(* Every stats increment is mirrored into the metrics registry under
+   "store.<field>", so `exom stats` shows the cache behaviour without a
+   second accounting path. *)
+let count t name =
+  match t.obs with
+  | None -> ()
+  | Some obs -> Exom_obs.Obs.incr obs ("store." ^ name)
 
 let default_capacity = 65_536
 
-let create ?dir ?(capacity = default_capacity) () =
+let create ?obs ?dir ?(capacity = default_capacity) () =
   if capacity < 1 then invalid_arg "Store.create: capacity must be >= 1";
   (match dir with
   | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
@@ -81,6 +90,7 @@ let create ?dir ?(capacity = default_capacity) () =
     stats =
       { hits = 0; disk_hits = 0; misses = 0; evictions = 0; corrupted = 0;
         writes = 0 };
+    obs;
   }
 
 let stats t = t.stats
@@ -129,7 +139,8 @@ let evict_lru t =
   | Some e ->
     unlink t e;
     Hashtbl.remove t.tbl e.e_key;
-    t.stats.evictions <- t.stats.evictions + 1
+    t.stats.evictions <- t.stats.evictions + 1;
+    count t "evictions"
 
 let insert_mem t key value =
   match Hashtbl.find_opt t.tbl key with
@@ -194,6 +205,7 @@ let disk_find t key =
       | Some payload -> Some payload
       | None | (exception Sys_error _) ->
         t.stats.corrupted <- t.stats.corrupted + 1;
+        count t "corrupted";
         None
     end
 
@@ -212,7 +224,8 @@ let disk_add t key value =
         Printf.fprintf oc "%s\n%s\n%d\n%s" header key (String.length value)
           value);
     Sys.rename tmp path;
-    t.stats.writes <- t.stats.writes + 1
+    t.stats.writes <- t.stats.writes + 1;
+    count t "writes"
 
 (* Public lookups *)
 
@@ -220,16 +233,19 @@ let find t key =
   match Hashtbl.find_opt t.tbl key with
   | Some e ->
     t.stats.hits <- t.stats.hits + 1;
+    count t "hits";
     touch t e;
     Some e.e_value
   | None -> (
     match disk_find t key with
     | Some payload ->
       t.stats.disk_hits <- t.stats.disk_hits + 1;
+      count t "disk_hits";
       insert_mem t key payload;
       Some payload
     | None ->
       t.stats.misses <- t.stats.misses + 1;
+      count t "misses";
       None)
 
 let add t ~key value =

@@ -30,10 +30,12 @@ val snapshot : stats -> stats
 (** Fraction of queries answered from either tier; 0 when none asked. *)
 val hit_rate : stats -> float
 
-(** [create ?dir ?capacity ()]: memory-only when [dir] is omitted;
+(** [create ?obs ?dir ?capacity ()]: memory-only when [dir] is omitted;
     with [dir], entries also persist under it (created if missing).
-    [capacity] bounds the in-memory front (default 65536 entries). *)
-val create : ?dir:string -> ?capacity:int -> unit -> t
+    [capacity] bounds the in-memory front (default 65536 entries).
+    With [obs], every stats increment is mirrored live into the metrics
+    registry under ["store.<field>"]. *)
+val create : ?obs:Exom_obs.Obs.t -> ?dir:string -> ?capacity:int -> unit -> t
 
 (** Derive a content-addressed key: parts are length-prefixed before
     hashing, so boundaries cannot collide. *)

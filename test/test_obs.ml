@@ -1,0 +1,325 @@
+(* Tests for the exom_obs observability layer: the metrics registry
+   (kinds, merge, rendering), the JSON codec, span recording and lane
+   forking, the two exporters (Chrome trace events and the JSONL event
+   log) against a real localization, and the observability determinism
+   contract — the metric tree with timings suppressed is bit-identical
+   at -j1 and -j4. *)
+
+module Obs = Exom_obs.Obs
+module Metrics = Exom_obs.Metrics
+module Span = Exom_obs.Span
+module Export = Exom_obs.Export
+module Json = Exom_obs.Json
+module Pool = Exom_sched.Pool
+module Demand = Exom_core.Demand
+module Runner = Exom_bench.Runner
+module Suite = Exom_bench.Suite
+module B = Exom_bench.Bench_types
+
+(* {2 Metrics registry} *)
+
+let test_metric_kinds () =
+  let m = Metrics.create () in
+  Metrics.incr m "a.counter";
+  Metrics.add m "a.counter" 4;
+  Metrics.gauge m "a.gauge" 3;
+  Metrics.gauge m "a.gauge" 7;
+  Metrics.gauge m "a.gauge" 2;
+  Metrics.observe m "a.timer" 0.5;
+  Metrics.observe m "a.timer" 1.5;
+  Alcotest.(check int) "counter sums" 5 (Metrics.counter_value m "a.counter");
+  (match Metrics.find m "a.gauge" with
+  | Some g -> Alcotest.(check int) "gauge keeps high water" 7 g.Metrics.value
+  | None -> Alcotest.fail "gauge missing");
+  Alcotest.(check int) "timer count" 2 (Metrics.timer_count m "a.timer");
+  Alcotest.(check (float 1e-9)) "timer sum" 2.0 (Metrics.timer_seconds m "a.timer");
+  Alcotest.(check int) "absent name reads 0" 0 (Metrics.counter_value m "nope")
+
+let test_timed_charges_on_raise () =
+  let m = Metrics.create () in
+  (try Metrics.timed m "t" (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "raising observation still counted" 1
+    (Metrics.timer_count m "t")
+
+let test_absorb () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.add a "c" 2;
+  Metrics.add b "c" 3;
+  Metrics.gauge a "g" 10;
+  Metrics.gauge b "g" 4;
+  Metrics.observe a "t" 1.0;
+  Metrics.observe b "t" 3.0;
+  Metrics.observe b "t" 0.5;
+  Metrics.absorb ~into:a b;
+  Alcotest.(check int) "counters sum" 5 (Metrics.counter_value a "c");
+  (match Metrics.find a "g" with
+  | Some g -> Alcotest.(check int) "gauges max" 10 g.Metrics.value
+  | None -> Alcotest.fail "gauge missing");
+  Alcotest.(check int) "timer counts sum" 3 (Metrics.timer_count a "t");
+  (match Metrics.find a "t" with
+  | Some t ->
+    Alcotest.(check (float 1e-9)) "timer min merges" 0.5 t.Metrics.min_s;
+    Alcotest.(check (float 1e-9)) "timer max merges" 3.0 t.Metrics.max_s
+  | None -> Alcotest.fail "timer missing")
+
+let test_render () =
+  let m = Metrics.create () in
+  Metrics.add m "verify.queries" 3;
+  Metrics.observe m "verify.run" 0.1234;
+  Metrics.gauge m "pool.queue_depth" 4;
+  let full = Metrics.render m in
+  let bare = Metrics.render ~timings:false m in
+  let contains ~needle s =
+    let n = String.length needle and l = String.length s in
+    let rec go i = i + n <= l && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "tree groups by dot path" true
+    (contains ~needle:"verify" full && contains ~needle:"queries" full);
+  Alcotest.(check bool) "timings shown by default" true
+    (contains ~needle:"s total" full);
+  Alcotest.(check bool) "timings suppressed on demand" false
+    (contains ~needle:"s total" bare);
+  Alcotest.(check bool) "counts survive suppression" true
+    (contains ~needle:"1 runs" bare)
+
+(* {2 JSON codec} *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "a \"quoted\"\n\tstring \\ here");
+        ("n", Json.Num 42.0);
+        ("f", Json.Num 1.5);
+        ("b", Json.Bool true);
+        ("z", Json.Null);
+        ("a", Json.Arr [ Json.Num 1.0; Json.Str "x"; Json.Obj [] ]);
+      ]
+  in
+  let printed = Json.to_string v in
+  match Json.parse printed with
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+  | Ok v' ->
+    Alcotest.(check string) "print . parse . print is stable" printed
+      (Json.to_string v')
+
+let test_json_errors () =
+  let bad s =
+    match Json.parse s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "empty input rejected" true (bad "");
+  Alcotest.(check bool) "unclosed object rejected" true (bad "{\"a\":1");
+  Alcotest.(check bool) "trailing garbage rejected" true (bad "{} {}")
+
+(* {2 Spans and lanes} *)
+
+let test_span_nesting_and_fork () =
+  let obs = Obs.create ~trace:true () in
+  Obs.with_span obs "a" (fun () ->
+      Obs.with_span obs "b" (fun () -> ());
+      let w = Obs.fork obs in
+      Obs.with_span w "c" (fun () -> ());
+      Obs.absorb ~into:obs w);
+  let spans = Obs.spans obs in
+  let find name = List.find (fun s -> s.Span.name = name) spans in
+  let a = find "a" and b = find "b" and c = find "c" in
+  Alcotest.(check int) "three spans" 3 (List.length spans);
+  Alcotest.(check int) "root span has no parent" (-1) a.Span.parent;
+  Alcotest.(check int) "inner span parents to outer" a.Span.id b.Span.parent;
+  Alcotest.(check int) "forked lane parents to the open span" a.Span.id
+    c.Span.parent;
+  Alcotest.(check bool) "forked lane has its own tid" true (c.Span.tid > 0);
+  Alcotest.(check int) "coordinator is lane 0" 0 a.Span.tid
+
+let test_disabled_tracing_records_nothing () =
+  let obs = Obs.create () in
+  Obs.with_span obs "a" (fun () -> Obs.incr obs "c");
+  Alcotest.(check int) "no spans without trace:true" 0
+    (List.length (Obs.spans obs));
+  Alcotest.(check int) "metrics still live" 1
+    (Metrics.counter_value (Obs.metrics obs) "c")
+
+(* {2 A real localization, traced} *)
+
+let traced_run =
+  lazy
+    (let b = Option.get (Suite.find "gzipsim") in
+     let f = Option.get (Suite.find_fault b "V2-F3") in
+     let obs = Obs.create ~trace:true () in
+     let pool = Pool.create ~jobs:2 () in
+     let r = Runner.run_fault ~obs ~pool b f in
+     Pool.shutdown pool;
+     (obs, r))
+
+let test_span_taxonomy () =
+  let obs, r = Lazy.force traced_run in
+  Alcotest.(check bool) "fault located" true r.Runner.report.Demand.found;
+  let spans = Obs.spans obs in
+  let all name = List.filter (fun s -> s.Span.name = name) spans in
+  let ids name = List.map (fun s -> s.Span.id) (all name) in
+  let locates = all "demand.locate" in
+  Alcotest.(check int) "one locate span" 1 (List.length locates);
+  let locate_id = (List.hd locates).Span.id in
+  let iterations = all "demand.iteration" in
+  Alcotest.(check bool) "iterations recorded" true (iterations <> []);
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "iteration nests in locate" locate_id s.Span.parent)
+    iterations;
+  let batches = all "verify.batch" in
+  Alcotest.(check bool) "batches recorded" true (batches <> []);
+  let iteration_ids = ids "demand.iteration" in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "batch nests in an iteration" true
+        (List.mem s.Span.parent iteration_ids))
+    batches;
+  let reexecs = all "verify.reexec" in
+  Alcotest.(check bool) "re-executions recorded" true (reexecs <> []);
+  let batch_ids = ids "verify.batch" in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "re-execution nests in a batch" true
+        (List.mem s.Span.parent batch_ids);
+      Alcotest.(check bool) "re-execution runs on a worker lane" true
+        (s.Span.tid > 0))
+    reexecs;
+  let reexec_ids = ids "verify.reexec" in
+  Alcotest.(check bool) "interpreter runs nest in re-executions" true
+    (List.exists
+       (fun s -> List.mem s.Span.parent reexec_ids)
+       (all "interp.run"))
+
+let test_chrome_export_valid () =
+  let obs, _ = Lazy.force traced_run in
+  let doc = Json.to_string (Export.chrome_json obs) in
+  match Json.parse doc with
+  | Error e -> Alcotest.fail ("chrome JSON does not parse: " ^ e)
+  | Ok j ->
+    Alcotest.(check (option (float 0.0))) "schema version stamped"
+      (Some (float_of_int Export.schema_version))
+      Option.(bind (Json.member "schemaVersion" j) Json.to_float);
+    let events =
+      Option.value ~default:[]
+        Option.(bind (Json.member "traceEvents" j) Json.to_list)
+    in
+    Alcotest.(check int) "one event per span" (List.length (Obs.spans obs))
+      (List.length events);
+    List.iter
+      (fun e ->
+        Alcotest.(check (option string)) "complete events" (Some "X")
+          Option.(bind (Json.member "ph" e) Json.to_str);
+        List.iter
+          (fun key ->
+            Alcotest.(check bool) (key ^ " present") true
+              (Json.member key e <> None))
+          [ "name"; "cat"; "ts"; "dur"; "pid"; "tid"; "args" ];
+        let args = Option.get (Json.member "args" e) in
+        Alcotest.(check bool) "args carry structural nesting" true
+          (Json.member "id" args <> None && Json.member "parent" args <> None))
+      events
+
+let test_jsonl_roundtrip () =
+  let obs, _ = Lazy.force traced_run in
+  let content = String.concat "\n" (Export.jsonl_lines obs) ^ "\n" in
+  (match Export.metrics_of_jsonl content with
+  | Error e -> Alcotest.fail ("metrics do not read back: " ^ e)
+  | Ok reg ->
+    Alcotest.(check string) "deterministic tree reads back identically"
+      (Metrics.render ~timings:false (Obs.metrics obs))
+      (Metrics.render ~timings:false reg);
+    Alcotest.(check int) "timer counts read back"
+      (Metrics.timer_count (Obs.metrics obs) "verify.run")
+      (Metrics.timer_count reg "verify.run");
+    Alcotest.(check (float 1e-4)) "timer seconds read back"
+      (Metrics.timer_seconds (Obs.metrics obs) "verify.run")
+      (Metrics.timer_seconds reg "verify.run"));
+  (* version skew and foreign schemas are rejected, not misread *)
+  let skewed =
+    "{\"type\":\"header\",\"schema\":\"exom.obs\",\"version\":99}\n"
+  in
+  (match Export.metrics_of_jsonl skewed with
+  | Ok _ -> Alcotest.fail "version skew accepted"
+  | Error _ -> ());
+  let foreign =
+    "{\"type\":\"header\",\"schema\":\"someone.else\",\"version\":1}\n"
+  in
+  match Export.metrics_of_jsonl foreign with
+  | Ok _ -> Alcotest.fail "foreign schema accepted"
+  | Error _ -> ()
+
+(* {2 Observability determinism: -j1 vs -j4} *)
+
+let metric_tree jobs =
+  let b = Option.get (Suite.find "gzipsim") in
+  let f = Option.get (Suite.find_fault b "V2-F3") in
+  let obs = Obs.create () in
+  let pool = Pool.create ~jobs () in
+  let r = Runner.run_fault ~obs ~pool b f in
+  Pool.shutdown pool;
+  (Metrics.render ~timings:false (Obs.metrics obs), r)
+
+let test_metric_tree_determinism () =
+  let t1, r1 = metric_tree 1 in
+  let t4, r4 = metric_tree 4 in
+  Alcotest.(check bool) "both locate" true
+    (r1.Runner.report.Demand.found && r4.Runner.report.Demand.found);
+  Alcotest.(check string) "metric trees identical at -j1 and -j4" t1 t4
+
+(* The registry is the single accounting path: the report's counters
+   are views of it. *)
+let test_report_reads_registry () =
+  let obs, r = Lazy.force traced_run in
+  let m = Obs.metrics obs in
+  Alcotest.(check int) "verifications = verify.run count"
+    r.Runner.report.Demand.verifications
+    (Metrics.timer_count m "verify.run");
+  Alcotest.(check int) "queries = verify.queries"
+    r.Runner.report.Demand.verify_queries
+    (Metrics.counter_value m "verify.queries");
+  Alcotest.(check int) "guard sync matches robustness"
+    r.Runner.report.Demand.robustness.Exom_core.Guard.completed
+    (Metrics.counter_value m "guard.completed");
+  Alcotest.(check bool) "store mirrored live" true
+    (Metrics.counter_value m "store.misses"
+     = r.Runner.report.Demand.store.Exom_sched.Store.misses)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "kinds" `Quick test_metric_kinds;
+          Alcotest.test_case "timed charges on raise" `Quick
+            test_timed_charges_on_raise;
+          Alcotest.test_case "absorb" `Quick test_absorb;
+          Alcotest.test_case "render" `Quick test_render;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and forks" `Quick
+            test_span_nesting_and_fork;
+          Alcotest.test_case "disabled tracing" `Quick
+            test_disabled_tracing_records_nothing;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "span taxonomy" `Quick test_span_taxonomy;
+          Alcotest.test_case "chrome trace events" `Quick
+            test_chrome_export_valid;
+          Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "report reads registry" `Quick
+            test_report_reads_registry;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "-j1 vs -j4 metric tree" `Quick
+            test_metric_tree_determinism;
+        ] );
+    ]

@@ -1,0 +1,291 @@
+(* Property-based and differential tests over randomly generated MCL
+   programs.
+
+   The generator produces small well-typed programs: a few int globals
+   and a [main] built from declarations, assignments, prints, bounded
+   [while] loops and [if] statements over int/bool expressions.  All
+   variable names are globally fresh (the typechecker rejects
+   shadowing) and every loop is counter-bounded, so generated programs
+   always terminate well inside the interpreter's step budget.
+
+   Properties:
+   - pretty-print ∘ parse round-trips (fixpoint on the printed form);
+   - the region tree is a well-formed projection of the trace;
+   - aligning an execution against itself is the identity;
+   - the tracing and plain interpreter modes agree on outputs, step
+     counts and outcome (differential), on generated programs and on
+     every program in examples/programs/. *)
+
+module Ast = Exom_lang.Ast
+module Loc = Exom_lang.Loc
+module Pretty = Exom_lang.Pretty
+module Typecheck = Exom_lang.Typecheck
+module Interp = Exom_interp.Interp
+module Trace = Exom_interp.Trace
+module Region = Exom_align.Region
+module Align = Exom_align.Align
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (try int_of_string s with _ -> 42)
+  | None -> 42
+
+(* {2 Program generator} *)
+
+let e d = { Ast.edesc = d; eloc = Loc.dummy }
+let s k = { Ast.sid = 0; sloc = Loc.dummy; skind = k }
+
+(* A [QCheck.Gen.t] is a function of the random state; generating
+   imperatively keeps the fresh-name counter and scope threading
+   readable. *)
+let gen_program st =
+  let ctr = ref 0 in
+  let fresh () =
+    incr ctr;
+    Printf.sprintf "x%d" !ctr
+  in
+  let int_in lo hi = lo + Random.State.int st (hi - lo + 1) in
+  let pick xs = List.nth xs (Random.State.int st (List.length xs)) in
+  let rec gen_int depth vars =
+    if depth = 0 || int_in 0 2 = 0 then
+      match vars with
+      | [] -> e (Ast.Eint (int_in (-20) 20))
+      | _ when int_in 0 1 = 0 -> e (Ast.Evar (pick vars))
+      | _ -> e (Ast.Eint (int_in (-20) 20))
+    else
+      match int_in 0 4 with
+      | 0 -> e (Ast.Eunop (Ast.Neg, gen_int (depth - 1) vars))
+      | 1 -> e (Ast.Ecall ("input", []))
+      | _ ->
+        let op = pick [ Ast.Add; Ast.Sub; Ast.Mul ] in
+        e (Ast.Ebinop (op, gen_int (depth - 1) vars, gen_int (depth - 1) vars))
+  in
+  let rec gen_bool depth vars =
+    if depth = 0 || int_in 0 1 = 0 then
+      let op = pick [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Eq; Ast.Ne ] in
+      e (Ast.Ebinop (op, gen_int 1 vars, gen_int 1 vars))
+    else
+      match int_in 0 2 with
+      | 0 -> e (Ast.Eunop (Ast.Not, gen_bool (depth - 1) vars))
+      | _ ->
+        let op = pick [ Ast.And; Ast.Or ] in
+        e
+          (Ast.Ebinop (op, gen_bool (depth - 1) vars, gen_bool (depth - 1) vars))
+  in
+  let print_stmt vars = s (Ast.Sexpr (e (Ast.Ecall ("print", [ gen_int 2 vars ])))) in
+  (* Returns the statements plus the scope extended with this level's
+     declarations; declarations inside nested blocks stay local. *)
+  let rec gen_stmts depth vars budget =
+    if budget = 0 then ([], vars)
+    else
+      let stmt, vars =
+        match int_in 0 5 with
+        | 0 ->
+          let x = fresh () in
+          (s (Ast.Sdecl (Ast.Tint, x, Some (gen_int 2 vars))), x :: vars)
+        | 1 when vars <> [] ->
+          (s (Ast.Sassign (pick vars, gen_int 2 vars)), vars)
+        | 2 -> (print_stmt vars, vars)
+        | 3 when depth > 0 ->
+          let then_b, _ = gen_stmts (depth - 1) vars (int_in 1 3) in
+          let else_b, _ =
+            if int_in 0 1 = 0 then ([], vars)
+            else gen_stmts (depth - 1) vars (int_in 1 3)
+          in
+          (s (Ast.Sif (gen_bool 1 vars, then_b, else_b)), vars)
+        | 4 when depth > 0 ->
+          (* Counter-bounded loop; the counter is never in scope for the
+             body, so no generated assignment can unbound it. *)
+          let i = fresh () in
+          let body, _ = gen_stmts (depth - 1) vars (int_in 1 3) in
+          let incr_i =
+            s
+              (Ast.Sassign
+                 (i, e (Ast.Ebinop (Ast.Add, e (Ast.Evar i), e (Ast.Eint 1)))))
+          in
+          let cond =
+            e (Ast.Ebinop (Ast.Lt, e (Ast.Evar i), e (Ast.Eint (int_in 0 4))))
+          in
+          ( s
+              (Ast.Sif
+                 ( e (Ast.Ebool true),
+                   [
+                     s (Ast.Sdecl (Ast.Tint, i, Some (e (Ast.Eint 0))));
+                     s (Ast.Swhile (cond, body @ [ incr_i ]));
+                   ],
+                   [] )),
+            vars )
+        | _ ->
+          let x = fresh () in
+          (s (Ast.Sdecl (Ast.Tint, x, Some (gen_int 2 vars))), x :: vars)
+      in
+      let rest, vars = gen_stmts depth vars (budget - 1) in
+      (stmt :: rest, vars)
+  in
+  let n_globals = int_in 0 2 in
+  let globals = ref [] and global_vars = ref [] in
+  for _ = 1 to n_globals do
+    let g = fresh () in
+    globals :=
+      s (Ast.Sdecl (Ast.Tint, g, Some (e (Ast.Eint (int_in (-9) 9)))))
+      :: !globals;
+    global_vars := g :: !global_vars
+  done;
+  let body, vars = gen_stmts 2 !global_vars (int_in 2 8) in
+  let body = body @ [ print_stmt vars ] in
+  let main =
+    {
+      Ast.fname = "main";
+      fret = Ast.Tvoid;
+      fparams = [];
+      fbody = body;
+      floc = Loc.dummy;
+    }
+  in
+  let prog = { Ast.globals = List.rev !globals; funcs = [ main ] } in
+  (* Re-parse so statement ids are assigned; the generator leaves them 0. *)
+  let input = List.init (int_in 0 16) (fun _ -> int_in (-50) 50) in
+  (Typecheck.parse_and_check (Pretty.program_to_string prog), input)
+
+let print_case (prog, input) =
+  Printf.sprintf "%s\n// input: [%s]"
+    (Pretty.program_to_string prog)
+    (String.concat "; " (List.map string_of_int input))
+
+let arb = QCheck.make ~print:print_case gen_program
+
+(* {2 Properties} *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"pretty-print . parse round-trips" ~count:80 arb
+    (fun (prog, _) ->
+      let src = Pretty.program_to_string prog in
+      Pretty.program_to_string (Typecheck.parse_and_check src) = src)
+
+let traced prog input = Interp.run ~tracing:true prog ~input
+
+let prop_region_well_formed =
+  QCheck.Test.make ~name:"region tree projects the trace" ~count:60 arb
+    (fun (prog, input) ->
+      let r = traced prog input in
+      let tr = Option.get r.Interp.trace in
+      let reg = Region.build tr in
+      Region.length reg = Trace.length tr
+      && List.for_all
+           (fun idx ->
+             let inst = Region.get reg idx in
+             let p = inst.Trace.parent in
+             inst.Trace.idx = idx && p < idx
+             && Region.in_region reg ~u:idx ~r:Region.root
+             && (p < 0
+                || Region.in_region reg ~u:idx ~r:p
+                   && Region.depth reg idx = Region.depth reg p + 1
+                   && List.mem idx (Region.children reg p)))
+           (List.init (Trace.length tr) Fun.id))
+
+let sample_indices n =
+  (* All indices on short traces, a spread otherwise: property checks
+     stay linear-ish in trace length. *)
+  if n <= 64 then List.init n Fun.id
+  else List.init 64 (fun i -> i * n / 64)
+
+let prop_self_alignment =
+  QCheck.Test.make ~name:"self-alignment is the identity" ~count:60 arb
+    (fun (prog, input) ->
+      let r = traced prog input in
+      let tr = Option.get r.Interp.trace in
+      let reg = Region.build tr in
+      let n = Trace.length tr in
+      let indices = sample_indices n in
+      let root_ok =
+        List.for_all
+          (fun u -> Align.match_root reg reg ~u = Align.Found u)
+          indices
+      in
+      (* From any predicate instance, an execution still aligns with
+         itself everywhere. *)
+      let pred =
+        List.find_opt (fun u -> Trace.is_predicate (Region.get reg u)) indices
+      in
+      let from_ok =
+        match pred with
+        | None -> true
+        | Some p ->
+          List.for_all
+            (fun u -> Align.match_from reg reg ~p ~u = Align.Found u)
+            indices
+      in
+      root_ok && from_ok)
+
+let modes_agree prog input =
+  let a = Interp.run ~tracing:true prog ~input in
+  let b = Interp.run ~tracing:false prog ~input in
+  Interp.output_values a = Interp.output_values b
+  && a.Interp.steps = b.Interp.steps
+  && a.Interp.outcome = b.Interp.outcome
+  && a.Interp.switch_fired = b.Interp.switch_fired
+
+let prop_differential =
+  QCheck.Test.make ~name:"tracing and plain modes agree" ~count:80 arb
+    (fun (prog, input) -> modes_agree prog input)
+
+(* {2 Differential check over the example corpus} *)
+
+(* Under `dune runtest` the cwd is the sandboxed test directory and
+   the glob_files dep places the corpus at ../examples/programs; under
+   `dune exec test/test_prop.exe` the cwd is the project root.  Resolve
+   relative to the executable first, then the two cwd layouts. *)
+let examples_dir =
+  let rel = Filename.concat "examples" "programs" in
+  let candidates =
+    [
+      Filename.concat (Filename.dirname Sys.executable_name)
+        (Filename.concat ".." rel);
+      Filename.concat ".." rel;
+      rel;
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some d -> d
+  | None -> rel
+
+let test_examples_differential () =
+  let files =
+    Sys.readdir examples_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".mc")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "example corpus present" true (files <> []);
+  List.iter
+    (fun file ->
+      let path = Filename.concat examples_dir file in
+      let ic = open_in_bin path in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let prog = Typecheck.parse_and_check src in
+      (* A fixed input long enough for every example; extra ints are
+         ignored, and both modes crash identically on exhaustion. *)
+      let input = [ 6; 3; 9; 1; 4; 1; 5; 9; 2; 6; 5; 3; 5; 8; 9; 7 ] in
+      Alcotest.(check bool)
+        (file ^ ": modes agree")
+        true (modes_agree prog input);
+      Alcotest.(check bool)
+        (file ^ ": short input agrees")
+        true
+        (modes_agree prog [ 2 ]))
+    files
+
+let () =
+  let rand = Random.State.make [| seed |] in
+  let q t = QCheck_alcotest.to_alcotest ~rand t in
+  Alcotest.run "prop"
+    [
+      ( "generated",
+        [
+          q prop_roundtrip;
+          q prop_region_well_formed;
+          q prop_self_alignment;
+          q prop_differential;
+        ] );
+      ("examples", [ Alcotest.test_case "differential" `Quick test_examples_differential ]);
+    ]

@@ -7,7 +7,7 @@
 module Pool = Exom_sched.Pool
 module Batch = Exom_sched.Batch
 module Store = Exom_sched.Store
-module Tally = Exom_sched.Tally
+module Metrics = Exom_obs.Metrics
 module Demand = Exom_core.Demand
 module Slice = Exom_ddg.Slice
 module B = Exom_bench.Bench_types
@@ -226,17 +226,24 @@ let test_group_by_stable () =
     [ (2, [ 5; 2; 8 ]); (0, [ 3; 6 ]); (1, [ 1; 4 ]) ]
     groups
 
-let test_tally () =
-  let t = Tally.create () in
-  let v = Tally.counted t (fun () -> 42) in
+(* The verification accounting contract formerly held by Tally, now
+   carried by the verify.run timer of the metrics registry. *)
+let test_verify_accounting () =
+  let m = Metrics.create () in
+  let v = Metrics.timed m "verify.run" (fun () -> 42) in
   Alcotest.(check int) "returns" 42 v;
-  (try Tally.counted t (fun () -> failwith "x") with Failure _ -> ());
-  Alcotest.(check int) "raising runs still counted" 2 t.Tally.runs;
-  Alcotest.(check bool) "wall clock advances" true (t.Tally.seconds >= 0.0);
-  let into = Tally.create () in
-  into.Tally.queries <- 5;
-  Tally.absorb ~into t;
-  Alcotest.(check int) "absorb sums" 2 into.Tally.runs
+  (try Metrics.timed m "verify.run" (fun () -> failwith "x")
+   with Failure _ -> ());
+  Alcotest.(check int) "raising runs still counted" 2
+    (Metrics.timer_count m "verify.run");
+  Alcotest.(check bool) "wall clock advances" true
+    (Metrics.timer_seconds m "verify.run" >= 0.0);
+  let into = Metrics.create () in
+  Metrics.add into "verify.queries" 5;
+  Metrics.absorb ~into m;
+  Alcotest.(check int) "absorb sums" 2 (Metrics.timer_count into "verify.run");
+  Alcotest.(check int) "absorb keeps counters" 5
+    (Metrics.counter_value into "verify.queries")
 
 (* {2 Determinism: -j1 vs -j4, warm vs cold} *)
 
@@ -343,7 +350,7 @@ let () =
             test_batch_order_and_errors;
           Alcotest.test_case "batch cancellation" `Quick test_batch_cancel;
           Alcotest.test_case "stable grouping" `Quick test_group_by_stable;
-          Alcotest.test_case "tally" `Quick test_tally;
+          Alcotest.test_case "verify accounting" `Quick test_verify_accounting;
         ] );
       ( "determinism",
         [
