@@ -2,7 +2,8 @@
    evaluation (Tables 1-4) on the exom_bench suite, then runs one
    bechamel microbenchmark per table on the underlying machinery.
 
-   Usage: dune exec bench/main.exe [-- --skip-bechamel]
+   Usage: dune exec bench/main.exe [-- --skip-bechamel] [--sched-json F]
+     [--perf-json F]
 *)
 
 module B = Exom_bench.Bench_types
@@ -505,12 +506,13 @@ let () =
     List.mem "--skip-bechamel" args || List.mem "--tables-only" args
   in
   let sched_only = List.mem "--sched-only" args in
-  let rec json_path = function
-    | "--sched-json" :: path :: _ -> Some path
-    | _ :: rest -> json_path rest
+  let rec flag_path name = function
+    | f :: path :: _ when f = name -> Some path
+    | _ :: rest -> flag_path name rest
     | [] -> None
   in
-  let json_path = json_path args in
+  let json_path = flag_path "--sched-json" args in
+  let perf_path = flag_path "--perf-json" args in
   print_endline
     "exom benchmark harness: reproducing the evaluation of \"Towards \
      Locating Execution Omission Errors\" (PLDI 2007)";
@@ -532,6 +534,12 @@ let () =
     print_ablations ();
     let rows = run_sched_comparison () in
     Option.iter (fun p -> write_sched_json p rows) json_path;
+    Option.iter
+      (fun p ->
+        let s = Exom_bench.Perf.run_suite ~label:"bench-harness" () in
+        Exom_bench.Perf.write p s;
+        Printf.printf "perf snapshot written to %s\n" p)
+      perf_path;
     if not skip_bechamel then run_bechamel ();
     let located =
       List.length

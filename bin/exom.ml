@@ -6,11 +6,14 @@
      slice   dynamic slice of one output
      rslice  relevant slice of one output (potential dependences)
      locate  full demand-driven localization against a corrected program
-     explain confidence analysis of a failing run (ranked candidates)
+     explain causal narrative of a --ledger-out provenance ledger, or
+             confidence analysis of a failing run (ranked candidates)
      dot     Graphviz rendering of the dynamic dependence graph
      regions the execution's region decomposition (Definition 3)
-     bench   run one benchmark fault from the built-in suite
-     stats   pretty-print the metric tree of a --metrics-out file       *)
+     bench   run one benchmark fault (or, with --all, the whole suite,
+             optionally appending a perf snapshot to a history file)
+     regress compare two bench snapshots and flag metric regressions
+     stats   pretty-print (or --diff) --metrics-out event logs          *)
 
 module Ast = Exom_lang.Ast
 module Typecheck = Exom_lang.Typecheck
@@ -26,6 +29,9 @@ module Demand = Exom_core.Demand
 module B = Exom_bench.Bench_types
 module Runner = Exom_bench.Runner
 module Suite = Exom_bench.Suite
+module Perf = Exom_bench.Perf
+module Ledger = Exom_ledger.Ledger
+module Lexplain = Exom_ledger.Explain
 
 open Cmdliner
 
@@ -34,6 +40,12 @@ let read_file path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)
 
 let compile_file path =
   try Ok (Typecheck.parse_and_check (read_file path)) with
@@ -233,6 +245,26 @@ let metrics_out_arg =
            versioned JSONL event log to FILE; read it back with \
            $(b,exom stats)")
 
+let ledger_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the localization's provenance ledger (per-iteration \
+           slice snapshots, every verification with its alignment \
+           evidence) as versioned JSONL to FILE; render it with \
+           $(b,exom explain FILE).  Byte-identical at any -j")
+
+let make_ledger ledger_out = Option.map (fun _ -> Ledger.create ()) ledger_out
+
+let write_ledger ledger ~ledger_out =
+  match (ledger_out, ledger) with
+  | Some path, Some l ->
+    Ledger.write path l;
+    Printf.eprintf "ledger written to %s\n" path
+  | _ -> ()
+
 let make_obs ~trace_out = Obs.create ~trace:(trace_out <> None) ()
 
 let write_obs obs ~trace_out ~metrics_out =
@@ -327,7 +359,7 @@ let print_robustness (report : Demand.report) =
 
 let locate_cmd =
   let action file correct_file input text root_line chaos_seed verify_deadline
-      max_retries breaker jobs store_dir trace_out metrics_out =
+      max_retries breaker jobs store_dir trace_out metrics_out ledger_out =
     match (compile_file file, compile_file correct_file) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -346,11 +378,12 @@ let locate_cmd =
       | None -> ());
       let pool = make_pool jobs in
       let obs = make_obs ~trace_out in
+      let ledger = make_ledger ledger_out in
       let store =
         Option.map (fun dir -> Store.create ~obs ~dir ()) store_dir
       in
       match
-        Session.create ~obs ~policy ?chaos ?store ~prog:faulty ~input
+        Session.create ~obs ~policy ?chaos ?store ?ledger ~prog:faulty ~input
           ~expected ~profile_inputs:[ input ] ()
       with
       | exception Session.No_failure ->
@@ -376,6 +409,7 @@ let locate_cmd =
         in
         let report = Demand.locate ~pool session ~oracle ~root_sids in
         write_obs obs ~trace_out ~metrics_out;
+        write_ledger ledger ~ledger_out;
         Printf.printf
           "verifications: %d (of %d queries), iterations: %d, implicit \
            edges: %d, user prunings: %d\n"
@@ -455,12 +489,45 @@ let locate_cmd =
     Term.(
       const action $ file_arg $ correct_arg $ input_arg $ text_arg $ root_arg
       $ chaos_seed_arg $ deadline_arg $ max_retries_arg $ breaker_arg
-      $ jobs_arg $ store_arg $ trace_out_arg $ metrics_out_arg)
+      $ jobs_arg $ store_arg $ trace_out_arg $ metrics_out_arg
+      $ ledger_out_arg)
 
-(* explain *)
+(* explain
+
+   Two modes sharing one entry point, distinguished by sniffing the
+   positional FILE: a provenance ledger (written by --ledger-out)
+   renders as a causal narrative; an MCL source falls back to the
+   confidence analysis (which then needs --correct). *)
+
+let explain_ledger file content dot_out =
+  match Ledger.of_string content with
+  | Error e ->
+    Printf.eprintf "%s: %s\n" file e;
+    1
+  | Ok events ->
+    print_string (Lexplain.render events);
+    (match dot_out with
+    | Some path ->
+      write_file path (Lexplain.dot events);
+      Printf.eprintf "causal graph written to %s\n" path
+    | None -> ());
+    0
 
 let explain_cmd =
-  let action file correct_file input text top =
+  let action file correct_file input text top dot_out =
+    match read_file file with
+    | exception Sys_error e ->
+      prerr_endline e;
+      1
+    | content when Ledger.is_ledger content -> explain_ledger file content dot_out
+    | _ -> (
+    match correct_file with
+    | None ->
+      prerr_endline
+        "exom explain: FILE is not a provenance ledger, so this is the \
+         confidence analysis — which needs --correct FILE";
+      1
+    | Some correct_file -> (
     match (compile_file file, compile_file correct_file) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -528,26 +595,37 @@ let explain_cmd =
                 alt
             end)
           (Exom_conf.Prune.entries ps);
-        0)
+        0)))
   in
   let correct_arg =
     Arg.(
-      required
+      value
       & opt (some file) None
-      & info [ "correct" ] ~docv:"FILE" ~doc:"The corrected program")
+      & info [ "correct" ] ~docv:"FILE"
+          ~doc:"The corrected program (confidence mode only)")
   in
   let top_arg =
     Arg.(
       value & opt int 15
       & info [ "top" ] ~docv:"N" ~doc:"Number of ranked instances to show")
   in
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:
+            "Also export the verified causal graph as Graphviz (ledger mode \
+             only)")
+  in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
-         "Confidence analysis of a failing run: the ranked fault candidates \
-          with their alt sets")
+         "Causal narrative of a provenance ledger (from --ledger-out), or \
+          confidence analysis of a failing run (with --correct)")
     Term.(
-      const action $ file_arg $ correct_arg $ input_arg $ text_arg $ top_arg)
+      const action $ file_arg $ correct_arg $ input_arg $ text_arg $ top_arg
+      $ dot_arg)
 
 (* dot *)
 
@@ -627,9 +705,49 @@ let regions_cmd =
 
 (* bench *)
 
-let bench_cmd =
-  let action name fid jobs store_dir trace_out metrics_out =
-    match Suite.find name with
+let default_label () =
+  let tm = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
+let bench_suite jobs json_out history label =
+  let jobs =
+    match jobs with Some j -> j | None -> Pool.default_jobs ()
+  in
+  let label = match label with Some l -> l | None -> default_label () in
+  let s = Perf.run_suite ~jobs ~label () in
+  Printf.printf "suite %s (%d job(s)): %d/%d located\n" s.Perf.label s.Perf.jobs
+    s.Perf.located s.Perf.total;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %-8s %-6s %s  verifications %d (of %d queries), iterations %d, \
+         edges %d, prunings %d\n"
+        r.Perf.r_bench r.Perf.r_fault
+        (if r.Perf.r_found then "LOCATED    " else "not located")
+        r.Perf.r_verifications r.Perf.r_queries r.Perf.r_iterations
+        r.Perf.r_edges r.Perf.r_prunings)
+    s.Perf.rows;
+  Printf.printf
+    "  totals: %d switched runs (%.3fs), %d interpreter runs, store hit rate \
+     %.0f%%, wall %.3fs\n"
+    s.Perf.verify_runs s.Perf.verify_seconds s.Perf.interp_runs
+    (100.0 *. s.Perf.store_hit_rate)
+    s.Perf.wall_seconds;
+  (match json_out with
+  | Some path ->
+    Perf.write path s;
+    Printf.eprintf "snapshot written to %s\n" path
+  | None -> ());
+  (match history with
+  | Some path ->
+    Perf.append_history path s;
+    Printf.eprintf "snapshot appended to %s\n" path
+  | None -> ());
+  0
+
+let bench_one name fid jobs store_dir trace_out metrics_out ledger_out =
+  match Suite.find name with
     | None ->
       Printf.eprintf "unknown benchmark %s (have: %s)\n" name
         (String.concat ", " (List.map (fun b -> b.B.name) Suite.all));
@@ -647,8 +765,10 @@ let bench_cmd =
         let store =
           Option.map (fun dir -> Store.create ~obs ~dir ()) store_dir
         in
-        let r = Runner.run_fault ~obs ~pool ?store bench fault in
+        let ledger = make_ledger ledger_out in
+        let r = Runner.run_fault ~obs ~pool ?store ?ledger bench fault in
         write_obs obs ~trace_out ~metrics_out;
+        write_ledger ledger ~ledger_out;
         Printf.printf "%s %s (%d job(s)): %s\n" name fid (Pool.jobs pool)
           fault.B.description;
         Printf.printf
@@ -676,38 +796,163 @@ let bench_cmd =
           g.Guard.breaker_trips g.Guard.breaker_skips g.Guard.deadline_expired
           g.Guard.captured;
         0)
+
+let bench_cmd =
+  let action name fid all jobs store_dir trace_out metrics_out ledger_out
+      json_out history label =
+    if all then bench_suite jobs json_out history label
+    else
+      match (name, fid) with
+      | Some name, Some fid ->
+        bench_one name fid jobs store_dir trace_out metrics_out ledger_out
+      | _ ->
+        prerr_endline "exom bench: need BENCH FAULT (or --all for the suite)";
+        1
   in
   let name_arg =
     Arg.(
-      required & pos 0 (some string) None
+      value & pos 0 (some string) None
       & info [] ~docv:"BENCH" ~doc:"flexsim | grepsim | gzipsim | sedsim")
   in
   let fid_arg =
     Arg.(
-      required & pos 1 (some string) None
+      value & pos 1 (some string) None
       & info [] ~docv:"FAULT" ~doc:"Fault id, e.g. V2-F3")
   in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Run the whole suite and reduce it to a perf snapshot")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"With --all: write the snapshot as a single-line JSON file")
+  in
+  let history_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "BENCH_history.jsonl") (some string) None
+      & info [ "history" ] ~docv:"FILE"
+          ~doc:
+            "With --all: append the snapshot to a history JSONL file \
+             (default $(b,BENCH_history.jsonl))")
+  in
+  let label_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "label" ] ~docv:"TAG"
+          ~doc:"Snapshot label (default: today's date)")
+  in
   Cmd.v
-    (Cmd.info "bench" ~doc:"Run one benchmark fault from the built-in suite")
+    (Cmd.info "bench"
+       ~doc:
+         "Run one benchmark fault from the built-in suite, or the whole \
+          suite with --all")
     Term.(
-      const action $ name_arg $ fid_arg $ jobs_arg $ store_arg $ trace_out_arg
-      $ metrics_out_arg)
+      const action $ name_arg $ fid_arg $ all_arg $ jobs_arg $ store_arg
+      $ trace_out_arg $ metrics_out_arg $ ledger_out_arg $ json_arg
+      $ history_arg $ label_arg)
+
+(* regress *)
+
+let regress_cmd =
+  let action old_file new_file tolerance time_tolerance check =
+    match (Perf.load old_file, Perf.load new_file) with
+    | Error e, _ ->
+      Printf.eprintf "%s: %s\n" old_file e;
+      1
+    | _, Error e ->
+      Printf.eprintf "%s: %s\n" new_file e;
+      1
+    | Ok old_s, Ok new_s ->
+      Printf.printf "old: %s (%d job(s), %d/%d located)\n" old_s.Perf.label
+        old_s.Perf.jobs old_s.Perf.located old_s.Perf.total;
+      Printf.printf "new: %s (%d job(s), %d/%d located)\n" new_s.Perf.label
+        new_s.Perf.jobs new_s.Perf.located new_s.Perf.total;
+      let findings = Perf.compare ~tolerance ~time_tolerance old_s new_s in
+      print_string (Perf.render findings);
+      if check && Perf.has_regression findings then 1 else 0
+  in
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Baseline snapshot (file or history JSONL)")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Candidate snapshot (file or history JSONL)")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "tolerance" ] ~docv:"REL"
+          ~doc:"Relative tolerance for deterministic counts (0.1 = 10%)")
+  in
+  let time_tolerance_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "time-tolerance" ] ~docv:"REL"
+          ~doc:"Relative tolerance for wall-clock figures")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ] ~doc:"Exit non-zero if any regression is flagged")
+  in
+  Cmd.v
+    (Cmd.info "regress"
+       ~doc:
+         "Compare two perf snapshots from $(b,exom bench --all) and flag \
+          metric movements beyond tolerance")
+    Term.(
+      const action $ old_arg $ new_arg $ tolerance_arg $ time_tolerance_arg
+      $ check_arg)
 
 (* stats *)
 
 let stats_cmd =
-  let action file no_timings =
+  let load_metrics file =
     match read_file file with
-    | exception Sys_error e ->
-      prerr_endline e;
-      1
+    | exception Sys_error e -> Error e
     | content -> (
       match Export.metrics_of_jsonl content with
-      | Error e ->
-        Printf.eprintf "%s: %s\n" file e;
+      | Error e -> Error (Printf.sprintf "%s: %s" file e)
+      | Ok (reg, salvaged) ->
+        if salvaged then
+          Printf.eprintf "%s: truncated final record dropped (salvaged)\n"
+            file;
+        Ok reg)
+  in
+  let action file file2 diff no_timings =
+    match (load_metrics file, file2) with
+    | Error e, _ ->
+      prerr_endline e;
+      1
+    | Ok reg, None ->
+      if diff then begin
+        prerr_endline "exom stats: --diff needs a second FILE";
         1
-      | Ok reg ->
+      end
+      else begin
         print_string (Exom_obs.Metrics.render ~timings:(not no_timings) reg);
+        0
+      end
+    | Ok reg, Some file2 -> (
+      match load_metrics file2 with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok reg2 ->
+        print_string
+          (Exom_obs.Metrics.render_diff ~timings:(not no_timings) reg reg2);
         0)
   in
   let stats_file_arg =
@@ -715,6 +960,19 @@ let stats_cmd =
       required
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"A JSONL event log written by --metrics-out")
+  in
+  let stats_file2_arg =
+    Arg.(
+      value
+      & pos 1 (some file) None
+      & info [] ~docv:"FILE2"
+          ~doc:"A second event log to compare against (side-by-side diff)")
+  in
+  let diff_arg =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:"Compare two event logs side by side (implied by FILE2)")
   in
   let no_timings_arg =
     Arg.(
@@ -726,8 +984,12 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"Pretty-print the metric tree of a --metrics-out event log")
-    Term.(const action $ stats_file_arg $ no_timings_arg)
+       ~doc:
+         "Pretty-print the metric tree of a --metrics-out event log, or \
+          diff two of them")
+    Term.(
+      const action $ stats_file_arg $ stats_file2_arg $ diff_arg
+      $ no_timings_arg)
 
 let () =
   let doc = "locating execution omission errors via implicit dependences" in
@@ -737,4 +999,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "exom" ~version:"1.0.0" ~doc)
           [ run_cmd; info_cmd; slice_cmd; rslice_cmd; locate_cmd; explain_cmd;
-            dot_cmd; regions_cmd; bench_cmd; stats_cmd ]))
+            dot_cmd; regions_cmd; bench_cmd; regress_cmd; stats_cmd ]))

@@ -1,0 +1,332 @@
+module Json = Exom_obs.Json
+module Metrics = Exom_obs.Metrics
+module Obs = Exom_obs.Obs
+module Pool = Exom_sched.Pool
+module Store = Exom_sched.Store
+module Demand = Exom_core.Demand
+
+let schema_name = "exom.bench"
+let schema_version = 1
+
+type row = {
+  r_bench : string;
+  r_fault : string;
+  r_found : bool;
+  r_verifications : int;
+  r_queries : int;
+  r_iterations : int;
+  r_edges : int;
+  r_prunings : int;
+}
+
+type snapshot = {
+  label : string;
+  jobs : int;
+  rows : row list;
+  located : int;
+  total : int;
+  verify_runs : int;
+  verify_seconds : float;
+  interp_runs : int;
+  store_hit_rate : float;
+  wall_seconds : float;
+}
+
+(* Each fault gets its own registry and cold store so rows are
+   independent measurements; the totals are sums over the rows' private
+   registries. *)
+let run_suite ?(jobs = Pool.default_jobs ()) ?(label = "") () =
+  let pool = Pool.create ~jobs () in
+  let t0 = Unix.gettimeofday () in
+  let rows = ref [] in
+  let verify_runs = ref 0 in
+  let verify_seconds = ref 0.0 in
+  let interp_runs = ref 0 in
+  let store_hits = ref 0 in
+  let store_queries = ref 0 in
+  List.iter
+    (fun (bench, fault) ->
+      let obs = Obs.create () in
+      let r = Runner.run_fault ~obs ~pool bench fault in
+      let report = r.Runner.report in
+      rows :=
+        {
+          r_bench = bench.Bench_types.name;
+          r_fault = fault.Bench_types.fid;
+          r_found = report.Demand.found;
+          r_verifications = report.Demand.verifications;
+          r_queries = report.Demand.verify_queries;
+          r_iterations = report.Demand.iterations;
+          r_edges = report.Demand.expanded_edges;
+          r_prunings = report.Demand.total_prunings;
+        }
+        :: !rows;
+      let reg = Obs.metrics obs in
+      verify_runs := !verify_runs + Metrics.timer_count reg "verify.run";
+      verify_seconds := !verify_seconds +. Metrics.timer_seconds reg "verify.run";
+      interp_runs := !interp_runs + Metrics.counter_value reg "interp.runs";
+      let st = report.Demand.store in
+      store_hits := !store_hits + st.Store.hits + st.Store.disk_hits;
+      store_queries :=
+        !store_queries + st.Store.hits + st.Store.disk_hits + st.Store.misses)
+    Suite.rows;
+  Pool.shutdown pool;
+  let rows = List.rev !rows in
+  {
+    label;
+    jobs;
+    rows;
+    located = List.length (List.filter (fun r -> r.r_found) rows);
+    total = List.length rows;
+    verify_runs = !verify_runs;
+    verify_seconds = !verify_seconds;
+    interp_runs = !interp_runs;
+    store_hit_rate =
+      (if !store_queries = 0 then 0.0
+       else float_of_int !store_hits /. float_of_int !store_queries);
+    wall_seconds = Unix.gettimeofday () -. t0;
+  }
+
+(* {2 Serialization} *)
+
+let num n = Json.Num (float_of_int n)
+
+let row_json r =
+  Json.Obj
+    [
+      ("bench", Json.Str r.r_bench);
+      ("fault", Json.Str r.r_fault);
+      ("found", Json.Bool r.r_found);
+      ("verifications", num r.r_verifications);
+      ("queries", num r.r_queries);
+      ("iterations", num r.r_iterations);
+      ("edges", num r.r_edges);
+      ("prunings", num r.r_prunings);
+    ]
+
+let to_json s =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_name);
+      ("version", num schema_version);
+      ("label", Json.Str s.label);
+      ("jobs", num s.jobs);
+      ("located", num s.located);
+      ("total", num s.total);
+      ("verify_runs", num s.verify_runs);
+      ("verify_seconds", Json.Num s.verify_seconds);
+      ("interp_runs", num s.interp_runs);
+      ("store_hit_rate", Json.Num s.store_hit_rate);
+      ("wall_seconds", Json.Num s.wall_seconds);
+      ("rows", Json.Arr (List.map row_json s.rows));
+    ]
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let require what = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed %s" what)
+
+let get_str j k = Option.bind (Json.member k j) Json.to_str
+let get_num j k = Option.bind (Json.member k j) Json.to_float
+let get_int j k = Option.map int_of_float (get_num j k)
+
+let get_bool j k =
+  match Json.member k j with Some (Json.Bool b) -> Some b | _ -> None
+
+let row_of_json j =
+  let* r_bench = require "row.bench" (get_str j "bench") in
+  let* r_fault = require "row.fault" (get_str j "fault") in
+  let* r_found = require "row.found" (get_bool j "found") in
+  let* r_verifications = require "row.verifications" (get_int j "verifications") in
+  let* r_queries = require "row.queries" (get_int j "queries") in
+  let* r_iterations = require "row.iterations" (get_int j "iterations") in
+  let* r_edges = require "row.edges" (get_int j "edges") in
+  let* r_prunings = require "row.prunings" (get_int j "prunings") in
+  Ok
+    { r_bench; r_fault; r_found; r_verifications; r_queries; r_iterations;
+      r_edges; r_prunings }
+
+let of_json j =
+  let* schema = require "schema" (get_str j "schema") in
+  if schema <> schema_name then
+    Error (Printf.sprintf "foreign schema %S" schema)
+  else
+    let* version = require "version" (get_int j "version") in
+    if version <> schema_version then
+      Error
+        (Printf.sprintf "schema version %d (this reader understands %d)"
+           version schema_version)
+    else
+      let* label = require "label" (get_str j "label") in
+      let* jobs = require "jobs" (get_int j "jobs") in
+      let* located = require "located" (get_int j "located") in
+      let* total = require "total" (get_int j "total") in
+      let* verify_runs = require "verify_runs" (get_int j "verify_runs") in
+      let* verify_seconds = require "verify_seconds" (get_num j "verify_seconds") in
+      let* interp_runs = require "interp_runs" (get_int j "interp_runs") in
+      let* store_hit_rate = require "store_hit_rate" (get_num j "store_hit_rate") in
+      let* wall_seconds = require "wall_seconds" (get_num j "wall_seconds") in
+      let* rows_j = require "rows" (Option.bind (Json.member "rows" j) Json.to_list) in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | r :: rest ->
+          let* row = row_of_json r in
+          go (row :: acc) rest
+      in
+      let* rows = go [] rows_j in
+      Ok
+        { label; jobs; rows; located; total; verify_runs; verify_seconds;
+          interp_runs; store_hit_rate; wall_seconds }
+
+let to_line s = Json.to_string (to_json s)
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)
+
+let write path s = write_file path (to_line s ^ "\n")
+
+let append_history path s =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_line s ^ "\n"))
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | content -> (
+    let lines =
+      String.split_on_char '\n' content
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    match List.rev lines with
+    | [] -> Error "empty snapshot file"
+    | last :: _ ->
+      let* j = Json.parse last in
+      of_json j)
+
+(* {2 Regression comparison} *)
+
+type severity = Regression | Info
+
+type finding = { severity : severity; metric : string; detail : string }
+
+(* Relative movement of a numeric metric against a threshold: growth
+   beyond it is a regression, shrinkage beyond it an improvement. *)
+let drift ~threshold ~metric ~fmt old_v new_v =
+  if old_v <= 0.0 then []
+  else
+    let rel = (new_v -. old_v) /. old_v in
+    if Float.abs rel <= threshold then []
+    else
+      [
+        {
+          severity = (if rel > 0.0 then Regression else Info);
+          metric;
+          detail =
+            Printf.sprintf "%s -> %s (%+.1f%%, tolerance %.0f%%)" (fmt old_v)
+              (fmt new_v) (100.0 *. rel) (100.0 *. threshold);
+        };
+      ]
+
+let fmt_int v = string_of_int (int_of_float v)
+let fmt_s v = Printf.sprintf "%.3fs" v
+
+let compare ~tolerance ~time_tolerance old_s new_s =
+  let findings = ref [] in
+  let push f = findings := f :: !findings in
+  (* localization outcomes: any drop is a regression, no tolerance *)
+  if new_s.located < old_s.located then
+    push
+      {
+        severity = Regression;
+        metric = "located";
+        detail =
+          Printf.sprintf "%d/%d -> %d/%d faults located" old_s.located
+            old_s.total new_s.located new_s.total;
+      }
+  else if new_s.located > old_s.located then
+    push
+      {
+        severity = Info;
+        metric = "located";
+        detail =
+          Printf.sprintf "%d/%d -> %d/%d faults located" old_s.located
+            old_s.total new_s.located new_s.total;
+      };
+  List.iter
+    (fun old_row ->
+      match
+        List.find_opt
+          (fun r ->
+            r.r_bench = old_row.r_bench && r.r_fault = old_row.r_fault)
+          new_s.rows
+      with
+      | Some new_row when old_row.r_found && not new_row.r_found ->
+        push
+          {
+            severity = Regression;
+            metric =
+              Printf.sprintf "%s %s" old_row.r_bench old_row.r_fault;
+            detail = "previously located, now missed";
+          }
+      | Some _ -> ()
+      | None ->
+        push
+          {
+            severity = Info;
+            metric =
+              Printf.sprintf "%s %s" old_row.r_bench old_row.r_fault;
+            detail = "row absent from the new snapshot";
+          })
+    old_s.rows;
+  let counts =
+    [
+      ("verify_runs", float_of_int old_s.verify_runs,
+       float_of_int new_s.verify_runs);
+      ("interp_runs", float_of_int old_s.interp_runs,
+       float_of_int new_s.interp_runs);
+      ( "queries",
+        float_of_int
+          (List.fold_left (fun a r -> a + r.r_queries) 0 old_s.rows),
+        float_of_int
+          (List.fold_left (fun a r -> a + r.r_queries) 0 new_s.rows) );
+    ]
+  in
+  List.iter
+    (fun (metric, o, n) ->
+      List.iter push (drift ~threshold:tolerance ~metric ~fmt:fmt_int o n))
+    counts;
+  List.iter
+    (fun (metric, o, n) ->
+      List.iter push (drift ~threshold:time_tolerance ~metric ~fmt:fmt_s o n))
+    [
+      ("verify_seconds", old_s.verify_seconds, new_s.verify_seconds);
+      ("wall_seconds", old_s.wall_seconds, new_s.wall_seconds);
+    ];
+  List.rev !findings
+
+let has_regression findings =
+  List.exists (fun f -> f.severity = Regression) findings
+
+let render findings =
+  if findings = [] then "no metric moved beyond tolerance\n"
+  else
+    String.concat ""
+      (List.map
+         (fun f ->
+           Printf.sprintf "%s %-16s %s\n"
+             (match f.severity with
+             | Regression -> "REGRESSION"
+             | Info -> "info      ")
+             f.metric f.detail)
+         findings)

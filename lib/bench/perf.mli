@@ -1,0 +1,83 @@
+(** Suite-level performance snapshots and regression checks: the
+    persistent perf trajectory behind [exom bench --history] /
+    [BENCH_exom.json] and the [exom regress] comparator.
+
+    A snapshot is one run of the whole benchmark suite reduced to the
+    numbers worth tracking over time: localization outcomes per fault,
+    verification work (queries / switched runs / interpreter runs),
+    wall-clock sections, and the verdict-store hit rate.  Snapshots are
+    schema-versioned JSON (one object per line, so a history file is
+    plain JSONL) and {!compare} flags metric movements beyond tolerance
+    — counts strictly (they are deterministic), timings loosely (they
+    are not). *)
+
+val schema_name : string
+val schema_version : int
+
+type row = {
+  r_bench : string;
+  r_fault : string;
+  r_found : bool;
+  r_verifications : int;
+  r_queries : int;
+  r_iterations : int;
+  r_edges : int;
+  r_prunings : int;
+}
+
+type snapshot = {
+  label : string;  (** free-form tag, e.g. a date or a commit subject *)
+  jobs : int;
+  rows : row list;
+  located : int;  (** faults whose root cause entered the slice *)
+  total : int;
+  verify_runs : int;  (** switched re-executions across the suite *)
+  verify_seconds : float;
+  interp_runs : int;  (** every interpreter execution, profiling included *)
+  store_hit_rate : float;
+  wall_seconds : float;  (** whole-suite wall clock *)
+}
+
+(** Run the full suite (cold store, fresh metrics per fault) and reduce
+    it to a snapshot.  [jobs] sizes the verification pool (default:
+    [EXOM_JOBS] via the default pool). *)
+val run_suite : ?jobs:int -> ?label:string -> unit -> snapshot
+
+(** {2 Serialization} *)
+
+val to_json : snapshot -> Exom_obs.Json.t
+val of_json : Exom_obs.Json.t -> (snapshot, string) result
+
+(** One JSON object on one line (both the single-snapshot file format
+    and the history line format). *)
+val to_line : snapshot -> string
+
+(** Write a single-snapshot file (used for the committed baseline). *)
+val write : string -> snapshot -> unit
+
+(** Append one snapshot line to a history JSONL file (created if
+    missing). *)
+val append_history : string -> snapshot -> unit
+
+(** Load the snapshot from [path]: the last non-empty line — so a
+    baseline file and a history file read the same way. *)
+val load : string -> (snapshot, string) result
+
+(** {2 Regression comparison} *)
+
+type severity = Regression | Info
+
+type finding = { severity : severity; metric : string; detail : string }
+
+(** [compare ~tolerance ~time_tolerance old_s new_s]: regressions are a
+    drop in located faults (or any previously-located fault now
+    missed), a deterministic count (queries, switched runs, interpreter
+    runs) growing beyond [tolerance] (relative, e.g. [0.1] = +10%), or
+    a timing growing beyond [time_tolerance]; improvements beyond the
+    same thresholds are reported as [Info]. *)
+val compare :
+  tolerance:float -> time_tolerance:float -> snapshot -> snapshot ->
+  finding list
+
+val has_regression : finding list -> bool
+val render : finding list -> string

@@ -47,7 +47,7 @@ let sizes_of_chain trace chain =
   { static_size = List.length sids; dynamic_size = List.length chain }
 
 let run_fault ?obs ?config ?(budget = Interp.default_budget) ?policy ?chaos
-    ?pool ?store bench fault =
+    ?pool ?store ?ledger bench fault =
   (* All Table 4 timing reads come from the metrics registry (wall
      clock, not [Sys.time]: process CPU time double-counts across pool
      domains and under-counts blocking) — one accounting path shared
@@ -71,8 +71,8 @@ let run_fault ?obs ?config ?(budget = Interp.default_budget) ?policy ?chaos
   in
   let session =
     timer "runner.session_build" (fun () ->
-        Session.create ~obs ~budget ?policy ?chaos ?store ~prog:faulty ~input
-          ~expected ~profile_inputs:bench.Bench_types.test_inputs ())
+        Session.create ~obs ~budget ?policy ?chaos ?store ?ledger ~prog:faulty
+          ~input ~expected ~profile_inputs:bench.Bench_types.test_inputs ())
   in
   let plain_seconds = seconds "runner.plain_run" -. plain0 in
   let graph_seconds = seconds "runner.session_build" -. graph0 in

@@ -30,7 +30,8 @@ type result = {
     observability context the session inherits (pass
     [Exom_obs.Obs.create ~trace:true ()] to record spans for
     [--trace-out]); timing fields are read back from its metrics
-    registry ([runner.plain_run], [runner.session_build]). *)
+    registry ([runner.plain_run], [runner.session_build]).  [ledger]
+    records the localization's provenance ([--ledger-out]). *)
 val run_fault :
   ?obs:Exom_obs.Obs.t ->
   ?config:Exom_core.Demand.config ->
@@ -39,6 +40,7 @@ val run_fault :
   ?chaos:Exom_interp.Chaos.t ->
   ?pool:Exom_sched.Pool.t ->
   ?store:Exom_sched.Store.t ->
+  ?ledger:Exom_ledger.Ledger.t ->
   Bench_types.t ->
   Bench_types.fault ->
   result

@@ -1,4 +1,5 @@
 module Confidence = Exom_conf.Confidence
+module Ledger = Exom_ledger.Ledger
 module Obs = Exom_obs.Obs
 module Prune = Exom_conf.Prune
 module Relevant = Exom_ddg.Relevant
@@ -88,6 +89,36 @@ let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
   let trace = s.Session.trace in
   let obs = s.Session.obs in
   Obs.with_span obs ~cat:"demand" "demand.locate" @@ fun () ->
+  (* All ledger appends below run on the coordinator, between batches,
+     over coordinator-computed data — the search is identical at any -j,
+     so the ledger is too. *)
+  let ledger = s.Session.ledger in
+  (match ledger with
+  | Some l ->
+    Ledger.locate l ~root_sids
+      ~mode:
+        (match config.verify_mode with
+        | Verify.Edge_approximation -> "edge"
+        | Verify.Path_exact -> "path")
+      ~max_iterations:config.max_iterations
+  | None -> ());
+  let snapshot_slice ~iter ps =
+    match ledger with
+    | None -> ()
+    | Some l ->
+      Ledger.slice l ~iter
+        (List.map
+           (fun e ->
+             let li = Session.linst s e.Prune.idx in
+             {
+               Ledger.s_idx = e.Prune.idx;
+               s_sid = li.Ledger.sid;
+               s_line = li.Ledger.line;
+               s_conf = e.Prune.confidence;
+               s_dist = e.Prune.distance;
+             })
+           (Prune.entries ps))
+  in
   let verify_batch pairs =
     Verify.verify_batch ~mode:config.verify_mode ?pool s pairs
   in
@@ -124,7 +155,7 @@ let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
      benign state; stop when everything presented is corrupted.  One
      confidence recomputation per sweep (each mark still counts as one
      user interaction, as in Table 3). *)
-  let rec prune_interactively ps =
+  let rec prune_interactively ~iter ps =
     let benign_entries =
       List.filter (fun e -> Oracle.benign oracle e.Prune.idx) (Prune.entries ps)
     in
@@ -132,8 +163,12 @@ let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
     | [] -> ps
     | marked ->
       user_prunings := !user_prunings + List.length marked;
-      benign := List.map (fun e -> e.Prune.idx) marked @ !benign;
-      prune_interactively (pruned ())
+      let idxs = List.map (fun e -> e.Prune.idx) marked in
+      (match ledger with
+      | Some l -> Ledger.prune l ~iter ~marked:idxs
+      | None -> ());
+      benign := idxs @ !benign;
+      prune_interactively ~iter (pruned ())
   in
   let root_reached ps =
     List.exists (fun sid -> Prune.mem_sid trace ps sid) root_sids
@@ -143,6 +178,7 @@ let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
      strong edges override plain ones (Algorithm 2 lines 10-11).
      Returns whether any edge was added. *)
   let edges_added = ref 0 in
+  let iterations = ref 0 in
   let expand u =
     Hashtbl.replace expanded u ();
     (* PD(u), minus anything already explicitly reaching u (Definition 2
@@ -153,6 +189,13 @@ let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
       |> List.filter (fun p -> not (Slice.mem u_slice p))
       |> dedup_by_sid ~per_sid:config.max_instances_per_pred trace
     in
+    (match ledger with
+    | Some l ->
+      (* this expansion belongs to the iteration being built, one past
+         the completed count *)
+      Ledger.expand l ~iter:(!iterations + 1) ~u:(Session.linst s u)
+        ~candidates:pd
+    | None -> ());
     let verdicts =
       List.combine pd (verify_batch (List.map (fun p -> (p, u)) pd))
     in
@@ -166,9 +209,19 @@ let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
     in
     let wanted = if strong <> [] then Verdict.Strong_id else Verdict.Id in
     let chosen = if strong <> [] then strong else weak in
+    let strength = if strong <> [] then "strong" else "weak" in
+    let record_edge ~p ~t ~value_affected ~related =
+      match ledger with
+      | Some l ->
+        Ledger.edge l ~p:(Session.linst s p) ~u:(Session.linst s t) ~strength
+          ~value_affected ~related
+      | None -> ()
+    in
     List.iter
       (fun (p, (r : Verdict.result)) ->
         implicit := (p, u, r.Verdict.value_affected) :: !implicit;
+        record_edge ~p ~t:u ~value_affected:r.Verdict.value_affected
+          ~related:false;
         incr edges_added;
         (* Verify the other uses potentially depending on p, enabling
            more pruning (Figure 5): targets come from both the failure's
@@ -205,6 +258,8 @@ let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
           (fun t (rt : Verdict.result) ->
             if rt.Verdict.verdict = wanted then begin
               implicit := (p, t, rt.Verdict.value_affected) :: !implicit;
+              record_edge ~p ~t ~value_affected:rt.Verdict.value_affected
+                ~related:true;
               incr edges_added
             end)
           ts rts)
@@ -212,10 +267,10 @@ let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
     chosen <> []
   in
   let ds = slice () in
-  let ps = ref (prune_interactively (pruned ())) in
+  let ps = ref (prune_interactively ~iter:0 (pruned ())) in
   let initial_prunings = !user_prunings in
   let ps0 = Prune.as_slice trace !ps in
-  let iterations = ref 0 in
+  snapshot_slice ~iter:0 !ps;
   let found = ref (root_reached !ps) in
   let exhausted = ref false in
   let degraded = ref None in
@@ -241,7 +296,8 @@ let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
        let progress = List.exists (fun e -> expand e.Prune.idx) candidates in
        if progress then begin
          incr iterations;
-         ps := prune_interactively (pruned ());
+         ps := prune_interactively ~iter:!iterations (pruned ());
+         snapshot_slice ~iter:!iterations !ps;
          found := root_reached !ps
        end
        else exhausted := true
@@ -271,6 +327,13 @@ let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
   sync "demand.expanded_edges" !edges_added;
   sync "demand.user_prunings" !user_prunings;
   sync "demand.benign" (List.length !benign);
+  (match ledger with
+  | Some l ->
+    Ledger.final l ~found:!found ~iterations:!iterations ~edges:!edges_added
+      ~user_prunings:initial_prunings ~total_prunings:!user_prunings
+      ~verifications:(Session.verifications s)
+      ~queries:(Session.verify_queries s) ~os_chain ~degraded:!degraded
+  | None -> ());
   {
     found = !found;
     user_prunings = initial_prunings;

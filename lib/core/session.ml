@@ -6,6 +6,7 @@ module Region = Exom_align.Region
 module Relevant = Exom_ddg.Relevant
 module Store = Exom_sched.Store
 module Obs = Exom_obs.Obs
+module Ledger = Exom_ledger.Ledger
 module Trace = Exom_interp.Trace
 module Value = Exom_interp.Value
 
@@ -33,6 +34,9 @@ type t = {
       (* the observability context: merged metrics (the successor of the
          old Tally) plus optional span recording; coordinator-owned *)
   store : Store.t;  (* verdict cache; possibly persistent *)
+  ledger : Ledger.t option;
+      (* provenance record of the run; appended to only on the
+         coordinator, in program order, so its contents are j-invariant *)
   key_prefix : string;
       (* content hash of everything a verdict depends on besides
          (mode, p, u): program, input, expected stream, budget, chaos *)
@@ -95,8 +99,19 @@ let derive_key_prefix ~prog ~input ~expected ~budget ~chaos =
           (Exom_interp.Chaos.fault_to_string c.Exom_interp.Chaos.fault));
     ]
 
-let create ?obs ?(budget = Interp.default_budget) ?policy ?chaos ?store ~prog
-    ~input ~expected ~profile_inputs () =
+(* Resolve a trace instance into the self-contained reference the
+   ledger stores (sid, source line, occurrence). *)
+let ledger_inst ~info ~trace i =
+  let inst = Trace.get trace i in
+  {
+    Ledger.idx = i;
+    sid = inst.Trace.sid;
+    line = Proginfo.line_of_sid info inst.Trace.sid;
+    occ = inst.Trace.occ;
+  }
+
+let create ?obs ?(budget = Interp.default_budget) ?policy ?chaos ?store ?ledger
+    ~prog ~input ~expected ~profile_inputs () =
   let obs = match obs with Some o -> o | None -> Obs.create () in
   Obs.with_span obs ~cat:"session" "session.create" @@ fun () ->
   let run =
@@ -121,6 +136,14 @@ let create ?obs ?(budget = Interp.default_budget) ?policy ?chaos ?store ~prog
     Obs.with_span obs ~cat:"session" "session.profile" (fun () ->
         Profile.collect prog profile_inputs)
   in
+  (match ledger with
+  | Some l ->
+    Ledger.session l
+      ~wrong:(ledger_inst ~info ~trace wrong_output)
+      ~vexp:(Option.map Value.to_string vexp)
+      ~correct_outputs:(List.length correct_outputs)
+      ~budget ~trace_len:(Trace.length trace)
+  | None -> ());
   {
     prog;
     info;
@@ -138,8 +161,12 @@ let create ?obs ?(budget = Interp.default_budget) ?policy ?chaos ?store ~prog
     chaos;
     obs;
     store;
+    ledger;
     key_prefix = derive_key_prefix ~prog ~input ~expected ~budget ~chaos;
   }
+
+(* The ledger reference for a trace instance of this session. *)
+let linst s i = ledger_inst ~info:s.info ~trace:s.trace i
 
 (* The accounting views read the metrics registry: the verify.run timer
    holds what Tally.runs/Tally.seconds used to, verify.queries the old

@@ -37,6 +37,10 @@ type t = {
   store : Exom_sched.Store.t;
       (** verdict cache (in-memory, optionally persistent);
           coordinator-only *)
+  ledger : Exom_ledger.Ledger.t option;
+      (** provenance record of the localization; appended to only on the
+          coordinator in program order (same lane discipline as spans),
+          so its contents are identical at every [-j] *)
   key_prefix : string;
       (** content hash of everything a verdict depends on besides
           (mode, p, u) — program, input, expected stream, budget,
@@ -65,19 +69,26 @@ val classify_outputs :
     persistent one); a fresh memory-only store is created when
     omitted.  [obs] supplies the observability context (enable span
     recording by passing [Exom_obs.Obs.create ~trace:true ()]); a
-    metrics-only context is created when omitted. *)
+    metrics-only context is created when omitted.  [ledger] enables
+    provenance recording: the session appends its own record on
+    creation, and Demand/Verify append the search and evidence events. *)
 val create :
   ?obs:Exom_obs.Obs.t ->
   ?budget:int ->
   ?policy:Guard.policy ->
   ?chaos:Exom_interp.Chaos.t ->
   ?store:Exom_sched.Store.t ->
+  ?ledger:Exom_ledger.Ledger.t ->
   prog:Exom_lang.Ast.program ->
   input:int list ->
   expected:int list ->
   profile_inputs:int list list ->
   unit ->
   t
+
+(** The ledger reference ({!Exom_ledger.Ledger.inst}) for a trace
+    instance: sid, source line and occurrence resolved. *)
+val linst : t -> int -> Exom_ledger.Ledger.inst
 
 (** {2 Accounting views} *)
 

@@ -6,8 +6,10 @@ module Region = Exom_align.Region
 module Slice = Exom_ddg.Slice
 module Store = Exom_sched.Store
 module Obs = Exom_obs.Obs
+module Metrics = Exom_obs.Metrics
 module Trace = Exom_interp.Trace
 module Value = Exom_interp.Value
+module Ledger = Exom_ledger.Ledger
 
 (* How Definition 2's case (ii) — "an explicit dependence path between
    p' and u'" — is tested:
@@ -74,10 +76,16 @@ let not_id = { Verdict.verdict = Verdict.Not_id; value_affected = false }
 
 (* [region'] is shared lazily across every use verified against the
    same switched run (the batch planner groups them), so the region
-   tree of one re-execution is built at most once. *)
+   tree of one re-execution is built at most once.
+
+   Besides the verdict, classification returns the alignment evidence
+   the provenance ledger records: the target's counterpart (or its
+   absence — the proof of Definition 2 case (i)), whether a definition
+   was rerouted through the switched region (case (ii)), and the
+   failure point's counterpart with the Definition 4 outcome. *)
 let classify ?obs (s : Session.t) ~mode ~(run' : Interp.run) ~region' ~p ~u =
   match run'.Interp.trace with
-  | None -> { Verdict.verdict = Verdict.Not_id; value_affected = false }
+  | None -> (not_id, None)
   | Some trace' ->
     (* An aborted switched run (budget = the paper's timer, or a crash
        caused by the now-inconsistent program state) still produced a
@@ -86,22 +94,24 @@ let classify ?obs (s : Session.t) ~mode ~(run' : Interp.run) ~region' ~p ~u =
        the truncation, not the switch, may explain the absence — and is
        then conservatively NOT_ID (the paper's timer rule). *)
     let aborted = run'.Interp.outcome <> Ok () in
-    if not run'.Interp.switch_fired then
-      { Verdict.verdict = Verdict.Not_id; value_affected = false }
+    if not run'.Interp.switch_fired then (not_id, None)
     else begin
       let region' = Lazy.force region' in
       let region = s.Session.region in
+      let counterpart =
+        Align.to_option (Align.match_from ?obs region region' ~p ~u)
+      in
       (* Definition 2 first: does u implicitly depend on p at all?
          (The paper's pseudocode short-circuits on the o× test alone,
          but Definition 4 requires the implicit dependence to hold too;
          without the conjunction, a culprit predicate would acquire
          strong edges to *benign* targets and confidence propagation
          would sanitize it.) *)
-      let id_holds, value_affected =
-        match Align.to_option (Align.match_from ?obs region region' ~p ~u) with
+      let id_holds, value_affected, rerouted =
+        match counterpart with
         | None ->
           (* case (i): u has no counterpart *)
-          if aborted then (false, false) else (true, true)
+          if aborted then (false, false, false) else (true, true, false)
         | Some u' ->
           let holds =
             match mode with
@@ -115,29 +125,37 @@ let classify ?obs (s : Session.t) ~mode ~(run' : Interp.run) ~region' ~p ~u =
               (Value.equal (Trace.get trace' u').Trace.value
                  (Trace.get s.Session.trace u).Trace.value)
           in
-          (holds, changed)
+          (holds, changed, holds)
       in
       if not id_holds then
-        { Verdict.verdict = Verdict.Not_id; value_affected = false }
+        ( not_id,
+          Some
+            { Ledger.counterpart; ox_counterpart = None; ox_restored = false;
+              rerouted } )
       else begin
         (* Definition 4: additionally, the failure point aligns and
            shows the expected value. *)
-        let strong =
+        let ox_counterpart, strong =
           match s.Session.vexp with
-          | None -> false  (* crash failure: no expected value *)
+          | None -> (None, false)  (* crash failure: no expected value *)
           | Some vexp -> (
             match
               Align.to_option
                 (Align.match_from ?obs region region' ~p
                    ~u:s.Session.wrong_output)
             with
-            | Some o' -> Value.equal (Trace.get trace' o').Trace.value vexp
-            | None -> false)
+            | Some o' ->
+              (Some o', Value.equal (Trace.get trace' o').Trace.value vexp)
+            | None -> (None, false))
         in
-        {
-          Verdict.verdict = (if strong then Verdict.Strong_id else Verdict.Id);
-          value_affected;
-        }
+        ( {
+            Verdict.verdict =
+              (if strong then Verdict.Strong_id else Verdict.Id);
+            value_affected;
+          },
+          Some
+            { Ledger.counterpart; ox_counterpart; ox_restored = strong;
+              rerouted } )
       end
     end
 
@@ -179,6 +197,44 @@ let decode_result payload =
       Some { Verdict.verdict; value_affected = payload.[1] = '1' }
     | _ -> None
 
+(* {2 Ledger evidence}
+
+   Workers produce one evidence slot per miss (disjoint writes into a
+   shared array, exactly like the answers array); the coordinator turns
+   slots into ledger events after the deterministic merge, so the
+   ledger's contents never depend on worker interleaving. *)
+
+type evidence = {
+  ev_source : string;  (* "run" | "cache:mem" | "cache:disk" | "skip" | "dead" *)
+  ev_run : Ledger.run_info option;
+  ev_align : Ledger.align_info option;
+  ev_failure : string option;
+}
+
+let cache_evidence tier =
+  {
+    ev_source = (match tier with `Mem -> "cache:mem" | `Disk -> "cache:disk");
+    ev_run = None;
+    ev_align = None;
+    ev_failure = None;
+  }
+
+let dead_evidence =
+  { ev_source = "dead"; ev_run = None; ev_align = None; ev_failure = None }
+
+let run_evidence (run' : Interp.run) =
+  let outcome =
+    match run'.Interp.outcome with
+    | Ok () -> "ok"
+    | Error Interp.Budget_exhausted -> "budget-exhausted"
+    | Error (Interp.Crashed msg) -> "crashed: " ^ msg
+  in
+  {
+    Ledger.outcome;
+    steps = run'.Interp.steps;
+    switch_fired = run'.Interp.switch_fired;
+  }
+
 (* {2 The batch verification planner}
 
    One call verifies a whole wave of (p, u) candidates:
@@ -213,6 +269,7 @@ let verify_batch ?(mode = Edge_approximation) ?pool (s : Session.t) pairs =
     @@ fun () ->
     (* resolve: store hits on the coordinator, unique misses in order *)
     let resolved = Hashtbl.create 64 in
+    let evidence_tbl = Hashtbl.create 64 in
     let miss_key = Hashtbl.create 64 in
     let miss_order = ref [] in
     List.iter
@@ -222,18 +279,26 @@ let verify_batch ?(mode = Edge_approximation) ?pool (s : Session.t) pairs =
           && not (Hashtbl.mem miss_key (p, u))
         then begin
           let key = pair_key s ~mode ~p ~u in
-          match Option.bind (Store.find s.Session.store key) decode_result with
-          | Some r -> Hashtbl.replace resolved (p, u) r
+          match
+            Option.bind (Store.find_tier s.Session.store key)
+              (fun (payload, tier) ->
+                Option.map (fun r -> (r, tier)) (decode_result payload))
+          with
+          | Some (r, tier) ->
+            Hashtbl.replace resolved (p, u) r;
+            Hashtbl.replace evidence_tbl (p, u) (cache_evidence tier)
           | None ->
             Hashtbl.replace miss_key (p, u) key;
             miss_order := (p, u) :: !miss_order
         end)
       pairs;
     let misses = List.rev !miss_order in
+    let dispatched_runs = ref 0 in
     (match misses with
     | [] -> ()
     | _ ->
       let answers = Array.make (List.length misses) None in
+      let evs = Array.make (List.length misses) None in
       let indexed = List.mapi (fun i pu -> (i, pu)) misses in
       (* one switched run per predicate instance p ... *)
       let by_p = Batch.group_by ~key:(fun (_, (p, _)) -> p) indexed in
@@ -260,9 +325,27 @@ let verify_batch ?(mode = Edge_approximation) ?pool (s : Session.t) pairs =
                   ~base_budget:s.Session.budget
                   ~run:(fun ~budget -> switched_run s wobs ~budget ~p)
               with
-              | Guard.Skipped _ ->
-                List.iter (fun (i, _) -> answers.(i) <- Some not_id) items
-              | Guard.Completed run' | Guard.Degraded (run', _) ->
+              | Guard.Skipped f ->
+                let ev =
+                  {
+                    ev_source = "skip";
+                    ev_run = None;
+                    ev_align = None;
+                    ev_failure = Some (Guard.failure_to_string f);
+                  }
+                in
+                List.iter
+                  (fun (i, _) ->
+                    answers.(i) <- Some not_id;
+                    evs.(i) <- Some ev)
+                  items
+              | (Guard.Completed run' | Guard.Degraded (run', _)) as oc ->
+                let degraded =
+                  match oc with
+                  | Guard.Degraded (_, f) -> Some (Guard.failure_to_string f)
+                  | _ -> None
+                in
+                let rinfo = run_evidence run' in
                 let region' =
                   lazy
                     (match run'.Interp.trace with
@@ -272,16 +355,30 @@ let verify_batch ?(mode = Edge_approximation) ?pool (s : Session.t) pairs =
                 Obs.with_span wobs ~cat:"verify" "verify.align" @@ fun () ->
                 List.iter
                   (fun (i, (_, u)) ->
-                    let r =
-                      try classify ~obs:wobs s ~mode ~run' ~region' ~p ~u
+                    let r, al, fail =
+                      try
+                        let r, al =
+                          classify ~obs:wobs s ~mode ~run' ~region' ~p ~u
+                        in
+                        (r, al, degraded)
                       with exn ->
                         (* e.g. alignment over a chaos-corrupted trace:
                            contain, degrade *)
-                        Guard.note_captured_in shard ~sid
-                          ~msg:(Printexc.to_string exn);
-                        not_id
+                        let msg = Printexc.to_string exn in
+                        Guard.note_captured_in shard ~sid ~msg;
+                        ( not_id,
+                          None,
+                          Some (Guard.failure_to_string (Guard.Captured msg)) )
                     in
-                    answers.(i) <- Some r)
+                    answers.(i) <- Some r;
+                    evs.(i) <-
+                      Some
+                        {
+                          ev_source = "run";
+                          ev_run = Some rinfo;
+                          ev_align = al;
+                          ev_failure = fail;
+                        })
                   items)
             pgroups;
           (shard, wobs)
@@ -302,15 +399,54 @@ let verify_batch ?(mode = Edge_approximation) ?pool (s : Session.t) pairs =
         by_sid outcomes;
       List.iteri
         (fun i (p, u) ->
-          match answers.(i) with
+          (match answers.(i) with
           | Some r ->
             Hashtbl.replace resolved (p, u) r;
             Store.add s.Session.store ~key:(Hashtbl.find miss_key (p, u))
               (encode_result r)
           | None ->
             (* unanswered (task died): NOT_ID, but never persisted *)
-            Hashtbl.replace resolved (p, u) not_id)
-        misses);
+            Hashtbl.replace resolved (p, u) not_id);
+          Hashtbl.replace evidence_tbl (p, u)
+            (match evs.(i) with Some e -> e | None -> dead_evidence))
+        misses;
+      (* switched runs actually performed: distinct predicate instances
+         among the misses that were not skipped *)
+      let ran = Hashtbl.create 16 in
+      List.iteri
+        (fun i (p, _) ->
+          match evs.(i) with
+          | Some { ev_source = "run"; _ } -> Hashtbl.replace ran p ()
+          | _ -> ())
+        misses;
+      dispatched_runs := Hashtbl.length ran);
+    (* Ledger emission: coordinator-only, in first-occurrence pair order
+       (the same deterministic spine as resolution), after the merge. *)
+    (match s.Session.ledger with
+    | None -> ()
+    | Some l ->
+      let seen = Hashtbl.create 64 in
+      let uniq = ref 0 in
+      List.iter
+        (fun (p, u) ->
+          if not (Hashtbl.mem seen (p, u)) then begin
+            Hashtbl.replace seen (p, u) ();
+            incr uniq;
+            let r = Hashtbl.find resolved (p, u) in
+            let e =
+              match Hashtbl.find_opt evidence_tbl (p, u) with
+              | Some e -> e
+              | None -> dead_evidence
+            in
+            Ledger.verify l ~p:(Session.linst s p) ~u:(Session.linst s u)
+              ~verdict:(Verdict.to_string r.Verdict.verdict)
+              ~value_affected:r.Verdict.value_affected ~source:e.ev_source
+              ?run:e.ev_run ?align:e.ev_align ?failure:e.ev_failure ()
+          end)
+        pairs;
+      Ledger.batch l ~queries:(List.length pairs) ~unique:!uniq
+        ~cache_hits:(!uniq - List.length misses) ~runs:!dispatched_runs
+        ~total_runs:(Metrics.timer_count (Obs.metrics obs) "verify.run"));
     List.map (fun (p, u) -> Hashtbl.find resolved (p, u)) pairs
 
 (* The single-pair entry points route through the batch planner with an

@@ -60,3 +60,33 @@ let render ?slice ?(implicit = []) ?(highlight = []) ~describe trace =
     implicit;
   pr "}\n";
   Buffer.contents buf
+
+(* Trace-free rendering for ledger replays: the nodes and edges are
+   given explicitly, so a causal graph can be drawn from a ledger file
+   alone.  Strong and weak implicit edges get distinct styling. *)
+let render_causal ~nodes ~strong ~weak =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph causal {\n";
+  pr "  rankdir=BT;\n  node [fontsize=10];\n";
+  List.iter
+    (fun (id, label, shape, fill) ->
+      let extras =
+        match fill with
+        | None -> ""
+        | Some c -> Printf.sprintf ", style=filled, fillcolor=\"%s\"" c
+      in
+      pr "  n%d [label=\"%s\", shape=%s%s];\n" id (escape label) shape extras)
+    nodes;
+  List.iter
+    (fun (p, t) ->
+      pr "  n%d -> n%d [style=bold, color=red, label=\"strong id\"];\n" t p)
+    strong;
+  List.iter
+    (fun (p, t) ->
+      pr
+        "  n%d -> n%d [style=\"bold,dashed\", color=orange, label=\"id\"];\n"
+        t p)
+    weak;
+  pr "}\n";
+  Buffer.contents buf

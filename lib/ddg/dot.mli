@@ -13,3 +13,14 @@ val render :
   describe:(int -> string) ->
   Exom_interp.Trace.t ->
   string
+
+(** Trace-free causal graph (for ledger replays).  [nodes] is
+    [(id, label, shape, fill)]; [strong]/[weak] are implicit-dependence
+    [(predicate, target)] pairs, drawn bold solid red ("strong id") and
+    bold dashed orange ("id") respectively — visually distinct from each
+    other and from data/control edges. *)
+val render_causal :
+  nodes:(int * string * string * string option) list ->
+  strong:(int * int) list ->
+  weak:(int * int) list ->
+  string

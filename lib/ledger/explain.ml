@@ -1,0 +1,299 @@
+module Dot = Exom_ddg.Dot
+
+(* Turns the event stream back into the story of the search: what
+   failed, how the pruned slice evolved, which implicit dependences were
+   verified (and on what evidence), and where the root cause entered. *)
+
+let inst_str (i : Ledger.inst) =
+  Printf.sprintf "line %d (inst #%d, occ %d)" i.line i.idx i.occ
+
+let find_map f evs = List.find_map f evs
+
+type session_view = {
+  wrong : Ledger.inst;
+  vexp : string option;
+  correct_outputs : int;
+  budget : int;
+  trace_len : int;
+}
+
+type final_view = {
+  found : bool;
+  iterations : int;
+  f_edges : int;
+  user_prunings : int;
+  total_prunings : int;
+  verifications : int;
+  queries : int;
+  os_chain : int list option;
+  degraded : string option;
+}
+
+let session_of evs =
+  find_map
+    (function
+      | Ledger.Session { wrong; vexp; correct_outputs; budget; trace_len } ->
+        Some { wrong; vexp; correct_outputs; budget; trace_len }
+      | _ -> None)
+    evs
+
+let locate_of evs =
+  find_map
+    (function
+      | Ledger.Locate { root_sids; mode; max_iterations } ->
+        Some (root_sids, mode, max_iterations)
+      | _ -> None)
+    evs
+
+let final_of evs =
+  find_map
+    (function
+      | Ledger.Final
+          { found; iterations; edges; user_prunings; total_prunings;
+            verifications; queries; os_chain; degraded } ->
+        Some
+          { found; iterations; f_edges = edges; user_prunings; total_prunings;
+            verifications; queries; os_chain; degraded }
+      | _ -> None)
+    evs
+
+let slices_of evs =
+  List.filter_map
+    (function
+      | Ledger.Slice { iter; entries; added; removed } ->
+        Some (iter, entries, added, removed)
+      | _ -> None)
+    evs
+
+(* Each admitted edge, paired with the verification evidence recorded
+   for the same (p, u) instance pair, and the iteration (the iter of the
+   next Slice snapshot) it contributed to. *)
+let edges_with_evidence evs =
+  let rec go pending acc = function
+    | [] -> List.rev acc @ List.rev_map (fun (e, v) -> (e, v, None)) pending
+    | Ledger.Slice { iter; _ } :: rest ->
+      let closed =
+        List.rev_map (fun (e, v) -> (e, v, Some iter)) pending
+      in
+      go [] (closed @ acc) rest
+    | (Ledger.Edge { ep; eu; _ } as e) :: rest ->
+      let ev =
+        find_map
+          (function
+            | Ledger.Verify v
+              when v.Ledger.vp.idx = ep.idx && v.Ledger.vu.idx = eu.idx ->
+              Some v
+            | _ -> None)
+          evs
+      in
+      go ((e, ev) :: pending) acc rest
+    | _ :: rest -> go pending acc rest
+  in
+  (* [acc] collects newest-first between snapshots; restore order. *)
+  go [] [] evs |> List.rev
+
+let align_str (a : Ledger.align_info) =
+  let b = Buffer.create 64 in
+  (match a.counterpart with
+  | Some c ->
+    Buffer.add_string b (Printf.sprintf "target aligns with inst #%d" c)
+  | None ->
+    Buffer.add_string b
+      "no counterpart in switched run (Definition 2 case (i))");
+  if a.rerouted then
+    Buffer.add_string b "; definition rerouted through switched region";
+  (match a.ox_counterpart with
+  | Some c ->
+    Buffer.add_string b
+      (Printf.sprintf "; failure point aligns with inst #%d (%s)" c
+         (if a.ox_restored then "expected value restored"
+          else "value unchanged"))
+  | None -> ());
+  Buffer.contents b
+
+let run_str (r : Ledger.run_info) =
+  Printf.sprintf "switched run %s after %d steps, switch %s" r.outcome r.steps
+    (if r.switch_fired then "fired" else "never fired")
+
+let render evs =
+  let b = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "=== Localization narrative ===\n";
+  (match session_of evs with
+  | Some s ->
+    pr "wrong output at %s" (inst_str s.wrong);
+    (match s.vexp with
+    | Some v -> pr ", expected value %s" v
+    | None -> ());
+    pr "\n%d correct profile run%s; interpreter budget %d; trace length %d\n"
+      s.correct_outputs
+      (if s.correct_outputs = 1 then "" else "s")
+      s.budget s.trace_len
+  | None -> pr "(no session record)\n");
+  (match locate_of evs with
+  | Some (root_sids, mode, max_iterations) ->
+    pr "search: %s mode, max %d iterations, seeded root sid%s [%s]\n" mode
+      max_iterations
+      (if List.length root_sids = 1 then "" else "s")
+      (String.concat "; " (List.map string_of_int root_sids))
+  | None -> ());
+  let slices = slices_of evs in
+  if slices <> [] then begin
+    pr "\n--- Slice evolution ---\n";
+    pr "%-5s %-6s %-7s %-9s %s\n" "iter" "size" "added" "removed" "min conf";
+    List.iter
+      (fun (iter, entries, added, removed) ->
+        let min_conf =
+          List.fold_left
+            (fun acc (e : Ledger.slice_entry) -> min acc e.s_conf)
+            infinity entries
+        in
+        pr "%-5d %-6d %-7s %-9s %s\n" iter (List.length entries)
+          (Printf.sprintf "+%d" (List.length added))
+          (Printf.sprintf "-%d" (List.length removed))
+          (if entries = [] then "-" else Printf.sprintf "%.3f" min_conf))
+      slices
+  end;
+  let edges = edges_with_evidence evs in
+  if edges <> [] then begin
+    pr "\n--- Verified implicit dependences ---\n";
+    List.iteri
+      (fun k ((e : Ledger.event), ev, iter) ->
+        match e with
+        | Ledger.Edge { ep; eu; strength; value_affected; related } ->
+          pr "[%d] %s implicit dependence: predicate %s ==> use %s%s%s\n"
+            (k + 1) strength (inst_str ep) (inst_str eu)
+            (if related then " (related-target fan-out)" else "")
+            (match iter with
+            | Some i -> Printf.sprintf "  [iteration %d]" i
+            | None -> "");
+          (match ev with
+          | None -> pr "      (no verification record)\n"
+          | Some (v : Ledger.verify_ev) ->
+            pr "      verdict %s%s, source %s\n" v.verdict
+              (if v.value_affected then " (value affected)" else "")
+              v.source;
+            (match v.run with
+            | Some r -> pr "      %s\n" (run_str r)
+            | None -> ());
+            (match v.align with
+            | Some a -> pr "      alignment: %s\n" (align_str a)
+            | None -> ());
+            (match v.failure with
+            | Some f -> pr "      degraded: %s\n" f
+            | None -> ()));
+          if value_affected then
+            pr "      switching the predicate changed the wrong output \
+               (Definition 4)\n"
+        | _ -> ())
+      edges
+  end;
+  (* Where (and how) the seeded root cause entered the slice. *)
+  (match locate_of evs with
+  | Some (root_sids, _, _) when root_sids <> [] ->
+    pr "\n--- Root cause ---\n";
+    let hit =
+      List.find_map
+        (fun (iter, entries, added, _) ->
+          match
+            List.find_opt
+              (fun (e : Ledger.slice_entry) -> List.mem e.s_sid root_sids)
+              entries
+          with
+          | Some e -> Some (iter, e, List.mem e.s_idx added)
+          | None -> None)
+        slices
+    in
+    (match hit with
+    | None ->
+      pr "the seeded root cause (sid%s %s) never entered the slice\n"
+        (if List.length root_sids = 1 then "" else "s")
+        (String.concat ", " (List.map string_of_int root_sids))
+    | Some (0, e, _) ->
+      pr
+        "seeded root cause at line %d (sid %d, inst #%d) was already in \
+         the initial pruned slice (confidence %.3f)\n"
+        e.s_line e.s_sid e.s_idx e.s_conf
+    | Some (iter, e, _) ->
+      pr
+        "seeded root cause at line %d (sid %d, inst #%d) entered the \
+         slice at iteration %d (confidence %.3f)\n"
+        e.s_line e.s_sid e.s_idx iter e.s_conf;
+      let via =
+        List.filter_map
+          (fun (ed, _, it) ->
+            match (ed, it) with
+            | Ledger.Edge { ep; eu; strength; _ }, Some i when i = iter ->
+              Some (Printf.sprintf "%s edge %s ==> %s" strength (inst_str ep)
+                      (inst_str eu))
+            | _ -> None)
+          edges
+      in
+      if via <> [] then
+        pr "  via: %s\n" (String.concat "\n       " via))
+  | _ -> ());
+  (* Aggregate verification accounting, from the batch records. *)
+  let q, hits, runs, total =
+    List.fold_left
+      (fun (q, h, r, t) ev ->
+        match ev with
+        | Ledger.Batch b ->
+          (q + b.queries, h + b.cache_hits, r + b.runs, b.total_runs)
+        | _ -> (q, h, r, t))
+      (0, 0, 0, 0) evs
+  in
+  if q > 0 then begin
+    pr "\n--- Verification cost ---\n";
+    pr "%d queries, %d cache hits, %d switched runs dispatched \
+       (%d cumulative verify runs)\n"
+      q hits runs total
+  end;
+  (match final_of evs with
+  | Some f ->
+    pr "\n--- Outcome ---\n";
+    pr "root cause %s after %d iteration%s: %d implicit edge%s, \
+       %d verifications (%d queries), %d/%d prunings answered\n"
+      (if f.found then "FOUND" else "not found")
+      f.iterations
+      (if f.iterations = 1 then "" else "s")
+      f.f_edges
+      (if f.f_edges = 1 then "" else "s")
+      f.verifications f.queries f.user_prunings f.total_prunings;
+    (match f.os_chain with
+    | Some chain ->
+      pr "shortest dependence chain to the wrong output: %s\n"
+        (String.concat " -> " (List.map string_of_int chain))
+    | None -> ());
+    (match f.degraded with
+    | Some d -> pr "degraded: %s\n" d
+    | None -> ())
+  | None -> pr "\n(no final record — ledger is incomplete)\n");
+  Buffer.contents b
+
+let dot evs =
+  let nodes = Hashtbl.create 16 in
+  let add (i : Ledger.inst) shape fill =
+    if not (Hashtbl.mem nodes i.idx) then
+      Hashtbl.add nodes i.idx
+        (i.idx, Printf.sprintf "line %d\n#%d.%d" i.line i.idx i.occ, shape, fill)
+  in
+  (match session_of evs with
+  | Some s -> add s.wrong "doubleoctagon" (Some "#ffd0d0")
+  | None -> ());
+  let strong = ref [] and weak = ref [] in
+  List.iter
+    (function
+      | Ledger.Edge { ep; eu; strength; _ } ->
+        add ep "diamond" None;
+        add eu "box" None;
+        let pair = (ep.idx, eu.idx) in
+        if strength = "strong" then strong := pair :: !strong
+        else weak := pair :: !weak
+      | _ -> ())
+    evs;
+  let node_list =
+    Hashtbl.fold (fun _ n acc -> n :: acc) nodes []
+    |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+  in
+  Dot.render_causal ~nodes:node_list ~strong:(List.rev !strong)
+    ~weak:(List.rev !weak)

@@ -1,0 +1,13 @@
+(** Renders a ledger into a human-readable causal narrative: the failing
+    session, the per-iteration slice growth table (with deltas), the
+    chain of verified implicit dependences with each edge's evidence
+    (switched instance, alignment point or proof of no alignment,
+    switched-run outcome, verdict source), where the seeded root cause
+    entered the slice, and the final accounting. *)
+
+val render : Ledger.event list -> string
+
+(** Causal graph over the ledger's verified edges (strong solid red,
+    weak dashed orange), the wrong output highlighted; rendered via
+    {!Exom_ddg.Dot.render_causal} without needing the trace. *)
+val dot : Ledger.event list -> string

@@ -1,0 +1,507 @@
+module Json = Exom_obs.Json
+
+(* The provenance ledger.  Events are plain data — everything the
+   narrative renderer needs (source lines, occurrence counts, verdicts,
+   alignment points) is resolved at append time, so a ledger file is
+   self-contained.  The serialized form is a versioned JSONL stream in
+   the style of Exom_obs.Export: a self-describing header line, then
+   one event object per line, discriminated by an "ev" field.
+
+   Nothing non-deterministic may enter an event: cost is recorded as
+   interpreter steps and registry run counts, never wall-clock seconds,
+   which is what makes the -j1 ≡ -j4 byte-identity contract hold. *)
+
+let schema_name = "exom.ledger"
+let schema_version = 1
+
+type inst = { idx : int; sid : int; line : int; occ : int }
+
+type run_info = { outcome : string; steps : int; switch_fired : bool }
+
+type align_info = {
+  counterpart : int option;
+  ox_counterpart : int option;
+  ox_restored : bool;
+  rerouted : bool;
+}
+
+type verify_ev = {
+  vp : inst;
+  vu : inst;
+  verdict : string;
+  value_affected : bool;
+  source : string;
+  run : run_info option;
+  align : align_info option;
+  failure : string option;
+}
+
+type slice_entry = {
+  s_idx : int;
+  s_sid : int;
+  s_line : int;
+  s_conf : float;
+  s_dist : int;
+}
+
+type event =
+  | Session of {
+      wrong : inst;
+      vexp : string option;
+      correct_outputs : int;
+      budget : int;
+      trace_len : int;
+    }
+  | Locate of { root_sids : int list; mode : string; max_iterations : int }
+  | Slice of {
+      iter : int;
+      entries : slice_entry list;
+      added : int list;
+      removed : int list;
+    }
+  | Prune of { iter : int; marked : int list }
+  | Expand of { iter : int; u : inst; candidates : int list }
+  | Verify of verify_ev
+  | Edge of {
+      ep : inst;
+      eu : inst;
+      strength : string;
+      value_affected : bool;
+      related : bool;
+    }
+  | Batch of {
+      queries : int;
+      unique : int;
+      cache_hits : int;
+      runs : int;
+      total_runs : int;
+    }
+  | Final of {
+      found : bool;
+      iterations : int;
+      edges : int;
+      user_prunings : int;
+      total_prunings : int;
+      verifications : int;
+      queries : int;
+      os_chain : int list option;
+      degraded : string option;
+    }
+
+type t = {
+  mutable rev_events : event list;
+  mutable prev_slice : int list;  (* instance ids of the last snapshot *)
+}
+
+let create () = { rev_events = []; prev_slice = [] }
+
+let events t = List.rev t.rev_events
+
+let push t e = t.rev_events <- e :: t.rev_events
+
+(* {2 Appending} *)
+
+let session t ~wrong ~vexp ~correct_outputs ~budget ~trace_len =
+  push t (Session { wrong; vexp; correct_outputs; budget; trace_len })
+
+let locate t ~root_sids ~mode ~max_iterations =
+  push t (Locate { root_sids; mode; max_iterations })
+
+let slice t ~iter entries =
+  let ids = List.map (fun e -> e.s_idx) entries in
+  let module S = Set.Make (Int) in
+  let now = S.of_list ids and before = S.of_list t.prev_slice in
+  let added = S.elements (S.diff now before) in
+  let removed = S.elements (S.diff before now) in
+  t.prev_slice <- ids;
+  push t (Slice { iter; entries; added; removed })
+
+let prune t ~iter ~marked = push t (Prune { iter; marked })
+let expand t ~iter ~u ~candidates = push t (Expand { iter; u; candidates })
+
+let verify t ~p ~u ~verdict ~value_affected ~source ?run ?align ?failure () =
+  push t
+    (Verify
+       { vp = p; vu = u; verdict; value_affected; source; run; align; failure })
+
+let edge t ~p ~u ~strength ~value_affected ~related =
+  push t (Edge { ep = p; eu = u; strength; value_affected; related })
+
+let batch t ~queries ~unique ~cache_hits ~runs ~total_runs =
+  push t (Batch { queries; unique; cache_hits; runs; total_runs })
+
+let final t ~found ~iterations ~edges ~user_prunings ~total_prunings
+    ~verifications ~queries ~os_chain ~degraded =
+  push t
+    (Final
+       {
+         found;
+         iterations;
+         edges;
+         user_prunings;
+         total_prunings;
+         verifications;
+         queries;
+         os_chain;
+         degraded;
+       })
+
+(* {2 Encoding} *)
+
+let num n = Json.Num (float_of_int n)
+let ints l = Json.Arr (List.map num l)
+let opt_str = function None -> Json.Null | Some s -> Json.Str s
+let opt_num = function None -> Json.Null | Some n -> num n
+
+let inst_json i =
+  Json.Obj
+    [ ("idx", num i.idx); ("sid", num i.sid); ("line", num i.line);
+      ("occ", num i.occ) ]
+
+let run_json r =
+  Json.Obj
+    [
+      ("outcome", Json.Str r.outcome);
+      ("steps", num r.steps);
+      ("switch_fired", Json.Bool r.switch_fired);
+    ]
+
+let align_json a =
+  Json.Obj
+    [
+      ("counterpart", opt_num a.counterpart);
+      ("ox_counterpart", opt_num a.ox_counterpart);
+      ("ox_restored", Json.Bool a.ox_restored);
+      ("rerouted", Json.Bool a.rerouted);
+    ]
+
+let entry_json e =
+  Json.Obj
+    [
+      ("idx", num e.s_idx); ("sid", num e.s_sid); ("line", num e.s_line);
+      ("conf", Json.Num e.s_conf); ("dist", num e.s_dist);
+    ]
+
+let event_json = function
+  | Session { wrong; vexp; correct_outputs; budget; trace_len } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "session");
+        ("wrong", inst_json wrong);
+        ("vexp", opt_str vexp);
+        ("correct_outputs", num correct_outputs);
+        ("budget", num budget);
+        ("trace_len", num trace_len);
+      ]
+  | Locate { root_sids; mode; max_iterations } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "locate");
+        ("root_sids", ints root_sids);
+        ("mode", Json.Str mode);
+        ("max_iterations", num max_iterations);
+      ]
+  | Slice { iter; entries; added; removed } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "slice");
+        ("iter", num iter);
+        ("entries", Json.Arr (List.map entry_json entries));
+        ("added", ints added);
+        ("removed", ints removed);
+      ]
+  | Prune { iter; marked } ->
+    Json.Obj
+      [ ("ev", Json.Str "prune"); ("iter", num iter); ("marked", ints marked) ]
+  | Expand { iter; u; candidates } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "expand");
+        ("iter", num iter);
+        ("u", inst_json u);
+        ("candidates", ints candidates);
+      ]
+  | Verify v ->
+    Json.Obj
+      [
+        ("ev", Json.Str "verify");
+        ("p", inst_json v.vp);
+        ("u", inst_json v.vu);
+        ("verdict", Json.Str v.verdict);
+        ("value_affected", Json.Bool v.value_affected);
+        ("source", Json.Str v.source);
+        ("run", (match v.run with None -> Json.Null | Some r -> run_json r));
+        ( "align",
+          match v.align with None -> Json.Null | Some a -> align_json a );
+        ("failure", opt_str v.failure);
+      ]
+  | Edge { ep; eu; strength; value_affected; related } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "edge");
+        ("p", inst_json ep);
+        ("u", inst_json eu);
+        ("strength", Json.Str strength);
+        ("value_affected", Json.Bool value_affected);
+        ("related", Json.Bool related);
+      ]
+  | Batch { queries; unique; cache_hits; runs; total_runs } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "batch");
+        ("queries", num queries);
+        ("unique", num unique);
+        ("cache_hits", num cache_hits);
+        ("runs", num runs);
+        ("total_runs", num total_runs);
+      ]
+  | Final f ->
+    Json.Obj
+      [
+        ("ev", Json.Str "final");
+        ("found", Json.Bool f.found);
+        ("iterations", num f.iterations);
+        ("edges", num f.edges);
+        ("user_prunings", num f.user_prunings);
+        ("total_prunings", num f.total_prunings);
+        ("verifications", num f.verifications);
+        ("queries", num f.queries);
+        ( "os_chain",
+          match f.os_chain with None -> Json.Null | Some l -> ints l );
+        ("degraded", opt_str f.degraded);
+      ]
+
+let header_line =
+  Json.to_string
+    (Json.Obj
+       [
+         ("type", Json.Str "header");
+         ("schema", Json.Str schema_name);
+         ("version", Json.Num (float_of_int schema_version));
+       ])
+
+let string_of_events evs =
+  String.concat "\n" (header_line :: List.map (fun e -> Json.to_string (event_json e)) evs)
+  ^ "\n"
+
+let to_string t = string_of_events (events t)
+
+let write path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+(* {2 Decoding} *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let require what = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed %s" what)
+
+let get_str j key = Option.bind (Json.member key j) Json.to_str
+let get_num j key = Option.bind (Json.member key j) Json.to_float
+
+let get_int j key = Option.map int_of_float (get_num j key)
+
+let get_bool j key =
+  match Json.member key j with Some (Json.Bool b) -> Some b | _ -> None
+
+(* [null] and a missing field both read as [None]; the field's presence
+   is enforced where it matters (required scalars go through
+   [require]). *)
+let get_opt_int j key =
+  match Json.member key j with
+  | Some (Json.Num f) -> Some (int_of_float f)
+  | _ -> None
+
+let get_opt_str j key =
+  match Json.member key j with Some (Json.Str s) -> Some s | _ -> None
+
+let get_ints j key =
+  match Json.member key j with
+  | Some (Json.Arr l) ->
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | Json.Num f :: rest -> go (int_of_float f :: acc) rest
+      | _ -> None
+    in
+    go [] l
+  | _ -> None
+
+let parse_inst j key =
+  let* o = require key (Json.member key j) in
+  let* idx = require (key ^ ".idx") (get_int o "idx") in
+  let* sid = require (key ^ ".sid") (get_int o "sid") in
+  let* line = require (key ^ ".line") (get_int o "line") in
+  let* occ = require (key ^ ".occ") (get_int o "occ") in
+  Ok { idx; sid; line; occ }
+
+let parse_run j =
+  match Json.member "run" j with
+  | None | Some Json.Null -> Ok None
+  | Some o ->
+    let* outcome = require "run.outcome" (get_str o "outcome") in
+    let* steps = require "run.steps" (get_int o "steps") in
+    let* switch_fired = require "run.switch_fired" (get_bool o "switch_fired") in
+    Ok (Some { outcome; steps; switch_fired })
+
+let parse_align j =
+  match Json.member "align" j with
+  | None | Some Json.Null -> Ok None
+  | Some o ->
+    let* ox_restored = require "align.ox_restored" (get_bool o "ox_restored") in
+    let* rerouted = require "align.rerouted" (get_bool o "rerouted") in
+    Ok
+      (Some
+         {
+           counterpart = get_opt_int o "counterpart";
+           ox_counterpart = get_opt_int o "ox_counterpart";
+           ox_restored;
+           rerouted;
+         })
+
+let parse_entries j =
+  let* arr = require "entries" (Option.bind (Json.member "entries" j) Json.to_list) in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | o :: rest ->
+      let* s_idx = require "entry.idx" (get_int o "idx") in
+      let* s_sid = require "entry.sid" (get_int o "sid") in
+      let* s_line = require "entry.line" (get_int o "line") in
+      let* s_conf = require "entry.conf" (get_num o "conf") in
+      let* s_dist = require "entry.dist" (get_int o "dist") in
+      go ({ s_idx; s_sid; s_line; s_conf; s_dist } :: acc) rest
+  in
+  go [] arr
+
+let parse_event j =
+  let* ev = require "ev" (get_str j "ev") in
+  match ev with
+  | "session" ->
+    let* wrong = parse_inst j "wrong" in
+    let* correct_outputs = require "correct_outputs" (get_int j "correct_outputs") in
+    let* budget = require "budget" (get_int j "budget") in
+    let* trace_len = require "trace_len" (get_int j "trace_len") in
+    Ok
+      (Session
+         { wrong; vexp = get_opt_str j "vexp"; correct_outputs; budget;
+           trace_len })
+  | "locate" ->
+    let* root_sids = require "root_sids" (get_ints j "root_sids") in
+    let* mode = require "mode" (get_str j "mode") in
+    let* max_iterations = require "max_iterations" (get_int j "max_iterations") in
+    Ok (Locate { root_sids; mode; max_iterations })
+  | "slice" ->
+    let* iter = require "iter" (get_int j "iter") in
+    let* entries = parse_entries j in
+    let* added = require "added" (get_ints j "added") in
+    let* removed = require "removed" (get_ints j "removed") in
+    Ok (Slice { iter; entries; added; removed })
+  | "prune" ->
+    let* iter = require "iter" (get_int j "iter") in
+    let* marked = require "marked" (get_ints j "marked") in
+    Ok (Prune { iter; marked })
+  | "expand" ->
+    let* iter = require "iter" (get_int j "iter") in
+    let* u = parse_inst j "u" in
+    let* candidates = require "candidates" (get_ints j "candidates") in
+    Ok (Expand { iter; u; candidates })
+  | "verify" ->
+    let* vp = parse_inst j "p" in
+    let* vu = parse_inst j "u" in
+    let* verdict = require "verdict" (get_str j "verdict") in
+    let* value_affected = require "value_affected" (get_bool j "value_affected") in
+    let* source = require "source" (get_str j "source") in
+    let* run = parse_run j in
+    let* align = parse_align j in
+    Ok
+      (Verify
+         { vp; vu; verdict; value_affected; source; run; align;
+           failure = get_opt_str j "failure" })
+  | "edge" ->
+    let* ep = parse_inst j "p" in
+    let* eu = parse_inst j "u" in
+    let* strength = require "strength" (get_str j "strength") in
+    let* value_affected = require "value_affected" (get_bool j "value_affected") in
+    let* related = require "related" (get_bool j "related") in
+    Ok (Edge { ep; eu; strength; value_affected; related })
+  | "batch" ->
+    let* queries = require "queries" (get_int j "queries") in
+    let* unique = require "unique" (get_int j "unique") in
+    let* cache_hits = require "cache_hits" (get_int j "cache_hits") in
+    let* runs = require "runs" (get_int j "runs") in
+    let* total_runs = require "total_runs" (get_int j "total_runs") in
+    Ok (Batch { queries; unique; cache_hits; runs; total_runs })
+  | "final" ->
+    let* found = require "found" (get_bool j "found") in
+    let* iterations = require "iterations" (get_int j "iterations") in
+    let* edges = require "edges" (get_int j "edges") in
+    let* user_prunings = require "user_prunings" (get_int j "user_prunings") in
+    let* total_prunings = require "total_prunings" (get_int j "total_prunings") in
+    let* verifications = require "verifications" (get_int j "verifications") in
+    let* queries = require "queries" (get_int j "queries") in
+    let os_chain =
+      match Json.member "os_chain" j with
+      | Some (Json.Arr _) -> get_ints j "os_chain"
+      | _ -> None
+    in
+    Ok
+      (Final
+         { found; iterations; edges; user_prunings; total_prunings;
+           verifications; queries; os_chain;
+           degraded = get_opt_str j "degraded" })
+  | other -> Error (Printf.sprintf "unknown event %S" other)
+
+let first_line content =
+  match String.index_opt content '\n' with
+  | Some i -> String.sub content 0 i
+  | None -> content
+
+let is_ledger content =
+  match Json.parse (String.trim (first_line content)) with
+  | Ok j -> get_str j "schema" = Some schema_name
+  | Error _ -> false
+
+let check_header line =
+  let* j = Json.parse line in
+  let* schema = require "schema" (get_str j "schema") in
+  let* version = require "version" (get_num j "version") in
+  if schema <> schema_name then Error (Printf.sprintf "foreign schema %S" schema)
+  else if int_of_float version <> schema_version then
+    Error
+      (Printf.sprintf "schema version %d (this reader understands %d)"
+         (int_of_float version) schema_version)
+  else Ok ()
+
+let of_string content =
+  let lines =
+    String.split_on_char '\n' content
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "empty ledger"
+  | header :: records ->
+    let* () = check_header header in
+    let rec go lineno acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest -> (
+        match Json.parse line with
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+        | Ok j -> (
+          match parse_event j with
+          | Ok e -> go (lineno + 1) (e :: acc) rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)))
+    in
+    go 2 [] records
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | content -> of_string content
+  | exception Sys_error e -> Error e

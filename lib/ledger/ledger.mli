@@ -1,0 +1,189 @@
+(** The provenance ledger: a versioned, append-only record of one
+    demand-driven localization run — per-iteration pruned-slice
+    snapshots (with deltas), every potential-dependence candidate, and
+    the full evidence of every verification (switched predicate
+    instance, alignment point or proof of no alignment, switched-run
+    outcome, verdict, Guard failure taxonomy, store tier, deterministic
+    cost) — so [exom explain] can reconstruct {e why} each implicit
+    edge was admitted and how the root cause entered the slice.
+
+    {b Determinism discipline} (DESIGN.md §10): evidence is produced on
+    worker domains into per-verification slots (the scheduler's answer
+    array discipline), but the ledger itself is appended to {e only on
+    the coordinator}, in program order, after each batch's deterministic
+    merge; no wall-clock figure ever enters an event (cost is counted
+    in interpreter steps and registry run counts).  A localization
+    therefore writes byte-identical ledgers at any [-j]. *)
+
+val schema_name : string
+val schema_version : int
+
+(** A trace-instance reference, resolved enough (sid, source line,
+    occurrence) for the ledger to be rendered without the program. *)
+type inst = { idx : int; sid : int; line : int; occ : int }
+
+(** The switched re-execution behind a verification: how it ended
+    (["ok"], ["budget-exhausted"], ["crashed: ..."]), its cost in
+    interpreter steps (deterministic, unlike wall clock), and whether
+    the switched predicate instance was actually reached. *)
+type run_info = { outcome : string; steps : int; switch_fired : bool }
+
+(** Alignment evidence (Algorithm 1): the target's counterpart in the
+    switched run ([None] is the proof of no alignment — Definition 2
+    case (i)); the failure point's counterpart and whether it carried
+    the expected value (Definition 4); whether a definition was
+    rerouted through the switched region (case (ii)). *)
+type align_info = {
+  counterpart : int option;
+  ox_counterpart : int option;
+  ox_restored : bool;
+  rerouted : bool;
+}
+
+type verify_ev = {
+  vp : inst;  (** the switched predicate instance *)
+  vu : inst;  (** the use being tested *)
+  verdict : string;  (** STRONG_ID | ID | NOT_ID *)
+  value_affected : bool;
+  source : string;
+      (** ["run"] | ["cache:mem"] | ["cache:disk"] | ["skip"] (breaker)
+          | ["dead"] (task died) *)
+  run : run_info option;  (** absent for cache hits and skips *)
+  align : align_info option;
+  failure : string option;  (** Guard failure taxonomy, when degraded *)
+}
+
+type slice_entry = {
+  s_idx : int;
+  s_sid : int;
+  s_line : int;
+  s_conf : float;
+  s_dist : int;
+}
+
+type event =
+  | Session of {
+      wrong : inst;
+      vexp : string option;
+      correct_outputs : int;
+      budget : int;
+      trace_len : int;
+    }
+  | Locate of { root_sids : int list; mode : string; max_iterations : int }
+  | Slice of {
+      iter : int;
+      entries : slice_entry list;
+      added : int list;
+      removed : int list;
+    }
+  | Prune of { iter : int; marked : int list }
+  | Expand of { iter : int; u : inst; candidates : int list }
+  | Verify of verify_ev
+  | Edge of {
+      ep : inst;
+      eu : inst;
+      strength : string;  (** "strong" | "weak" *)
+      value_affected : bool;
+      related : bool;  (** admitted by the related-target fan-out *)
+    }
+  | Batch of {
+      queries : int;
+      unique : int;
+      cache_hits : int;
+      runs : int;  (** switched runs dispatched by this batch *)
+      total_runs : int;  (** cumulative verify.run count (registry) *)
+    }
+  | Final of {
+      found : bool;
+      iterations : int;
+      edges : int;
+      user_prunings : int;
+      total_prunings : int;
+      verifications : int;
+      queries : int;
+      os_chain : int list option;
+      degraded : string option;
+    }
+
+type t
+
+val create : unit -> t
+
+(** Events in append order. *)
+val events : t -> event list
+
+(** {2 Appending (coordinator only)} *)
+
+val session :
+  t ->
+  wrong:inst ->
+  vexp:string option ->
+  correct_outputs:int ->
+  budget:int ->
+  trace_len:int ->
+  unit
+
+val locate : t -> root_sids:int list -> mode:string -> max_iterations:int -> unit
+
+(** Records the snapshot and computes the delta against the previous
+    snapshot internally. *)
+val slice : t -> iter:int -> slice_entry list -> unit
+
+val prune : t -> iter:int -> marked:int list -> unit
+val expand : t -> iter:int -> u:inst -> candidates:int list -> unit
+
+val verify :
+  t ->
+  p:inst ->
+  u:inst ->
+  verdict:string ->
+  value_affected:bool ->
+  source:string ->
+  ?run:run_info ->
+  ?align:align_info ->
+  ?failure:string ->
+  unit ->
+  unit
+
+val edge :
+  t ->
+  p:inst ->
+  u:inst ->
+  strength:string ->
+  value_affected:bool ->
+  related:bool ->
+  unit
+
+val batch :
+  t -> queries:int -> unique:int -> cache_hits:int -> runs:int ->
+  total_runs:int -> unit
+
+val final :
+  t ->
+  found:bool ->
+  iterations:int ->
+  edges:int ->
+  user_prunings:int ->
+  total_prunings:int ->
+  verifications:int ->
+  queries:int ->
+  os_chain:int list option ->
+  degraded:string option ->
+  unit
+
+(** {2 Serialization: versioned JSONL} *)
+
+val string_of_events : event list -> string
+val to_string : t -> string
+val write : string -> t -> unit
+
+(** Quick sniff: does [content]'s first line carry this schema (any
+    version)?  Lets the CLI distinguish a ledger from an MCL source. *)
+val is_ledger : string -> bool
+
+(** Strict reader: rejects a missing/foreign/version-skewed header and
+    any malformed or unknown event line (a corrupted ledger must never
+    render as a partial narrative). *)
+val of_string : string -> (event list, string) result
+
+val load : string -> (event list, string) result

@@ -165,7 +165,14 @@ let restore_metric reg j =
 (* Rebuild the metrics registry from a JSONL log's contents.  Span
    records are skipped (the registry is what `exom stats` renders);
    unknown record types are skipped too, so minor-version additions stay
-   readable. *)
+   readable.
+
+   A malformed {e final} record is salvaged, not fatal (mirroring
+   Trace_io's handling of truncated dumps): a crashed or interrupted
+   writer leaves a torn last line, and everything before it is still a
+   well-formed log.  The salvage is reported in the [bool] so callers
+   can warn.  A malformed line with records {e after} it is real
+   corruption and still errors. *)
 let metrics_of_jsonl content =
   let lines =
     String.split_on_char '\n' content
@@ -177,16 +184,20 @@ let metrics_of_jsonl content =
     let* () = check_header header in
     let reg = Metrics.create () in
     let rec walk i = function
-      | [] -> Ok reg
+      | [] -> Ok (reg, false)
       | line :: rest -> (
+        let fail e =
+          if rest = [] then Ok (reg, true)
+          else Error (Printf.sprintf "line %d: %s" i e)
+        in
         match Json.parse line with
-        | Error e -> Error (Printf.sprintf "line %d: %s" i e)
+        | Error e -> fail e
         | Ok j -> (
           match Option.bind (Json.member "type" j) Json.to_str with
           | Some "metric" -> (
             match restore_metric reg j with
             | Ok () -> walk (i + 1) rest
-            | Error e -> Error (Printf.sprintf "line %d: %s" i e))
+            | Error e -> fail e)
           | _ -> walk (i + 1) rest))
     in
     walk 2 records

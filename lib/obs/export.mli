@@ -21,5 +21,8 @@ val write_jsonl : string -> Obs.t -> unit
 
 (** Rebuild the metrics registry from a JSONL log's contents; rejects
     foreign schemas and version skew.  Span and unknown records are
-    skipped. *)
-val metrics_of_jsonl : string -> (Metrics.t, string) result
+    skipped.  A torn {e final} line (interrupted writer) is dropped
+    rather than fatal, mirroring [Trace_io]'s salvage of truncated
+    dumps; the [bool] is [true] when that happened.  A malformed line
+    followed by further records is still an error. *)
+val metrics_of_jsonl : string -> (Metrics.t * bool, string) result

@@ -169,3 +169,58 @@ let render ?(timings = true) t =
   in
   print 0 root;
   Buffer.contents buf
+
+(* Side-by-side diff of two registries (`exom stats --diff`): one row
+   per metric in the union of names, with absolute and relative deltas
+   on the deterministic scalar (counter/gauge value, timer count).
+   Timer wall-clock sums get their own row unless [timings:false]. *)
+let render_diff ?(timings = true) a b =
+  let module S = Set.Make (String) in
+  let names =
+    S.elements
+      (S.union
+         (S.of_list (List.map (fun m -> m.name) (to_list a)))
+         (S.of_list (List.map (fun m -> m.name) (to_list b))))
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-30s %14s %14s   %s\n" "metric" "old" "new" "delta");
+  List.iter
+    (fun name ->
+      let ma = find a name and mb = find b name in
+      let kind =
+        match (ma, mb) with
+        | Some m, _ | None, Some m -> m.kind
+        | None, None -> Counter
+      in
+      let scalar = function
+        | None -> 0
+        | Some m -> (
+          match m.kind with Counter | Gauge -> m.value | Timer -> m.count)
+      in
+      let ov = scalar ma and nv = scalar mb in
+      let d = nv - ov in
+      let delta =
+        if d = 0 then "="
+        else if ov = 0 then Printf.sprintf "%+d" d
+        else
+          Printf.sprintf "%+d (%+.1f%%)" d
+            (100.0 *. float_of_int d /. float_of_int ov)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-30s %14d %14d   %s\n" name ov nv delta);
+      if timings && kind = Timer then begin
+        let secs = function None -> 0.0 | Some m -> m.seconds in
+        let os = secs ma and ns = secs mb in
+        let ds = ns -. os in
+        let delta_s =
+          if os > 0.0 then
+            Printf.sprintf "%+.4fs (%+.1f%%)" ds (100.0 *. ds /. os)
+          else Printf.sprintf "%+.4fs" ds
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%-30s %13.4fs %13.4fs   %s\n" (name ^ ".seconds")
+             os ns delta_s)
+      end)
+    names;
+  Buffer.contents buf

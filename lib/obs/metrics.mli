@@ -70,3 +70,9 @@ val to_list : t -> metric list
     figure, yielding output that is bit-identical across job counts (the
     observability determinism contract). *)
 val render : ?timings:bool -> t -> string
+
+(** Side-by-side table over the union of both registries' names, with
+    absolute and relative deltas of each metric's deterministic scalar
+    (counter/gauge value, timer count); timer wall-clock sums get their
+    own row unless [timings:false].  Backs [exom stats --diff]. *)
+val render_diff : ?timings:bool -> t -> t -> string

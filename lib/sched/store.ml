@@ -229,24 +229,28 @@ let disk_add t key value =
 
 (* Public lookups *)
 
-let find t key =
+(* Like [find], but reports which tier answered — the ledger records
+   whether a verdict came from the memory front or the disk tier. *)
+let find_tier t key =
   match Hashtbl.find_opt t.tbl key with
   | Some e ->
     t.stats.hits <- t.stats.hits + 1;
     count t "hits";
     touch t e;
-    Some e.e_value
+    Some (e.e_value, `Mem)
   | None -> (
     match disk_find t key with
     | Some payload ->
       t.stats.disk_hits <- t.stats.disk_hits + 1;
       count t "disk_hits";
       insert_mem t key payload;
-      Some payload
+      Some (payload, `Disk)
     | None ->
       t.stats.misses <- t.stats.misses + 1;
       count t "misses";
       None)
+
+let find t key = Option.map fst (find_tier t key)
 
 let add t ~key value =
   insert_mem t key value;

@@ -42,6 +42,11 @@ val create : ?obs:Exom_obs.Obs.t -> ?dir:string -> ?capacity:int -> unit -> t
 val digest : string list -> string
 
 val find : t -> string -> string option
+
+(** [find] plus which tier answered — lets the provenance ledger record
+    cache evidence ([`Mem] front vs [`Disk] promotion). *)
+val find_tier : t -> string -> (string * [ `Mem | `Disk ]) option
+
 val add : t -> key:string -> string -> unit
 
 (** Entries currently held in the in-memory front. *)

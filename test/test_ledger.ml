@@ -1,0 +1,256 @@
+(* The provenance ledger: serialization strictness, byte determinism
+   across job counts, the explain narrative naming the seeded root
+   cause, and the perf-snapshot regression comparator. *)
+
+module B = Exom_bench.Bench_types
+module Suite = Exom_bench.Suite
+module Runner = Exom_bench.Runner
+module Perf = Exom_bench.Perf
+module Ledger = Exom_ledger.Ledger
+module Explain = Exom_ledger.Explain
+module Pool = Exom_sched.Pool
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* One real localization, ledger attached, at a chosen job count with a
+   fresh cold pool (no store: every verdict is recomputed, so -j1 and
+   -j4 exercise genuinely different schedules). *)
+let ledger_of_run ?(jobs = 1) name fid =
+  let b = Option.get (Suite.find name) in
+  let f = Option.get (Suite.find_fault b fid) in
+  let ledger = Ledger.create () in
+  let pool = Pool.create ~jobs () in
+  let r = Runner.run_fault ~pool ~ledger b f in
+  Pool.shutdown pool;
+  (ledger, r)
+
+let gzip_ledger = lazy (ledger_of_run "gzipsim" "V2-F3")
+
+(* {2 Serialization} *)
+
+let test_roundtrip () =
+  let ledger, _ = Lazy.force gzip_ledger in
+  let s = Ledger.to_string ledger in
+  match Ledger.of_string s with
+  | Error e -> Alcotest.fail ("ledger does not read back: " ^ e)
+  | Ok events ->
+    (* floats print through one codec, so string equality is the
+       round-trip check *)
+    Alcotest.(check string) "re-serialization is identity" s
+      (Ledger.string_of_events events);
+    Alcotest.(check int) "event count preserved"
+      (List.length (Ledger.events ledger))
+      (List.length events)
+
+let test_version_check () =
+  (match
+     Ledger.of_string
+       "{\"type\":\"header\",\"schema\":\"exom.ledger\",\"version\":99}\n"
+   with
+  | Ok _ -> Alcotest.fail "version skew accepted"
+  | Error e ->
+    Alcotest.(check bool) "error names the version" true (contains e "99"));
+  (match
+     Ledger.of_string
+       "{\"type\":\"header\",\"schema\":\"someone.else\",\"version\":1}\n"
+   with
+  | Ok _ -> Alcotest.fail "foreign schema accepted"
+  | Error _ -> ());
+  match Ledger.of_string "" with
+  | Ok _ -> Alcotest.fail "empty content accepted"
+  | Error _ -> ()
+
+let test_corruption_rejected () =
+  let ledger, _ = Lazy.force gzip_ledger in
+  let lines = String.split_on_char '\n' (Ledger.to_string ledger) in
+  Alcotest.(check bool) "fixture has a middle to corrupt" true
+    (List.length lines > 4);
+  let mangle i replacement =
+    String.concat "\n"
+      (List.mapi (fun j l -> if j = i then replacement else l) lines)
+  in
+  (* a malformed line mid-file *)
+  (match Ledger.of_string (mangle 2 "{\"ev\":\"sess") with
+  | Ok _ -> Alcotest.fail "malformed line accepted"
+  | Error e -> Alcotest.(check bool) "error is located" true (contains e "line"));
+  (* a well-formed line of an unknown event kind *)
+  (match Ledger.of_string (mangle 2 "{\"ev\":\"mystery\",\"x\":1}") with
+  | Ok _ -> Alcotest.fail "unknown event accepted"
+  | Error _ -> ());
+  (* a known event missing a required field *)
+  match Ledger.of_string (mangle 2 "{\"ev\":\"prune\",\"iter\":0}") with
+  | Ok _ -> Alcotest.fail "skeletal event accepted"
+  | Error _ -> ()
+
+let test_is_ledger () =
+  let ledger, _ = Lazy.force gzip_ledger in
+  Alcotest.(check bool) "sniffs its own output" true
+    (Ledger.is_ledger (Ledger.to_string ledger));
+  Alcotest.(check bool) "rejects MCL source" false
+    (Ledger.is_ledger "proc main() { x := 1; }");
+  Alcotest.(check bool) "rejects an obs event log" false
+    (Ledger.is_ledger
+       "{\"type\":\"header\",\"schema\":\"exom.obs\",\"version\":1}\n")
+
+(* {2 Determinism: -j1 vs -j4} *)
+
+let test_jobs_determinism () =
+  let l1, r1 = ledger_of_run ~jobs:1 "gzipsim" "V2-F3" in
+  let l4, r4 = ledger_of_run ~jobs:4 "gzipsim" "V2-F3" in
+  Alcotest.(check bool) "both locate" true
+    (r1.Runner.report.Exom_core.Demand.found
+    && r4.Runner.report.Exom_core.Demand.found);
+  Alcotest.(check string) "ledgers byte-identical at -j1 and -j4"
+    (Ledger.to_string l1) (Ledger.to_string l4)
+
+(* {2 Explain} *)
+
+let explain_names_root name fid =
+  let b = Option.get (Suite.find name) in
+  let f = Option.get (Suite.find_fault b fid) in
+  let root_line = B.fault_line b f in
+  let ledger, r = ledger_of_run name fid in
+  Alcotest.(check bool) (name ^ " " ^ fid ^ " locates") true
+    r.Runner.report.Exom_core.Demand.found;
+  let events =
+    match Ledger.of_string (Ledger.to_string ledger) with
+    | Ok evs -> evs
+    | Error e -> Alcotest.fail e
+  in
+  let out = Explain.render events in
+  Alcotest.(check bool) "narrative reports the root cause found" true
+    (contains out "root cause FOUND");
+  Alcotest.(check bool)
+    (Printf.sprintf "narrative names the seeded line %d" root_line)
+    true
+    (contains out (Printf.sprintf "seeded root cause at line %d" root_line));
+  Alcotest.(check bool) "at least one verified implicit dependence" true
+    (contains out "implicit dependence:");
+  Alcotest.(check bool) "alignment evidence is rendered" true
+    (contains out "alignment:");
+  (* the DOT export styles implicit edges distinctly *)
+  let dot = Explain.dot events in
+  Alcotest.(check bool) "dot marks implicit edges" true
+    (contains dot "strong id" || contains dot "label=\"id\"")
+
+let test_explain_gzip () = explain_names_root "gzipsim" "V2-F3"
+let test_explain_grep () = explain_names_root "grepsim" "V4-F2"
+
+(* {2 Perf snapshots} *)
+
+let snapshot rows ~label ~verify_runs ~wall =
+  {
+    Perf.label;
+    jobs = 1;
+    rows;
+    located = List.length (List.filter (fun r -> r.Perf.r_found) rows);
+    total = List.length rows;
+    verify_runs;
+    verify_seconds = 0.1;
+    interp_runs = 100;
+    store_hit_rate = 0.5;
+    wall_seconds = wall;
+  }
+
+let row ?(found = true) ?(queries = 10) bench fault =
+  {
+    Perf.r_bench = bench;
+    r_fault = fault;
+    r_found = found;
+    r_verifications = 5;
+    r_queries = queries;
+    r_iterations = 2;
+    r_edges = 3;
+    r_prunings = 7;
+  }
+
+let test_perf_roundtrip () =
+  let s =
+    snapshot
+      [ row "gzipsim" "V2-F3"; row ~found:false "grepsim" "V4-F2" ]
+      ~label:"base" ~verify_runs:50 ~wall:1.5
+  in
+  (match Perf.of_json (Perf.to_json s) with
+  | Error e -> Alcotest.fail ("snapshot does not read back: " ^ e)
+  | Ok s' ->
+    Alcotest.(check string) "re-serialization is identity" (Perf.to_line s)
+      (Perf.to_line s'));
+  match
+    Perf.of_json
+      (Exom_obs.Json.Obj
+         [ ("schema", Exom_obs.Json.Str "exom.bench");
+           ("version", Exom_obs.Json.Num 99.0) ])
+  with
+  | Ok _ -> Alcotest.fail "version skew accepted"
+  | Error _ -> ()
+
+let test_perf_compare () =
+  let old_s =
+    snapshot [ row "gzipsim" "V2-F3" ] ~label:"old" ~verify_runs:100 ~wall:1.0
+  in
+  (* within tolerance: nothing flagged *)
+  let same =
+    snapshot [ row "gzipsim" "V2-F3" ] ~label:"new" ~verify_runs:105 ~wall:1.1
+  in
+  let findings = Perf.compare ~tolerance:0.1 ~time_tolerance:0.5 old_s same in
+  Alcotest.(check bool) "small drift tolerated" false
+    (Perf.has_regression findings);
+  (* deterministic count growth beyond tolerance *)
+  let slow =
+    snapshot [ row "gzipsim" "V2-F3" ] ~label:"new" ~verify_runs:150 ~wall:1.0
+  in
+  let findings = Perf.compare ~tolerance:0.1 ~time_tolerance:0.5 old_s slow in
+  Alcotest.(check bool) "count growth flagged" true
+    (Perf.has_regression findings);
+  Alcotest.(check bool) "rendered with the metric name" true
+    (contains (Perf.render findings) "verify_runs");
+  (* a previously located fault now missed *)
+  let missed =
+    snapshot
+      [ row ~found:false "gzipsim" "V2-F3" ]
+      ~label:"new" ~verify_runs:100 ~wall:1.0
+  in
+  let findings = Perf.compare ~tolerance:0.1 ~time_tolerance:0.5 old_s missed in
+  Alcotest.(check bool) "lost localization flagged" true
+    (Perf.has_regression findings);
+  (* improvements are Info, not regressions *)
+  let faster =
+    snapshot [ row "gzipsim" "V2-F3" ] ~label:"new" ~verify_runs:50 ~wall:1.0
+  in
+  let findings = Perf.compare ~tolerance:0.1 ~time_tolerance:0.5 old_s faster in
+  Alcotest.(check bool) "improvement is not a regression" false
+    (Perf.has_regression findings);
+  Alcotest.(check bool) "improvement is still reported" true (findings <> [])
+
+let () =
+  Alcotest.run "ledger"
+    [
+      ( "serialization",
+        [
+          Alcotest.test_case "round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "version check" `Quick test_version_check;
+          Alcotest.test_case "corruption rejected" `Quick
+            test_corruption_rejected;
+          Alcotest.test_case "sniffing" `Quick test_is_ledger;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "-j1 vs -j4 byte-identical" `Quick
+            test_jobs_determinism;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "gzipsim V2-F3 names the root" `Quick
+            test_explain_gzip;
+          Alcotest.test_case "grepsim V4-F2 names the root" `Quick
+            test_explain_grep;
+        ] );
+      ( "perf",
+        [
+          Alcotest.test_case "snapshot round-trip" `Quick test_perf_roundtrip;
+          Alcotest.test_case "regression comparator" `Quick test_perf_compare;
+        ] );
+    ]

@@ -225,7 +225,8 @@ let test_jsonl_roundtrip () =
   let content = String.concat "\n" (Export.jsonl_lines obs) ^ "\n" in
   (match Export.metrics_of_jsonl content with
   | Error e -> Alcotest.fail ("metrics do not read back: " ^ e)
-  | Ok reg ->
+  | Ok (reg, salvaged) ->
+    Alcotest.(check bool) "a complete log needs no salvage" false salvaged;
     Alcotest.(check string) "deterministic tree reads back identically"
       (Metrics.render ~timings:false (Obs.metrics obs))
       (Metrics.render ~timings:false reg);
@@ -248,6 +249,45 @@ let test_jsonl_roundtrip () =
   match Export.metrics_of_jsonl foreign with
   | Ok _ -> Alcotest.fail "foreign schema accepted"
   | Error _ -> ()
+
+(* A log whose writer died mid-line is still usable: the truncated
+   final record is dropped and flagged.  A malformed line with records
+   after it is real corruption and stays an error. *)
+let test_jsonl_salvage () =
+  let obs, _ = Lazy.force traced_run in
+  let content = String.concat "\n" (Export.jsonl_lines obs) ^ "\n" in
+  let truncated = String.sub content 0 (String.length content - 7) in
+  (match Export.metrics_of_jsonl truncated with
+  | Error e -> Alcotest.fail ("truncated tail not salvaged: " ^ e)
+  | Ok (reg, salvaged) ->
+    Alcotest.(check bool) "salvage flagged" true salvaged;
+    Alcotest.(check int) "salvaged registry keeps earlier records"
+      (Metrics.timer_count (Obs.metrics obs) "verify.run")
+      (Metrics.timer_count reg "verify.run"));
+  let lines = String.split_on_char '\n' content in
+  let corrupted =
+    String.concat "\n"
+      (List.mapi (fun i l -> if i = 1 then "{\"type\":\"met" else l) lines)
+  in
+  match Export.metrics_of_jsonl corrupted with
+  | Ok _ -> Alcotest.fail "mid-file corruption accepted"
+  | Error _ -> ()
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_render_diff () =
+  let a = Metrics.create () in
+  let b = Metrics.create () in
+  Metrics.add a "interp.runs" 10;
+  Metrics.add b "interp.runs" 12;
+  Metrics.add b "store.hits" 3;
+  let out = Metrics.render_diff ~timings:false a b in
+  Alcotest.(check bool) "lists both registries' union" true
+    (contains out "interp.runs" && contains out "store.hits");
+  Alcotest.(check bool) "shows the delta" true (contains out "+2")
 
 (* {2 Observability determinism: -j1 vs -j4} *)
 
@@ -314,6 +354,8 @@ let () =
           Alcotest.test_case "chrome trace events" `Quick
             test_chrome_export_valid;
           Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "jsonl salvage" `Quick test_jsonl_salvage;
+          Alcotest.test_case "render diff" `Quick test_render_diff;
           Alcotest.test_case "report reads registry" `Quick
             test_report_reads_registry;
         ] );
