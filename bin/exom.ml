@@ -8,6 +8,7 @@
      locate  full demand-driven localization against a corrected program
      explain causal narrative of a --ledger-out provenance ledger, or
              confidence analysis of a failing run (ranked candidates)
+     recover inspect a killed run's journaled ledger (what --resume replays)
      dot     Graphviz rendering of the dynamic dependence graph
      regions the execution's region decomposition (Definition 3)
      bench   run one benchmark fault (or, with --all, the whole suite,
@@ -41,11 +42,16 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Crash-consistent: a kill mid-write leaves the old file or the new
+   one, never a torn hybrid (same discipline as Ledger.write and the
+   store's entry writer). *)
 let write_file path content =
-  let oc = open_out_bin path in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc content)
+    (fun () -> output_string oc content);
+  Sys.rename tmp path
 
 let compile_file path =
   try Ok (Typecheck.parse_and_check (read_file path)) with
@@ -216,6 +222,7 @@ let rslice_cmd =
 (* locate *)
 
 module Guard = Exom_core.Guard
+module Recover = Exom_core.Recover
 module Chaos = Exom_interp.Chaos
 module Pool = Exom_sched.Pool
 module Store = Exom_sched.Store
@@ -261,6 +268,10 @@ let make_ledger ledger_out = Option.map (fun _ -> Ledger.create ()) ledger_out
 let write_ledger ledger ~ledger_out =
   match (ledger_out, ledger) with
   | Some path, Some l ->
+    (* detach the write-ahead journal first, then atomically replace it
+       with the canonical serialization (byte-identical at any -j;
+       resume markers and torn debris gone) *)
+    Ledger.close_journal l;
     Ledger.write path l;
     Printf.eprintf "ledger written to %s\n" path
   | _ -> ()
@@ -345,10 +356,10 @@ let print_robustness (report : Demand.report) =
   Printf.printf
     "robustness: %d re-executions (%d completed, %d aborted, %d retried), \
      breaker trips %d (skips %d), deadline expirations %d, contained \
-     exceptions %d\n"
+     exceptions %d, quarantined %d\n"
     report.Demand.verifications g.Guard.completed g.Guard.aborted
     g.Guard.retried g.Guard.breaker_trips g.Guard.breaker_skips
-    g.Guard.deadline_expired g.Guard.captured;
+    g.Guard.deadline_expired g.Guard.captured g.Guard.quarantined;
   (match report.Demand.degraded with
   | Some reason -> Printf.printf "DEGRADED result: %s\n" reason
   | None -> ());
@@ -359,7 +370,8 @@ let print_robustness (report : Demand.report) =
 
 let locate_cmd =
   let action file correct_file input text root_line chaos_seed verify_deadline
-      max_retries breaker jobs store_dir trace_out metrics_out ledger_out =
+      max_retries breaker jobs store_dir trace_out metrics_out ledger_out
+      resume =
     match (compile_file file, compile_file correct_file) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -370,6 +382,27 @@ let locate_cmd =
         prerr_endline e;
         1
       | Ok policy -> (
+      (* The salvage read happens before the journal is re-attached to
+         the same path (attaching truncates). *)
+      match
+        match resume with
+        | None -> Ok None
+        | Some path -> (
+          match Recover.plan_of_file path with
+          | Ok plan -> Ok (Some plan)
+          | Error e -> Error (Printf.sprintf "%s: %s" path e))
+      with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok resume_plan -> (
+      (* --resume implies journaling back to the same ledger path *)
+      let ledger_out =
+        match (ledger_out, resume) with
+        | (Some _ as out), _ -> out
+        | None, (Some _ as out) -> out
+        | None, None -> None
+      in
       let input = resolve_input input text in
       let expected = Oracle.expected ~correct_prog:correct ~input in
       let chaos = Option.map Chaos.of_seed chaos_seed in
@@ -391,6 +424,33 @@ let locate_cmd =
         1
       | session ->
         let info = session.Session.info in
+        let replayed =
+          match resume_plan with
+          | None -> None
+          | Some plan ->
+            if Recover.matches_session plan session then begin
+              Recover.prime session plan;
+              Some plan
+            end
+            else begin
+              Printf.eprintf
+                "resume: journal does not describe this program/input/budget; \
+                 starting cold\n";
+              None
+            end
+        in
+        (* journaled iterations: every event is written ahead to the
+           ledger path (flushed per event, fsynced per iteration), so a
+           kill leaves a resumable journal instead of nothing *)
+        (match (ledger, ledger_out) with
+        | Some l, Some path ->
+          Ledger.attach_journal l path;
+          (match replayed with
+          | Some plan ->
+            Ledger.resume_marker l ~replayed:plan.Recover.salvaged_events
+              ~truncated:plan.Recover.truncated
+          | None -> ())
+        | _ -> ());
         let oracle =
           Oracle.create ~faulty_trace:session.Session.trace
             ~correct_prog:correct ~input
@@ -410,13 +470,28 @@ let locate_cmd =
         let report = Demand.locate ~pool session ~oracle ~root_sids in
         write_obs obs ~trace_out ~metrics_out;
         write_ledger ledger ~ledger_out;
+        (match replayed with
+        | Some plan ->
+          Printf.printf
+            "resume: %d batch(es) (%d verifications) replayed from the \
+             journal, %d in-flight event(s) re-verified live%s\n"
+            plan.Recover.replayed_batches plan.Recover.replayed_verifications
+            plan.Recover.dropped_events
+            (if plan.Recover.truncated then " (torn tail dropped)" else "")
+        | None -> ());
         Printf.printf
           "verifications: %d (of %d queries), iterations: %d, implicit \
            edges: %d, user prunings: %d\n"
           report.Demand.verifications report.Demand.verify_queries
           report.Demand.iterations report.Demand.expanded_edges
           report.Demand.user_prunings;
-        Printf.printf "scheduler: %d job(s)\n" (Pool.jobs pool);
+        let sup = Pool.supervision pool in
+        Printf.printf "scheduler: %d job(s)%s\n" (Pool.jobs pool)
+          (if sup.Pool.degraded then
+             ", DEGRADED: respawn budget exhausted, draining inline"
+           else if sup.Pool.respawns > 0 then
+             Printf.sprintf ", %d worker(s) respawned" sup.Pool.respawns
+           else "");
         print_store_stats report.Demand.store;
         print_robustness report;
         (match root_line with
@@ -431,7 +506,7 @@ let locate_cmd =
             Printf.printf "  line %-4d %s\n" (Loc.line stmt.Ast.sloc)
               (Exom_lang.Pretty.stmt_head stmt))
           (Slice.sids report.Demand.ips);
-        0))
+        0)))
   in
   let correct_arg =
     Arg.(
@@ -483,6 +558,22 @@ let locate_cmd =
             "Circuit-breaker threshold: stop re-verifying a predicate after \
              K consecutive aborted switched runs")
   in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "resume" ] ~docv:"LEDGER"
+          ~doc:
+            "Resume a killed localization from its journaled ledger \
+             (written by --ledger-out): completed verification batches \
+             are replayed from the journal instead of re-executed, the \
+             batch in flight at the kill is re-verified live, and the \
+             final report and ledger are byte-identical to an \
+             uninterrupted run.  Implies $(b,--ledger-out) LEDGER \
+             unless given.  Pass the same program, input and flags as \
+             the killed run — a mismatched journal is detected and the \
+             run starts cold")
+  in
   Cmd.v
     (Cmd.info "locate"
        ~doc:"Demand-driven execution-omission-error localization")
@@ -490,7 +581,36 @@ let locate_cmd =
       const action $ file_arg $ correct_arg $ input_arg $ text_arg $ root_arg
       $ chaos_seed_arg $ deadline_arg $ max_retries_arg $ breaker_arg
       $ jobs_arg $ store_arg $ trace_out_arg $ metrics_out_arg
-      $ ledger_out_arg)
+      $ ledger_out_arg $ resume_arg)
+
+(* recover *)
+
+let recover_cmd =
+  let action file =
+    match Recover.plan_of_file file with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" file e;
+      1
+    | Ok plan ->
+      Printf.printf "%s:\n" file;
+      print_string (Recover.describe plan);
+      0
+  in
+  let ledger_file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"LEDGER"
+          ~doc:
+            "A journaled (possibly torn) provenance ledger left behind \
+             by a killed $(b,exom locate --ledger-out) run")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Inspect a killed run's journaled ledger: what is salvageable, \
+          what a $(b,--resume) would replay, and whether the tail was torn")
+    Term.(const action $ ledger_file_arg)
 
 (* explain
 
@@ -999,4 +1119,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "exom" ~version:"1.0.0" ~doc)
           [ run_cmd; info_cmd; slice_cmd; rslice_cmd; locate_cmd; explain_cmd;
-            dot_cmd; regions_cmd; bench_cmd; regress_cmd; stats_cmd ]))
+            recover_cmd; dot_cmd; regions_cmd; bench_cmd; regress_cmd;
+            stats_cmd ]))

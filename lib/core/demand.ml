@@ -122,6 +122,11 @@ let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
   let verify_batch pairs =
     Verify.verify_batch ~mode:config.verify_mode ?pool s pairs
   in
+  (* Make the journal durable at iteration boundaries: everything up to
+     and including the last snapshot survives a kill (the journal is
+     flushed per event; [sync] adds the fsync).  No-op without an
+     attached journal. *)
+  let durable () = match ledger with Some l -> Ledger.sync l | None -> () in
   (* (switched predicate, target, value_affected): all edges extend the
      dependence graph; only value-affecting ones may pin predicates
      during confidence propagation (see Verify). *)
@@ -271,6 +276,7 @@ let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
   let initial_prunings = !user_prunings in
   let ps0 = Prune.as_slice trace !ps in
   snapshot_slice ~iter:0 !ps;
+  durable ();
   let found = ref (root_reached !ps) in
   let exhausted = ref false in
   let degraded = ref None in
@@ -298,6 +304,7 @@ let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
          incr iterations;
          ps := prune_interactively ~iter:!iterations (pruned ());
          snapshot_slice ~iter:!iterations !ps;
+         durable ();
          found := root_reached !ps
        end
        else exhausted := true
@@ -334,6 +341,7 @@ let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
       ~verifications:(Session.verifications s)
       ~queries:(Session.verify_queries s) ~os_chain ~degraded:!degraded
   | None -> ());
+  durable ();
   {
     found = !found;
     user_prunings = initial_prunings;

@@ -7,6 +7,7 @@ type verify_failure =
   | Deadline_expired of float
   | Breaker_open of int
   | Captured of string
+  | Worker_quarantined of int
 
 let failure_to_string = function
   | Run_crashed msg -> "switched run crashed: " ^ msg
@@ -14,6 +15,36 @@ let failure_to_string = function
   | Deadline_expired s -> Printf.sprintf "verification deadline expired (%.3fs)" s
   | Breaker_open sid -> Printf.sprintf "circuit breaker open for predicate s%d" sid
   | Captured msg -> "unexpected exception contained: " ^ msg
+  | Worker_quarantined k ->
+    Printf.sprintf "verification quarantined after killing %d workers" k
+
+(* A compact, parseable codec for the checkpoint events the ledger
+   journals: [failure_to_string] is for humans and not injective enough
+   to survive a round-trip. *)
+let failure_code = function
+  | Run_crashed msg -> "crashed:" ^ msg
+  | Run_budget_exhausted -> "budget"
+  | Deadline_expired s -> Printf.sprintf "deadline:%h" s
+  | Breaker_open sid -> Printf.sprintf "breaker:%d" sid
+  | Captured msg -> "captured:" ^ msg
+  | Worker_quarantined k -> Printf.sprintf "quarantined:%d" k
+
+let failure_of_code s =
+  let tail p = String.sub s (String.length p) (String.length s - String.length p) in
+  let has p =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  if has "crashed:" then Some (Run_crashed (tail "crashed:"))
+  else if s = "budget" then Some Run_budget_exhausted
+  else if has "deadline:" then
+    Option.map (fun f -> Deadline_expired f) (float_of_string_opt (tail "deadline:"))
+  else if has "breaker:" then
+    Option.map (fun n -> Breaker_open n) (int_of_string_opt (tail "breaker:"))
+  else if has "captured:" then Some (Captured (tail "captured:"))
+  else if has "quarantined:" then
+    Option.map (fun n -> Worker_quarantined n)
+      (int_of_string_opt (tail "quarantined:"))
+  else None
 
 type policy = {
   backoff : Backoff.t;
@@ -35,16 +66,18 @@ type stats = {
   mutable breaker_trips : int;
   mutable breaker_skips : int;
   mutable captured : int;
+  mutable quarantined : int;
 }
 
 let zero_stats () =
   { completed = 0; aborted = 0; retried = 0; deadline_expired = 0;
-    breaker_trips = 0; breaker_skips = 0; captured = 0 }
+    breaker_trips = 0; breaker_skips = 0; captured = 0; quarantined = 0 }
 
 let snapshot s =
   { completed = s.completed; aborted = s.aborted; retried = s.retried;
     deadline_expired = s.deadline_expired; breaker_trips = s.breaker_trips;
-    breaker_skips = s.breaker_skips; captured = s.captured }
+    breaker_skips = s.breaker_skips; captured = s.captured;
+    quarantined = s.quarantined }
 
 (* A worker-local accounting view: stats and journal entries land here
    while the shared breaker table (sid-serialized by the batch planner)
@@ -84,6 +117,7 @@ let absorb t sh =
   a.breaker_trips <- a.breaker_trips + b.breaker_trips;
   a.breaker_skips <- a.breaker_skips + b.breaker_skips;
   a.captured <- a.captured + b.captured;
+  a.quarantined <- a.quarantined + b.quarantined;
   (* both lists are newest-first; prepending keeps shard order *)
   t.root.sh_journal <- sh.sh_journal @ t.root.sh_journal
 
@@ -106,6 +140,44 @@ let note_captured_in sh ~sid ~msg =
   note sh sid (Captured msg)
 
 let note_captured t ~sid ~msg = note_captured_in t.root ~sid ~msg
+
+(* Recorded on the coordinator at merge time: the worker shard of a
+   quarantined task died with its executors, so nothing from the dead
+   attempts survives — the quarantine entry is the task's whole
+   accounting trace. *)
+let note_quarantined t ~sid ~kills =
+  t.root.sh_stats.quarantined <- t.root.sh_stats.quarantined + 1;
+  note t.root sid (Worker_quarantined kills)
+
+(* {2 Checkpoint support: export / restore the resumable state} *)
+
+type breaker_state = { bk_sid : int; bk_consecutive : int; bk_opened : bool }
+
+let breaker_states t =
+  Hashtbl.fold
+    (fun sid b acc ->
+      { bk_sid = sid; bk_consecutive = b.consecutive; bk_opened = b.opened }
+      :: acc)
+    t.breakers []
+  |> List.sort (fun a b -> compare a.bk_sid b.bk_sid)
+
+let restore t ~stats:s ~failures:fs ~breakers =
+  let a = t.root.sh_stats in
+  a.completed <- s.completed;
+  a.aborted <- s.aborted;
+  a.retried <- s.retried;
+  a.deadline_expired <- s.deadline_expired;
+  a.breaker_trips <- s.breaker_trips;
+  a.breaker_skips <- s.breaker_skips;
+  a.captured <- s.captured;
+  a.quarantined <- s.quarantined;
+  t.root.sh_journal <- List.rev fs;
+  Hashtbl.reset t.breakers;
+  List.iter
+    (fun bk ->
+      Hashtbl.replace t.breakers bk.bk_sid
+        { consecutive = bk.bk_consecutive; opened = bk.bk_opened })
+    breakers
 
 (* One more consecutive abort of [sid]; open its breaker at the
    threshold (a completed run resets the streak — see [execute_in]). *)
@@ -141,6 +213,12 @@ let execute_in t sh ~sid ~base_budget ~run =
       | [] -> assert false (* Backoff.budgets is never empty *)
       | budget :: rest -> (
         match run ~budget with
+        | exception exn when Exom_interp.Chaos.is_fatal exn ->
+          (* worker death: not ours to contain — the pool's supervisor
+             must see it (the dying shard's accounting is discarded
+             wholesale at merge time, so not counting here is what keeps
+             the books deterministic) *)
+          raise exn
         | exception exn ->
           stats.aborted <- stats.aborted + 1;
           stats.captured <- stats.captured + 1;

@@ -31,8 +31,17 @@ type verify_failure =
       (** escalation abandoned after this many seconds *)
   | Breaker_open of int  (** skipped: the breaker for this sid is open *)
   | Captured of string  (** unexpected exception, converted not raised *)
+  | Worker_quarantined of int
+      (** the verification killed this many consecutive worker domains
+          and was isolated by the scheduler's supervisor *)
 
 val failure_to_string : verify_failure -> string
+
+(** A compact injective codec for ledger checkpoints;
+    [failure_of_code (failure_code f) = Some f]. *)
+val failure_code : verify_failure -> string
+
+val failure_of_code : string -> verify_failure option
 
 type policy = {
   backoff : Exom_util.Backoff.t;  (** budget escalation ladder *)
@@ -63,6 +72,10 @@ type stats = {
   mutable breaker_trips : int;  (** breakers that opened *)
   mutable breaker_skips : int;  (** verifications skipped while open *)
   mutable captured : int;  (** exceptions contained (runs or analysis) *)
+  mutable quarantined : int;
+      (** verifications isolated after killing workers; their dead
+          attempts appear in no other counter (the dying shard's books
+          are discarded wholesale, identically at every job count) *)
 }
 
 (** An independent copy (reports snapshot it; the live record keeps
@@ -109,6 +122,32 @@ val note_captured : t -> sid:int -> msg:string -> unit
 (** Like {!note_captured}, into a worker shard. *)
 val note_captured_in : shard -> sid:int -> msg:string -> unit
 
+(** Record (on the coordinator, at merge time) that a verification was
+    quarantined by the scheduler after killing [kills] workers: bumps
+    [quarantined] and journals {!Worker_quarantined}. *)
+val note_quarantined : t -> sid:int -> kills:int -> unit
+
+(** {2 Crash-safe resume support}
+
+    The guard's whole mutable state — merged stats, failure journal,
+    circuit breakers — is exported into ledger checkpoints and restored
+    verbatim when a run resumes, so a resumed session continues exactly
+    where the journaled one stopped. *)
+
+type breaker_state = { bk_sid : int; bk_consecutive : int; bk_opened : bool }
+
+(** Every materialized breaker, sorted by sid (deterministic). *)
+val breaker_states : t -> breaker_state list
+
+(** Overwrite the guard's merged stats, journal ([failures], oldest
+    first) and breaker table. *)
+val restore :
+  t ->
+  stats:stats ->
+  failures:(int * verify_failure) list ->
+  breakers:breaker_state list ->
+  unit
+
 (** The outcome of one guarded verification. *)
 type outcome =
   | Completed of Exom_interp.Interp.run  (** ran to termination *)
@@ -120,7 +159,9 @@ type outcome =
     end-to-end under the policy: breaker check, budget ladder, deadline,
     exception containment, stats and breaker bookkeeping.  [run] is one
     re-execution attempt at a given budget; it is called between one and
-    [Backoff.attempts] times. *)
+    [Backoff.attempts] times.  Fatal exceptions
+    ([Exom_interp.Chaos.is_fatal]) are re-raised, not contained: they
+    model worker-domain death and belong to the pool supervisor. *)
 val execute :
   t ->
   sid:int ->

@@ -10,6 +10,26 @@ module Ledger = Exom_ledger.Ledger
 module Trace = Exom_interp.Trace
 module Value = Exom_interp.Value
 
+(* One recorded verification batch, replayed positionally on resume: the
+   resumed demand loop re-executes all coordinator work (slicing,
+   pruning, target selection) deterministically, and each verify_batch
+   call consumes the next group instead of re-running — recorded events
+   are re-emitted verbatim, verdicts are returned and seeded into the
+   store, and the trailing checkpoint restores guard/store/metrics
+   state.  A mismatch (the journal diverged from this session) drops the
+   cursor and the batch runs live. *)
+type replay_group = {
+  rg_pairs : (int * int) list;
+      (* unique (p, u) pairs, first-occurrence order — the match spine *)
+  rg_queries : int;  (* total query count of the recorded batch *)
+  rg_verdicts : ((int * int) * (Verdict.result * string)) list;
+      (* per unique pair: result + evidence source *)
+  rg_events : Ledger.event list;
+      (* the Verify*/Batch/Checkpoint events, verbatim *)
+  rg_total_runs : int;  (* cumulative verify.run count after the batch *)
+  rg_checkpoint : Ledger.checkpoint option;
+}
+
 type t = {
   prog : Ast.program;
   info : Proginfo.t;
@@ -40,6 +60,9 @@ type t = {
   key_prefix : string;
       (* content hash of everything a verdict depends on besides
          (mode, p, u): program, input, expected stream, budget, chaos *)
+  mutable replay : replay_group list;
+      (* pending recorded batches (oldest first) a resumed run consumes
+         instead of re-executing; [] for a fresh run or once exhausted *)
 }
 
 exception No_failure
@@ -163,6 +186,7 @@ let create ?obs ?(budget = Interp.default_budget) ?policy ?chaos ?store ?ledger
     store;
     ledger;
     key_prefix = derive_key_prefix ~prog ~input ~expected ~budget ~chaos;
+    replay = [];
   }
 
 (* The ledger reference for a trace instance of this session. *)

@@ -9,6 +9,30 @@
     in a {!Exom_sched.Store.t}, so worker domains can share the session
     freely while only the coordinator mutates the registry and store. *)
 
+(** One recorded verification batch, consumed positionally by a resumed
+    run: {!Verify.verify_batch} matches the next group against its live
+    pairs; on a match the recorded ledger events are re-emitted
+    verbatim, the verdicts are returned (and seeded into the store
+    without touching its counters), and the trailing checkpoint
+    restores the guard, store and run-count state.  Any mismatch drops
+    the remaining cursor and verification continues live — a diverged
+    journal degrades to a cold start, never to a wrong answer. *)
+type replay_group = {
+  rg_pairs : (int * int) list;
+      (** unique (p, u) pairs in first-occurrence order — the spine the
+          live batch must reproduce for the group to be consumed *)
+  rg_queries : int;  (** total (pre-dedup) query count of the batch *)
+  rg_verdicts : ((int * int) * (Verdict.result * string)) list;
+      (** per unique pair: decoded result plus evidence source (a
+          ["dead"] source is not seeded into the store, mirroring the
+          live never-persist rule for died tasks) *)
+  rg_events : Exom_ledger.Ledger.event list;
+      (** the batch's Verify/Batch/Checkpoint events, verbatim *)
+  rg_total_runs : int;
+      (** cumulative verify.run count recorded after the batch *)
+  rg_checkpoint : Exom_ledger.Ledger.checkpoint option;
+}
+
 type t = {
   prog : Exom_lang.Ast.program;
   info : Exom_cfg.Proginfo.t;
@@ -45,6 +69,10 @@ type t = {
       (** content hash of everything a verdict depends on besides
           (mode, p, u) — program, input, expected stream, budget,
           chaos — prepended to every store key *)
+  mutable replay : replay_group list;
+      (** pending recorded batches (oldest first) a resumed run consumes
+          instead of re-executing; [[]] for a fresh run or once
+          exhausted — primed by {!Recover.prime} *)
 }
 
 (** Raised when the run's outputs don't disagree with the expected

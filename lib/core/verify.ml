@@ -205,7 +205,9 @@ let decode_result payload =
    ledger's contents never depend on worker interleaving. *)
 
 type evidence = {
-  ev_source : string;  (* "run" | "cache:mem" | "cache:disk" | "skip" | "dead" *)
+  ev_source : string;
+      (* "run" | "cache:mem" | "cache:disk" | "skip" | "dead"
+         | "quarantined" *)
   ev_run : Ledger.run_info option;
   ev_align : Ledger.align_info option;
   ev_failure : string option;
@@ -222,6 +224,15 @@ let cache_evidence tier =
 let dead_evidence =
   { ev_source = "dead"; ev_run = None; ev_align = None; ev_failure = None }
 
+let quarantined_evidence kills =
+  {
+    ev_source = "quarantined";
+    ev_run = None;
+    ev_align = None;
+    ev_failure =
+      Some (Guard.failure_to_string (Guard.Worker_quarantined kills));
+  }
+
 let run_evidence (run' : Interp.run) =
   let outcome =
     match run'.Interp.outcome with
@@ -234,6 +245,151 @@ let run_evidence (run' : Interp.run) =
     steps = run'.Interp.steps;
     switch_fired = run'.Interp.switch_fired;
   }
+
+(* {2 Checkpoints and resume replay}
+
+   After every batch the coordinator appends a checkpoint: the guard's
+   cumulative counters, failure journal and breaker table plus the
+   store's counters — everything a resumed run cannot recompute from
+   the events alone.  All of it is merged in submission order upstream,
+   so checkpoints are j-invariant like every other ledger event. *)
+
+let make_checkpoint (s : Session.t) =
+  let g = Guard.stats s.Session.guard in
+  let st = Store.stats s.Session.store in
+  {
+    Ledger.ck_guard =
+      {
+        Ledger.g_completed = g.Guard.completed;
+        g_aborted = g.Guard.aborted;
+        g_retried = g.Guard.retried;
+        g_deadline_expired = g.Guard.deadline_expired;
+        g_breaker_trips = g.Guard.breaker_trips;
+        g_breaker_skips = g.Guard.breaker_skips;
+        g_captured = g.Guard.captured;
+        g_quarantined = g.Guard.quarantined;
+      };
+    ck_failures =
+      List.map
+        (fun (sid, f) -> (sid, Guard.failure_code f))
+        (Guard.failures s.Session.guard);
+    ck_breakers =
+      List.map
+        (fun b ->
+          {
+            Ledger.b_sid = b.Guard.bk_sid;
+            b_consecutive = b.Guard.bk_consecutive;
+            b_opened = b.Guard.bk_opened;
+          })
+        (Guard.breaker_states s.Session.guard);
+    ck_store =
+      {
+        Ledger.st_hits = st.Store.hits;
+        st_disk_hits = st.Store.disk_hits;
+        st_misses = st.Store.misses;
+        st_evictions = st.Store.evictions;
+        st_corrupted = st.Store.corrupted;
+        st_writes = st.Store.writes;
+      };
+  }
+
+(* Overwrite guard, store and run-count state from a replayed
+   checkpoint: the resumed session continues exactly where the
+   journaled one stopped.  Scheduler-local metrics (the "pool." tree)
+   are NOT restored — they describe work this process performed, which
+   is precisely what the resume avoided. *)
+let apply_checkpoint (s : Session.t) (ck : Ledger.checkpoint) =
+  let g = ck.Ledger.ck_guard in
+  Guard.restore s.Session.guard
+    ~stats:
+      {
+        Guard.completed = g.Ledger.g_completed;
+        aborted = g.Ledger.g_aborted;
+        retried = g.Ledger.g_retried;
+        deadline_expired = g.Ledger.g_deadline_expired;
+        breaker_trips = g.Ledger.g_breaker_trips;
+        breaker_skips = g.Ledger.g_breaker_skips;
+        captured = g.Ledger.g_captured;
+        quarantined = g.Ledger.g_quarantined;
+      }
+    ~failures:
+      (List.map
+         (fun (sid, code) ->
+           (* codes come from [Guard.failure_code] and always parse; a
+              hand-edited ledger degrades to a captured note, not a
+              crash *)
+           ( sid,
+             Option.value
+               (Guard.failure_of_code code)
+               ~default:(Guard.Captured ("unreadable failure code: " ^ code))
+           ))
+         ck.Ledger.ck_failures)
+    ~breakers:
+      (List.map
+         (fun b ->
+           {
+             Guard.bk_sid = b.Ledger.b_sid;
+             bk_consecutive = b.Ledger.b_consecutive;
+             bk_opened = b.Ledger.b_opened;
+           })
+         ck.Ledger.ck_breakers);
+  let st = ck.Ledger.ck_store in
+  Store.restore_stats s.Session.store
+    {
+      Store.hits = st.Ledger.st_hits;
+      disk_hits = st.Ledger.st_disk_hits;
+      misses = st.Ledger.st_misses;
+      evictions = st.Ledger.st_evictions;
+      corrupted = st.Ledger.st_corrupted;
+      writes = st.Ledger.st_writes;
+    }
+
+let unique_pairs pairs =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun pu ->
+      if Hashtbl.mem seen pu then false
+      else begin
+        Hashtbl.replace seen pu ();
+        true
+      end)
+    pairs
+
+(* A recorded batch matches a live call iff the pre-dedup query count
+   and the unique pairs (in first-occurrence order) agree — the same
+   deterministic spine the live planner resolves on. *)
+let replay_matches (g : Session.replay_group) pairs =
+  g.Session.rg_queries = List.length pairs
+  && g.Session.rg_pairs = unique_pairs pairs
+
+(* Consume one recorded batch instead of re-running it: count the
+   queries, seed the store with the recorded verdicts (no counter
+   moves; a "dead" pair was never persisted live and is not seeded),
+   re-emit the recorded events verbatim, then restore the cumulative
+   guard/store/run-count state from the trailing checkpoint. *)
+let replay_batch (s : Session.t) ~mode (g : Session.replay_group) rest pairs =
+  let obs = s.Session.obs in
+  s.Session.replay <- rest;
+  Obs.add obs "verify.queries" (List.length pairs);
+  List.iter
+    (fun ((p, u), (r, source)) ->
+      if source <> "dead" then
+        Store.seed s.Session.store ~key:(pair_key s ~mode ~p ~u)
+          (encode_result r))
+    g.Session.rg_verdicts;
+  (match s.Session.ledger with
+  | None -> ()
+  | Some l -> List.iter (Ledger.append l) g.Session.rg_events);
+  (match g.Session.rg_checkpoint with
+  | None -> ()
+  | Some ck -> apply_checkpoint s ck);
+  (match Metrics.find (Obs.metrics obs) "verify.run" with
+  | Some m -> m.Metrics.count <- g.Session.rg_total_runs
+  | None ->
+    Metrics.restore (Obs.metrics obs) ~kind:Metrics.Timer ~name:"verify.run"
+      ~count:g.Session.rg_total_runs ~value:0 ~seconds:0.0 ~min_s:infinity
+      ~max_s:neg_infinity);
+  List.map (fun pu -> fst (List.assoc pu g.Session.rg_verdicts)) pairs
 
 (* {2 The batch verification planner}
 
@@ -259,7 +415,14 @@ let run_evidence (run' : Interp.run) =
 let verify_batch ?(mode = Edge_approximation) ?pool (s : Session.t) pairs =
   match pairs with
   | [] -> []
-  | _ ->
+  | _ -> (
+    match s.Session.replay with
+    | g :: rest when replay_matches g pairs ->
+      replay_batch s ~mode g rest pairs
+    | replay ->
+    (* a non-empty cursor that doesn't match means the journal diverged
+       from this session: drop it and verify live from here on *)
+    if replay <> [] then s.Session.replay <- [];
     let pool = match pool with Some p -> p | None -> Pool.default () in
     let obs = s.Session.obs in
     Obs.add obs "verify.queries" (List.length pairs);
@@ -383,19 +546,43 @@ let verify_batch ?(mode = Edge_approximation) ?pool (s : Session.t) pairs =
             pgroups;
           (shard, wobs)
       in
-      let outcomes = Batch.run_tasks ~obs pool (List.map task by_sid) in
+      let outcomes =
+        Batch.run_tasks ~obs ~fatal:Exom_interp.Chaos.is_fatal pool
+          (List.map task by_sid)
+      in
       (* merge in submission order: reports are j-independent *)
       List.iter2
-        (fun (sid, _) outcome ->
+        (fun (sid, pgroups) outcome ->
           match outcome with
           | Ok (shard, wobs) ->
             Guard.absorb s.Session.guard shard;
             Obs.absorb ~into:obs wobs
           | Error exn ->
-            (* the task itself died (should be impossible: everything
-               inside is contained) — record it, rule NOT_ID below *)
-            Guard.note_captured s.Session.guard ~sid
-              ~msg:(Printexc.to_string exn))
+            (* The task died: its shard and obs fork are discarded, so
+               nothing it half-computed is trusted — wipe any slots a
+               dead attempt wrote before being killed, or the batch's
+               verdicts and accounting would come from runs that were
+               never charged anywhere.  Fault injection is
+               deterministic, so the wipe (like the kill) is identical
+               at every job count. *)
+            let ev =
+              match exn with
+              | Batch.Quarantined kills ->
+                Guard.note_quarantined s.Session.guard ~sid ~kills;
+                quarantined_evidence kills
+              | exn ->
+                Guard.note_captured s.Session.guard ~sid
+                  ~msg:(Printexc.to_string exn);
+                dead_evidence
+            in
+            List.iter
+              (fun (_, items) ->
+                List.iter
+                  (fun (i, _) ->
+                    answers.(i) <- None;
+                    evs.(i) <- Some ev)
+                  items)
+              pgroups)
         by_sid outcomes;
       List.iteri
         (fun i (p, u) ->
@@ -446,8 +633,10 @@ let verify_batch ?(mode = Edge_approximation) ?pool (s : Session.t) pairs =
         pairs;
       Ledger.batch l ~queries:(List.length pairs) ~unique:!uniq
         ~cache_hits:(!uniq - List.length misses) ~runs:!dispatched_runs
-        ~total_runs:(Metrics.timer_count (Obs.metrics obs) "verify.run"));
-    List.map (fun (p, u) -> Hashtbl.find resolved (p, u)) pairs
+        ~total_runs:(Metrics.timer_count (Obs.metrics obs) "verify.run");
+      (* the resumable state, right behind the batch it closes *)
+      Ledger.checkpoint l (make_checkpoint s));
+    List.map (fun (p, u) -> Hashtbl.find resolved (p, u)) pairs)
 
 (* The single-pair entry points route through the batch planner with an
    inline pool, so cached/sequential/parallel paths share one engine

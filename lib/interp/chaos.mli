@@ -27,9 +27,24 @@ type fault =
       (** raise {!Injected} at step N — an exception the interpreter
           does {e not} convert to an outcome, modelling the failure mode
           the resilience layer must contain *)
+  | Kill_worker of int
+      (** raise {!Killed_worker} at step N — a {e fatal} exception that
+          the resilience layer must {e not} contain: it models the death
+          of the worker domain executing the re-execution (OOM, stack
+          overflow), and is re-raised through every containment layer so
+          the scheduler's supervisor sees the worker die *)
 
 (** The one exception {!Interp.run} lets escape, by design. *)
 exception Injected of string
+
+(** The fatal exception modelling worker-domain death.  Unlike
+    {!Injected}, the guard re-raises it: only the pool supervisor may
+    absorb it (by requeueing the orphaned task, respawning the domain
+    and eventually quarantining the killer). *)
+exception Killed_worker of string
+
+(** Is this exception one the containment layers must re-raise? *)
+val is_fatal : exn -> bool
 
 type t = { seed : int; fault : fault }
 

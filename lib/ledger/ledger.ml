@@ -12,7 +12,10 @@ module Json = Exom_obs.Json
    which is what makes the -j1 ≡ -j4 byte-identity contract hold. *)
 
 let schema_name = "exom.ledger"
-let schema_version = 1
+
+(* v2: Checkpoint events (resumable guard/store state after every
+   batch) and journal marker lines. *)
+let schema_version = 2
 
 type inst = { idx : int; sid : int; line : int; occ : int }
 
@@ -42,6 +45,42 @@ type slice_entry = {
   s_line : int;
   s_conf : float;
   s_dist : int;
+}
+
+(* The resumable state written after every batch: cumulative guard
+   counters, the full failure journal (sid, failure code), every
+   materialized circuit breaker, cumulative store counters.  All of it
+   is deterministic (merged in submission order upstream), so
+   checkpoints don't break the -j byte-identity contract; cumulative
+   rather than delta form means the *last* replayed checkpoint alone
+   restores a resumed session. *)
+type guard_counts = {
+  g_completed : int;
+  g_aborted : int;
+  g_retried : int;
+  g_deadline_expired : int;
+  g_breaker_trips : int;
+  g_breaker_skips : int;
+  g_captured : int;
+  g_quarantined : int;
+}
+
+type breaker_info = { b_sid : int; b_consecutive : int; b_opened : bool }
+
+type store_counts = {
+  st_hits : int;
+  st_disk_hits : int;
+  st_misses : int;
+  st_evictions : int;
+  st_corrupted : int;
+  st_writes : int;
+}
+
+type checkpoint = {
+  ck_guard : guard_counts;
+  ck_failures : (int * string) list;  (* (sid, Guard failure code) *)
+  ck_breakers : breaker_info list;  (* sorted by sid *)
+  ck_store : store_counts;
 }
 
 type event =
@@ -76,6 +115,7 @@ type event =
       runs : int;
       total_runs : int;
     }
+  | Checkpoint of checkpoint
   | Final of {
       found : bool;
       iterations : int;
@@ -88,16 +128,28 @@ type event =
       degraded : string option;
     }
 
+(* The journal sink: when attached, every appended event is also
+   written through an out_channel (one JSONL line, flushed per event so
+   a kill loses at most the unflushed tail of one line), and {!sync}
+   fsyncs at iteration boundaries.  [on_push] is wired by
+   {!attach_journal} (the encoder lives further down this file). *)
+type sink = { s_oc : out_channel; s_fd : Unix.file_descr; s_path : string }
+
 type t = {
   mutable rev_events : event list;
   mutable prev_slice : int list;  (* instance ids of the last snapshot *)
+  mutable sink : sink option;
+  mutable on_push : event -> unit;
 }
 
-let create () = { rev_events = []; prev_slice = [] }
+let create () =
+  { rev_events = []; prev_slice = []; sink = None; on_push = ignore }
 
 let events t = List.rev t.rev_events
 
-let push t e = t.rev_events <- e :: t.rev_events
+let push t e =
+  t.rev_events <- e :: t.rev_events;
+  t.on_push e
 
 (* {2 Appending} *)
 
@@ -129,6 +181,15 @@ let edge t ~p ~u ~strength ~value_affected ~related =
 
 let batch t ~queries ~unique ~cache_hits ~runs ~total_runs =
   push t (Batch { queries; unique; cache_hits; runs; total_runs })
+
+let checkpoint t ck = push t (Checkpoint ck)
+
+(* Verbatim re-emission of a recovered event (resume replay): same path
+   as the typed appenders, so an attached journal records it too.  Note
+   it bypasses the slice-delta state on purpose — replayed batches only
+   carry Verify/Batch/Checkpoint events; Slice events are re-emitted
+   live by the resumed demand loop through [slice]. *)
+let append t e = push t e
 
 let final t ~found ~iterations ~edges ~user_prunings ~total_prunings
     ~verifications ~queries ~os_chain ~degraded =
@@ -255,6 +316,35 @@ let event_json = function
         ("runs", num runs);
         ("total_runs", num total_runs);
       ]
+  | Checkpoint ck ->
+    let g = ck.ck_guard and s = ck.ck_store in
+    Json.Obj
+      [
+        ("ev", Json.Str "checkpoint");
+        (* fixed-position arrays keep checkpoint lines compact *)
+        ( "guard",
+          ints
+            [ g.g_completed; g.g_aborted; g.g_retried; g.g_deadline_expired;
+              g.g_breaker_trips; g.g_breaker_skips; g.g_captured;
+              g.g_quarantined ] );
+        ( "failures",
+          Json.Arr
+            (List.map
+               (fun (sid, code) -> Json.Arr [ num sid; Json.Str code ])
+               ck.ck_failures) );
+        ( "breakers",
+          Json.Arr
+            (List.map
+               (fun b ->
+                 Json.Arr
+                   [ num b.b_sid; num b.b_consecutive;
+                     Json.Bool b.b_opened ])
+               ck.ck_breakers) );
+        ( "store",
+          ints
+            [ s.st_hits; s.st_disk_hits; s.st_misses; s.st_evictions;
+              s.st_corrupted; s.st_writes ] );
+      ]
   | Final f ->
     Json.Obj
       [
@@ -286,11 +376,68 @@ let string_of_events evs =
 
 let to_string t = string_of_events (events t)
 
+(* Crash-consistent canonical write: temp file + rename, like the
+   store's entry writer — a kill mid-write leaves either the old file
+   or the new one, never a torn hybrid. *)
 let write path t =
-  let oc = open_out_bin path in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string t))
+    (fun () -> output_string oc (to_string t));
+  Sys.rename tmp path
+
+(* {2 The write-ahead journal} *)
+
+let journal_line sink line =
+  output_string sink.s_oc line;
+  output_char sink.s_oc '\n';
+  flush sink.s_oc
+
+let attach_journal t path =
+  (match t.sink with
+  | Some _ -> invalid_arg "Ledger.attach_journal: journal already attached"
+  | None -> ());
+  let oc = open_out_bin path in
+  let sink = { s_oc = oc; s_fd = Unix.descr_of_out_channel oc; s_path = path } in
+  t.sink <- Some sink;
+  t.on_push <- (fun e -> journal_line sink (Json.to_string (event_json e)));
+  journal_line sink header_line;
+  List.iter t.on_push (events t)
+
+let journal_path t = Option.map (fun s -> s.s_path) t.sink
+
+(* A non-event meta line, skipped (but counted) by {!recover_string}:
+   the explicit record that this journal is a resumed continuation, and
+   whether the predecessor's tail was torn. *)
+let resume_marker t ~replayed ~truncated =
+  match t.sink with
+  | None -> ()
+  | Some sink ->
+    journal_line sink
+      (Json.to_string
+         (Json.Obj
+            [
+              ("type", Json.Str "resume");
+              ("replayed", Json.Num (float_of_int replayed));
+              ("truncated", Json.Bool truncated);
+            ]))
+
+let sync t =
+  match t.sink with
+  | None -> ()
+  | Some sink ->
+    flush sink.s_oc;
+    Unix.fsync sink.s_fd
+
+let close_journal t =
+  match t.sink with
+  | None -> ()
+  | Some sink ->
+    flush sink.s_oc;
+    close_out sink.s_oc;
+    t.sink <- None;
+    t.on_push <- ignore
 
 (* {2 Decoding} *)
 
@@ -434,6 +581,57 @@ let parse_event j =
     let* runs = require "runs" (get_int j "runs") in
     let* total_runs = require "total_runs" (get_int j "total_runs") in
     Ok (Batch { queries; unique; cache_hits; runs; total_runs })
+  | "checkpoint" ->
+    let* g =
+      match get_ints j "guard" with
+      | Some [ c; a; r; d; bt; bs; cap; q ] ->
+        Ok
+          { g_completed = c; g_aborted = a; g_retried = r;
+            g_deadline_expired = d; g_breaker_trips = bt;
+            g_breaker_skips = bs; g_captured = cap; g_quarantined = q }
+      | _ -> Error "checkpoint.guard: expected 8 counters"
+    in
+    let* failures =
+      match Json.member "failures" j with
+      | Some (Json.Arr l) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | Json.Arr [ Json.Num sid; Json.Str code ] :: rest ->
+            go ((int_of_float sid, code) :: acc) rest
+          | _ -> Error "checkpoint.failures: expected [sid, code] pairs"
+        in
+        go [] l
+      | _ -> Error "missing or ill-typed checkpoint.failures"
+    in
+    let* breakers =
+      match Json.member "breakers" j with
+      | Some (Json.Arr l) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | Json.Arr [ Json.Num sid; Json.Num consec; Json.Bool opened ]
+            :: rest ->
+            go
+              ({ b_sid = int_of_float sid;
+                 b_consecutive = int_of_float consec; b_opened = opened }
+              :: acc)
+              rest
+          | _ -> Error "checkpoint.breakers: expected [sid, n, opened] triples"
+        in
+        go [] l
+      | _ -> Error "missing or ill-typed checkpoint.breakers"
+    in
+    let* s =
+      match get_ints j "store" with
+      | Some [ h; dh; m; e; c; w ] ->
+        Ok
+          { st_hits = h; st_disk_hits = dh; st_misses = m; st_evictions = e;
+            st_corrupted = c; st_writes = w }
+      | _ -> Error "checkpoint.store: expected 6 counters"
+    in
+    Ok
+      (Checkpoint
+         { ck_guard = g; ck_failures = failures; ck_breakers = breakers;
+           ck_store = s })
   | "final" ->
     let* found = require "found" (get_bool j "found") in
     let* iterations = require "iterations" (get_int j "iterations") in
@@ -496,12 +694,71 @@ let of_string content =
     in
     go 2 [] records
 
-let load path =
+let read_file path =
   match
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | content -> of_string content
+  | content -> Ok content
   | exception Sys_error e -> Error e
+
+let load path =
+  let* content = read_file path in
+  of_string content
+
+(* {2 Salvage of a killed run's journal}
+
+   Unlike {!of_string} (strict: canonical files must be perfect), the
+   recovery reader accepts what a SIGKILL leaves behind: meta lines
+   ("type" objects — the header plus resume markers) are skipped and
+   counted, and a malformed *final* line is dropped as the torn tail.
+   Corruption anywhere earlier still rejects — a journal whose middle
+   is damaged cannot be trusted as a replay source. *)
+
+type recovery = {
+  r_events : event list;
+  r_truncated : bool;  (* the last line was torn and dropped *)
+  r_markers : int;  (* resume markers seen (prior resumes) *)
+}
+
+let recover_string content =
+  let lines =
+    String.split_on_char '\n' content
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "empty journal"
+  | header :: records ->
+    let* () = check_header header in
+    let markers = ref 0 in
+    let rec go lineno acc = function
+      | [] -> Ok { r_events = List.rev acc; r_truncated = false;
+                   r_markers = !markers }
+      | line :: rest -> (
+        let last = rest = [] in
+        let torn e =
+          if last then
+            Ok { r_events = List.rev acc; r_truncated = true;
+                 r_markers = !markers }
+          else Error (Printf.sprintf "line %d: %s" lineno e)
+        in
+        match Json.parse line with
+        | Error e -> torn e
+        | Ok j -> (
+          match get_str j "type" with
+          | Some _ ->
+            (* meta line (resume marker); skip *)
+            incr markers;
+            go (lineno + 1) acc rest
+          | None -> (
+            match parse_event j with
+            | Ok e -> go (lineno + 1) (e :: acc) rest
+            | Error e -> torn e)))
+    in
+    go 2 [] records
+
+let recover_file path =
+  let* content = read_file path in
+  recover_string content

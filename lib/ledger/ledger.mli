@@ -61,6 +61,45 @@ type slice_entry = {
   s_dist : int;
 }
 
+(** {2 Checkpoints (schema v2)}
+
+    The resumable state written after every batch: cumulative guard
+    counters, the full failure journal (as {!Exom_core.Guard.failure_code}
+    strings), every materialized circuit breaker, cumulative store
+    counters.  Everything here is deterministic (merged in submission
+    order upstream), so checkpoints preserve the -j byte-identity
+    contract; the cumulative form means the {e last} replayed checkpoint
+    alone restores a resumed session. *)
+
+type guard_counts = {
+  g_completed : int;
+  g_aborted : int;
+  g_retried : int;
+  g_deadline_expired : int;
+  g_breaker_trips : int;
+  g_breaker_skips : int;
+  g_captured : int;
+  g_quarantined : int;
+}
+
+type breaker_info = { b_sid : int; b_consecutive : int; b_opened : bool }
+
+type store_counts = {
+  st_hits : int;
+  st_disk_hits : int;
+  st_misses : int;
+  st_evictions : int;
+  st_corrupted : int;
+  st_writes : int;
+}
+
+type checkpoint = {
+  ck_guard : guard_counts;
+  ck_failures : (int * string) list;  (** (sid, failure code), oldest first *)
+  ck_breakers : breaker_info list;  (** sorted by sid *)
+  ck_store : store_counts;
+}
+
 type event =
   | Session of {
       wrong : inst;
@@ -93,6 +132,8 @@ type event =
       runs : int;  (** switched runs dispatched by this batch *)
       total_runs : int;  (** cumulative verify.run count (registry) *)
     }
+  | Checkpoint of checkpoint
+      (** emitted right after each [Batch]: the state a resume needs *)
   | Final of {
       found : bool;
       iterations : int;
@@ -158,6 +199,13 @@ val batch :
   t -> queries:int -> unique:int -> cache_hits:int -> runs:int ->
   total_runs:int -> unit
 
+val checkpoint : t -> checkpoint -> unit
+
+(** Re-emit a recovered event verbatim (resume replay).  Bypasses the
+    slice-delta bookkeeping — use only for Verify/Batch/Checkpoint
+    events; the resumed demand loop re-emits everything else live. *)
+val append : t -> event -> unit
+
 val final :
   t ->
   found:bool ->
@@ -175,7 +223,44 @@ val final :
 
 val string_of_events : event list -> string
 val to_string : t -> string
+
+(** Crash-consistent canonical write: the serialization goes to a temp
+    file first and is renamed into place, so a kill mid-write leaves
+    either the old file or the new one, never a torn hybrid.  Detach an
+    attached journal on the same path ({!close_journal}) first. *)
 val write : string -> t -> unit
+
+(** {2 The write-ahead journal}
+
+    [attach_journal t path] opens [path] (truncating) and from then on
+    every appended event is also written to it as one JSONL line,
+    flushed per event — a kill loses at most the torn tail of one line.
+    Any events already in [t] are written immediately (the replayed
+    prefix of a resume).  {!sync} additionally [fsync]s — the demand
+    loop calls it at iteration boundaries, making each completed
+    iteration durable.  The journal is what {!recover_string} salvages
+    after a crash; a run that completes normally overwrites it with the
+    canonical {!write} (byte-identical at every [-j], markers and all
+    torn debris gone). *)
+
+val attach_journal : t -> string -> unit
+
+(** The attached journal's path, if any. *)
+val journal_path : t -> string option
+
+(** Write the explicit resume meta line
+    [{"type":"resume","replayed":N,"truncated":bool}] to the journal:
+    the durable record that this run is a resumed continuation and
+    whether its predecessor's tail was torn.  Meta lines are skipped by
+    {!recover_string} and never enter {!events}.  No-op without a
+    journal. *)
+val resume_marker : t -> replayed:int -> truncated:bool -> unit
+
+(** Flush and [fsync] the journal (no-op without one). *)
+val sync : t -> unit
+
+(** Flush and close the journal; further appends are in-memory only. *)
+val close_journal : t -> unit
 
 (** Quick sniff: does [content]'s first line carry this schema (any
     version)?  Lets the CLI distinguish a ledger from an MCL source. *)
@@ -187,3 +272,19 @@ val is_ledger : string -> bool
 val of_string : string -> (event list, string) result
 
 val load : string -> (event list, string) result
+
+(** {2 Salvage of a killed run's journal} *)
+
+type recovery = {
+  r_events : event list;
+  r_truncated : bool;  (** the last line was torn and dropped *)
+  r_markers : int;  (** resume meta lines seen (prior resumes) *)
+}
+
+(** Tolerant reader for resume: skips meta lines and drops a malformed
+    {e final} line as the torn tail ([r_truncated]).  Corruption
+    anywhere earlier still rejects — a journal with a damaged middle
+    cannot be trusted as a replay source. *)
+val recover_string : string -> (recovery, string) result
+
+val recover_file : string -> (recovery, string) result

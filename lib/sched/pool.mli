@@ -1,4 +1,5 @@
-(** A fixed-size OCaml 5 domain pool with a shared work queue.
+(** A fixed-size OCaml 5 domain pool with a shared work queue and a
+    supervisor.
 
     [jobs] is the total degree of parallelism: the coordinator thread
     participates in draining the queue during {!run}, so a pool of
@@ -8,23 +9,54 @@
     determinism guarantee.
 
     Tasks are expected not to raise (see {!Batch}, which captures
-    exceptions into result slots); an exception that escapes a task is
-    swallowed so it cannot kill a pool domain. *)
+    ordinary exceptions into result slots).  An exception that escapes
+    a task anyway — by design only the {e fatal} kind that models
+    worker-domain death, e.g. [Exom_interp.Chaos.Killed_worker] — kills
+    the executing domain.  The supervisor (the coordinator, inside
+    {!run}) then adopts the orphaned task, requeues it on the surviving
+    workers, and respawns replacement domains while the [respawn_budget]
+    lasts; past the budget the pool degrades gracefully toward [-j1]
+    (the coordinator always keeps draining).  A task that has raised
+    [max_task_raises] times is dropped — {!Batch} quarantines such a
+    task one raise earlier, so for batch-planned work the drop is a
+    backstop, never the outcome.  The raise/retry discipline is
+    identical on the inline paths, so a task's fate is independent of
+    the job count. *)
 
 type t
 
+(** Raises a task may burn before the pool abandons it. *)
+val max_task_raises : int
+
 (** [create ~jobs ()] — [jobs = 0] means [Domain.recommended_domain_count ()];
-    defaults to 1 (inline execution, no domains). *)
-val create : ?jobs:int -> unit -> t
+    defaults to 1 (inline execution, no domains).  [respawn_budget]
+    bounds how many replacement domains the pool may spawn over its
+    lifetime (default [4 * jobs]). *)
+val create : ?jobs:int -> ?respawn_budget:int -> unit -> t
 
 val jobs : t -> int
+
+(** Supervisor counters (a snapshot).  [kills] counts task raises on
+    every execution path identically — it is deterministic across job
+    counts; [respawns], [dropped] and [degraded] describe this pool's
+    actual domain churn ([respawns] is 0 on inline paths, where there is
+    no domain to lose). *)
+type supervision = {
+  mutable kills : int;  (** tasks that took their executor down *)
+  mutable respawns : int;  (** replacement domains spawned *)
+  mutable dropped : int;  (** tasks abandoned after {!max_task_raises} *)
+  mutable degraded : bool;  (** respawn budget ran out at least once *)
+}
+
+val supervision : t -> supervision
 
 (** Run every task to completion (blocking).  Tasks may execute on any
     domain and in any order; completion of all of them is the only
     guarantee.  Not reentrant: do not call [run] from inside a task.
     With [obs], records the submitted batch size ([pool.tasks] counter,
-    [pool.queue_depth] high-water gauge) — identically on every
-    execution path, so the metric tree is independent of [jobs]. *)
+    [pool.queue_depth] high-water gauge) and the deterministic kill
+    count of the drain ([pool.kills]) — identically on every execution
+    path, so the metric tree is independent of [jobs]. *)
 val run : ?obs:Exom_obs.Obs.t -> t -> (unit -> unit) list -> unit
 
 (** Stop the workers and join their domains.  Idempotent.  [run] after

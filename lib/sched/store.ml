@@ -209,7 +209,7 @@ let disk_find t key =
         None
     end
 
-let disk_add t key value =
+let disk_write t key value =
   match t.dir with
   | None -> ()
   | Some dir ->
@@ -223,7 +223,13 @@ let disk_add t key value =
       (fun () ->
         Printf.fprintf oc "%s\n%s\n%d\n%s" header key (String.length value)
           value);
-    Sys.rename tmp path;
+    Sys.rename tmp path
+
+let disk_add t key value =
+  match t.dir with
+  | None -> ()
+  | Some _ ->
+    disk_write t key value;
     t.stats.writes <- t.stats.writes + 1;
     count t "writes"
 
@@ -255,3 +261,33 @@ let find t key = Option.map fst (find_tier t key)
 let add t ~key value =
   insert_mem t key value;
   disk_add t key value
+
+(* Resume support: re-populate the store from a replayed ledger without
+   touching any counter — the uninterrupted run's counts are restored
+   wholesale from the last checkpoint instead, so seeding must be
+   invisible to the books. *)
+let seed t ~key value =
+  insert_mem t key value;
+  disk_write t key value
+
+let restore_stats t (s : stats) =
+  let d = t.stats in
+  let bump name v0 v1 =
+    (* mirror the jump into the metrics registry, like live increments *)
+    if v1 <> v0 then
+      match t.obs with
+      | None -> ()
+      | Some obs -> Exom_obs.Obs.add obs ("store." ^ name) (v1 - v0)
+  in
+  bump "hits" d.hits s.hits;
+  bump "disk_hits" d.disk_hits s.disk_hits;
+  bump "misses" d.misses s.misses;
+  bump "evictions" d.evictions s.evictions;
+  bump "corrupted" d.corrupted s.corrupted;
+  bump "writes" d.writes s.writes;
+  d.hits <- s.hits;
+  d.disk_hits <- s.disk_hits;
+  d.misses <- s.misses;
+  d.evictions <- s.evictions;
+  d.corrupted <- s.corrupted;
+  d.writes <- s.writes

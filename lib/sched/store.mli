@@ -49,6 +49,18 @@ val find_tier : t -> string -> (string * [ `Mem | `Disk ]) option
 
 val add : t -> key:string -> string -> unit
 
+(** {2 Crash-safe resume support} *)
+
+(** Like {!add}, but invisible to the books: no counter moves and no
+    metric is mirrored.  Used when a resumed run re-populates the store
+    from a replayed ledger — the uninterrupted run's counts are
+    restored wholesale with {!restore_stats} instead. *)
+val seed : t -> key:string -> string -> unit
+
+(** Overwrite the live counters (and mirror the jumps into the metrics
+    registry, like live increments would have). *)
+val restore_stats : t -> stats -> unit
+
 (** Entries currently held in the in-memory front. *)
 val mem_size : t -> int
 

@@ -621,6 +621,39 @@ let test_chaos_exception_contained () =
   Alcotest.(check int) "accounted" (Session.verifications session)
     (g.Guard.completed + g.Guard.aborted)
 
+let test_chaos_worker_kill_quarantined () =
+  (* a fatal Killed_worker escapes every containment layer by design;
+     the batch planner quarantines the task after it kills three
+     consecutive executors, and the verifier records the quarantine in
+     the Guard accounting instead of raising *)
+  let prog, session =
+    gzip_session_with
+      ~chaos:{ Chaos.seed = 0; fault = Chaos.Kill_worker 1 }
+      ()
+  in
+  let t = session.Session.trace in
+  let p = instance_of t ~sid:(sid_on_line prog l_if_flags) ~occ:1 in
+  let u = instance_of t ~sid:(sid_on_line prog l_store_flags) ~occ:1 in
+  Alcotest.(check string) "quarantine degrades to NOT_ID" "NOT_ID"
+    (Verdict.to_string (Verify.verify session ~p ~u));
+  let g = stats_of session in
+  Alcotest.(check int) "quarantined counted" 1 g.Guard.quarantined;
+  (* the dead attempts' runs are discarded wholesale, so the accounting
+     identity is unperturbed: nothing completed, nothing aborted,
+     nothing charged *)
+  Alcotest.(check int) "accounted" (Session.verifications session)
+    (g.Guard.completed + g.Guard.aborted);
+  (match Guard.failures session.Session.guard with
+  | [ (sid, Guard.Worker_quarantined kills) ] ->
+    Alcotest.(check int) "journaled against the predicate"
+      (sid_on_line prog l_if_flags) sid;
+    Alcotest.(check int) "after three kills" 3 kills
+  | fs -> Alcotest.failf "unexpected journal (%d entries)" (List.length fs));
+  (* the quarantined verdict is an artifact of this run's hostility —
+     it must never be persisted for a warm rerun to trust *)
+  Alcotest.(check int) "nothing persisted" 0
+    (Exom_sched.Store.mem_size session.Session.store)
+
 let test_breaker_opens_and_skips () =
   (* two consecutive aborts of the same static predicate open its
      breaker; the third verification is skipped without a re-execution *)
@@ -882,6 +915,7 @@ let () =
       ( "resilience",
         [ tc "injected crash degrades" test_chaos_crash_degrades;
           tc "injected exception contained" test_chaos_exception_contained;
+          tc "worker kill quarantined" test_chaos_worker_kill_quarantined;
           tc "circuit breaker opens and skips" test_breaker_opens_and_skips;
           tc "escalation rescues a tight budget"
             test_escalation_rescues_tight_budget;

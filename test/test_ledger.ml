@@ -106,6 +106,155 @@ let test_jobs_determinism () =
   Alcotest.(check string) "ledgers byte-identical at -j1 and -j4"
     (Ledger.to_string l1) (Ledger.to_string l4)
 
+(* {2 Checkpoints, journal, crash recovery} *)
+
+let temp_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "exom_ledger_test_%d_%d" (Unix.getpid ()) !n)
+
+let with_temp_path f =
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_checkpoint_events () =
+  (* every verification batch is chased by its checkpoint, and the
+     checkpoint codec round-trips through the textual form *)
+  let ledger, _ = Lazy.force gzip_ledger in
+  let events = Ledger.events ledger in
+  let checkpoints =
+    List.filter_map
+      (function Ledger.Checkpoint c -> Some c | _ -> None)
+      events
+  in
+  let batches =
+    List.length
+      (List.filter (function Ledger.Batch _ -> true | _ -> false) events)
+  in
+  Alcotest.(check bool) "fixture has checkpoints" true (checkpoints <> []);
+  Alcotest.(check int) "one checkpoint per batch" batches
+    (List.length checkpoints);
+  let reread =
+    match Ledger.of_string (Ledger.string_of_events events) with
+    | Ok evs -> evs
+    | Error e -> Alcotest.fail e
+  in
+  let reread_cks =
+    List.filter_map
+      (function Ledger.Checkpoint c -> Some c | _ -> None)
+      reread
+  in
+  Alcotest.(check bool) "checkpoints round-trip structurally" true
+    (checkpoints = reread_cks);
+  (* the last checkpoint carries the run's cumulative verification
+     count: enough on its own to restore the resumable state *)
+  let last = List.nth checkpoints (List.length checkpoints - 1) in
+  let g = last.Ledger.ck_guard in
+  Alcotest.(check bool) "cumulative counts" true
+    (g.Ledger.g_completed + g.Ledger.g_aborted > 0)
+
+let test_recover_torn_tail () =
+  let ledger, _ = Lazy.force gzip_ledger in
+  let s = Ledger.to_string ledger in
+  let n_events = List.length (Ledger.events ledger) in
+  (* an intact journal recovers whole *)
+  (match Ledger.recover_string s with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    Alcotest.(check int) "all events salvaged" n_events
+      (List.length r.Ledger.r_events);
+    Alcotest.(check bool) "not truncated" false r.Ledger.r_truncated);
+  (* a torn final line — the crash left half a JSON object — is dropped,
+     everything before it salvaged *)
+  let torn = String.sub s 0 (String.length s - 7) in
+  (match Ledger.recover_string torn with
+  | Error e -> Alcotest.fail ("torn tail not tolerated: " ^ e)
+  | Ok r ->
+    Alcotest.(check int) "all but the torn line" (n_events - 1)
+      (List.length r.Ledger.r_events);
+    Alcotest.(check bool) "truncation reported" true r.Ledger.r_truncated);
+  (* strict of_string still refuses the same bytes *)
+  match Ledger.of_string torn with
+  | Ok _ -> Alcotest.fail "strict reader accepted a torn ledger"
+  | Error _ -> ()
+
+let test_recover_rejects_midfile_corruption () =
+  (* tolerance is for the tail only: damage anywhere earlier means the
+     journal cannot be trusted, torn tail or not *)
+  let ledger, _ = Lazy.force gzip_ledger in
+  let lines = String.split_on_char '\n' (Ledger.to_string ledger) in
+  let mangled =
+    String.concat "\n"
+      (List.mapi (fun j l -> if j = 2 then "{\"ev\":\"sess" else l) lines)
+  in
+  match Ledger.recover_string mangled with
+  | Ok _ -> Alcotest.fail "mid-file corruption accepted"
+  | Error e ->
+    Alcotest.(check bool) "error is located" true (contains e "line")
+
+let test_atomic_write () =
+  (* Ledger.write goes through a same-directory temp file and rename:
+     the destination is either the old content or the new, never a
+     prefix — and no temp droppings survive *)
+  with_temp_path (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "previous generation";
+      close_out oc;
+      let ledger, _ = Lazy.force gzip_ledger in
+      Ledger.write path ledger;
+      Alcotest.(check string) "destination is the full new content"
+        (Ledger.to_string ledger) (read_file path);
+      let dir = Filename.dirname path and base = Filename.basename path in
+      let droppings =
+        Array.to_list (Sys.readdir dir)
+        |> List.filter (fun f ->
+               f <> base
+               && String.length f >= String.length base
+               && String.sub f 0 (String.length base) = base)
+      in
+      Alcotest.(check (list string)) "no temp file left behind" [] droppings)
+
+let test_journal_and_resume_marker () =
+  (* the write-ahead journal reproduces the canonical serialization,
+     and resume markers are meta lines: counted by the tolerant reader,
+     invisible to the event stream *)
+  with_temp_path (fun path ->
+      let ledger, _ = Lazy.force gzip_ledger in
+      Ledger.attach_journal ledger path;
+      Alcotest.(check (option string)) "journal attached" (Some path)
+        (Ledger.journal_path ledger);
+      Ledger.resume_marker ledger ~replayed:7 ~truncated:true;
+      Ledger.sync ledger;
+      Ledger.close_journal ledger;
+      (match Ledger.recover_file path with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+        Alcotest.(check int) "events journaled verbatim"
+          (List.length (Ledger.events ledger))
+          (List.length r.Ledger.r_events);
+        Alcotest.(check int) "marker counted" 1 r.Ledger.r_markers;
+        Alcotest.(check bool) "marker is not an event truncation" false
+          r.Ledger.r_truncated);
+      (* the journal minus its marker line is the canonical form *)
+      let journal_lines =
+        String.split_on_char '\n' (read_file path)
+        |> List.filter (fun l -> not (contains l "\"type\":\"resume\""))
+      in
+      Alcotest.(check string) "journal = canonical serialization"
+        (Ledger.to_string ledger)
+        (String.concat "\n" journal_lines))
+
 (* {2 Explain} *)
 
 let explain_names_root name fid =
@@ -138,6 +287,8 @@ let explain_names_root name fid =
 
 let test_explain_gzip () = explain_names_root "gzipsim" "V2-F3"
 let test_explain_grep () = explain_names_root "grepsim" "V4-F2"
+let test_explain_flex () = explain_names_root "flexsim" "V1-F9"
+let test_explain_sed () = explain_names_root "sedsim" "V3-F2"
 
 (* {2 Perf snapshots} *)
 
@@ -241,12 +392,28 @@ let () =
           Alcotest.test_case "-j1 vs -j4 byte-identical" `Quick
             test_jobs_determinism;
         ] );
+      ( "crash safety",
+        [
+          Alcotest.test_case "checkpoint per batch, codec round-trip" `Quick
+            test_checkpoint_events;
+          Alcotest.test_case "torn tail tolerated" `Quick
+            test_recover_torn_tail;
+          Alcotest.test_case "mid-file corruption rejected" `Quick
+            test_recover_rejects_midfile_corruption;
+          Alcotest.test_case "atomic write" `Quick test_atomic_write;
+          Alcotest.test_case "journal and resume marker" `Quick
+            test_journal_and_resume_marker;
+        ] );
       ( "explain",
         [
           Alcotest.test_case "gzipsim V2-F3 names the root" `Quick
             test_explain_gzip;
           Alcotest.test_case "grepsim V4-F2 names the root" `Quick
             test_explain_grep;
+          Alcotest.test_case "flexsim V1-F9 names the root" `Quick
+            test_explain_flex;
+          Alcotest.test_case "sedsim V3-F2 names the root" `Quick
+            test_explain_sed;
         ] );
       ( "perf",
         [

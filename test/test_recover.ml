@@ -1,0 +1,261 @@
+(* Crash determinism: a journaled localization killed at an iteration
+   boundary, mid-batch, or mid-line resumes — via Recover.plan_of_file
+   and Session replay priming — to a final ledger byte-identical to the
+   uninterrupted run's, at -j1 and -j4 alike, re-verifying only the
+   work the killed run never checkpointed. *)
+
+module B = Exom_bench.Bench_types
+module Suite = Exom_bench.Suite
+module Typecheck = Exom_lang.Typecheck
+module Demand = Exom_core.Demand
+module Oracle = Exom_core.Oracle
+module Session = Exom_core.Session
+module Recover = Exom_core.Recover
+module Slice = Exom_ddg.Slice
+module Pool = Exom_sched.Pool
+module Ledger = Exom_ledger.Ledger
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let cleanup = ref []
+
+let fresh_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let p =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "exom_recover_test_%d_%d" (Unix.getpid ()) !n)
+    in
+    cleanup := p :: !cleanup;
+    p
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+(* The fixture: gzipsim V2-F3, the suite's journal-heaviest locate with
+   switched-run dedup.  Build everything a localization session needs,
+   the way the runner does. *)
+let fixture =
+  lazy
+    (let bench = Option.get (Suite.find "gzipsim") in
+     let fault = Option.get (Suite.find_fault bench "V2-F3") in
+     let faulty = Typecheck.parse_and_check (B.faulty_source bench fault) in
+     let correct = Typecheck.parse_and_check bench.B.source in
+     let input = fault.B.failing_input in
+     let expected = Oracle.expected ~correct_prog:correct ~input in
+     (bench, fault, faulty, correct, input, expected))
+
+(* One localization with a write-ahead journal at [path].  With [plan],
+   the session is primed to replay it (the real --resume flow: match
+   the journal against the session, prime, mark the new journal as a
+   resumed continuation). *)
+let journaled_run ?plan ~jobs path =
+  let bench, fault, faulty, correct, input, expected = Lazy.force fixture in
+  let ledger = Ledger.create () in
+  let session =
+    Session.create ~ledger ~prog:faulty ~input ~expected
+      ~profile_inputs:bench.B.test_inputs ()
+  in
+  (match plan with
+  | None -> ()
+  | Some p ->
+    Alcotest.(check bool) "plan matches the session" true
+      (Recover.matches_session p session);
+    Recover.prime session p);
+  Ledger.attach_journal ledger path;
+  (match plan with
+  | None -> ()
+  | Some p ->
+    Ledger.resume_marker ledger ~replayed:p.Recover.salvaged_events
+      ~truncated:p.Recover.truncated);
+  let oracle =
+    Oracle.create ~faulty_trace:session.Session.trace ~correct_prog:correct
+      ~input
+  in
+  let root_sids = B.root_sids bench fault faulty in
+  let pool = Pool.create ~jobs () in
+  let report = Demand.locate ~pool session ~oracle ~root_sids in
+  Pool.shutdown pool;
+  Ledger.close_journal ledger;
+  (Ledger.to_string ledger, report)
+
+(* Everything a resumed run must reproduce — including the robustness
+   accounting and cumulative run counts restored from the checkpoint. *)
+let report_sig (r : Demand.report) =
+  ( r.Demand.found, r.Demand.user_prunings, r.Demand.total_prunings,
+    r.Demand.iterations, r.Demand.expanded_edges, r.Demand.implicit_edges,
+    r.Demand.benign, Slice.sids r.Demand.ips, Slice.sids r.Demand.ds,
+    Slice.sids r.Demand.ps0, r.Demand.os_chain, r.Demand.verifications,
+    r.Demand.verify_queries, r.Demand.robustness, r.Demand.failures )
+
+let baseline_path = lazy (fresh_path ())
+let baseline = lazy (journaled_run ~jobs:1 (Lazy.force baseline_path))
+
+let baseline_plan () =
+  ignore (Lazy.force baseline);
+  match Recover.plan_of_file (Lazy.force baseline_path) with
+  | Ok p -> p
+  | Error e -> Alcotest.fail ("baseline journal unreadable: " ^ e)
+
+(* Kill points: every checkpoint boundary (the journal as an fsynced
+   iteration leaves it), one mid-batch cut (in-flight Verify events,
+   no closing Batch/Checkpoint), and one torn final line. *)
+let kill_variants journal =
+  let lines =
+    match List.rev (String.split_on_char '\n' journal) with
+    | "" :: r -> List.rev r
+    | r -> List.rev r
+  in
+  let prefix k =
+    String.concat "\n" (List.filteri (fun i _ -> i < k) lines) ^ "\n"
+  in
+  let indices_of tag =
+    let found = ref [] in
+    List.iteri
+      (fun i l ->
+        if contains l ("\"ev\":\"" ^ tag ^ "\"") then found := i :: !found)
+      lines;
+    List.rev !found
+  in
+  let checkpoints = indices_of "checkpoint" in
+  let verifies = indices_of "verify" in
+  Alcotest.(check bool) "fixture journals checkpoints" true (checkpoints <> []);
+  Alcotest.(check bool) "fixture journals verifies" true (verifies <> []);
+  let boundary_cuts =
+    List.map (fun i -> ("checkpoint boundary", prefix (i + 1))) checkpoints
+  in
+  (* cut just past the last Verify line: its batch is in flight *)
+  let mid_batch =
+    let last_v = List.nth verifies (List.length verifies - 1) in
+    ("mid-batch", prefix (last_v + 1))
+  in
+  (* tear the journal's final line mid-JSON *)
+  let torn =
+    let s = prefix (List.length lines) in
+    ("torn line", String.sub s 0 (String.length s - 9))
+  in
+  boundary_cuts @ [ mid_batch; torn ]
+
+let test_resume_byte_identical () =
+  let full_ledger, full_report = Lazy.force baseline in
+  let journal = read_file (Lazy.force baseline_path) in
+  List.iter
+    (fun (label, content) ->
+      let killed = fresh_path () in
+      write_file killed content;
+      let plan =
+        match Recover.plan_of_file killed with
+        | Ok p -> p
+        | Error e -> Alcotest.failf "%s: no plan: %s" label e
+      in
+      Alcotest.(check bool)
+        (label ^ ": interrupted journal is not complete")
+        false plan.Recover.complete;
+      List.iter
+        (fun jobs ->
+          let ledger, report = journaled_run ~plan ~jobs (fresh_path ()) in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: resumed ledger byte-identical (-j%d)" label
+               jobs)
+            full_ledger ledger;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: resumed report identical (-j%d)" label jobs)
+            true
+            (report_sig report = report_sig full_report))
+        [ 1; 4 ])
+    (kill_variants journal)
+
+let test_resume_accounting () =
+  (* a boundary-killed run's plan salvages whole batches; the resumed
+     run restores — rather than re-charges — their cumulative
+     verification count *)
+  let _, full_report = Lazy.force baseline in
+  let journal = read_file (Lazy.force baseline_path) in
+  match kill_variants journal with
+  | (_, first_boundary) :: _ ->
+    let killed = fresh_path () in
+    write_file killed first_boundary;
+    let plan = Result.get_ok (Recover.plan_of_file killed) in
+    Alcotest.(check int) "one batch replayable" 1 plan.Recover.replayed_batches;
+    Alcotest.(check bool) "verifications salvaged" true
+      (plan.Recover.replayed_verifications > 0);
+    Alcotest.(check int) "nothing dropped at a boundary" 0
+      plan.Recover.dropped_events;
+    let _, report = journaled_run ~plan ~jobs:1 (fresh_path ()) in
+    Alcotest.(check int) "cumulative verifications preserved"
+      full_report.Demand.verifications report.Demand.verifications
+  | [] -> Alcotest.fail "no kill variants"
+
+let test_complete_journal_resumes_to_itself () =
+  (* resuming a run that actually finished replays every batch from the
+     journal and still reproduces the ledger byte for byte *)
+  let full_ledger, full_report = Lazy.force baseline in
+  let plan = baseline_plan () in
+  Alcotest.(check bool) "plan is complete" true plan.Recover.complete;
+  Alcotest.(check int) "nothing in flight" 0 plan.Recover.dropped_events;
+  let ledger, report = journaled_run ~plan ~jobs:1 (fresh_path ()) in
+  Alcotest.(check string) "identical ledger" full_ledger ledger;
+  Alcotest.(check bool) "identical report" true
+    (report_sig report = report_sig full_report)
+
+let test_foreign_journal_rejected () =
+  (* a journal from a different program/input must not prime a session *)
+  let other_bench = Option.get (Suite.find "sedsim") in
+  let other_fault = Option.get (Suite.find_fault other_bench "V3-F2") in
+  let other_prog =
+    Typecheck.parse_and_check (B.faulty_source other_bench other_fault)
+  in
+  let other_input = other_fault.B.failing_input in
+  let other_correct = Typecheck.parse_and_check other_bench.B.source in
+  let other_expected =
+    Oracle.expected ~correct_prog:other_correct ~input:other_input
+  in
+  let other_session =
+    Session.create ~prog:other_prog ~input:other_input
+      ~expected:other_expected ~profile_inputs:other_bench.B.test_inputs ()
+  in
+  let plan = baseline_plan () in
+  Alcotest.(check bool) "foreign session rejected" false
+    (Recover.matches_session plan other_session)
+
+let test_describe () =
+  let plan = baseline_plan () in
+  let out = Recover.describe plan in
+  Alcotest.(check bool) "counts the salvage" true
+    (contains out "salvaged events:");
+  Alcotest.(check bool) "reports completion" true
+    (contains out "complete (Final event present)")
+
+let () =
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> if Sys.file_exists p then Sys.remove p) !cleanup)
+    (fun () ->
+      Alcotest.run "recover"
+        [
+          ( "resume",
+            [
+              Alcotest.test_case "kill points resume byte-identical" `Quick
+                test_resume_byte_identical;
+              Alcotest.test_case "replayed work is not re-charged" `Quick
+                test_resume_accounting;
+              Alcotest.test_case "complete journal replays entirely" `Quick
+                test_complete_journal_resumes_to_itself;
+              Alcotest.test_case "foreign journal rejected" `Quick
+                test_foreign_journal_rejected;
+              Alcotest.test_case "salvage description" `Quick test_describe;
+            ] );
+        ])

@@ -245,6 +245,131 @@ let test_verify_accounting () =
   Alcotest.(check int) "absorb keeps counters" 5
     (Metrics.counter_value into "verify.queries")
 
+(* {2 Supervision: worker death, quarantine, degraded pools} *)
+
+module Chaos = Exom_interp.Chaos
+
+let kill () = raise (Chaos.Killed_worker "test")
+
+(* A task that kills every executor it lands on is quarantined after
+   [default_quarantine_after] consecutive kills — identically at -j1
+   (inline retries) and -j4 (real domain deaths) — while every other
+   task still completes in its slot. *)
+let test_quarantine_j_invariant () =
+  let outcome jobs =
+    let p = Pool.create ~jobs () in
+    let tasks =
+      List.init 9 (fun i () -> if i = 4 then kill () else i * 10)
+    in
+    let results = Batch.run_tasks ~fatal:Chaos.is_fatal p tasks in
+    let sup = Pool.supervision p in
+    Pool.shutdown p;
+    (results, sup.Pool.kills, sup.Pool.dropped)
+  in
+  let check jobs =
+    let results, kills, dropped = outcome jobs in
+    List.iteri
+      (fun i r ->
+        match r with
+        | Ok v -> Alcotest.(check int) "healthy slot" (i * 10) v
+        | Error (Batch.Quarantined k) ->
+          Alcotest.(check int) "only the killer slot" 4 i;
+          Alcotest.(check int) "quarantined at the threshold"
+            Batch.default_quarantine_after k
+        | Error e -> raise e)
+      results;
+    (* the final raise is contained by the quarantine, so the pool sees
+       one executor kill fewer than the slot's raise count *)
+    Alcotest.(check int)
+      (Printf.sprintf "kill count deterministic at -j%d" jobs)
+      (Batch.default_quarantine_after - 1)
+      kills;
+    Alcotest.(check int) "quarantine preempts the pool's drop" 0 dropped;
+    (results, kills)
+  in
+  Alcotest.(check bool)
+    "-j1 and -j4 agree on every slot" true
+    (check 1 = check 4)
+
+(* A transient killer — takes one executor down, then succeeds on the
+   requeued attempt.  The supervisor adopts the orphan; the task ends
+   [Ok], not quarantined. *)
+let test_transient_kill_recovers () =
+  List.iter
+    (fun jobs ->
+      let p = Pool.create ~jobs () in
+      let first = Atomic.make true in
+      let tasks =
+        List.init 6 (fun i () ->
+            if i = 2 && Atomic.exchange first false then kill () else i)
+      in
+      let results = Batch.run_tasks ~fatal:Chaos.is_fatal p tasks in
+      List.iteri
+        (fun i r ->
+          match r with
+          | Ok v ->
+            Alcotest.(check int)
+              (Printf.sprintf "slot %d recovered (-j%d)" i jobs)
+              i v
+          | Error e -> raise e)
+        results;
+      Alcotest.(check int) "one kill recorded" 1 (Pool.supervision p).Pool.kills;
+      Pool.shutdown p)
+    [ 1; 4 ]
+
+(* With a zero respawn budget the pool cannot replace dead domains: it
+   degrades toward the coordinator draining alone — but still completes
+   every task and flags the degradation.  A rendezvous barrier forces
+   all four executors (coordinator + 3 workers) to hold a task at once;
+   the three on worker domains then die, so the degradation is not at
+   the mercy of which executor happened to pick the killer up. *)
+let test_degraded_pool_completes () =
+  let p = Pool.create ~jobs:4 ~respawn_budget:0 () in
+  let coord = Domain.self () in
+  let arrived = Atomic.make 0 in
+  let tasks =
+    List.init 4 (fun i () ->
+        Atomic.incr arrived;
+        while Atomic.get arrived < 4 do
+          Domain.cpu_relax ()
+        done;
+        (* requeued orphans land on the coordinator, which survives *)
+        if Domain.self () <> coord then kill ();
+        i)
+  in
+  let results = Batch.run_tasks ~fatal:Chaos.is_fatal p tasks in
+  let sup = Pool.supervision p in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> Alcotest.(check int) "completed despite the kills" i v
+      | Error e -> raise e)
+    results;
+  Alcotest.(check int) "three workers died" 3 sup.Pool.kills;
+  Alcotest.(check int) "no respawns without budget" 0 sup.Pool.respawns;
+  Alcotest.(check bool) "degradation flagged" true sup.Pool.degraded;
+  Pool.shutdown p
+
+(* The observability contract: pool.kills and pool.quarantined land in
+   the metric tree with the same deterministic values at any -j. *)
+let test_supervision_obs () =
+  let counters jobs =
+    let obs = Exom_obs.Obs.create () in
+    let p = Pool.create ~jobs () in
+    let tasks = List.init 5 (fun i () -> if i = 1 then kill () else i) in
+    ignore (Batch.run_tasks ~obs ~fatal:Chaos.is_fatal p tasks);
+    Pool.shutdown p;
+    let m = Exom_obs.Obs.metrics obs in
+    (Metrics.counter_value m "pool.kills",
+     Metrics.counter_value m "pool.quarantined")
+  in
+  let k1, q1 = counters 1 in
+  Alcotest.(check int) "kills counted"
+    (Batch.default_quarantine_after - 1)
+    k1;
+  Alcotest.(check int) "one quarantined slot" 1 q1;
+  Alcotest.(check bool) "-j4 metrics identical" true ((k1, q1) = counters 4)
+
 (* {2 Determinism: -j1 vs -j4, warm vs cold} *)
 
 let fault_of name fid =
@@ -351,6 +476,16 @@ let () =
           Alcotest.test_case "batch cancellation" `Quick test_batch_cancel;
           Alcotest.test_case "stable grouping" `Quick test_group_by_stable;
           Alcotest.test_case "verify accounting" `Quick test_verify_accounting;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "quarantine is j-invariant" `Quick
+            test_quarantine_j_invariant;
+          Alcotest.test_case "transient kill recovers" `Quick
+            test_transient_kill_recovers;
+          Alcotest.test_case "zero respawn budget degrades gracefully" `Quick
+            test_degraded_pool_completes;
+          Alcotest.test_case "supervision metrics" `Quick test_supervision_obs;
         ] );
       ( "determinism",
         [
