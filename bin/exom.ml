@@ -12,9 +12,14 @@
      dot     Graphviz rendering of the dynamic dependence graph
      regions the execution's region decomposition (Definition 3)
      bench   run one benchmark fault (or, with --all, the whole suite,
-             optionally appending a perf snapshot to a history file)
+             optionally appending a perf snapshot to a history file;
+             --export writes the fault's sources/input for exom client)
      regress compare two bench snapshots and flag metric regressions
-     stats   pretty-print (or --diff) --metrics-out event logs          *)
+     stats   pretty-print (or --diff) --metrics-out event logs
+     serve   localization daemon over a Unix-domain socket (crash-safe:
+             accepted requests survive SIGKILL; --resume replays them)
+     client  send one localization request to a daemon (--stress N for
+             N concurrent clients)                                      *)
 
 module Ast = Exom_lang.Ast
 module Typecheck = Exom_lang.Typecheck
@@ -620,12 +625,35 @@ let recover_cmd =
    confidence analysis (which then needs --correct). *)
 
 let explain_ledger file content dot_out =
-  match Ledger.of_string content with
+  (* Strict parse first (a corrupted ledger must not render); a file
+     that fails it may still be a killed run's journal — resume markers
+     and a torn tail are exactly what the salvage reader tolerates, and
+     what the lineage section of the narrative is for. *)
+  let parsed =
+    match Ledger.of_string content with
+    | Ok events -> Ok (events, None)
+    | Error strict_err -> (
+      match Ledger.recover_string content with
+      | Ok r ->
+        Printf.eprintf
+          "%s: salvaged journal (%d event(s)%s)\n" file
+          (List.length r.Ledger.r_events)
+          (if r.Ledger.r_truncated then ", torn tail dropped" else "");
+        Ok
+          ( r.Ledger.r_events,
+            Some
+              {
+                Lexplain.resumes = r.Ledger.r_markers;
+                torn_tail = r.Ledger.r_truncated;
+              } )
+      | Error _ -> Error strict_err)
+  in
+  match parsed with
   | Error e ->
     Printf.eprintf "%s: %s\n" file e;
     1
-  | Ok events ->
-    print_string (Lexplain.render events);
+  | Ok (events, lineage) ->
+    print_string (Lexplain.render ?lineage events);
     (match dot_out with
     | Some path ->
       write_file path (Lexplain.dot events);
@@ -854,6 +882,10 @@ let bench_suite jobs json_out history label =
     s.Perf.verify_runs s.Perf.verify_seconds s.Perf.interp_runs
     (100.0 *. s.Perf.store_hit_rate)
     s.Perf.wall_seconds;
+  Printf.printf
+    "  warm store: hit rate %.0f%%, %d switched run(s) still dispatched\n"
+    (100.0 *. s.Perf.warm_hit_rate)
+    s.Perf.warm_verify_runs;
   (match json_out with
   | Some path ->
     Perf.write path s;
@@ -866,7 +898,24 @@ let bench_suite jobs json_out history label =
   | None -> ());
   0
 
-let bench_one name fid jobs store_dir trace_out metrics_out ledger_out =
+(* --export: materialize one fault as files so external drivers (the
+   serve-stress CI job, exom client) can feed it back without linking
+   the suite. *)
+let bench_export name fid dir bench fault =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  write_file (Filename.concat dir "faulty.mc") (B.faulty_source bench fault);
+  write_file (Filename.concat dir "correct.mc") bench.B.source;
+  write_file
+    (Filename.concat dir "input.txt")
+    (String.concat " " (List.map string_of_int fault.B.failing_input) ^ "\n");
+  write_file
+    (Filename.concat dir "root_line.txt")
+    (string_of_int (B.fault_line bench fault) ^ "\n");
+  Printf.printf "%s %s exported to %s (faulty.mc correct.mc input.txt root_line.txt)\n"
+    name fid dir;
+  0
+
+let bench_one name fid jobs store_dir trace_out metrics_out ledger_out export =
   match Suite.find name with
     | None ->
       Printf.eprintf "unknown benchmark %s (have: %s)\n" name
@@ -879,6 +928,8 @@ let bench_one name fid jobs store_dir trace_out metrics_out ledger_out =
           (String.concat ", "
              (List.map (fun f -> f.B.fid) bench.B.faults));
         1
+      | Some fault when export <> None ->
+        bench_export name fid (Option.get export) bench fault
       | Some fault ->
         let pool = make_pool jobs in
         let obs = make_obs ~trace_out in
@@ -919,12 +970,13 @@ let bench_one name fid jobs store_dir trace_out metrics_out ledger_out =
 
 let bench_cmd =
   let action name fid all jobs store_dir trace_out metrics_out ledger_out
-      json_out history label =
+      json_out history label export =
     if all then bench_suite jobs json_out history label
     else
       match (name, fid) with
       | Some name, Some fid ->
         bench_one name fid jobs store_dir trace_out metrics_out ledger_out
+          export
       | _ ->
         prerr_endline "exom bench: need BENCH FAULT (or --all for the suite)";
         1
@@ -968,6 +1020,17 @@ let bench_cmd =
       & info [ "label" ] ~docv:"TAG"
           ~doc:"Snapshot label (default: today's date)")
   in
+  let export_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"DIR"
+          ~doc:
+            "Instead of running the fault, write its materials to DIR: \
+             $(b,faulty.mc), $(b,correct.mc), $(b,input.txt) (failing \
+             input as integers) and $(b,root_line.txt) — the files \
+             $(b,exom client) and $(b,exom locate) need to reproduce it")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
@@ -976,7 +1039,7 @@ let bench_cmd =
     Term.(
       const action $ name_arg $ fid_arg $ all_arg $ jobs_arg $ store_arg
       $ trace_out_arg $ metrics_out_arg $ ledger_out_arg $ json_arg
-      $ history_arg $ label_arg)
+      $ history_arg $ label_arg $ export_arg)
 
 (* regress *)
 
@@ -1111,6 +1174,256 @@ let stats_cmd =
       const action $ stats_file_arg $ stats_file2_arg $ diff_arg
       $ no_timings_arg)
 
+(* serve *)
+
+module Serve = Exom_serve.Serve
+module Proto = Exom_serve.Proto
+module Client = Exom_serve.Client
+
+let serve_cmd =
+  let action state socket jobs queue_limit shards lease retries resume =
+    if queue_limit < 1 then begin
+      prerr_endline "exom serve: --queue-limit must be >= 1";
+      1
+    end
+    else if retries < 0 then begin
+      prerr_endline "exom serve: --request-retries must be >= 0";
+      1
+    end
+    else begin
+      let socket_path =
+        match socket with
+        | Some s -> s
+        | None -> Filename.concat state "exom.sock"
+      in
+      let base = Serve.default_config ~socket_path ~state_dir:state in
+      let jobs =
+        match jobs with None -> base.Serve.jobs | Some j -> j
+      in
+      Serve.run
+        {
+          base with
+          Serve.jobs;
+          queue_limit;
+          shards;
+          lease;
+          request_retries = retries;
+          resume;
+        }
+    end
+  in
+  let state_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "state" ] ~docv:"DIR"
+          ~doc:
+            "Daemon state directory (created if missing): accepted \
+             requests, their journaled ledgers and the shared sharded \
+             verdict store live under it, so a killed daemon restarted \
+             with $(b,--resume) replays every in-flight request")
+  in
+  let socket_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket to listen on (default DIR/exom.sock)")
+  in
+  let queue_limit_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Bounded request queue: further locate requests are shed \
+             with an explicit reply instead of growing memory")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int Store.default_shards
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Store partition count for a fresh store directory (an \
+             existing store's manifest wins)")
+  in
+  let lease_arg =
+    Arg.(
+      value & opt float Store.default_lease
+      & info [ "lease" ] ~docv:"SECONDS"
+          ~doc:
+            "Store writer-lock lease: a shard lock older than this is \
+             stolen, so a crashed writer never wedges the cache")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "request-retries" ] ~docv:"N"
+          ~doc:
+            "Re-runs of a request whose localization came back DEGRADED \
+             (transient worker kills), with exponential backoff")
+  in
+  let resume_flag =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay journaled in-flight requests from the state \
+             directory before accepting new ones; each replays to a \
+             ledger byte-identical to an uninterrupted run")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Localization daemon: concurrent requests over a Unix-domain \
+          socket, one shared sharded verdict store, crash-safe journaling")
+    Term.(
+      const action $ state_arg $ socket_opt_arg $ jobs_arg $ queue_limit_arg
+      $ shards_arg $ lease_arg $ retries_arg $ resume_flag)
+
+(* client *)
+
+let client_cmd =
+  let print_served (s : Proto.served) =
+    print_string s.Proto.sv_report;
+    Printf.eprintf "fingerprint %s\nledger %s%s\n" s.Proto.sv_fingerprint
+      s.Proto.sv_ledger
+      (if s.Proto.sv_replayed then " (replayed from journal)" else "")
+  in
+  let action file correct_file input text root_line deadline socket stress ping
+      stats =
+    if ping then begin
+      match Client.request ~socket Proto.Ping with
+      | Ok Proto.Pong ->
+        print_endline "pong";
+        0
+      | Ok _ ->
+        prerr_endline "unexpected reply to ping";
+        1
+      | Error e ->
+        prerr_endline e;
+        1
+    end
+    else if stats then begin
+      match Client.request ~socket Proto.Stats with
+      | Ok (Proto.Counters kvs) ->
+        List.iter (fun (k, v) -> Printf.printf "%-18s %d\n" k v) kvs;
+        0
+      | Ok _ ->
+        prerr_endline "unexpected reply to stats";
+        1
+      | Error e ->
+        prerr_endline e;
+        1
+    end
+    else
+      match (file, correct_file) with
+      | None, _ | _, None ->
+        prerr_endline
+          "exom client: need FILE and --correct FILE (or --ping / --stats)";
+        1
+      | Some file, Some correct_file -> (
+        match (read_file file, read_file correct_file) with
+        | exception Sys_error e ->
+          prerr_endline e;
+          1
+        | program, correct -> (
+          let locate =
+            {
+              Proto.lc_program = program;
+              lc_correct = correct;
+              lc_input = resolve_input input text;
+              lc_root_line = root_line;
+              lc_deadline = deadline;
+            }
+          in
+          match stress with
+          | Some n ->
+            let r = Client.stress ~socket ~clients:n [ locate ] in
+            Printf.printf
+              "stress: %d client(s): %d served (%d replayed), %d shed, %d \
+               failed, %d transport errors\n"
+              n r.Client.st_served r.Client.st_replayed r.Client.st_shed
+              r.Client.st_failed r.Client.st_errors;
+            if r.Client.st_failed = 0 && r.Client.st_errors = 0 then 0 else 1
+          | None -> (
+            match Client.request ~socket (Proto.Locate locate) with
+            | Ok (Proto.Served s) ->
+              print_served s;
+              0
+            | Ok (Proto.Shed reason) ->
+              Printf.eprintf "shed by the daemon: %s\n" reason;
+              2
+            | Ok (Proto.Failed reason) ->
+              Printf.eprintf "request failed: %s\n" reason;
+              1
+            | Ok (Proto.Pong | Proto.Counters _) ->
+              prerr_endline "unexpected reply";
+              1
+            | Error e ->
+              prerr_endline e;
+              1)))
+  in
+  let opt_file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Faulty MCL source to localize")
+  in
+  let correct_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "correct" ] ~docv:"FILE" ~doc:"The corrected program (the oracle)")
+  in
+  let root_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "root-line" ] ~docv:"LINE"
+          ~doc:"Ground-truth fault line (stops the search when reached)")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request deadline, enforced by the daemon (verification \
+             escalation stops; a request stale in the queue is shed)")
+  in
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"The daemon's Unix-domain socket")
+  in
+  let stress_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stress" ] ~docv:"N"
+          ~doc:
+            "Fire the request from N concurrent connections (one domain \
+             each) and tally served/shed/failed")
+  in
+  let ping_flag =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Liveness probe: expect pong")
+  in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print the daemon's request counters")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one localization request to an $(b,exom serve) daemon \
+          (--stress N for N concurrent clients)")
+    Term.(
+      const action $ opt_file_arg $ correct_arg $ input_arg $ text_arg
+      $ root_arg $ deadline_arg $ socket_arg $ stress_arg $ ping_flag
+      $ stats_flag)
+
 let () =
   let doc = "locating execution omission errors via implicit dependences" in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -1120,4 +1433,4 @@ let () =
           (Cmd.info "exom" ~version:"1.0.0" ~doc)
           [ run_cmd; info_cmd; slice_cmd; rslice_cmd; locate_cmd; explain_cmd;
             recover_cmd; dot_cmd; regions_cmd; bench_cmd; regress_cmd;
-            stats_cmd ]))
+            stats_cmd; serve_cmd; client_cmd ]))

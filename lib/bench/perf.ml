@@ -6,7 +6,7 @@ module Store = Exom_sched.Store
 module Demand = Exom_core.Demand
 
 let schema_name = "exom.bench"
-let schema_version = 1
+let schema_version = 2
 
 type row = {
   r_bench : string;
@@ -29,12 +29,26 @@ type snapshot = {
   verify_seconds : float;
   interp_runs : int;
   store_hit_rate : float;
+  warm_hit_rate : float;
+  warm_verify_runs : int;
   wall_seconds : float;
 }
 
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+
 (* Each fault gets its own registry and cold store so rows are
    independent measurements; the totals are sums over the rows' private
-   registries. *)
+   registries.  The cold pass is followed by two passes over one shared
+   disk store — a priming pass that fills it and a warm pass that
+   should answer (almost) every verification from it.  The warm figures
+   are the cache's health check: a warm hit rate collapsing towards the
+   cold one means the store has stopped earning its keep. *)
 let run_suite ?(jobs = Pool.default_jobs ()) ?(label = "") () =
   let pool = Pool.create ~jobs () in
   let t0 = Unix.gettimeofday () in
@@ -42,8 +56,6 @@ let run_suite ?(jobs = Pool.default_jobs ()) ?(label = "") () =
   let verify_runs = ref 0 in
   let verify_seconds = ref 0.0 in
   let interp_runs = ref 0 in
-  let store_hits = ref 0 in
-  let store_queries = ref 0 in
   List.iter
     (fun (bench, fault) ->
       let obs = Obs.create () in
@@ -64,12 +76,42 @@ let run_suite ?(jobs = Pool.default_jobs ()) ?(label = "") () =
       let reg = Obs.metrics obs in
       verify_runs := !verify_runs + Metrics.timer_count reg "verify.run";
       verify_seconds := !verify_seconds +. Metrics.timer_seconds reg "verify.run";
-      interp_runs := !interp_runs + Metrics.counter_value reg "interp.runs";
-      let st = report.Demand.store in
-      store_hits := !store_hits + st.Store.hits + st.Store.disk_hits;
-      store_queries :=
-        !store_queries + st.Store.hits + st.Store.disk_hits + st.Store.misses)
+      interp_runs := !interp_runs + Metrics.counter_value reg "interp.runs")
     Suite.rows;
+  (* wall clock covers the cold pass only, preserving the metric's
+     meaning across snapshot history (v1 snapshots had no warm legs) *)
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  (* warm-store legs: each fault opens a fresh handle (empty memory
+     front) over the same directory, the way independent processes
+     would, so warm hits are honest disk hits *)
+  let store_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "exom_bench_store_%d" (Unix.getpid ()))
+  in
+  rm_rf store_dir;
+  let store_pass () =
+    let hits = ref 0 and queries = ref 0 and runs = ref 0 in
+    List.iter
+      (fun (bench, fault) ->
+        let obs = Obs.create () in
+        let store = Store.create ~obs ~dir:store_dir () in
+        let r = Runner.run_fault ~obs ~pool ~store bench fault in
+        let st = r.Runner.report.Demand.store in
+        hits := !hits + st.Store.hits + st.Store.disk_hits;
+        queries :=
+          !queries + st.Store.hits + st.Store.disk_hits + st.Store.misses;
+        runs := !runs + Metrics.timer_count (Obs.metrics obs) "verify.run")
+      Suite.rows;
+    let rate =
+      if !queries = 0 then 0.0
+      else float_of_int !hits /. float_of_int !queries
+    in
+    (rate, !runs)
+  in
+  let prime_rate, _ = store_pass () in
+  let warm_hit_rate, warm_verify_runs = store_pass () in
+  rm_rf store_dir;
   Pool.shutdown pool;
   let rows = List.rev !rows in
   {
@@ -81,10 +123,10 @@ let run_suite ?(jobs = Pool.default_jobs ()) ?(label = "") () =
     verify_runs = !verify_runs;
     verify_seconds = !verify_seconds;
     interp_runs = !interp_runs;
-    store_hit_rate =
-      (if !store_queries = 0 then 0.0
-       else float_of_int !store_hits /. float_of_int !store_queries);
-    wall_seconds = Unix.gettimeofday () -. t0;
+    store_hit_rate = prime_rate;
+    warm_hit_rate;
+    warm_verify_runs;
+    wall_seconds;
   }
 
 (* {2 Serialization} *)
@@ -117,6 +159,8 @@ let to_json s =
       ("verify_seconds", Json.Num s.verify_seconds);
       ("interp_runs", num s.interp_runs);
       ("store_hit_rate", Json.Num s.store_hit_rate);
+      ("warm_hit_rate", Json.Num s.warm_hit_rate);
+      ("warm_verify_runs", num s.warm_verify_runs);
       ("wall_seconds", Json.Num s.wall_seconds);
       ("rows", Json.Arr (List.map row_json s.rows));
     ]
@@ -153,7 +197,10 @@ let of_json j =
     Error (Printf.sprintf "foreign schema %S" schema)
   else
     let* version = require "version" (get_int j "version") in
-    if version <> schema_version then
+    (* v1 snapshots predate the warm-store legs; they read back with
+       warm figures zeroed, which the comparator treats as "no
+       baseline" rather than a drop to zero *)
+    if version <> schema_version && version <> 1 then
       Error
         (Printf.sprintf "schema version %d (this reader understands %d)"
            version schema_version)
@@ -166,6 +213,14 @@ let of_json j =
       let* verify_seconds = require "verify_seconds" (get_num j "verify_seconds") in
       let* interp_runs = require "interp_runs" (get_int j "interp_runs") in
       let* store_hit_rate = require "store_hit_rate" (get_num j "store_hit_rate") in
+      let* warm_hit_rate =
+        if version = 1 then Ok 0.0
+        else require "warm_hit_rate" (get_num j "warm_hit_rate")
+      in
+      let* warm_verify_runs =
+        if version = 1 then Ok 0
+        else require "warm_verify_runs" (get_int j "warm_verify_runs")
+      in
       let* wall_seconds = require "wall_seconds" (get_num j "wall_seconds") in
       let* rows_j = require "rows" (Option.bind (Json.member "rows" j) Json.to_list) in
       let rec go acc = function
@@ -177,7 +232,8 @@ let of_json j =
       let* rows = go [] rows_j in
       Ok
         { label; jobs; rows; located; total; verify_runs; verify_seconds;
-          interp_runs; store_hit_rate; wall_seconds }
+          interp_runs; store_hit_rate; warm_hit_rate; warm_verify_runs;
+          wall_seconds }
 
 let to_line s = Json.to_string (to_json s)
 
@@ -235,6 +291,25 @@ let drift ~threshold ~metric ~fmt old_v new_v =
           detail =
             Printf.sprintf "%s -> %s (%+.1f%%, tolerance %.0f%%)" (fmt old_v)
               (fmt new_v) (100.0 *. rel) (100.0 *. threshold);
+        };
+      ]
+
+(* Hit rates run the other way: shrinkage beyond the threshold is the
+   regression, growth the improvement. *)
+let rate_drift ~threshold ~metric old_v new_v =
+  if old_v <= 0.0 then []
+  else
+    let rel = (new_v -. old_v) /. old_v in
+    if Float.abs rel <= threshold then []
+    else
+      [
+        {
+          severity = (if rel < 0.0 then Regression else Info);
+          metric;
+          detail =
+            Printf.sprintf "%.0f%% -> %.0f%% (%+.1f%%, tolerance %.0f%%)"
+              (100.0 *. old_v) (100.0 *. new_v) (100.0 *. rel)
+              (100.0 *. threshold);
         };
       ]
 
@@ -306,6 +381,32 @@ let compare ~tolerance ~time_tolerance old_s new_s =
     (fun (metric, o, n) ->
       List.iter push (drift ~threshold:tolerance ~metric ~fmt:fmt_int o n))
     counts;
+  List.iter
+    (fun (metric, o, n) ->
+      List.iter push (rate_drift ~threshold:tolerance ~metric o n))
+    [
+      ("store_hit_rate", old_s.store_hit_rate, new_s.store_hit_rate);
+      ("warm_hit_rate", old_s.warm_hit_rate, new_s.warm_hit_rate);
+    ];
+  (* the warm pass should re-execute (nearly) nothing; a baseline of
+     zero gives drift no denominator, so new dispatches are flagged
+     outright *)
+  if old_s.warm_verify_runs = 0 && new_s.warm_verify_runs > 0 then
+    push
+      {
+        severity = Regression;
+        metric = "warm_verify_runs";
+        detail =
+          Printf.sprintf
+            "warm pass dispatched %d switched run(s); the baseline \
+             answered everything from the store"
+            new_s.warm_verify_runs;
+      }
+  else
+    List.iter push
+      (drift ~threshold:tolerance ~metric:"warm_verify_runs" ~fmt:fmt_int
+         (float_of_int old_s.warm_verify_runs)
+         (float_of_int new_s.warm_verify_runs));
   List.iter
     (fun (metric, o, n) ->
       List.iter push (drift ~threshold:time_tolerance ~metric ~fmt:fmt_s o n))

@@ -35,11 +35,21 @@ type snapshot = {
   verify_seconds : float;
   interp_runs : int;  (** every interpreter execution, profiling included *)
   store_hit_rate : float;
+      (** hit rate of the {e priming} pass over one shared disk store *)
+  warm_hit_rate : float;
+      (** hit rate of a second pass over the primed store: the
+          cache-health number (should be close to 1) *)
+  warm_verify_runs : int;
+      (** switched runs the warm pass still had to dispatch (should be
+          close to 0) *)
   wall_seconds : float;  (** whole-suite wall clock *)
 }
 
-(** Run the full suite (cold store, fresh metrics per fault) and reduce
-    it to a snapshot.  [jobs] sizes the verification pool (default:
+(** Run the full suite and reduce it to a snapshot: a cold pass (no
+    store — the per-fault rows and run totals), then a priming pass and
+    a warm pass over one shared disk store (the [store_hit_rate] /
+    [warm_*] figures; each fault opens a fresh handle, so warm hits are
+    honest disk hits).  [jobs] sizes the verification pool (default:
     [EXOM_JOBS] via the default pool). *)
 val run_suite : ?jobs:int -> ?label:string -> unit -> snapshot
 

@@ -115,10 +115,27 @@ let run_str (r : Ledger.run_info) =
   Printf.sprintf "switched run %s after %d steps, switch %s" r.outcome r.steps
     (if r.switch_fired then "fired" else "never fired")
 
-let render evs =
+type lineage = { resumes : int; torn_tail : bool }
+
+(* The last checkpoint is cumulative, so it alone carries the run's
+   complete failure journal, breaker history and store accounting. *)
+let last_checkpoint evs =
+  List.fold_left
+    (fun acc ev ->
+      match ev with Ledger.Checkpoint c -> Some c | _ -> acc)
+    None evs
+
+let render ?lineage evs =
   let b = Buffer.create 4096 in
   let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   pr "=== Localization narrative ===\n";
+  (match lineage with
+  | Some { resumes; torn_tail } when resumes > 0 || torn_tail ->
+    pr "resume lineage: %d prior resume%s%s\n" resumes
+      (if resumes = 1 then "" else "s")
+      (if torn_tail then "; predecessor's tail was torn and dropped"
+       else "")
+  | _ -> ());
   (match session_of evs with
   | Some s ->
     pr "wrong output at %s" (inst_str s.wrong);
@@ -248,6 +265,72 @@ let render evs =
        (%d cumulative verify runs)\n"
       q hits runs total
   end;
+  (* Trouble report, from the last (cumulative) checkpoint: rendered
+     only when the run actually degraded somewhere, so a clean run's
+     narrative is unchanged. *)
+  let tripped =
+    match last_checkpoint evs with
+    | None -> []
+    | Some ck ->
+      (* every queried predicate materializes a breaker; only the ones
+         that saw failures are part of the trouble story *)
+      List.filter
+        (fun (br : Ledger.breaker_info) ->
+          br.Ledger.b_consecutive > 0 || br.Ledger.b_opened)
+        ck.Ledger.ck_breakers
+  in
+  (match last_checkpoint evs with
+  | Some ck
+    when ck.Ledger.ck_failures <> [] || tripped <> []
+         || ck.Ledger.ck_guard.Ledger.g_aborted > 0
+         || ck.Ledger.ck_guard.Ledger.g_retried > 0
+         || ck.Ledger.ck_guard.Ledger.g_captured > 0
+         || ck.Ledger.ck_guard.Ledger.g_quarantined > 0
+         || ck.Ledger.ck_store.Ledger.st_corrupted > 0 ->
+    let g = ck.Ledger.ck_guard in
+    pr "\n--- Robustness ---\n";
+    pr
+      "guard: %d completed, %d aborted, %d retried, %d deadline \
+       expiration%s, %d breaker trip%s (%d skip%s), %d contained \
+       exception%s, %d quarantined\n"
+      g.Ledger.g_completed g.Ledger.g_aborted g.Ledger.g_retried
+      g.Ledger.g_deadline_expired
+      (if g.Ledger.g_deadline_expired = 1 then "" else "s")
+      g.Ledger.g_breaker_trips
+      (if g.Ledger.g_breaker_trips = 1 then "" else "s")
+      g.Ledger.g_breaker_skips
+      (if g.Ledger.g_breaker_skips = 1 then "" else "s")
+      g.Ledger.g_captured
+      (if g.Ledger.g_captured = 1 then "" else "s")
+      g.Ledger.g_quarantined;
+    if ck.Ledger.ck_failures <> [] then begin
+      pr "failure journal (%d entr%s, oldest first):\n"
+        (List.length ck.Ledger.ck_failures)
+        (if List.length ck.Ledger.ck_failures = 1 then "y" else "ies");
+      List.iter
+        (fun (sid, code) -> pr "  s%-4d %s\n" sid code)
+        ck.Ledger.ck_failures
+    end;
+    if tripped <> [] then begin
+      pr "circuit breakers (with failures):\n";
+      List.iter
+        (fun (br : Ledger.breaker_info) ->
+          pr "  s%-4d %d consecutive failure%s, %s\n" br.Ledger.b_sid
+            br.Ledger.b_consecutive
+            (if br.Ledger.b_consecutive = 1 then "" else "s")
+            (if br.Ledger.b_opened then
+               "OPEN (its verifications were skipped)"
+             else "closed"))
+        tripped
+    end;
+    let st = ck.Ledger.ck_store in
+    if st.Ledger.st_corrupted > 0 then
+      pr
+        "store: %d corrupted entr%s detected and quarantined (each was \
+         re-verified live; the verdicts above are unaffected)\n"
+        st.Ledger.st_corrupted
+        (if st.Ledger.st_corrupted = 1 then "y" else "ies")
+  | _ -> ());
   (match final_of evs with
   | Some f ->
     pr "\n--- Outcome ---\n";
@@ -265,9 +348,51 @@ let render evs =
         (String.concat " -> " (List.map string_of_int chain))
     | None -> ());
     (match f.degraded with
-    | Some d -> pr "degraded: %s\n" d
-    | None -> ())
-  | None -> pr "\n(no final record — ledger is incomplete)\n");
+    | Some d ->
+      pr "DEGRADED: %s\n" d;
+      pr
+        "  the candidate set is best-effort: some verifications never \
+         completed,\n  so missing implicit edges may hide the root \
+         cause\n"
+    | None -> ());
+    if not f.found then begin
+      (* Why "not located" happened, as far as the evidence shows. *)
+      let skips =
+        match last_checkpoint evs with
+        | Some ck -> ck.Ledger.ck_guard.Ledger.g_breaker_skips
+        | None -> 0
+      in
+      match locate_of evs with
+      | Some (root_sids, _, max_iterations)
+        when root_sids <> [] && root_sids <> [ -1 ] ->
+        pr
+          "not located: the seeded root cause (sid%s %s) was still \
+           outside the slice when the search stopped"
+          (if List.length root_sids = 1 then "" else "s")
+          (String.concat ", " (List.map string_of_int root_sids));
+        if f.iterations >= max_iterations then
+          pr " (the iteration cap of %d was reached)" max_iterations;
+        pr "\n";
+        if skips > 0 then
+          pr
+            "  %d verification%s skipped by open breakers — an edge \
+             behind one of them could be the missing link\n"
+            skips
+            (if skips = 1 then " was" else "s were")
+      | _ ->
+        pr
+          "not located: no ground-truth root line was given, so the \
+           search ran to exhaustion and reports the final candidate set\n"
+    end
+  | None ->
+    pr "\n(no final record — ledger is incomplete";
+    (match lineage with
+    | Some _ ->
+      pr
+        ": this is a killed run's journal; resume it to completion or \
+         inspect it with exom recover"
+    | None -> ());
+    pr ")\n");
   Buffer.contents b
 
 let dot evs =

@@ -5,7 +5,14 @@
     switched-run outcome, verdict source), where the seeded root cause
     entered the slice, and the final accounting. *)
 
-val render : Ledger.event list -> string
+(** What a salvaged journal knows about its history: how many prior
+    resumes it chains back through ([Ledger.recovery.r_markers]) and
+    whether the predecessor's tail was torn.  Canonical ledgers carry no
+    markers (the final {!Ledger.write} erases them), so lineage only
+    accompanies a journal read via {!Ledger.recover_string}. *)
+type lineage = { resumes : int; torn_tail : bool }
+
+val render : ?lineage:lineage -> Ledger.event list -> string
 
 (** Causal graph over the ledger's verified edges (strong solid red,
     weak dashed orange), the wrong output highlighted; rendered via

@@ -1,10 +1,14 @@
 (* The persistent verdict store: a content-addressed cache keyed by a
-   hex digest, with an in-memory LRU front and an optional on-disk tier.
+   hex digest, with an in-memory LRU front and an optional on-disk tier
+   that any number of processes may share.
 
-   Disk layout (one file per entry, sharded by the key's first two hex
-   chars to keep directories small):
+   Disk layout (version 2, recorded in a manifest so foreign layouts
+   are recognized instead of misread):
 
-     DIR/ab/<rest-of-key>
+     DIR/MANIFEST              {"schema":"exom.store","version":2,"shards":N}
+     DIR/shard-007/<key>       one file per entry, hash-partitioned
+     DIR/shard-007.lock        advisory writer lock for that shard
+     DIR/quarantine/           rejected entries and foreign layouts
 
    Entry format, versioned like Trace_io so future layouts can be
    rejected instead of misread:
@@ -15,15 +19,31 @@
      <payload bytes>
 
    The key is echoed inside the entry and checked on read: a file
-   renamed, truncated or swapped on disk is detected and rejected (the
-   [corrupted] counter), never returned as a hit.  Writes go through a
-   temp file + rename so a crash mid-write leaves no torn entry behind.
+   renamed, truncated or swapped on disk is detected, rejected (the
+   [corrupted] counter) and moved into quarantine, never returned as a
+   hit.  Writes go through a per-process temp file + rename so a crash
+   mid-write leaves no torn entry behind.
 
-   Thread-safety: the store is coordinator-only by design — the batch
-   planner resolves hits before dispatch and records results after the
-   merge, so worker domains never touch it and no lock is needed. *)
+   Multi-writer protocol: a writer takes the shard's lock file
+   (O_CREAT|O_EXCL) for the duration of one entry write and unlinks it
+   after.  Contended acquisitions steal the lock when the recorded
+   holder pid is dead, or when the lock file is older than the lease —
+   a crashed writer can never wedge the cache.  Readers never lock.
+   Correctness does not hinge on the lock: entries are content
+   addressed, so two writers racing on one key produce identical
+   bytes, and distinct keys live in distinct files.  The lock exists to
+   serialize same-shard write bursts and keep rename traffic orderly.
+
+   Within one process the store is still coordinator-only by design —
+   the batch planner resolves hits before dispatch and records results
+   after the merge, so worker domains never touch it. *)
+
+module Json = Exom_obs.Json
 
 let version = 1
+let layout_version = 2
+let default_shards = 16
+let default_lease = 5.0
 
 let header = Printf.sprintf "#exom-store v%d" version
 
@@ -34,6 +54,15 @@ type stats = {
   mutable evictions : int;  (* LRU entries dropped from memory *)
   mutable corrupted : int;  (* disk entries rejected on read *)
   mutable writes : int;  (* entries persisted to disk *)
+}
+
+(* Operational (per-process) counters for the shared disk tier.  Not
+   part of ledger checkpoints: they describe contention with other
+   writers, not verdict derivation, so resume must not restore them. *)
+type lock_stats = {
+  mutable lock_waits : int;
+  mutable lock_steals : int;
+  mutable quarantined : int;
 }
 
 let snapshot s =
@@ -54,47 +83,37 @@ type entry = {
   mutable e_next : entry option;  (* toward tail *)
 }
 
+(* The disk tier; [shards] always comes from the manifest, so every
+   process sharing the directory partitions identically. *)
+type disk = { root : string; shards : int; lease : float }
+
 type t = {
-  dir : string option;
+  disk : disk option;
   capacity : int;
   tbl : (string, entry) Hashtbl.t;
   mutable head : entry option;
   mutable tail : entry option;
   stats : stats;
+  locks : lock_stats;
   obs : Exom_obs.Obs.t option;
 }
 
 (* Every stats increment is mirrored into the metrics registry under
    "store.<field>", so `exom stats` shows the cache behaviour without a
    second accounting path. *)
-let count t name =
-  match t.obs with
+let count_obs obs name =
+  match obs with
   | None -> ()
   | Some obs -> Exom_obs.Obs.incr obs ("store." ^ name)
 
+let count t name = count_obs t.obs name
+
 let default_capacity = 65_536
 
-let create ?obs ?dir ?(capacity = default_capacity) () =
-  if capacity < 1 then invalid_arg "Store.create: capacity must be >= 1";
-  (match dir with
-  | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
-  | Some d when not (Sys.is_directory d) ->
-    invalid_arg (Printf.sprintf "Store.create: %s is not a directory" d)
-  | _ -> ());
-  {
-    dir;
-    capacity;
-    tbl = Hashtbl.create 256;
-    head = None;
-    tail = None;
-    stats =
-      { hits = 0; disk_hits = 0; misses = 0; evictions = 0; corrupted = 0;
-        writes = 0 };
-    obs;
-  }
-
 let stats t = t.stats
+let lock_stats t = t.locks
 let mem_size t = Hashtbl.length t.tbl
+let shard_count t = match t.disk with None -> 0 | Some d -> d.shards
 
 (* Content addressing: each part is length-prefixed before hashing so
    part boundaries cannot collide ("ab"+"c" vs "a"+"bc"). *)
@@ -153,19 +172,257 @@ let insert_mem t key value =
     Hashtbl.replace t.tbl key e;
     push_front t e
 
-(* Disk tier *)
+(* Disk tier: layout helpers *)
 
-let entry_path dir key =
-  (* keys are hex digests; anything shorter still shards safely *)
-  if String.length key < 3 then Filename.concat dir key
-  else Filename.concat (Filename.concat dir (String.sub key 0 2))
-      (String.sub key 2 (String.length key - 2))
+let manifest_name = "MANIFEST"
+let quarantine_name = "quarantine"
+let manifest_path root = Filename.concat root manifest_name
+let shard_name i = Printf.sprintf "shard-%03d" i
+let shard_dir root i = Filename.concat root (shard_name i)
+let lock_path root i = Filename.concat root (shard_name i ^ ".lock")
+
+let ensure_dir d =
+  if not (Sys.file_exists d) then
+    try Sys.mkdir d 0o755
+    with Sys_error _ -> ()  (* racing creator won; that's fine *)
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+(* Hash partition: the key's first two hex chars (keys are hex digests;
+   anything else falls back to a structural hash). *)
+let shard_index ~shards key =
+  let h =
+    if String.length key >= 2 then
+      match (hex_val key.[0], hex_val key.[1]) with
+      | Some a, Some b -> (a * 16) + b
+      | _ -> Hashtbl.hash key land 0xff
+    else Hashtbl.hash key land 0xff
+  in
+  h mod shards
+
+let entry_path d key = Filename.concat (shard_dir d.root (shard_index ~shards:d.shards key)) key
 
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file_atomic path content =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content);
+  Sys.rename tmp path
+
+(* Quarantine: move a suspect file (or whole foreign item) aside so it
+   cannot fail — or be misread — again.  Renames are best-effort: a
+   concurrent process may have moved it first. *)
+let quarantine_seq = ref 0
+
+let quarantine_item ~note root src_name =
+  let q = Filename.concat root quarantine_name in
+  ensure_dir q;
+  incr quarantine_seq;
+  let dst =
+    Filename.concat q
+      (Printf.sprintf "%s.%d.%d" (Filename.basename src_name) (Unix.getpid ())
+         !quarantine_seq)
+  in
+  match Sys.rename src_name dst with
+  | () -> note ()
+  | exception Sys_error _ -> ()
+
+(* Advisory shard locks.
+
+   A lock is a file created with O_CREAT|O_EXCL holding the owner pid.
+   Steal rules, in order: holder pid provably dead -> steal now; lock
+   older than the lease -> steal regardless (covers unreadable pids,
+   pid reuse and wedged-but-alive holders).  Stealing renames the lock
+   to a unique name before unlinking, so two stealers cannot both
+   claim to have removed the same lock. *)
+
+let lock_sleep = 0.002
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error (_, _, _) -> true
+
+let holder_pid path =
+  match read_file path with
+  | content -> int_of_string_opt (String.trim content)
+  | exception _ -> None
+
+let lock_age path =
+  match Unix.stat path with
+  | st -> Some (Unix.gettimeofday () -. st.Unix.st_mtime)
+  | exception Unix.Unix_error _ -> None
+
+let steal_lock path =
+  incr quarantine_seq;
+  let stale = Printf.sprintf "%s.stale.%d.%d" path (Unix.getpid ()) !quarantine_seq in
+  match Sys.rename path stale with
+  | () ->
+    (try Sys.remove stale with Sys_error _ -> ());
+    true
+  | exception Sys_error _ -> false  (* someone else got there first *)
+
+let acquire_lock ~lease ~on_wait ~on_steal path =
+  let waited = ref false in
+  let rec loop () =
+    match Unix.openfile path [ Unix.O_CREAT; Unix.O_EXCL; Unix.O_WRONLY ] 0o644 with
+    | fd ->
+      let pid = string_of_int (Unix.getpid ()) in
+      (try ignore (Unix.write_substring fd pid 0 (String.length pid))
+       with Unix.Unix_error _ -> ());
+      Unix.close fd;
+      if !waited then on_wait ()
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
+      let steal =
+        (match holder_pid path with
+        | Some pid -> not (pid_alive pid)
+        | None -> false)
+        ||
+        match lock_age path with Some age -> age > lease | None -> false
+      in
+      if steal then begin
+        if steal_lock path then on_steal ()
+      end
+      else begin
+        waited := true;
+        Unix.sleepf lock_sleep
+      end;
+      loop ()
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+      (* parent directory raced away (e.g. quarantined); recreate *)
+      ensure_dir (Filename.dirname path);
+      loop ()
+  in
+  loop ()
+
+let release_lock path = try Sys.remove path with Sys_error _ -> ()
+
+let with_lock t d i f =
+  let lock = lock_path d.root i in
+  acquire_lock ~lease:d.lease
+    ~on_wait:(fun () ->
+      t.locks.lock_waits <- t.locks.lock_waits + 1;
+      count t "lock_waits")
+    ~on_steal:(fun () ->
+      t.locks.lock_steals <- t.locks.lock_steals + 1;
+      count t "lock_steals")
+    lock;
+  Fun.protect ~finally:(fun () -> release_lock lock) f
+
+(* Manifest: one JSON line naming the layout.  A directory whose
+   manifest is missing (but non-empty), unparsable, or from a different
+   schema/version is a foreign layout: its contents are quarantined and
+   the directory re-initialized — the cache must never abort, and must
+   never guess at an alien partitioning. *)
+
+let render_manifest shards =
+  Json.to_string
+    (Json.Obj
+       [ ("schema", Json.Str "exom.store");
+         ("version", Json.Num (float_of_int layout_version));
+         ("shards", Json.Num (float_of_int shards)) ])
+  ^ "\n"
+
+let parse_manifest content =
+  match Json.parse (String.trim content) with
+  | Error e -> Error ("unparsable manifest: " ^ e)
+  | Ok j -> (
+    match
+      ( Json.member "schema" j,
+        Json.member "version" j,
+        Json.member "shards" j )
+    with
+    | Some (Json.Str "exom.store"), Some (Json.Num v), Some (Json.Num n)
+      when int_of_float v = layout_version ->
+      let shards = int_of_float n in
+      if shards >= 1 && shards <= 256 then Ok shards
+      else Error (Printf.sprintf "manifest shard count %d out of range" shards)
+    | Some (Json.Str "exom.store"), Some (Json.Num v), _ ->
+      Error (Printf.sprintf "manifest layout version %d (want %d)"
+               (int_of_float v) layout_version)
+    | _ -> Error "foreign manifest")
+
+(* Adopt or initialize a store directory.  Serialized across processes
+   by an init lock so two concurrent creators agree on one manifest. *)
+let open_disk ~obs ~locks ~shards ~lease root =
+  ensure_dir root;
+  if not (Sys.is_directory root) then
+    invalid_arg (Printf.sprintf "Store.create: %s is not a directory" root);
+  let note () =
+    locks.quarantined <- locks.quarantined + 1;
+    count_obs obs "quarantined"
+  in
+  let init_lock = Filename.concat root ".init.lock" in
+  acquire_lock ~lease
+    ~on_wait:(fun () ->
+      locks.lock_waits <- locks.lock_waits + 1;
+      count_obs obs "lock_waits")
+    ~on_steal:(fun () ->
+      locks.lock_steals <- locks.lock_steals + 1;
+      count_obs obs "lock_steals")
+    init_lock;
+  Fun.protect
+    ~finally:(fun () -> release_lock init_lock)
+    (fun () ->
+      let mpath = manifest_path root in
+      let adopted =
+        if Sys.file_exists mpath then
+          match parse_manifest (read_file mpath) with
+          | Ok shards -> Some shards
+          | Error _ ->
+            (* foreign or corrupt manifest: quarantine it and every
+               shard laid out under it *)
+            quarantine_item ~note root mpath;
+            None
+        else None
+      in
+      match adopted with
+      | Some shards -> { root; shards; lease }
+      | None ->
+        (* no usable manifest: any existing content is a foreign or
+           legacy layout — move it aside wholesale, then initialize *)
+        Array.iter
+          (fun name ->
+            if
+              name <> quarantine_name
+              && name <> Filename.basename init_lock
+              && not (Filename.check_suffix name ".lock")
+            then quarantine_item ~note root (Filename.concat root name))
+          (Sys.readdir root);
+        write_file_atomic mpath (render_manifest shards);
+        { root; shards; lease })
+
+let create ?obs ?dir ?(capacity = default_capacity) ?(shards = default_shards)
+    ?(lease = default_lease) () =
+  if capacity < 1 then invalid_arg "Store.create: capacity must be >= 1";
+  if shards < 1 || shards > 256 then
+    invalid_arg "Store.create: shards must be in [1, 256]";
+  if lease <= 0.0 then invalid_arg "Store.create: lease must be positive";
+  let locks = { lock_waits = 0; lock_steals = 0; quarantined = 0 } in
+  let disk = Option.map (open_disk ~obs ~locks ~shards ~lease) dir in
+  {
+    disk;
+    capacity;
+    tbl = Hashtbl.create 256;
+    head = None;
+    tail = None;
+    stats =
+      { hits = 0; disk_hits = 0; misses = 0; evictions = 0; corrupted = 0;
+        writes = 0 };
+    locks;
+    obs;
+  }
 
 (* Returns [Some payload] only for a well-formed entry whose embedded
    key matches; anything else is corruption. *)
@@ -195,10 +452,10 @@ let decode_entry ~key content =
     end
 
 let disk_find t key =
-  match t.dir with
+  match t.disk with
   | None -> None
-  | Some dir ->
-    let path = entry_path dir key in
+  | Some d ->
+    let path = entry_path d key in
     if not (Sys.file_exists path) then None
     else begin
       match decode_entry ~key (read_file path) with
@@ -206,27 +463,34 @@ let disk_find t key =
       | None | (exception Sys_error _) ->
         t.stats.corrupted <- t.stats.corrupted + 1;
         count t "corrupted";
+        (* move it aside so it cannot fail (or collide) again *)
+        quarantine_item
+          ~note:(fun () ->
+            t.locks.quarantined <- t.locks.quarantined + 1;
+            count t "quarantined")
+          d.root path;
         None
     end
 
 let disk_write t key value =
-  match t.dir with
+  match t.disk with
   | None -> ()
-  | Some dir ->
-    let path = entry_path dir key in
-    let shard = Filename.dirname path in
-    if not (Sys.file_exists shard) then Sys.mkdir shard 0o755;
-    let tmp = path ^ ".tmp" in
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () ->
-        Printf.fprintf oc "%s\n%s\n%d\n%s" header key (String.length value)
-          value);
-    Sys.rename tmp path
+  | Some d ->
+    let i = shard_index ~shards:d.shards key in
+    ensure_dir (shard_dir d.root i);
+    with_lock t d i (fun () ->
+        let path = entry_path d key in
+        let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            Printf.fprintf oc "%s\n%s\n%d\n%s" header key (String.length value)
+              value);
+        Sys.rename tmp path)
 
 let disk_add t key value =
-  match t.dir with
+  match t.disk with
   | None -> ()
   | Some _ ->
     disk_write t key value;

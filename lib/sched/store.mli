@@ -1,16 +1,39 @@
 (** A content-addressed cache with an in-memory LRU front and an
-    optional persistent on-disk tier.
+    optional persistent on-disk tier shared safely between processes.
 
     Keys are caller-derived digests (see {!digest}); values are opaque
     strings (the caller owns the codec).  The disk tier stores one
-    versioned, self-identifying file per entry — a renamed, truncated
-    or version-skewed entry is rejected on read (counted in
-    [corrupted]) rather than returned as a hit.
+    versioned, self-identifying file per entry inside a hash-partitioned
+    shard directory — a renamed, truncated or version-skewed entry is
+    rejected on read (counted in [corrupted]) and moved into the
+    [quarantine/] subdirectory rather than returned as a hit or left in
+    place to fail again.
 
-    The store is {b coordinator-only}: the batch planner resolves hits
-    before dispatching work to the pool and records results after the
-    deterministic merge, so worker domains never touch it and it needs
-    no internal locking. *)
+    {b Multi-writer discipline.}  Any number of processes may read and
+    write one store directory concurrently:
+
+    - the directory carries a versioned [MANIFEST] naming the layout
+      version and shard count; a foreign or corrupt manifest (or a
+      pre-shard legacy layout) is quarantined wholesale and the
+      directory re-initialized, never aborted on;
+    - each shard has an advisory writer lock file; writers take it for
+      the duration of one entry write (temp file + rename), readers
+      never lock (renames are atomic and entries self-identify);
+    - a crashed writer cannot wedge the cache: a lock whose holder pid
+      is dead is stolen immediately, and any lock older than the
+      configurable lease is stolen regardless (counted in
+      {!lock_stats});
+    - integrity never depends on the lock — entries are content
+      addressed, so two writers racing on one key write identical
+      bytes, and temp names are per-process.
+
+    Within a process the store remains {b coordinator-only}: the batch
+    planner resolves hits before dispatching work to the pool and
+    records results after the deterministic merge, so worker domains
+    never touch it.  All deterministic counters ({!stats}) are
+    unchanged by sharding; contention counters live in the separate
+    {!lock_stats} record, which is operational (per-process, not
+    checkpointed) by design. *)
 
 type t
 
@@ -23,6 +46,19 @@ type stats = {
   mutable writes : int;  (** entries persisted to disk *)
 }
 
+(** Operational counters for the multi-writer disk tier.  These are
+    facts about {e this process's} interaction with the shared
+    directory (scheduling, not verdict derivation), so they are not
+    part of ledger checkpoints and resume does not restore them. *)
+type lock_stats = {
+  mutable lock_waits : int;
+      (** acquisitions that found the shard lock held and waited *)
+  mutable lock_steals : int;
+      (** locks stolen from a dead holder or after the lease expired *)
+  mutable quarantined : int;
+      (** corrupt entries and foreign layout items moved aside *)
+}
+
 (** An independent copy (reports snapshot it; the live record keeps
     counting). *)
 val snapshot : stats -> stats
@@ -30,12 +66,24 @@ val snapshot : stats -> stats
 (** Fraction of queries answered from either tier; 0 when none asked. *)
 val hit_rate : stats -> float
 
-(** [create ?obs ?dir ?capacity ()]: memory-only when [dir] is omitted;
-    with [dir], entries also persist under it (created if missing).
-    [capacity] bounds the in-memory front (default 65536 entries).
-    With [obs], every stats increment is mirrored live into the metrics
-    registry under ["store.<field>"]. *)
-val create : ?obs:Exom_obs.Obs.t -> ?dir:string -> ?capacity:int -> unit -> t
+(** [create ?obs ?dir ?capacity ?shards ?lease ()]: memory-only when
+    [dir] is omitted; with [dir], entries also persist under it
+    (created and initialized with a [MANIFEST] if missing).  [capacity]
+    bounds the in-memory front (default 65536 entries).  [shards] is
+    the disk partition count used when initializing a fresh directory
+    (default {!default_shards}; an existing manifest's count always
+    wins, so concurrent writers agree).  [lease] is the writer-lock
+    lease in seconds (default {!default_lease}).  With [obs], every
+    stats increment is mirrored live into the metrics registry under
+    ["store.<field>"]. *)
+val create :
+  ?obs:Exom_obs.Obs.t ->
+  ?dir:string ->
+  ?capacity:int ->
+  ?shards:int ->
+  ?lease:float ->
+  unit ->
+  t
 
 (** Derive a content-addressed key: parts are length-prefixed before
     hashing, so boundaries cannot collide. *)
@@ -66,5 +114,19 @@ val mem_size : t -> int
 
 val stats : t -> stats
 
+(** Live operational counters for the disk tier (all zero when the
+    store is memory-only). *)
+val lock_stats : t -> lock_stats
+
+(** Disk shard count in effect (from the manifest); 0 when the store is
+    memory-only. *)
+val shard_count : t -> int
+
 (** Entry-format version of the disk tier. *)
 val version : int
+
+(** Directory-layout version recorded in the [MANIFEST]. *)
+val layout_version : int
+
+val default_shards : int
+val default_lease : float

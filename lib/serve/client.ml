@@ -1,0 +1,60 @@
+(* The service client.  One connection per request: connect, one
+   frame out, one frame in.  Stress mode spawns one domain per
+   concurrent client — the point is to exercise the daemon's listener,
+   bounded queue and shed path under real concurrency, not to be a
+   load-testing framework. *)
+
+let request ~socket req =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (Printf.sprintf "cannot connect to %s: %s" socket
+             (Unix.error_message e))
+      | () -> (
+        match Proto.write_frame fd (Proto.encode_request req) with
+        | exception Unix.Unix_error (e, _, _) ->
+          Error ("send failed: " ^ Unix.error_message e)
+        | () -> (
+          match Proto.read_frame fd with
+          | Error e -> Error ("no reply: " ^ e)
+          | Ok None -> Error "connection closed before a reply"
+          | Ok (Some payload) -> Proto.decode_response payload)))
+
+type stress_result = {
+  st_served : int;
+  st_shed : int;
+  st_failed : int;
+  st_errors : int;
+  st_replayed : int;
+}
+
+let stress ~socket ~clients reqs =
+  if clients < 1 then invalid_arg "Client.stress: clients must be >= 1";
+  if reqs = [] then invalid_arg "Client.stress: no requests";
+  let arr = Array.of_list reqs in
+  let one i =
+    let locate = arr.(i mod Array.length arr) in
+    request ~socket (Proto.Locate locate)
+  in
+  let domains = List.init clients (fun i -> Domain.spawn (fun () -> one i)) in
+  let results = List.map Domain.join domains in
+  List.fold_left
+    (fun acc r ->
+      match r with
+      | Ok (Proto.Served s) ->
+        { acc with
+          st_served = acc.st_served + 1;
+          st_replayed = (acc.st_replayed + if s.Proto.sv_replayed then 1 else 0);
+        }
+      | Ok (Proto.Shed _) -> { acc with st_shed = acc.st_shed + 1 }
+      | Ok (Proto.Failed _) -> { acc with st_failed = acc.st_failed + 1 }
+      | Ok (Proto.Pong | Proto.Counters _) ->
+        { acc with st_errors = acc.st_errors + 1 }
+      | Error _ -> { acc with st_errors = acc.st_errors + 1 })
+    { st_served = 0; st_shed = 0; st_failed = 0; st_errors = 0;
+      st_replayed = 0 }
+    results

@@ -1,0 +1,24 @@
+(** Client side of the localization service: one-shot requests and a
+    concurrent stress mode over the {!Proto} wire protocol. *)
+
+(** [request ~socket req] connects, sends one frame, and reads the
+    reply.  [Error _] covers connection failures, protocol mismatches
+    and torn frames — a {!Proto.Shed} or {!Proto.Failed} reply is an
+    [Ok], the daemon's explicit answer. *)
+val request : socket:string -> Proto.request -> (Proto.response, string) result
+
+(** Outcome tallies of a {!stress} volley. *)
+type stress_result = {
+  st_served : int;
+  st_shed : int;
+  st_failed : int;  (** daemon-reported failures *)
+  st_errors : int;  (** transport errors (no reply at all) *)
+  st_replayed : int;  (** served answers that came from journal replay *)
+}
+
+(** [stress ~socket ~clients reqs] fires [clients] concurrent
+    connections (one domain each), cycling through [reqs] so client [i]
+    sends request [i mod length].  Returns the tally; the daemon's
+    bounded queue decides how many are shed. *)
+val stress :
+  socket:string -> clients:int -> Proto.locate list -> stress_result

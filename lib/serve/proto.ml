@@ -1,0 +1,238 @@
+(* Wire protocol of the localization service.
+
+   Frame = 4-byte big-endian length + compact JSON payload.  Every
+   payload names the schema and version, mirroring the discipline of
+   the ledger and the store manifest: a foreign or future frame is
+   rejected with a reason, never misread.  The length prefix is
+   validated against [max_frame] before any allocation happens. *)
+
+module Json = Exom_obs.Json
+
+let schema = "exom.serve"
+let version = 1
+let max_frame = 16 * 1024 * 1024
+
+(* {2 Payload types} *)
+
+type locate = {
+  lc_program : string;
+  lc_correct : string;
+  lc_input : int list;
+  lc_root_line : int option;
+  lc_deadline : float option;
+}
+
+type request = Locate of locate | Ping | Stats
+
+type response =
+  | Served of served
+  | Shed of string
+  | Failed of string
+  | Pong
+  | Counters of (string * int) list
+
+and served = {
+  sv_found : bool;
+  sv_fingerprint : string;
+  sv_ledger : string;
+  sv_replayed : bool;
+  sv_report : string;
+}
+
+(* {2 JSON codec} *)
+
+let envelope fields =
+  Json.Obj
+    (("schema", Json.Str schema)
+    :: ("version", Json.Num (float_of_int version))
+    :: fields)
+
+let num n = Json.Num (float_of_int n)
+let ints l = Json.Arr (List.map num l)
+
+let opt_field name f = function None -> [] | Some v -> [ (name, f v) ]
+
+let encode_request = function
+  | Ping -> Json.to_string (envelope [ ("op", Json.Str "ping") ])
+  | Stats -> Json.to_string (envelope [ ("op", Json.Str "stats") ])
+  | Locate l ->
+    Json.to_string
+      (envelope
+         ([ ("op", Json.Str "locate");
+            ("program", Json.Str l.lc_program);
+            ("correct", Json.Str l.lc_correct);
+            ("input", ints l.lc_input) ]
+         @ opt_field "root_line" num l.lc_root_line
+         @ opt_field "deadline" (fun d -> Json.Num d) l.lc_deadline))
+
+let encode_response = function
+  | Pong -> Json.to_string (envelope [ ("status", Json.Str "pong") ])
+  | Shed reason ->
+    Json.to_string
+      (envelope [ ("status", Json.Str "shed"); ("reason", Json.Str reason) ])
+  | Failed reason ->
+    Json.to_string
+      (envelope [ ("status", Json.Str "error"); ("reason", Json.Str reason) ])
+  | Counters kvs ->
+    Json.to_string
+      (envelope
+         [ ("status", Json.Str "counters");
+           ("counters", Json.Obj (List.map (fun (k, v) -> (k, num v)) kvs)) ])
+  | Served s ->
+    Json.to_string
+      (envelope
+         [ ("status", Json.Str "served");
+           ("found", Json.Bool s.sv_found);
+           ("fingerprint", Json.Str s.sv_fingerprint);
+           ("ledger", Json.Str s.sv_ledger);
+           ("replayed", Json.Bool s.sv_replayed);
+           ("report", Json.Str s.sv_report) ])
+
+let check_envelope j =
+  match (Json.member "schema" j, Json.member "version" j) with
+  | Some (Json.Str s), Some (Json.Num v) ->
+    if s <> schema then Error (Printf.sprintf "foreign schema %S" s)
+    else if int_of_float v <> version then
+      Error
+        (Printf.sprintf "protocol version %d (this side speaks %d)"
+           (int_of_float v) version)
+    else Ok ()
+  | _ -> Error "missing schema/version envelope"
+
+let str_field name j =
+  match Json.member name j with
+  | Some (Json.Str s) -> Ok s
+  | _ -> Error (Printf.sprintf "missing %S" name)
+
+let parse_payload kind s =
+  match Json.parse s with
+  | Error e -> Error (Printf.sprintf "unparsable %s: %s" kind e)
+  | Ok j -> (
+    match check_envelope j with Error e -> Error e | Ok () -> Ok j)
+
+let decode_request s =
+  match parse_payload "request" s with
+  | Error e -> Error e
+  | Ok j -> (
+    match str_field "op" j with
+    | Error e -> Error e
+    | Ok "ping" -> Ok Ping
+    | Ok "stats" -> Ok Stats
+    | Ok "locate" -> (
+      match (str_field "program" j, str_field "correct" j) with
+      | Error e, _ | _, Error e -> Error e
+      | Ok program, Ok correct ->
+        let input =
+          match Json.member "input" j with
+          | Some (Json.Arr l) ->
+            Some
+              (List.filter_map
+                 (function Json.Num n -> Some (int_of_float n) | _ -> None)
+                 l)
+          | _ -> None
+        in
+        (match input with
+        | None -> Error "missing \"input\""
+        | Some lc_input ->
+          let lc_root_line =
+            match Json.member "root_line" j with
+            | Some (Json.Num n) -> Some (int_of_float n)
+            | _ -> None
+          in
+          let lc_deadline =
+            match Json.member "deadline" j with
+            | Some (Json.Num d) -> Some d
+            | _ -> None
+          in
+          Ok
+            (Locate
+               { lc_program = program; lc_correct = correct; lc_input;
+                 lc_root_line; lc_deadline })))
+    | Ok op -> Error (Printf.sprintf "unknown op %S" op))
+
+let decode_response s =
+  match parse_payload "response" s with
+  | Error e -> Error e
+  | Ok j -> (
+    match str_field "status" j with
+    | Error e -> Error e
+    | Ok "pong" -> Ok Pong
+    | Ok "shed" ->
+      Ok (Shed (Result.value ~default:"unspecified" (str_field "reason" j)))
+    | Ok "error" ->
+      Ok (Failed (Result.value ~default:"unspecified" (str_field "reason" j)))
+    | Ok "counters" -> (
+      match Json.member "counters" j with
+      | Some (Json.Obj kvs) ->
+        Ok
+          (Counters
+             (List.filter_map
+                (function
+                  | k, Json.Num v -> Some (k, int_of_float v)
+                  | _ -> None)
+                kvs))
+      | _ -> Error "counters reply without counters")
+    | Ok "served" -> (
+      match
+        ( str_field "fingerprint" j,
+          str_field "ledger" j,
+          str_field "report" j )
+      with
+      | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+      | Ok sv_fingerprint, Ok sv_ledger, Ok sv_report ->
+        let flag name =
+          match Json.member name j with
+          | Some (Json.Bool b) -> b
+          | _ -> false
+        in
+        Ok
+          (Served
+             { sv_found = flag "found"; sv_fingerprint; sv_ledger;
+               sv_replayed = flag "replayed"; sv_report }))
+    | Ok st -> Error (Printf.sprintf "unknown status %S" st))
+
+(* {2 Framing} *)
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let n = Unix.write fd buf off len in
+    write_all fd buf (off + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame then invalid_arg "Proto.write_frame: payload too large";
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 buf 4 len;
+  write_all fd buf 0 (4 + len)
+
+(* Reads exactly [len] bytes; [Ok None] only on EOF at offset 0. *)
+let read_exact fd len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off = len then Ok (Some (Bytes.unsafe_to_string buf))
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> if off = 0 then Ok None else Error "torn frame (unexpected EOF)"
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Error "read timed out"
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Unix.error_message e)
+  in
+  go 0
+
+let read_frame fd =
+  match read_exact fd 4 with
+  | Error e -> Error e
+  | Ok None -> Ok None
+  | Ok (Some prefix) -> (
+    let len = Int32.to_int (String.get_int32_be prefix 0) in
+    if len < 0 || len > max_frame then
+      Error (Printf.sprintf "refused frame of %d bytes" len)
+    else
+      match read_exact fd len with
+      | Error e -> Error e
+      | Ok None -> Error "torn frame (length without payload)"
+      | Ok (Some payload) -> Ok (Some payload))

@@ -1,0 +1,70 @@
+(** The localization service wire protocol: length-prefixed, versioned
+    JSON frames over a Unix-domain stream socket.
+
+    A frame is a 4-byte big-endian payload length followed by that many
+    bytes of compact JSON.  Every payload carries
+    [{"schema":"exom.serve","version":1,...}]; a frame from a different
+    schema or version is rejected at decode, never guessed at.  Frames
+    above {!max_frame} are refused before allocation, so a garbage
+    length prefix cannot balloon the daemon. *)
+
+val schema : string
+val version : int
+
+(** Refuse frames longer than this many bytes (16 MiB). *)
+val max_frame : int
+
+(** One localization request: program sources travel inline (the daemon
+    has no filesystem contract with its clients). *)
+type locate = {
+  lc_program : string;  (** the faulty MCL source text *)
+  lc_correct : string;  (** the corrected program (the oracle) *)
+  lc_input : int list;  (** the failing input *)
+  lc_root_line : int option;
+      (** ground-truth fault line; [None] runs to exhaustion *)
+  lc_deadline : float option;
+      (** request deadline in seconds: sheds the request if it is still
+          queued when the deadline passes, and bounds each verification
+          (the Guard deadline) while it runs *)
+}
+
+type request =
+  | Locate of locate
+  | Ping  (** liveness probe *)
+  | Stats  (** daemon counters *)
+
+(** What the daemon answered.  [Served] echoes a deterministic textual
+    report plus the server-side ledger path and the request fingerprint
+    (see {!Exom_core.Session.fingerprint}); [Shed] is the 429-style
+    explicit rejection (bounded queue, drain, or queue deadline). *)
+type response =
+  | Served of served
+  | Shed of string
+  | Failed of string
+  | Pong
+  | Counters of (string * int) list
+
+and served = {
+  sv_found : bool;
+  sv_fingerprint : string;
+  sv_ledger : string;  (** server-side path of the request's ledger *)
+  sv_replayed : bool;
+      (** served (wholly or partly) by journal replay rather than a
+          cold run *)
+  sv_report : string;  (** deterministic report text (no wall-clock) *)
+}
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+(** {2 Framing} *)
+
+(** [write_frame fd payload] writes the length prefix and payload. *)
+val write_frame : Unix.file_descr -> string -> unit
+
+(** [read_frame fd] reads one frame; [Ok None] on clean EOF before the
+    prefix, [Error _] on torn frames, oversized lengths, or timeouts
+    surfaced by the socket. *)
+val read_frame : Unix.file_descr -> (string option, string) result

@@ -1,0 +1,47 @@
+(** Localization-as-a-service: a crash-safe daemon over one shared,
+    sharded verdict store.
+
+    The daemon listens on a Unix-domain socket for {!Proto} frames.  A
+    listener domain accepts connections, answers [ping]/[stats]
+    inline, and feeds [locate] requests into a bounded queue —
+    persisting each request to the state directory {e before}
+    acknowledging it, so a SIGKILL can lose no accepted work.  When the
+    queue is full (or the daemon is draining) the request is shed with
+    an explicit 429-style reply instead of growing memory.
+
+    The service loop (the coordinator) serves requests one at a time —
+    each localization already parallelizes its verification batches
+    across the supervised domain pool — journaling every request's
+    ledger with the crash-safe machinery: verdicts stream into the
+    shared store, events into a write-ahead journal named after the
+    request's {!Exom_core.Session.fingerprint}.  After a crash,
+    [run ~resume:true] re-enqueues every request whose journal lacks a
+    Final event and replays it to a byte-identical ledger.  Repeated
+    requests (same fingerprint) are served by whole-journal replay — a
+    warm answer with zero re-executions.
+
+    A request whose localization comes back DEGRADED (transient worker
+    kills exhausted the pool's respawn budget) is retried from a cold
+    journal with exponential backoff, up to [request_retries] times.
+
+    On SIGTERM/SIGINT the daemon drains: the listener stops accepting,
+    queued requests are served to completion, counters are exported to
+    [STATE/metrics.jsonl], and the socket is removed. *)
+
+type config = {
+  socket_path : string;
+  state_dir : string;  (** requests/, ledgers/, store/ live under it *)
+  jobs : int;  (** supervised pool size for verification batches *)
+  queue_limit : int;  (** pending requests beyond this are shed *)
+  shards : int;  (** store partition count (manifest wins if present) *)
+  lease : float;  (** store writer-lock lease, seconds *)
+  request_retries : int;  (** re-runs of a DEGRADED request *)
+  resume : bool;  (** replay journaled in-flight requests at startup *)
+}
+
+val default_config : socket_path:string -> state_dir:string -> config
+
+(** Run the daemon until drained.  Returns the process exit code.
+    [on_ready] (default: nothing) fires once the socket is listening —
+    tests use it to avoid polling. *)
+val run : ?on_ready:(unit -> unit) -> config -> int

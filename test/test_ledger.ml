@@ -292,7 +292,8 @@ let test_explain_sed () = explain_names_root "sedsim" "V3-F2"
 
 (* {2 Perf snapshots} *)
 
-let snapshot rows ~label ~verify_runs ~wall =
+let snapshot ?(warm_hit_rate = 0.95) ?(warm_verify_runs = 0) rows ~label
+    ~verify_runs ~wall =
   {
     Perf.label;
     jobs = 1;
@@ -303,6 +304,8 @@ let snapshot rows ~label ~verify_runs ~wall =
     verify_seconds = 0.1;
     interp_runs = 100;
     store_hit_rate = 0.5;
+    warm_hit_rate;
+    warm_verify_runs;
     wall_seconds = wall;
   }
 
@@ -337,6 +340,80 @@ let test_perf_roundtrip () =
   with
   | Ok _ -> Alcotest.fail "version skew accepted"
   | Error _ -> ()
+
+let test_perf_v1_compat () =
+  (* a v1 snapshot (no warm-store legs) still reads, with the warm
+     figures zeroed so the comparator sees "no baseline" *)
+  let s =
+    snapshot [ row "gzipsim" "V2-F3" ] ~label:"v1" ~verify_runs:50 ~wall:1.0
+  in
+  let v1_line =
+    (* serialize as v2, then rewrite into a v1 object: drop the warm
+       fields, patch the version *)
+    match Perf.to_json s with
+    | Exom_obs.Json.Obj fields ->
+      Exom_obs.Json.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             match k with
+             | "warm_hit_rate" | "warm_verify_runs" -> None
+             | "version" -> Some (k, Exom_obs.Json.Num 1.0)
+             | _ -> Some (k, v))
+           fields)
+    | _ -> Alcotest.fail "snapshot did not serialize to an object"
+  in
+  match Perf.of_json v1_line with
+  | Error e -> Alcotest.fail ("v1 snapshot rejected: " ^ e)
+  | Ok s' ->
+    Alcotest.(check (float 0.0)) "warm rate defaults to 0" 0.0
+      s'.Perf.warm_hit_rate;
+    Alcotest.(check int) "warm runs default to 0" 0 s'.Perf.warm_verify_runs;
+    (* and zeroed warm baselines must not flag the v2 candidate *)
+    let findings = Perf.compare ~tolerance:0.1 ~time_tolerance:0.5 s' s in
+    Alcotest.(check bool) "no spurious warm regression" false
+      (Perf.has_regression findings)
+
+let test_perf_warm_regression () =
+  let old_s =
+    snapshot [ row "gzipsim" "V2-F3" ] ~label:"old" ~verify_runs:100 ~wall:1.0
+  in
+  (* warm hit rate collapse is a regression *)
+  let cold_cache =
+    snapshot
+      ~warm_hit_rate:0.4
+      [ row "gzipsim" "V2-F3" ]
+      ~label:"new" ~verify_runs:100 ~wall:1.0
+  in
+  let findings =
+    Perf.compare ~tolerance:0.1 ~time_tolerance:0.5 old_s cold_cache
+  in
+  Alcotest.(check bool) "warm hit rate collapse flagged" true
+    (Perf.has_regression findings);
+  Alcotest.(check bool) "named in the findings" true
+    (contains (Perf.render findings) "warm_hit_rate");
+  (* new switched runs in the warm pass are a regression even from a
+     zero baseline *)
+  let leaky =
+    snapshot
+      ~warm_verify_runs:7
+      [ row "gzipsim" "V2-F3" ]
+      ~label:"new" ~verify_runs:100 ~wall:1.0
+  in
+  let findings = Perf.compare ~tolerance:0.1 ~time_tolerance:0.5 old_s leaky in
+  Alcotest.(check bool) "warm dispatches flagged" true
+    (Perf.has_regression findings);
+  Alcotest.(check bool) "warm_verify_runs named" true
+    (contains (Perf.render findings) "warm_verify_runs");
+  (* a better warm rate is an improvement, not a regression *)
+  let better =
+    snapshot
+      ~warm_hit_rate:1.0
+      [ row "gzipsim" "V2-F3" ]
+      ~label:"new" ~verify_runs:100 ~wall:1.0
+  in
+  let findings = Perf.compare ~tolerance:0.03 ~time_tolerance:0.5 old_s better in
+  Alcotest.(check bool) "warm improvement is not a regression" false
+    (Perf.has_regression findings)
 
 let test_perf_compare () =
   let old_s =
@@ -418,6 +495,10 @@ let () =
       ( "perf",
         [
           Alcotest.test_case "snapshot round-trip" `Quick test_perf_roundtrip;
+          Alcotest.test_case "v1 snapshot compatibility" `Quick
+            test_perf_v1_compat;
           Alcotest.test_case "regression comparator" `Quick test_perf_compare;
+          Alcotest.test_case "warm-store regression gates" `Quick
+            test_perf_warm_regression;
         ] );
     ]

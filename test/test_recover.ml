@@ -149,6 +149,39 @@ let kill_variants journal =
   in
   boundary_cuts @ [ mid_batch; torn ]
 
+(* Line-level surgery shared by the kill-chain tests. *)
+let journal_lines journal =
+  match List.rev (String.split_on_char '\n' journal) with
+  | "" :: r -> List.rev r
+  | r -> List.rev r
+
+let line_prefix lines k =
+  String.concat "\n" (List.filteri (fun i _ -> i < k) lines) ^ "\n"
+
+let checkpoint_indices lines =
+  let found = ref [] in
+  List.iteri
+    (fun i l -> if contains l "\"ev\":\"checkpoint\"" then found := i :: !found)
+    lines;
+  List.rev !found
+
+(* What a SIGKILL leaves when it lands while the line after checkpoint
+   [n] (0-based) is being written: everything through the checkpoint,
+   plus a torn fragment of the next line. *)
+let torn_after_checkpoint journal n =
+  let lines = journal_lines journal in
+  let cks = checkpoint_indices lines in
+  Alcotest.(check bool) "journal has checkpoints" true (cks <> []);
+  let i = List.nth cks (min n (List.length cks - 1)) in
+  let upto = min (i + 2) (List.length lines) in
+  let s = line_prefix lines upto in
+  String.sub s 0 (String.length s - 9)
+
+let plan_of label path =
+  match Recover.plan_of_file path with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "%s: no plan: %s" label e
+
 let test_resume_byte_identical () =
   let full_ledger, full_report = Lazy.force baseline in
   let journal = read_file (Lazy.force baseline_path) in
@@ -211,6 +244,59 @@ let test_complete_journal_resumes_to_itself () =
   Alcotest.(check bool) "identical report" true
     (report_sig report = report_sig full_report)
 
+(* Crash chains: kill -> resume -> kill the resumed run later -> resume
+   again.  Every generation's journal is torn mid-line (the realistic
+   SIGKILL residue), every resume is primed through the real plan
+   machinery, and the survivor of the second resume must still be
+   byte-identical to the uninterrupted baseline — at -j1 and -j4. *)
+let test_multi_generation_chain () =
+  let full_ledger, full_report = Lazy.force baseline in
+  let journal0 = read_file (Lazy.force baseline_path) in
+  let ncks0 = List.length (checkpoint_indices (journal_lines journal0)) in
+  Alcotest.(check bool) "baseline has at least two checkpoints" true
+    (ncks0 >= 2);
+  List.iter
+    (fun jobs ->
+      (* generation 1: killed early, right after the first checkpoint *)
+      let killed1 = fresh_path () in
+      write_file killed1 (torn_after_checkpoint journal0 0);
+      let plan1 = plan_of "gen1" killed1 in
+      Alcotest.(check bool) "gen1: incomplete" false plan1.Recover.complete;
+      Alcotest.(check bool) "gen1: torn tail detected" true
+        plan1.Recover.truncated;
+      Alcotest.(check int) "gen1: first resume in the chain" 0
+        plan1.Recover.prior_resumes;
+      let j1 = fresh_path () in
+      ignore (journaled_run ~plan:plan1 ~jobs j1);
+      let journal1 = read_file j1 in
+      Alcotest.(check bool) "gen1: resumed journal carries its marker" true
+        (contains journal1 "\"type\":\"resume\"");
+      (* generation 2: the resumed run survives longer — killed after
+         its last checkpoint *)
+      let ncks1 = List.length (checkpoint_indices (journal_lines journal1)) in
+      let killed2 = fresh_path () in
+      write_file killed2 (torn_after_checkpoint journal1 (ncks1 - 1));
+      let plan2 = plan_of "gen2" killed2 in
+      Alcotest.(check bool) "gen2: incomplete" false plan2.Recover.complete;
+      Alcotest.(check bool) "gen2: torn tail detected" true
+        plan2.Recover.truncated;
+      Alcotest.(check int) "gen2: one prior resume in the lineage" 1
+        plan2.Recover.prior_resumes;
+      Alcotest.(check bool) "gen2: the later kill salvages more batches"
+        true
+        (plan2.Recover.replayed_batches > plan1.Recover.replayed_batches);
+      let ledger2, report2 = journaled_run ~plan:plan2 ~jobs (fresh_path ()) in
+      Alcotest.(check string)
+        (Printf.sprintf
+           "second-generation resume byte-identical to baseline (-j%d)" jobs)
+        full_ledger ledger2;
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "second-generation report identical to baseline (-j%d)" jobs)
+        true
+        (report_sig report2 = report_sig full_report))
+    [ 1; 4 ]
+
 let test_foreign_journal_rejected () =
   (* a journal from a different program/input must not prime a session *)
   let other_bench = Option.get (Suite.find "sedsim") in
@@ -254,6 +340,8 @@ let () =
                 test_resume_accounting;
               Alcotest.test_case "complete journal replays entirely" `Quick
                 test_complete_journal_resumes_to_itself;
+              Alcotest.test_case "multi-generation crash chain" `Quick
+                test_multi_generation_chain;
               Alcotest.test_case "foreign journal rejected" `Quick
                 test_foreign_journal_rejected;
               Alcotest.test_case "salvage description" `Quick test_describe;

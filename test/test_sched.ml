@@ -99,16 +99,25 @@ let test_disk_round_trip () =
       ignore (Store.find s2 k);
       Alcotest.(check int) "promoted" 1 (Store.stats s2).Store.hits)
 
-let entry_file dir =
-  (* the single entry's file, wherever the shard put it *)
+(* Entry files only: skip the layout's own bookkeeping (MANIFEST,
+   shard locks, quarantine). *)
+let entry_files dir =
   let files = ref [] in
   let rec walk p =
-    if Sys.is_directory p then
+    if Filename.basename p = "quarantine" then ()
+    else if Sys.is_directory p then
       Array.iter (fun f -> walk (Filename.concat p f)) (Sys.readdir p)
-    else files := p :: !files
+    else
+      let b = Filename.basename p in
+      if b <> "MANIFEST" && not (Filename.check_suffix b ".lock") then
+        files := p :: !files
   in
   walk dir;
-  match !files with
+  List.sort compare !files
+
+let entry_file dir =
+  (* the single entry's file, wherever the shard put it *)
+  match entry_files dir with
   | [ f ] -> f
   | l -> Alcotest.failf "expected one entry file, found %d" (List.length l)
 
@@ -151,6 +160,174 @@ let test_hit_rate () =
   ignore (Store.find s k);
   Alcotest.(check (float 1e-9)) "1 hit / 2 lookups" 0.5
     (Store.hit_rate (Store.stats s))
+
+(* {2 Multi-writer disk tier: manifest, locks, quarantine} *)
+
+let test_manifest_governs_layout () =
+  with_temp_dir (fun dir ->
+      let s1 = Store.create ~dir ~shards:4 () in
+      Alcotest.(check int) "requested shards adopted" 4 (Store.shard_count s1);
+      Alcotest.(check bool) "manifest written" true
+        (Sys.file_exists (Filename.concat dir "MANIFEST"));
+      (* a second writer asking for a different partitioning must defer
+         to the manifest, or the two would shard incompatibly *)
+      let s2 = Store.create ~dir ~shards:32 () in
+      Alcotest.(check int) "existing manifest wins" 4 (Store.shard_count s2);
+      let k = Store.digest [ "cross" ] in
+      Store.add s1 ~key:k "payload";
+      Alcotest.(check (option string))
+        "entry visible across handles" (Some "payload") (Store.find s2 k))
+
+let test_foreign_layout_quarantined () =
+  with_temp_dir (fun dir ->
+      (* a directory claiming an alien layout, with content laid out
+         under it: adopt nothing, quarantine everything, keep going *)
+      Sys.mkdir dir 0o755;
+      let oc = open_out (Filename.concat dir "MANIFEST") in
+      output_string oc "{\"schema\":\"someone-elses-cache\",\"version\":9}\n";
+      close_out oc;
+      Sys.mkdir (Filename.concat dir "shard-000") 0o755;
+      let oc = open_out (Filename.concat dir "shard-000" ^ "/orphan") in
+      output_string oc "alien bytes";
+      close_out oc;
+      let s = Store.create ~dir () in
+      Alcotest.(check bool) "foreign content quarantined" true
+        ((Store.lock_stats s).Store.lock_waits >= 0
+        && (Store.lock_stats s).Store.quarantined >= 2);
+      Alcotest.(check bool) "directory reinitialized" true
+        (Sys.file_exists (Filename.concat dir "MANIFEST"));
+      Alcotest.(check int) "fresh manifest adopted" Store.default_shards
+        (Store.shard_count s);
+      (* the store works normally afterwards *)
+      let k = Store.digest [ "after" ] in
+      Store.add s ~key:k "v";
+      Alcotest.(check (option string)) "usable" (Some "v") (Store.find s k))
+
+let test_corrupt_entry_quarantined () =
+  with_temp_dir (fun dir ->
+      let k = Store.digest [ "x" ] in
+      let s1 = Store.create ~dir () in
+      Store.add s1 ~key:k "value";
+      corrupt_with dir "garbage";
+      let s2 = Store.create ~dir () in
+      Alcotest.(check (option string)) "rejected" None (Store.find s2 k);
+      Alcotest.(check int) "moved aside" 1
+        (Store.lock_stats s2).Store.quarantined;
+      Alcotest.(check (list string)) "no entry left in the shard" []
+        (entry_files dir);
+      Alcotest.(check bool) "preserved for post-mortem" true
+        (Sys.file_exists (Filename.concat dir "quarantine")
+        && Sys.readdir (Filename.concat dir "quarantine") <> [||]);
+      (* a second lookup is a clean miss, not a second corruption *)
+      ignore (Store.find s2 k);
+      Alcotest.(check int) "counted once" 1 (Store.stats s2).Store.corrupted)
+
+(* A writer that died holding a shard lock must not wedge the cache:
+   the pid in the lock is provably dead, so the next writer steals. *)
+let test_dead_holder_lock_stolen () =
+  with_temp_dir (fun dir ->
+      let s = Store.create ~dir ~shards:1 () in
+      let dead_pid =
+        match Unix.fork () with
+        | 0 -> Unix._exit 0
+        | pid ->
+          ignore (Unix.waitpid [] pid);
+          pid
+      in
+      let lock = Filename.concat dir "shard-000.lock" in
+      let oc = open_out lock in
+      output_string oc (string_of_int dead_pid);
+      close_out oc;
+      let k = Store.digest [ "steal-me" ] in
+      Store.add s ~key:k "v";
+      Alcotest.(check int) "stolen immediately" 1
+        (Store.lock_stats s).Store.lock_steals;
+      Alcotest.(check (option string))
+        "write went through" (Some "v")
+        (Store.find (Store.create ~dir ()) k))
+
+(* A live-but-wedged holder is stolen from once the lease expires. *)
+let test_expired_lease_stolen () =
+  with_temp_dir (fun dir ->
+      let s = Store.create ~dir ~shards:1 ~lease:0.05 () in
+      let lock = Filename.concat dir "shard-000.lock" in
+      let oc = open_out lock in
+      (* our own pid: alive, so only the lease can unstick this *)
+      output_string oc (string_of_int (Unix.getpid ()));
+      close_out oc;
+      let past = Unix.gettimeofday () -. 10.0 in
+      Unix.utimes lock past past;
+      let k = Store.digest [ "lease" ] in
+      Store.add s ~key:k "v";
+      Alcotest.(check int) "stolen after the lease" 1
+        (Store.lock_stats s).Store.lock_steals)
+
+(* The acceptance test: two processes hammering one store directory
+   concurrently lose no entries, corrupt no shards, and agree with the
+   single-process result. *)
+let test_two_process_hammer () =
+  with_temp_dir (fun dir ->
+      let n = 200 in
+      let key i = Store.digest [ "hammer"; string_of_int i ] in
+      let value i = Printf.sprintf "verdict-%d\nwith a newline" i in
+      let child seed =
+        match Unix.fork () with
+        | 0 ->
+          let ok =
+            try
+              let s = Store.create ~dir ~shards:8 () in
+              (* interleave writes and reads over the shared keyspace,
+                 each child starting from a different offset *)
+              for j = 0 to n - 1 do
+                let i = (j + seed) mod n in
+                Store.add s ~key:(key i) (value i);
+                ignore (Store.find s (key ((i + 7) mod n)))
+              done;
+              (Store.stats s).Store.corrupted = 0
+            with _ -> false
+          in
+          Unix._exit (if ok then 0 else 1)
+        | pid -> pid
+      in
+      let pids = [ child 0; child 101 ] in
+      List.iter
+        (fun pid ->
+          match Unix.waitpid [] pid with
+          | _, Unix.WEXITED 0 -> ()
+          | _, _ -> Alcotest.fail "hammer child failed")
+        pids;
+      (* no torn temp files, no stuck locks, nothing quarantined *)
+      let leftovers =
+        entry_files dir
+        |> List.filter (fun f ->
+               let b = Filename.basename f in
+               not (String.length b = 32))
+      in
+      Alcotest.(check (list string)) "no temp litter" [] leftovers;
+      Alcotest.(check bool) "no quarantine" true
+        (not (Sys.file_exists (Filename.concat dir "quarantine")));
+      (* every entry present, uncorrupted, and equal to what one
+         process writing alone would have produced *)
+      let survivor = Store.create ~dir () in
+      for i = 0 to n - 1 do
+        Alcotest.(check (option string))
+          (Printf.sprintf "entry %d survives" i)
+          (Some (value i))
+          (Store.find survivor (key i))
+      done;
+      Alcotest.(check int) "no corruption" 0
+        (Store.stats survivor).Store.corrupted;
+      with_temp_dir (fun solo_dir ->
+          let solo = Store.create ~dir:solo_dir ~shards:8 () in
+          for i = 0 to n - 1 do
+            Store.add solo ~key:(key i) (value i)
+          done;
+          let names d =
+            entry_files d |> List.map Filename.basename |> List.sort compare
+          in
+          Alcotest.(check (list string))
+            "same entries as the single-process run" (names solo_dir)
+            (names dir)))
 
 (* {2 Pool and Batch} *)
 
@@ -465,6 +642,21 @@ let () =
           Alcotest.test_case "corrupted entries rejected" `Quick
             test_corrupted_rejected;
           Alcotest.test_case "hit rate" `Quick test_hit_rate;
+        ] );
+      ( "multi-writer",
+        [
+          Alcotest.test_case "manifest governs the layout" `Quick
+            test_manifest_governs_layout;
+          Alcotest.test_case "foreign layout quarantined" `Quick
+            test_foreign_layout_quarantined;
+          Alcotest.test_case "corrupt entry quarantined" `Quick
+            test_corrupt_entry_quarantined;
+          Alcotest.test_case "dead holder's lock stolen" `Quick
+            test_dead_holder_lock_stolen;
+          Alcotest.test_case "expired lease stolen" `Quick
+            test_expired_lease_stolen;
+          Alcotest.test_case "two processes hammer one dir" `Quick
+            test_two_process_hammer;
         ] );
       ( "pool",
         [

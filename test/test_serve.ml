@@ -1,0 +1,420 @@
+(* The localization service: Proto codec and framing invariants, plus
+   the daemon end-to-end over a real Unix-domain socket — serve a suite
+   fault, replay the repeat from its journal, drain on SIGTERM, and
+   resume a fabricated in-flight request to the same ledger bytes.
+   (SIGKILL-mid-request crash chains live in CI's serve-stress job; the
+   journal replay machinery itself is covered by test_recover.) *)
+
+module B = Exom_bench.Bench_types
+module Suite = Exom_bench.Suite
+module Proto = Exom_serve.Proto
+module Serve = Exom_serve.Serve
+module Client = Exom_serve.Client
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let cleanup = ref []
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let p =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "exom_serve_test_%d_%d" (Unix.getpid ()) !n)
+    in
+    Unix.mkdir p 0o755;
+    cleanup := p :: !cleanup;
+    p
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+(* {2 Proto codec} *)
+
+let sample_locate =
+  {
+    Proto.lc_program = "int main() { print(1); }";
+    lc_correct = "int main() { print(2); }";
+    lc_input = [ 3; 1; 4; 1; 5 ];
+    lc_root_line = Some 7;
+    lc_deadline = Some 2.5;
+  }
+
+let check_request_roundtrip name req =
+  match Proto.decode_request (Proto.encode_request req) with
+  | Error e -> Alcotest.failf "%s: decode failed: %s" name e
+  | Ok got -> Alcotest.(check bool) name true (got = req)
+
+let test_request_roundtrip () =
+  check_request_roundtrip "locate (all fields)" (Proto.Locate sample_locate);
+  check_request_roundtrip "locate (bare)"
+    (Proto.Locate
+       { sample_locate with lc_root_line = None; lc_deadline = None });
+  check_request_roundtrip "locate (empty input)"
+    (Proto.Locate { sample_locate with lc_input = [] });
+  check_request_roundtrip "ping" Proto.Ping;
+  check_request_roundtrip "stats" Proto.Stats
+
+let check_response_roundtrip name resp =
+  match Proto.decode_response (Proto.encode_response resp) with
+  | Error e -> Alcotest.failf "%s: decode failed: %s" name e
+  | Ok got -> Alcotest.(check bool) name true (got = resp)
+
+let test_response_roundtrip () =
+  check_response_roundtrip "served"
+    (Proto.Served
+       {
+         Proto.sv_found = true;
+         sv_fingerprint = "abc123-r7";
+         sv_ledger = "/state/ledgers/abc123-r7.ledger";
+         sv_replayed = false;
+         sv_report = "root cause: line 7\nwith \"quotes\" and\nnewlines";
+       });
+  check_response_roundtrip "shed" (Proto.Shed "queue full (64 pending)");
+  check_response_roundtrip "failed" (Proto.Failed "parse error: line 3");
+  check_response_roundtrip "pong" Proto.Pong;
+  check_response_roundtrip "counters"
+    (Proto.Counters [ ("accepted", 12); ("served", 11); ("queue_depth", 1) ])
+
+let test_decode_rejects () =
+  let reject name s =
+    (match Proto.decode_request s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: request decode should have failed" name);
+    match Proto.decode_response s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: response decode should have failed" name
+  in
+  reject "garbage" "not json at all";
+  reject "foreign schema"
+    {|{"schema":"exom.other","version":1,"req":"ping"}|};
+  reject "future version"
+    {|{"schema":"exom.serve","version":99,"req":"ping"}|};
+  reject "no envelope" {|{"req":"ping"}|};
+  (* a versioned envelope with an unknown operation is still rejected *)
+  match
+    Proto.decode_request {|{"schema":"exom.serve","version":1,"req":"melt"}|}
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown op should have been rejected"
+
+(* {2 Framing} *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_frame_roundtrip () =
+  with_socketpair (fun a b ->
+      let payload = Proto.encode_request (Proto.Locate sample_locate) in
+      Proto.write_frame a payload;
+      (match Proto.read_frame b with
+      | Ok (Some got) ->
+        Alcotest.(check string) "payload survives framing" payload got
+      | Ok None -> Alcotest.fail "unexpected EOF"
+      | Error e -> Alcotest.failf "read_frame: %s" e);
+      (* two frames back to back stay separate *)
+      Proto.write_frame a "first";
+      Proto.write_frame a "second";
+      (match Proto.read_frame b with
+      | Ok (Some s) -> Alcotest.(check string) "first frame" "first" s
+      | _ -> Alcotest.fail "first frame lost");
+      match Proto.read_frame b with
+      | Ok (Some s) -> Alcotest.(check string) "second frame" "second" s
+      | _ -> Alcotest.fail "second frame lost")
+
+let test_frame_eof_and_torn () =
+  (* clean EOF before any prefix byte: Ok None, not an error *)
+  with_socketpair (fun a b ->
+      Unix.close a;
+      match Proto.read_frame b with
+      | Ok None -> ()
+      | Ok (Some _) -> Alcotest.fail "phantom frame at EOF"
+      | Error e -> Alcotest.failf "clean EOF should not error: %s" e);
+  (* a torn frame — length promised, connection cut mid-payload *)
+  with_socketpair (fun a b ->
+      let payload = "this payload will be cut short" in
+      let len = String.length payload in
+      let prefix = Bytes.create 4 in
+      Bytes.set prefix 0 (Char.chr ((len lsr 24) land 0xff));
+      Bytes.set prefix 1 (Char.chr ((len lsr 16) land 0xff));
+      Bytes.set prefix 2 (Char.chr ((len lsr 8) land 0xff));
+      Bytes.set prefix 3 (Char.chr (len land 0xff));
+      ignore (Unix.write a prefix 0 4);
+      ignore (Unix.write_substring a payload 0 5);
+      Unix.close a;
+      match Proto.read_frame b with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "torn frame should error");
+  (* an absurd length prefix is refused before allocation *)
+  with_socketpair (fun a b ->
+      let prefix = Bytes.of_string "\x7f\xff\xff\xff" in
+      ignore (Unix.write a prefix 0 4);
+      match Proto.read_frame b with
+      | Error e ->
+        Alcotest.(check bool) "names the frame limit" true
+          (contains e "frame")
+      | Ok _ -> Alcotest.fail "oversized frame should be refused")
+
+(* {2 The daemon, end to end} *)
+
+(* gzipsim V2-F3: small enough to localize in well under a second, rich
+   enough to journal batches worth replaying. *)
+let fixture =
+  lazy
+    (let bench = Option.get (Suite.find "gzipsim") in
+     let fault = Option.get (Suite.find_fault bench "V2-F3") in
+     ( B.faulty_source bench fault,
+       bench.B.source,
+       fault.B.failing_input,
+       B.fault_line bench fault ))
+
+let locate_payload () =
+  let faulty, correct, input, root_line = Lazy.force fixture in
+  {
+    Proto.lc_program = faulty;
+    lc_correct = correct;
+    lc_input = input;
+    lc_root_line = Some root_line;
+    lc_deadline = None;
+  }
+
+let locate_request () = Proto.Locate (locate_payload ())
+
+(* Run a daemon on [state_dir], hand its socket to [f] once it is
+   listening, then SIGTERM-drain it and return (exit code, f's value).
+   The daemon runs in a domain of this very process, so the drain
+   signal is simply a self-kill — Serve.run installs the handler. *)
+let with_daemon ?(resume = false) state_dir f =
+  let socket = Filename.concat state_dir "exom.sock" in
+  let cfg =
+    { (Serve.default_config ~socket_path:socket ~state_dir) with
+      Serve.jobs = 2;
+      resume;
+    }
+  in
+  let ready = Atomic.make false in
+  let daemon =
+    Domain.spawn (fun () ->
+        Serve.run ~on_ready:(fun () -> Atomic.set ready true) cfg)
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (not (Atomic.get ready)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  if not (Atomic.get ready) then Alcotest.fail "daemon never became ready";
+  let v =
+    Fun.protect
+      ~finally:(fun () -> Unix.kill (Unix.getpid ()) Sys.sigterm)
+      (fun () -> f socket)
+  in
+  let rc = Domain.join daemon in
+  (rc, v)
+
+let request_ok socket req =
+  match Client.request ~socket req with
+  | Ok resp -> resp
+  | Error e -> Alcotest.failf "transport error: %s" e
+
+let served socket req =
+  match request_ok socket req with
+  | Proto.Served s -> s
+  | Proto.Shed why -> Alcotest.failf "shed: %s" why
+  | Proto.Failed why -> Alcotest.failf "failed: %s" why
+  | Proto.Pong | Proto.Counters _ -> Alcotest.fail "wrong response kind"
+
+let counter resp name =
+  match resp with
+  | Proto.Counters kvs -> (
+    match List.assoc_opt name kvs with
+    | Some v -> v
+    | None -> Alcotest.failf "no %s counter" name)
+  | _ -> Alcotest.fail "expected counters"
+
+let test_daemon_serves_and_replays () =
+  let state = fresh_dir () in
+  let rc, (first, second, ledger1) =
+    with_daemon state (fun socket ->
+        (match request_ok socket Proto.Ping with
+        | Proto.Pong -> ()
+        | _ -> Alcotest.fail "ping should pong");
+        let first = served socket (locate_request ()) in
+        Alcotest.(check bool) "found the root cause" true first.Proto.sv_found;
+        Alcotest.(check bool) "first run is live" false first.Proto.sv_replayed;
+        Alcotest.(check bool) "ledger exists on disk" true
+          (Sys.file_exists first.Proto.sv_ledger);
+        let ledger1 = read_file first.Proto.sv_ledger in
+        (* the same request again: whole-journal replay, same bytes *)
+        let second = served socket (locate_request ()) in
+        let stats = request_ok socket Proto.Stats in
+        Alcotest.(check int) "two served" 2 (counter stats "served");
+        Alcotest.(check int) "one replayed" 1 (counter stats "replayed");
+        Alcotest.(check int) "none shed" 0 (counter stats "shed");
+        (first, second, ledger1))
+  in
+  Alcotest.(check int) "drained exit code" 0 rc;
+  Alcotest.(check bool) "repeat is a replay" true second.Proto.sv_replayed;
+  Alcotest.(check string) "same fingerprint" first.Proto.sv_fingerprint
+    second.Proto.sv_fingerprint;
+  Alcotest.(check string) "same report" first.Proto.sv_report
+    second.Proto.sv_report;
+  Alcotest.(check string) "replay rewrites identical ledger bytes" ledger1
+    (read_file first.Proto.sv_ledger);
+  (* drain removed the socket and exported the counters *)
+  Alcotest.(check bool) "socket removed" false
+    (Sys.file_exists (Filename.concat state "exom.sock"));
+  let metrics = read_file (Filename.concat state "metrics.jsonl") in
+  Alcotest.(check bool) "serve.served exported" true
+    (contains metrics "serve.served");
+  (* the request file was promoted from its provisional name *)
+  let reqs = Sys.readdir (Filename.concat state "requests") in
+  Alcotest.(check int) "one persisted request" 1 (Array.length reqs);
+  Alcotest.(check string) "named by fingerprint"
+    (first.Proto.sv_fingerprint ^ ".json")
+    reqs.(0)
+
+let test_daemon_concurrent_stress () =
+  let state = fresh_dir () in
+  let rc, result =
+    with_daemon state (fun socket ->
+        Client.stress ~socket ~clients:8 [ locate_payload () ])
+  in
+  Alcotest.(check int) "drained exit code" 0 rc;
+  Alcotest.(check int) "all served" 8 result.Client.st_served;
+  Alcotest.(check int) "none shed" 0 result.Client.st_shed;
+  Alcotest.(check int) "none failed" 0 result.Client.st_failed;
+  Alcotest.(check int) "no transport errors" 0 result.Client.st_errors;
+  Alcotest.(check bool) "at least 7 journal replays" true
+    (result.Client.st_replayed >= 7)
+
+let test_daemon_resume_in_flight () =
+  let state = fresh_dir () in
+  (* first life: serve the request to completion, keep the bytes *)
+  let _, (fp, ledger_bytes) =
+    with_daemon state (fun socket ->
+        let s = served socket (locate_request ()) in
+        (s.Proto.sv_fingerprint, read_file s.Proto.sv_ledger))
+  in
+  (* fabricate the crash: the request back under a provisional name, its
+     journal cut after the last checkpoint with a torn tail.  (Cutting
+     mid-batch would also resume correctly, but the re-verified tail
+     would then hit the store the first life warmed, and the ledger
+     would honestly record cache:disk sources where an uninterrupted
+     run recorded live runs — byte-identity is relative to the store
+     state the run started from, so the byte-level fixture cuts where
+     replay alone completes the journal.) *)
+  let requests = Filename.concat state "requests" in
+  let ledger = Filename.concat (Filename.concat state "ledgers") (fp ^ ".ledger") in
+  Sys.rename
+    (Filename.concat requests (fp ^ ".json"))
+    (Filename.concat requests "q-99999-1.json");
+  let torn =
+    let marker = "\"ev\":\"checkpoint\"" in
+    let rec last_from i acc =
+      if i + String.length marker > String.length ledger_bytes then acc
+      else if String.sub ledger_bytes i (String.length marker) = marker then
+        last_from (i + 1) i
+      else last_from (i + 1) acc
+    in
+    let ck = last_from 0 (-1) in
+    Alcotest.(check bool) "journal has a checkpoint" true (ck >= 0);
+    let eol = String.index_from ledger_bytes ck '\n' in
+    (* keep the checkpoint line plus nine bytes of the next: the torn
+       last line a SIGKILL mid-write leaves behind *)
+    String.sub ledger_bytes 0 (eol + 1 + 9)
+  in
+  write_file ledger torn;
+  (* second life: --resume replays it without any client asking *)
+  let rc, () =
+    with_daemon ~resume:true state (fun socket ->
+        let deadline = Unix.gettimeofday () +. 30.0 in
+        let rec wait () =
+          let stats = request_ok socket Proto.Stats in
+          if counter stats "served" >= 1 then stats
+          else if Unix.gettimeofday () > deadline then
+            Alcotest.fail "resume never served the in-flight request"
+          else begin
+            Unix.sleepf 0.05;
+            wait ()
+          end
+        in
+        let stats = wait () in
+        Alcotest.(check int) "one request resumed" 1 (counter stats "resumed");
+        Alcotest.(check int) "resume is a journal replay" 1
+          (counter stats "replayed"))
+  in
+  Alcotest.(check int) "drained exit code" 0 rc;
+  Alcotest.(check string) "resumed ledger is byte-identical" ledger_bytes
+    (read_file ledger);
+  (* the provisional request file was promoted again *)
+  Alcotest.(check bool) "request promoted to fingerprint name" true
+    (Sys.file_exists (Filename.concat requests (fp ^ ".json")))
+
+let test_daemon_refuses_second_instance () =
+  let state = fresh_dir () in
+  let rc, rc2 =
+    with_daemon state (fun socket ->
+        let cfg =
+          Serve.default_config ~socket_path:socket ~state_dir:state
+        in
+        Serve.run { cfg with Serve.jobs = 1 })
+  in
+  Alcotest.(check int) "first daemon drains clean" 0 rc;
+  Alcotest.(check int) "second daemon refuses the live socket" 1 rc2
+
+let () =
+  let result =
+    Alcotest.run ~and_exit:false "serve"
+      [
+        ( "proto",
+          [
+            Alcotest.test_case "request round-trip" `Quick
+              test_request_roundtrip;
+            Alcotest.test_case "response round-trip" `Quick
+              test_response_roundtrip;
+            Alcotest.test_case "foreign frames rejected" `Quick
+              test_decode_rejects;
+            Alcotest.test_case "framing round-trip" `Quick test_frame_roundtrip;
+            Alcotest.test_case "EOF, torn and oversized frames" `Quick
+              test_frame_eof_and_torn;
+          ] );
+        ( "daemon",
+          [
+            Alcotest.test_case "serves and replays over the socket" `Quick
+              test_daemon_serves_and_replays;
+            Alcotest.test_case "8 concurrent clients" `Quick
+              test_daemon_concurrent_stress;
+            Alcotest.test_case "resumes an in-flight request" `Quick
+              test_daemon_resume_in_flight;
+            Alcotest.test_case "refuses a second instance" `Quick
+              test_daemon_refuses_second_instance;
+          ] );
+      ]
+  in
+  List.iter rm_rf !cleanup;
+  match result with () -> ()
