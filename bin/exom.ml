@@ -19,7 +19,10 @@
      serve   localization daemon over a Unix-domain socket (crash-safe:
              accepted requests survive SIGKILL; --resume replays them)
      client  send one localization request to a daemon (--stress N for
-             N concurrent clients)                                      *)
+             N concurrent clients)
+     corpus  corpus factory: gen (seeded manifest of validated omission
+             faults), run (sharded campaign, crash-safe resume), report,
+             mine (feature tables), seed (inject one fault in a file)   *)
 
 module Ast = Exom_lang.Ast
 module Typecheck = Exom_lang.Typecheck
@@ -233,6 +236,7 @@ module Pool = Exom_sched.Pool
 module Store = Exom_sched.Store
 module Obs = Exom_obs.Obs
 module Export = Exom_obs.Export
+module Json = Exom_obs.Json
 
 (* Observability: span recording is enabled exactly when --trace-out is
    given (metrics are always live — reports are built from them). *)
@@ -858,12 +862,12 @@ let default_label () =
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
     tm.Unix.tm_mday
 
-let bench_suite jobs json_out history label =
+let bench_suite jobs json_out history label corpus_count =
   let jobs =
     match jobs with Some j -> j | None -> Pool.default_jobs ()
   in
   let label = match label with Some l -> l | None -> default_label () in
-  let s = Perf.run_suite ~jobs ~label () in
+  let s = Perf.run_suite ~jobs ~label ?corpus_count () in
   Printf.printf "suite %s (%d job(s)): %d/%d located\n" s.Perf.label s.Perf.jobs
     s.Perf.located s.Perf.total;
   List.iter
@@ -886,6 +890,15 @@ let bench_suite jobs json_out history label =
     "  warm store: hit rate %.0f%%, %d switched run(s) still dispatched\n"
     (100.0 *. s.Perf.warm_hit_rate)
     s.Perf.warm_verify_runs;
+  (match s.Perf.corpus with
+  | Some c ->
+    Printf.printf
+      "  corpus (seed %d): %d/%d located, %d failed, mean iterations %.2f, \
+       mean verifications %.2f, wall %.3fs\n"
+      c.Perf.c_seed c.Perf.c_located c.Perf.c_total c.Perf.c_failed
+      c.Perf.c_mean_iterations c.Perf.c_mean_verifications
+      c.Perf.c_wall_seconds
+  | None -> ());
   (match json_out with
   | Some path ->
     Perf.write path s;
@@ -901,6 +914,36 @@ let bench_suite jobs json_out history label =
 (* --export: materialize one fault as files so external drivers (the
    serve-stress CI job, exom client) can feed it back without linking
    the suite. *)
+(* The machine-readable side of --export: external drivers (the corpus
+   campaign runner, the serve-stress CI job) consume the fixture without
+   hardcoding file names. *)
+let fixtures_manifest entries =
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.Str "exom.fixtures");
+         ("version", Json.Num 1.0);
+         ( "fixtures",
+           Json.Arr
+             (List.map
+                (fun (name, fid, input, root_line) ->
+                  Json.Obj
+                    [
+                      ("name", Json.Str name);
+                      ("fid", Json.Str fid);
+                      ("faulty", Json.Str "faulty.mc");
+                      ("correct", Json.Str "correct.mc");
+                      ( "input",
+                        Json.Arr
+                          (List.map
+                             (fun i -> Json.Num (float_of_int i))
+                             input) );
+                      ("root_line", Json.Num (float_of_int root_line));
+                    ])
+                entries) );
+       ])
+  ^ "\n"
+
 let bench_export name fid dir bench fault =
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   write_file (Filename.concat dir "faulty.mc") (B.faulty_source bench fault);
@@ -911,7 +954,13 @@ let bench_export name fid dir bench fault =
   write_file
     (Filename.concat dir "root_line.txt")
     (string_of_int (B.fault_line bench fault) ^ "\n");
-  Printf.printf "%s %s exported to %s (faulty.mc correct.mc input.txt root_line.txt)\n"
+  write_file
+    (Filename.concat dir "fixtures.json")
+    (fixtures_manifest
+       [ (name, fid, fault.B.failing_input, B.fault_line bench fault) ]);
+  Printf.printf
+    "%s %s exported to %s (faulty.mc correct.mc input.txt root_line.txt \
+     fixtures.json)\n"
     name fid dir;
   0
 
@@ -970,8 +1019,8 @@ let bench_one name fid jobs store_dir trace_out metrics_out ledger_out export =
 
 let bench_cmd =
   let action name fid all jobs store_dir trace_out metrics_out ledger_out
-      json_out history label export =
-    if all then bench_suite jobs json_out history label
+      json_out history label export corpus_count =
+    if all then bench_suite jobs json_out history label corpus_count
     else
       match (name, fid) with
       | Some name, Some fid ->
@@ -1031,6 +1080,16 @@ let bench_cmd =
              input as integers) and $(b,root_line.txt) — the files \
              $(b,exom client) and $(b,exom locate) need to reproduce it")
   in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "corpus" ] ~docv:"N"
+          ~doc:
+            "With --all: also run a fixed-seed N-triple generated-corpus \
+             campaign and record it as the snapshot's corpus leg \
+             (schema v3)")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
@@ -1039,7 +1098,7 @@ let bench_cmd =
     Term.(
       const action $ name_arg $ fid_arg $ all_arg $ jobs_arg $ store_arg
       $ trace_out_arg $ metrics_out_arg $ ledger_out_arg $ json_arg
-      $ history_arg $ label_arg $ export_arg)
+      $ history_arg $ label_arg $ export_arg $ corpus_arg)
 
 (* regress *)
 
@@ -1424,6 +1483,440 @@ let client_cmd =
       $ root_arg $ deadline_arg $ socket_arg $ stress_arg $ ping_flag
       $ stats_flag)
 
+(* corpus *)
+
+module Factory = Exom_corpus.Factory
+module Seeder = Exom_corpus.Seeder
+module Campaign = Exom_corpus.Campaign
+module Mine = Exom_corpus.Mine
+
+let corpus_classes_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "classes" ] ~docv:"C1,C2"
+        ~doc:
+          "Restrict seeding to these fault classes (stmt_delete, \
+           guard_strengthen, guard_weaken, call_drop, flag_init)")
+
+let parse_classes = function
+  | None -> Ok None
+  | Some s ->
+    let names =
+      String.split_on_char ',' s
+      |> List.map String.trim
+      |> List.filter (fun x -> x <> "")
+    in
+    let rec go acc = function
+      | [] -> Ok (Some (List.rev acc))
+      | n :: rest -> (
+        match Seeder.class_of_string n with
+        | Some c -> go (c :: acc) rest
+        | None -> Error (Printf.sprintf "unknown fault class %S" n))
+    in
+    go [] names
+
+let corpus_gen_cmd =
+  let action seed count family classes out =
+    match parse_classes classes with
+    | Error e ->
+      Printf.eprintf "%s\n" e;
+      1
+    | Ok classes -> (
+      match Campaign.generate ?classes ~family ~seed ~count () with
+      | exception Failure e ->
+        Printf.eprintf "%s\n" e;
+        1
+      | manifest ->
+        Campaign.write_manifest out manifest;
+        Printf.eprintf "%d triples (family %s, %d generation attempts) -> %s\n"
+          (List.length manifest.Campaign.m_triples)
+          manifest.Campaign.m_family manifest.Campaign.m_attempts out;
+        0)
+  in
+  let seed_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"S" ~doc:"Corpus seed (determines every triple)")
+  in
+  let count_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "count" ] ~docv:"N" ~doc:"Validated triples to generate")
+  in
+  let family_arg =
+    Arg.(
+      value & opt string "mixed"
+      & info [ "family" ] ~docv:"FAM"
+          ~doc:
+            "Program family: small, medium, large, or mixed (rotate all \
+             three)")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "manifest.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Manifest output path")
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate a corpus manifest: factory programs + seeded, validated \
+          execution-omission faults.  Byte-deterministic in (seed, count, \
+          family, classes)")
+    Term.(
+      const action $ seed_arg $ count_arg $ family_arg $ corpus_classes_arg
+      $ out_arg)
+
+let corpus_run_cmd =
+  let action manifest_path dir shards jobs resume socket =
+    match Campaign.load_manifest manifest_path with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" manifest_path e;
+      1
+    | Ok manifest when shards < 1 ->
+      ignore manifest;
+      Printf.eprintf "--shards must be >= 1\n";
+      1
+    | Ok manifest ->
+      Campaign.ensure_layout dir;
+      if not resume then Campaign.reset dir;
+      Campaign.ensure_layout dir;
+      let skip =
+        if resume then begin
+          let h = Hashtbl.create 64 in
+          List.iter
+            (fun r -> Hashtbl.add h r.Campaign.o_id ())
+            (Campaign.journaled_rows dir);
+          Hashtbl.mem h
+        end
+        else fun _ -> false
+      in
+      let failed = ref 0 in
+      let run_one shard =
+        try
+          ignore
+            (Campaign.run_shard ?jobs ?socket ~dir ~manifest ~shard ~shards
+               ~skip ())
+        with e ->
+          Printf.eprintf "shard %d failed: %s\n%!" shard (Printexc.to_string e);
+          incr failed
+      in
+      if shards = 1 then run_one 0
+      else begin
+        (* fork-per-shard: children are forked before any domain pool
+           exists (each shard creates its own), which is the only safe
+           ordering of fork and domains *)
+        let pids =
+          List.init shards (fun shard ->
+              match Unix.fork () with
+              | 0 ->
+                let code =
+                  try
+                    ignore
+                      (Campaign.run_shard ?jobs ?socket ~dir ~manifest ~shard
+                         ~shards ~skip ());
+                    0
+                  with e ->
+                    Printf.eprintf "shard %d failed: %s\n%!" shard
+                      (Printexc.to_string e);
+                    1
+                in
+                exit code
+              | pid -> pid)
+        in
+        List.iter
+          (fun pid ->
+            match Unix.waitpid [] pid with
+            | _, Unix.WEXITED 0 -> ()
+            | _, _ -> incr failed)
+          pids
+      end;
+      let rows, missing = Campaign.merge ~dir ~manifest in
+      print_string (Campaign.render_summary (Campaign.summarize rows));
+      Printf.printf "outcomes: %s\n" (Filename.concat dir "outcomes.jsonl");
+      if missing <> [] then begin
+        Printf.eprintf "%d triples have no outcome row (first: %s)\n"
+          (List.length missing) (List.hd missing);
+        2
+      end
+      else if !failed > 0 then 1
+      else 0
+  in
+  let manifest_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"MANIFEST" ~doc:"Corpus manifest (from corpus gen)")
+  in
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Campaign directory: shared store, ledger journals and outcome \
+             rows live here")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"P"
+          ~doc:
+            "Worker processes: triples are dealt round-robin across P \
+             forked shards sharing one store.  Outcomes are byte-identical \
+             at any P")
+  in
+  let resume_flag =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Keep rows already journaled under --dir and re-run only the \
+             missing triples (replaying complete per-triple journals)")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Run triples through the exom serve daemon listening on PATH \
+             instead of in-process")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run the localization campaign over a corpus manifest, sharded \
+          across processes against one shared store; crash-safe and \
+          resumable (--resume)")
+    Term.(
+      const action $ manifest_arg $ dir_arg $ shards_arg $ jobs_arg
+      $ resume_flag $ socket_arg)
+
+let corpus_rows_of_path path =
+  let file =
+    if Sys.is_directory path then Filename.concat path "outcomes.jsonl"
+    else path
+  in
+  (file, Campaign.read_rows file)
+
+let corpus_report_cmd =
+  let action path min_located =
+    let file, rows = corpus_rows_of_path path in
+    if rows = [] then begin
+      Printf.eprintf "no outcome rows in %s\n" file;
+      1
+    end
+    else begin
+      let s = Campaign.summarize rows in
+      print_string (Campaign.render_summary s);
+      match min_located with
+      | None -> 0
+      | Some floor ->
+        let rate = float_of_int s.Campaign.s_located /. float_of_int s.Campaign.s_total in
+        if rate >= floor then 0
+        else begin
+          Printf.eprintf "located rate %.3f below floor %.3f\n" rate floor;
+          1
+        end
+    end
+  in
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"PATH" ~doc:"Campaign directory or outcomes.jsonl")
+  in
+  let floor_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-located" ] ~docv:"RATE"
+          ~doc:"Exit nonzero when the located rate is below RATE (0..1)")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Summarize campaign outcomes (optionally gate on located rate)")
+    Term.(const action $ path_arg $ floor_arg)
+
+let corpus_mine_cmd =
+  let action path out =
+    let file, rows = corpus_rows_of_path path in
+    if rows = [] then begin
+      Printf.eprintf "no outcome rows in %s\n" file;
+      1
+    end
+    else begin
+      let table = Mine.mine rows in
+      (match out with
+      | Some o ->
+        write_file o (Mine.table_to_string table);
+        Printf.eprintf "feature table -> %s\n" o
+      | None -> ());
+      print_string (Mine.render table);
+      0
+    end
+  in
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"PATH" ~doc:"Campaign directory or outcomes.jsonl")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the feature table as JSON to FILE")
+  in
+  Cmd.v
+    (Cmd.info "mine"
+       ~doc:
+         "Mine campaign outcomes into feature tables (located rate, \
+          iterations and verifications by fault class, family, program \
+          size, predicate density)")
+    Term.(const action $ path_arg $ out_arg)
+
+let corpus_seed_cmd =
+  let action file seed cls line input out =
+    let source = read_file file in
+    match Typecheck.parse_and_check source with
+    | exception Loc.Error (loc, msg) ->
+      Printf.eprintf "%s:%d:%d: %s\n" file (Loc.line loc) (Loc.col loc) msg;
+      1
+    | prog -> (
+      let cls =
+        Option.map
+          (fun c ->
+            match Seeder.class_of_string c with
+            | Some c -> c
+            | None -> failwith (Printf.sprintf "unknown fault class %S" c))
+          cls
+      in
+      let line_of_sid p sid =
+        let l = ref 0 in
+        Ast.iter_program
+          (fun st -> if st.Ast.sid = sid then l := Loc.line st.Ast.sloc)
+          p;
+        !l
+      in
+      let sites =
+        Seeder.sites prog
+        |> List.filter (fun (c, sid) ->
+               (match cls with Some cls -> c = cls | None -> true)
+               &&
+               match line with
+               | Some line -> line_of_sid prog sid = line
+               | None -> true)
+      in
+      let input = parse_ints input in
+      let inputs =
+        if input = [] then
+          let st = Random.State.make [| 0x0fa1; seed |] in
+          List.init 6 (fun _ ->
+              List.init
+                (8 + Random.State.int st 9)
+                (fun _ -> Random.State.int st 101 - 50))
+        else [ input ]
+      in
+      let validated =
+        List.find_map
+          (fun (c, sid) ->
+            match Seeder.apply prog c sid with
+            | None -> None
+            | Some faulty ->
+              List.find_opt
+                (fun input -> Seeder.validates ~correct:prog ~faulty ~input)
+                inputs
+              |> Option.map (fun input -> (c, sid, faulty, input)))
+          sites
+      in
+      match validated with
+      | None ->
+        Printf.eprintf
+          "no validated omission fault at the requested sites (%d candidates)\n"
+          (List.length sites);
+        1
+      | Some (c, sid, faulty, input) ->
+        (* the emitted faulty.mc is the pretty-printed mutant, so the
+           recorded root line must use its numbering, not the input
+           file's (sids survive the reparse: mutations preserve
+           statement order and count) *)
+        let line = line_of_sid faulty sid in
+        let faulty_src = Exom_lang.Pretty.program_to_string faulty in
+        (match out with
+        | Some dir ->
+          (try Unix.mkdir dir 0o755
+           with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          write_file (Filename.concat dir "faulty.mc") faulty_src;
+          write_file (Filename.concat dir "correct.mc") source;
+          write_file
+            (Filename.concat dir "input.txt")
+            (String.concat " " (List.map string_of_int input) ^ "\n");
+          write_file
+            (Filename.concat dir "root_line.txt")
+            (string_of_int line ^ "\n");
+          write_file
+            (Filename.concat dir "fixtures.json")
+            (fixtures_manifest
+               [
+                 ( Filename.remove_extension (Filename.basename file),
+                   Seeder.class_to_string c, input, line );
+               ])
+        | None -> print_string faulty_src);
+        Printf.eprintf
+          "seeded %s at line %d (sid %d), failing input: %s\n"
+          (Seeder.class_to_string c) line sid
+          (String.concat "," (List.map string_of_int input));
+        0)
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S" ~doc:"Seed for candidate-input derivation")
+  in
+  let class_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "class" ] ~docv:"CLS" ~doc:"Restrict to one fault class")
+  in
+  let line_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "line" ] ~docv:"N" ~doc:"Restrict to statements on line N")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR"
+          ~doc:
+            "Write faulty.mc, correct.mc, input.txt, root_line.txt and \
+             fixtures.json to DIR (default: faulty source on stdout)")
+  in
+  Cmd.v
+    (Cmd.info "seed"
+       ~doc:
+         "Seed one validated execution-omission fault into a correct MCL \
+          program")
+    Term.(
+      const action $ file_arg $ seed_arg $ class_arg $ line_arg $ input_arg
+      $ out_arg)
+
+let corpus_cmd =
+  Cmd.group
+    (Cmd.info "corpus"
+       ~doc:
+         "Corpus factory: generate thousands of seeded omission faults, run \
+          sharded campaigns, mine the evidence")
+    [ corpus_gen_cmd; corpus_run_cmd; corpus_report_cmd; corpus_mine_cmd;
+      corpus_seed_cmd ]
+
 let () =
   let doc = "locating execution omission errors via implicit dependences" in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -1433,4 +1926,4 @@ let () =
           (Cmd.info "exom" ~version:"1.0.0" ~doc)
           [ run_cmd; info_cmd; slice_cmd; rslice_cmd; locate_cmd; explain_cmd;
             recover_cmd; dot_cmd; regions_cmd; bench_cmd; regress_cmd;
-            stats_cmd; serve_cmd; client_cmd ]))
+            stats_cmd; serve_cmd; client_cmd; corpus_cmd ]))

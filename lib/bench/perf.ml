@@ -4,9 +4,10 @@ module Obs = Exom_obs.Obs
 module Pool = Exom_sched.Pool
 module Store = Exom_sched.Store
 module Demand = Exom_core.Demand
+module Campaign = Exom_corpus.Campaign
 
 let schema_name = "exom.bench"
-let schema_version = 2
+let schema_version = 3
 
 type row = {
   r_bench : string;
@@ -17,6 +18,17 @@ type row = {
   r_iterations : int;
   r_edges : int;
   r_prunings : int;
+}
+
+type corpus_leg = {
+  c_seed : int;
+  c_count : int;
+  c_located : int;
+  c_total : int;
+  c_failed : int;
+  c_mean_iterations : float;
+  c_mean_verifications : float;
+  c_wall_seconds : float;
 }
 
 type snapshot = {
@@ -32,6 +44,7 @@ type snapshot = {
   warm_hit_rate : float;
   warm_verify_runs : int;
   wall_seconds : float;
+  corpus : corpus_leg option;
 }
 
 let rec rm_rf path =
@@ -42,6 +55,54 @@ let rec rm_rf path =
     (try Unix.rmdir path with Unix.Unix_error _ -> ())
   | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
 
+(* The corpus leg: a fixed-seed generated campaign run start to finish
+   (factory -> seeder -> localization) in a scratch directory.  The
+   counts are deterministic in (seed, count) like the suite rows, so
+   they regress-gate the generated-program path the hand-written suite
+   cannot cover; only [c_wall_seconds] is noisy. *)
+let run_corpus ?(jobs = Pool.default_jobs ()) ~seed ~count () =
+  let t0 = Unix.gettimeofday () in
+  let manifest = Campaign.generate ~seed ~count () in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "exom_bench_corpus_%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  let rows, _missing = Campaign.run_local ~jobs ~dir ~manifest ~shards:1 () in
+  rm_rf dir;
+  let s = Campaign.summarize rows in
+  let failed =
+    List.length
+      (List.filter
+         (fun r ->
+           r.Campaign.o_status = "no_failure" || r.Campaign.o_status = "error")
+         rows)
+  in
+  let ran =
+    List.filter
+      (fun r ->
+        r.Campaign.o_status = "located" || r.Campaign.o_status = "not_located")
+      rows
+  in
+  let mean key =
+    match ran with
+    | [] -> 0.0
+    | _ ->
+      float_of_int (List.fold_left (fun a r -> a + Campaign.count r key) 0 ran)
+      /. float_of_int (List.length ran)
+  in
+  {
+    c_seed = seed;
+    c_count = count;
+    c_located = s.Campaign.s_located;
+    c_total = s.Campaign.s_total;
+    c_failed = failed;
+    c_mean_iterations = mean "iterations";
+    c_mean_verifications = mean "verifications";
+    c_wall_seconds = Unix.gettimeofday () -. t0;
+  }
+
 (* Each fault gets its own registry and cold store so rows are
    independent measurements; the totals are sums over the rows' private
    registries.  The cold pass is followed by two passes over one shared
@@ -49,7 +110,7 @@ let rec rm_rf path =
    should answer (almost) every verification from it.  The warm figures
    are the cache's health check: a warm hit rate collapsing towards the
    cold one means the store has stopped earning its keep. *)
-let run_suite ?(jobs = Pool.default_jobs ()) ?(label = "") () =
+let run_suite ?(jobs = Pool.default_jobs ()) ?(label = "") ?corpus_count () =
   let pool = Pool.create ~jobs () in
   let t0 = Unix.gettimeofday () in
   let rows = ref [] in
@@ -113,6 +174,10 @@ let run_suite ?(jobs = Pool.default_jobs ()) ?(label = "") () =
   let warm_hit_rate, warm_verify_runs = store_pass () in
   rm_rf store_dir;
   Pool.shutdown pool;
+  let corpus =
+    (* fixed seed: the leg tracks locator behavior, not corpus variety *)
+    Option.map (fun count -> run_corpus ~jobs ~seed:1 ~count ()) corpus_count
+  in
   let rows = List.rev !rows in
   {
     label;
@@ -127,6 +192,7 @@ let run_suite ?(jobs = Pool.default_jobs ()) ?(label = "") () =
     warm_hit_rate;
     warm_verify_runs;
     wall_seconds;
+    corpus;
   }
 
 (* {2 Serialization} *)
@@ -148,7 +214,7 @@ let row_json r =
 
 let to_json s =
   Json.Obj
-    [
+    ([
       ("schema", Json.Str schema_name);
       ("version", num schema_version);
       ("label", Json.Str s.label);
@@ -164,6 +230,24 @@ let to_json s =
       ("wall_seconds", Json.Num s.wall_seconds);
       ("rows", Json.Arr (List.map row_json s.rows));
     ]
+    @
+    match s.corpus with
+    | None -> []
+    | Some c ->
+      [
+        ( "corpus",
+          Json.Obj
+            [
+              ("seed", num c.c_seed);
+              ("count", num c.c_count);
+              ("located", num c.c_located);
+              ("total", num c.c_total);
+              ("failed", num c.c_failed);
+              ("mean_iterations", Json.Num c.c_mean_iterations);
+              ("mean_verifications", Json.Num c.c_mean_verifications);
+              ("wall_seconds", Json.Num c.c_wall_seconds);
+            ] );
+      ])
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
@@ -191,16 +275,36 @@ let row_of_json j =
     { r_bench; r_fault; r_found; r_verifications; r_queries; r_iterations;
       r_edges; r_prunings }
 
+let corpus_of_json j =
+  let* c_seed = require "corpus.seed" (get_int j "seed") in
+  let* c_count = require "corpus.count" (get_int j "count") in
+  let* c_located = require "corpus.located" (get_int j "located") in
+  let* c_total = require "corpus.total" (get_int j "total") in
+  let* c_failed = require "corpus.failed" (get_int j "failed") in
+  let* c_mean_iterations =
+    require "corpus.mean_iterations" (get_num j "mean_iterations")
+  in
+  let* c_mean_verifications =
+    require "corpus.mean_verifications" (get_num j "mean_verifications")
+  in
+  let* c_wall_seconds =
+    require "corpus.wall_seconds" (get_num j "wall_seconds")
+  in
+  Ok
+    { c_seed; c_count; c_located; c_total; c_failed; c_mean_iterations;
+      c_mean_verifications; c_wall_seconds }
+
 let of_json j =
   let* schema = require "schema" (get_str j "schema") in
   if schema <> schema_name then
     Error (Printf.sprintf "foreign schema %S" schema)
   else
     let* version = require "version" (get_int j "version") in
-    (* v1 snapshots predate the warm-store legs; they read back with
-       warm figures zeroed, which the comparator treats as "no
-       baseline" rather than a drop to zero *)
-    if version <> schema_version && version <> 1 then
+    (* v1 snapshots predate the warm-store legs (figures read back
+       zeroed); v1 and v2 predate the corpus leg (reads back [None]).
+       Both degrade to "no baseline" in the comparator, never to a
+       fabricated drop. *)
+    if version <> schema_version && version <> 1 && version <> 2 then
       Error
         (Printf.sprintf "schema version %d (this reader understands %d)"
            version schema_version)
@@ -230,10 +334,17 @@ let of_json j =
           go (row :: acc) rest
       in
       let* rows = go [] rows_j in
+      let* corpus =
+        match Json.member "corpus" j with
+        | None -> Ok None
+        | Some c ->
+          let* leg = corpus_of_json c in
+          Ok (Some leg)
+      in
       Ok
         { label; jobs; rows; located; total; verify_runs; verify_seconds;
           interp_runs; store_hit_rate; warm_hit_rate; warm_verify_runs;
-          wall_seconds }
+          wall_seconds; corpus }
 
 let to_line s = Json.to_string (to_json s)
 
@@ -414,6 +525,41 @@ let compare ~tolerance ~time_tolerance old_s new_s =
       ("verify_seconds", old_s.verify_seconds, new_s.verify_seconds);
       ("wall_seconds", old_s.wall_seconds, new_s.wall_seconds);
     ];
+  (* corpus leg: gated only when both snapshots ran it over the same
+     (seed, count) — otherwise the numbers measure different corpora *)
+  (match (old_s.corpus, new_s.corpus) with
+  | Some o, Some n when o.c_seed = n.c_seed && o.c_count = n.c_count ->
+    if n.c_located < o.c_located then
+      push
+        {
+          severity = Regression;
+          metric = "corpus.located";
+          detail =
+            Printf.sprintf "%d/%d -> %d/%d corpus faults located" o.c_located
+              o.c_total n.c_located n.c_total;
+        }
+    else if n.c_located > o.c_located then
+      push
+        {
+          severity = Info;
+          metric = "corpus.located";
+          detail =
+            Printf.sprintf "%d/%d -> %d/%d corpus faults located" o.c_located
+              o.c_total n.c_located n.c_total;
+        };
+    List.iter
+      (fun (metric, ov, nv) ->
+        List.iter push
+          (drift ~threshold:tolerance ~metric
+             ~fmt:(fun v -> Printf.sprintf "%.2f" v)
+             ov nv))
+      [
+        ("corpus.mean_iterations", o.c_mean_iterations, n.c_mean_iterations);
+        ( "corpus.mean_verifications",
+          o.c_mean_verifications,
+          n.c_mean_verifications );
+      ]
+  | _ -> ());
   List.rev !findings
 
 let has_regression findings =

@@ -25,6 +25,20 @@ type row = {
   r_prunings : int;
 }
 
+(** The optional corpus leg (schema v3): a fixed-seed generated
+    campaign run end to end.  Counts are deterministic in
+    [(c_seed, c_count)]; only [c_wall_seconds] is noisy. *)
+type corpus_leg = {
+  c_seed : int;
+  c_count : int;
+  c_located : int;
+  c_total : int;
+  c_failed : int;  (** no_failure + error rows *)
+  c_mean_iterations : float;  (** over rows that ran *)
+  c_mean_verifications : float;
+  c_wall_seconds : float;
+}
+
 type snapshot = {
   label : string;  (** free-form tag, e.g. a date or a commit subject *)
   jobs : int;
@@ -43,6 +57,9 @@ type snapshot = {
       (** switched runs the warm pass still had to dispatch (should be
           close to 0) *)
   wall_seconds : float;  (** whole-suite wall clock *)
+  corpus : corpus_leg option;
+      (** [None] when the snapshot skipped the corpus leg (and on every
+          v1/v2 snapshot read back from disk) *)
 }
 
 (** Run the full suite and reduce it to a snapshot: a cold pass (no
@@ -51,7 +68,12 @@ type snapshot = {
     [warm_*] figures; each fault opens a fresh handle, so warm hits are
     honest disk hits).  [jobs] sizes the verification pool (default:
     [EXOM_JOBS] via the default pool). *)
-val run_suite : ?jobs:int -> ?label:string -> unit -> snapshot
+val run_suite :
+  ?jobs:int -> ?label:string -> ?corpus_count:int -> unit -> snapshot
+
+(** Run just the corpus leg: generate a [count]-triple corpus at
+    [seed] and run its campaign in a scratch directory. *)
+val run_corpus : ?jobs:int -> seed:int -> count:int -> unit -> corpus_leg
 
 (** {2 Serialization} *)
 

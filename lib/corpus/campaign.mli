@@ -1,0 +1,177 @@
+(** Corpus campaigns: generate a manifest of validated (program, fault,
+    input) triples, run the locator over every triple — sharded across
+    worker processes against one shared sharded store — and leave
+    byte-deterministic artifacts behind.
+
+    {b Artifacts} (all under one campaign directory):
+    - [manifest.json] — the corpus: [{"schema":"exom.corpus","version":1}]
+      plus one record per triple with both sources inline, the failing
+      input, the ground-truth root (line + sids) and static features.
+      Byte-deterministic in [(seed, count, family)].
+    - [outcomes.shard<k>.jsonl] — shard [k]'s append-only row journal,
+      fsynced after every row; the crash-safe record of completed
+      triples.
+    - [journals/<id>.jsonl] — each triple's ledger journal
+      ({!Exom_ledger.Ledger.attach_journal}); a triple killed mid-run is
+      resumed from it by the PR-5 replay machinery.
+    - [outcomes.jsonl] — the merged artifact: a schema header line
+      followed by one row per triple in id order.  Contains no
+      wall-clock, shard, or job-count fields, so it is byte-identical
+      across reruns, [-j], and shard counts.
+
+    {b Resume}: a re-run with [--resume] keeps every row already in a
+    shard journal verbatim, replays any triple whose ledger journal is
+    complete, and re-runs the rest.  One documented wrinkle (shared with
+    [exom serve]): a triple killed {e mid-localization} re-runs against
+    whatever verdicts it had already persisted, so its store-tier row
+    counters can legitimately differ from an uninterrupted run's; every
+    other field, and every other row, is byte-identical. *)
+
+(** One corpus entry. *)
+type triple = {
+  t_id : string;  (** "t00042" — position in the manifest *)
+  t_seed : int;  (** the factory/seeder seed that produced it *)
+  t_family : string;
+  t_class : Seeder.fault_class;
+  t_root_line : int;
+  t_root_sids : int list;
+  t_stmts : int;
+  t_predicates : int;
+  t_procs : int;
+  t_loc : int;
+  t_input : int list;
+  t_correct : string;
+  t_faulty : string;
+}
+
+type manifest = {
+  m_seed : int;
+  m_count : int;
+  m_family : string;  (** a {!Factory.families} name, or ["mixed"] *)
+  m_attempts : int;  (** generation attempts consumed (yield telemetry) *)
+  m_triples : triple list;
+}
+
+val schema_name : string
+val schema_version : int
+
+(** [generate ~seed ~count ()] draws programs from the factory
+    (rotating the three stock families when [family] is ["mixed"], the
+    default) and seeds + validates one fault per program until [count]
+    triples exist.  Deterministic in [(seed, count, family, classes)].
+    Raises [Failure] for an unknown family or when the seeder's yield
+    collapses (a classes filter that never validates). *)
+val generate :
+  ?family:string ->
+  ?classes:Seeder.fault_class list ->
+  seed:int ->
+  count:int ->
+  unit ->
+  manifest
+
+val manifest_to_string : manifest -> string
+val manifest_of_string : string -> (manifest, string) result
+val write_manifest : string -> manifest -> unit
+val load_manifest : string -> (manifest, string) result
+
+(** One outcome row.  Every field is deterministic at any job count. *)
+type outcome = {
+  o_id : string;
+  o_class : string;
+  o_family : string;
+  o_status : string;
+      (** ["located"] | ["not_located"] | ["no_failure"] | ["error"] *)
+  o_counts : (string * int) list;
+      (** {!Exom_serve.Serve.counts_of_report} keys, fixed order *)
+  o_stmts : int;
+  o_predicates : int;
+  o_loc : int;
+}
+
+val located : outcome -> bool
+
+(** [count row key] — 0 when absent. *)
+val count : outcome -> string -> int
+
+val outcome_to_string : outcome -> string
+val outcome_of_string : string -> (outcome, string) result
+
+(** The merged-outcomes header line for [manifest]. *)
+val outcomes_header : manifest -> string
+
+(** Tolerant JSONL row reader: parses rows until the first torn or
+    foreign line (a crash may tear the tail), dropping the rest. *)
+val read_rows : string -> outcome list
+
+(** [shard_journal dir k] — shard [k]'s row journal path. *)
+val shard_journal : string -> int -> string
+
+(** Rows already journaled under [dir] (all shard files, any past shard
+    count), deduped by id. *)
+val journaled_rows : string -> outcome list
+
+(** Create the campaign directory layout ([dir], [dir]/store,
+    [dir]/journals) if missing. *)
+val ensure_layout : string -> unit
+
+(** Delete a previous campaign's artifacts under [dir] (row journals,
+    ledger journals, store, merged outcomes) so a fresh run cannot see
+    them.  The manifest and anything else in [dir] are left alone. *)
+val reset : string -> unit
+
+(** Run one triple in-process against the campaign directory's shared
+    store, journaling its ledger under [dir]/journals and resuming from
+    a prior journal when one matches.  [pool] is the caller's supervised
+    worker pool (one per shard, reused across triples). *)
+val run_triple :
+  ?pool:Exom_sched.Pool.t -> dir:string -> triple -> outcome
+
+(** Run one triple through a daemon at [socket] instead (the
+    campaign-over-daemon path); rows come from the reply's [sv_counts].
+    [Error] on transport failure. *)
+val run_triple_via :
+  socket:string -> triple -> (outcome, string) result
+
+(** [run_shard ~dir ~manifest ~shard ~shards ~skip ()] runs this
+    shard's slice of the manifest (triples [i] with [i mod shards =
+    shard], skipping ids in [skip]), appending each row to the shard
+    journal as it completes.  [jobs] sizes the worker pool ([None] =
+    {!Exom_sched.Pool.default}); [socket] routes execution through a
+    daemon instead of running in-process.  Returns the rows written. *)
+val run_shard :
+  ?jobs:int ->
+  ?socket:string ->
+  dir:string ->
+  manifest:manifest ->
+  shard:int ->
+  shards:int ->
+  skip:(string -> bool) ->
+  unit ->
+  outcome list
+
+(** Merge all journaled rows into [outcomes.jsonl] (header + rows in id
+    order, restricted to manifest ids).  Returns the rows and the ids
+    the journals were missing. *)
+val merge : dir:string -> manifest:manifest -> outcome list * string list
+
+(** In-process campaign driver (tests; the CLI forks instead): runs
+    shards [0..shards-1] sequentially, then merges. *)
+val run_local :
+  ?jobs:int ->
+  ?resume:bool ->
+  dir:string ->
+  manifest:manifest ->
+  shards:int ->
+  unit ->
+  outcome list * string list
+
+type summary = {
+  s_total : int;
+  s_located : int;
+  s_by_status : (string * int) list;  (** status → rows, sorted *)
+  s_by_class : (string * (int * int)) list;
+      (** class → (rows, located), sorted *)
+}
+
+val summarize : outcome list -> summary
+val render_summary : summary -> string

@@ -1,0 +1,258 @@
+module Ast = Exom_lang.Ast
+module Loc = Exom_lang.Loc
+module Pretty = Exom_lang.Pretty
+module Typecheck = Exom_lang.Typecheck
+
+type knobs = {
+  k_size : int;
+  k_depth : int;
+  k_procs : int;
+  k_proc_depth : int;
+  k_loops : bool;
+  k_input : int;
+}
+
+(* The default knobs reproduce the distribution the qcheck harness has
+   always used: a main-only program of 2-8 top-level statements, depth-2
+   nesting, inputs of up to 16 ints. *)
+let default_knobs =
+  { k_size = 8; k_depth = 2; k_procs = 0; k_proc_depth = 0; k_loops = true;
+    k_input = 16 }
+
+let families =
+  [
+    ("small", default_knobs);
+    ( "medium",
+      { k_size = 12; k_depth = 3; k_procs = 2; k_proc_depth = 1;
+        k_loops = true; k_input = 20 } );
+    ( "large",
+      { k_size = 16; k_depth = 3; k_procs = 4; k_proc_depth = 2;
+        k_loops = true; k_input = 24 } );
+  ]
+
+let knobs_of_family name = List.assoc_opt name families
+
+let e d = { Ast.edesc = d; eloc = Loc.dummy }
+let s k = { Ast.sid = 0; sloc = Loc.dummy; skind = k }
+
+(* Generating imperatively against a [Random.State.t] keeps the
+   fresh-name counter and scope threading readable (this is the same
+   generator test_prop always embedded, now knob-parameterized). *)
+let gen_with ~knobs st =
+  let ctr = ref 0 in
+  let fresh () =
+    incr ctr;
+    Printf.sprintf "x%d" !ctr
+  in
+  let int_in lo hi = lo + Random.State.int st (hi - lo + 1) in
+  let pick xs = List.nth xs (Random.State.int st (List.length xs)) in
+  (* All input is read by a prologue of globals ([int xN = input();]),
+     and expressions reference those variables.  A bare [input()] inside
+     a branch would let an omitted branch shift the input cursor, making
+     the divergence flow through stream *position* — which is not a cell,
+     so no dependence (explicit or potential) ever reaches the root:
+     unlocatable by construction, and not the manifestation the paper
+     studies.  Reading everything up front keeps every divergence in
+     cells the slicer tracks, like the paper's subject programs. *)
+  let input_vars = ref [] in
+  let rec gen_int depth vars =
+    if depth = 0 || int_in 0 2 = 0 then
+      match vars with
+      | [] -> e (Ast.Eint (int_in (-20) 20))
+      | _ when int_in 0 1 = 0 -> e (Ast.Evar (pick vars))
+      | _ -> e (Ast.Eint (int_in (-20) 20))
+    else
+      match int_in 0 4 with
+      | 0 -> e (Ast.Eunop (Ast.Neg, gen_int (depth - 1) vars))
+      | 1 when !input_vars <> [] -> e (Ast.Evar (pick !input_vars))
+      | 1 -> e (Ast.Eint (int_in (-20) 20))
+      | _ ->
+        let op = pick [ Ast.Add; Ast.Sub; Ast.Mul ] in
+        e (Ast.Ebinop (op, gen_int (depth - 1) vars, gen_int (depth - 1) vars))
+  in
+  let rec gen_bool depth vars =
+    if depth = 0 || int_in 0 1 = 0 then
+      let op = pick [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Eq; Ast.Ne ] in
+      e (Ast.Ebinop (op, gen_int 1 vars, gen_int 1 vars))
+    else
+      match int_in 0 2 with
+      | 0 -> e (Ast.Eunop (Ast.Not, gen_bool (depth - 1) vars))
+      | _ ->
+        let op = pick [ Ast.And; Ast.Or ] in
+        e
+          (Ast.Ebinop (op, gen_bool (depth - 1) vars, gen_bool (depth - 1) vars))
+  in
+  let print_stmt vars = s (Ast.Sexpr (e (Ast.Ecall ("print", [ gen_int 2 vars ])))) in
+  let call_stmt name = s (Ast.Sexpr (e (Ast.Ecall (name, [])))) in
+  (* Returns the statements plus the scope extended with this level's
+     declarations; declarations inside nested blocks stay local.
+     [helpers] names the procedures callable from this block — helper
+     calls are emitted bare or behind a generated guard, the latter
+     being the natural call-drop seeding site. *)
+  let rec gen_stmts ~helpers depth vars budget =
+    if budget = 0 then ([], vars)
+    else
+      let hi = if helpers = [] then 5 else 6 in
+      let stmt, vars =
+        match int_in 0 hi with
+        | 0 ->
+          let x = fresh () in
+          (s (Ast.Sdecl (Ast.Tint, x, Some (gen_int 2 vars))), x :: vars)
+        | 1 when vars <> [] ->
+          (s (Ast.Sassign (pick vars, gen_int 2 vars)), vars)
+        | 2 -> (print_stmt vars, vars)
+        | 3 when depth > 0 ->
+          let then_b, _ = gen_stmts ~helpers (depth - 1) vars (int_in 1 3) in
+          let else_b, _ =
+            if int_in 0 1 = 0 then ([], vars)
+            else gen_stmts ~helpers (depth - 1) vars (int_in 1 3)
+          in
+          (s (Ast.Sif (gen_bool 1 vars, then_b, else_b)), vars)
+        | 4 when depth > 0 && knobs.k_loops ->
+          (* Counter-bounded loop; the counter is never in scope for the
+             body, so no generated assignment can unbound it. *)
+          let i = fresh () in
+          let body, _ = gen_stmts ~helpers (depth - 1) vars (int_in 1 3) in
+          let incr_i =
+            s
+              (Ast.Sassign
+                 (i, e (Ast.Ebinop (Ast.Add, e (Ast.Evar i), e (Ast.Eint 1)))))
+          in
+          let cond =
+            e (Ast.Ebinop (Ast.Lt, e (Ast.Evar i), e (Ast.Eint (int_in 0 4))))
+          in
+          ( s
+              (Ast.Sif
+                 ( e (Ast.Ebool true),
+                   [
+                     s (Ast.Sdecl (Ast.Tint, i, Some (e (Ast.Eint 0))));
+                     s (Ast.Swhile (cond, body @ [ incr_i ]));
+                   ],
+                   [] )),
+            vars )
+        | 6 ->
+          let h = pick helpers in
+          if int_in 0 1 = 0 then (call_stmt h, vars)
+          else (s (Ast.Sif (gen_bool 1 vars, [ call_stmt h ], [])), vars)
+        | _ ->
+          let x = fresh () in
+          (s (Ast.Sdecl (Ast.Tint, x, Some (gen_int 2 vars))), x :: vars)
+      in
+      let rest, vars = gen_stmts ~helpers depth vars (budget - 1) in
+      (stmt :: rest, vars)
+  in
+  let n_inputs = min knobs.k_input (2 + int_in 0 4) in
+  let globals = ref [] and global_vars = ref [] in
+  for _ = 1 to n_inputs do
+    let g = fresh () in
+    globals :=
+      s (Ast.Sdecl (Ast.Tint, g, Some (e (Ast.Ecall ("input", []))))) :: !globals;
+    input_vars := g :: !input_vars;
+    global_vars := g :: !global_vars
+  done;
+  let n_globals = (if knobs.k_procs > 0 then 1 else 0) + int_in 0 2 in
+  for _ = 1 to n_globals do
+    let g = fresh () in
+    globals :=
+      s (Ast.Sdecl (Ast.Tint, g, Some (e (Ast.Eint (int_in (-9) 9)))))
+      :: !globals;
+    global_vars := g :: !global_vars
+  done;
+  (* Helper procedures: parameterless, reading and updating the globals
+     (often behind guards), acyclic call graph bounded by k_proc_depth. *)
+  let helper_funcs = ref [] and helper_levels = ref [] in
+  for i = 1 to knobs.k_procs do
+    let name = Printf.sprintf "h%d" i in
+    let callable =
+      List.filter_map
+        (fun (h, lvl) -> if lvl < knobs.k_proc_depth then Some h else None)
+        !helper_levels
+    in
+    let body, _ =
+      gen_stmts ~helpers:callable
+        (min 2 knobs.k_depth)
+        !global_vars (int_in 1 4)
+    in
+    (* guarantee an observable effect candidate: a guarded global update *)
+    let body =
+      body
+      @ [
+          s
+            (Ast.Sif
+               ( gen_bool 1 !global_vars,
+                 [
+                   s
+                     (Ast.Sassign
+                        ( pick !global_vars,
+                          gen_int 2 !global_vars ));
+                 ],
+                 [] ));
+        ]
+    in
+    let level =
+      1
+      + List.fold_left
+          (fun acc (h, lvl) -> if List.mem h callable then max acc lvl else acc)
+          0 !helper_levels
+    in
+    helper_levels := (name, level) :: !helper_levels;
+    helper_funcs :=
+      { Ast.fname = name; fret = Ast.Tvoid; fparams = []; fbody = body;
+        floc = Loc.dummy }
+      :: !helper_funcs
+  done;
+  let helpers = List.rev_map (fun f -> f.Ast.fname) !helper_funcs in
+  let body, vars =
+    gen_stmts ~helpers knobs.k_depth !global_vars (int_in 2 knobs.k_size)
+  in
+  (* close with prints so every program has output to anchor a failure
+     on: one over the locals, one over each global a helper may touch *)
+  let body =
+    body @ [ print_stmt vars ]
+    @ List.map (fun g -> s (Ast.Sexpr (e (Ast.Ecall ("print", [ e (Ast.Evar g) ]))))) !global_vars
+  in
+  let main =
+    {
+      Ast.fname = "main";
+      fret = Ast.Tvoid;
+      fparams = [];
+      fbody = body;
+      floc = Loc.dummy;
+    }
+  in
+  let prog =
+    { Ast.globals = List.rev !globals; funcs = List.rev !helper_funcs @ [ main ] }
+  in
+  (* Re-parse so statement ids are assigned; the generator leaves them 0.
+     The input has exactly one value per prologue read: the programs
+     consume all of it, deterministically, before [main] runs. *)
+  let input = List.init n_inputs (fun _ -> int_in (-50) 50) in
+  (Typecheck.parse_and_check (Pretty.program_to_string prog), input)
+
+let gen_program st = gen_with ~knobs:default_knobs st
+
+let generate ?(knobs = default_knobs) ~seed () =
+  gen_with ~knobs (Random.State.make [| 0x5eed; seed |])
+
+type features = {
+  f_stmts : int;
+  f_predicates : int;
+  f_procs : int;
+  f_loc : int;
+}
+
+let features prog =
+  let preds = ref 0 in
+  Ast.iter_program (fun st -> if Ast.is_predicate st then incr preds) prog;
+  let loc =
+    Pretty.program_to_string prog
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.length
+  in
+  {
+    f_stmts = Ast.stmt_count prog;
+    f_predicates = !preds;
+    f_procs = List.length prog.Ast.funcs;
+    f_loc = loc;
+  }

@@ -1,0 +1,60 @@
+(** The corpus program factory: a seed-deterministic generator of small
+    well-typed MCL programs, promoted from the qcheck harness in
+    [test/test_prop.ml] so the property tests and the corpus pipeline
+    share one generator.
+
+    Programs are built from int globals, helper procedures that read and
+    update the globals behind guards (the natural substrate for
+    execution-omission faults), and a [main] of declarations,
+    assignments, prints, bounded [while] loops, [if] statements and
+    helper calls.  All names are globally fresh (the typechecker rejects
+    shadowing), every loop is counter-bounded and the helper call graph
+    is acyclic, so generated programs always terminate well inside the
+    interpreter's step budget.
+
+    Determinism: generation consumes randomness only through the given
+    [Random.State.t] (or the state derived from [seed]), so the same
+    seed and knobs produce byte-identical programs in every process. *)
+
+(** Size/shape knobs of one program family. *)
+type knobs = {
+  k_size : int;  (** statement budget of [main]'s top level *)
+  k_depth : int;  (** maximum branch/loop nesting depth *)
+  k_procs : int;  (** helper procedures (0 = [main] only) *)
+  k_proc_depth : int;
+      (** call-chain depth: helper [i] may call helpers [j < i] up to
+          this many levels deep *)
+  k_loops : bool;  (** allow counter-bounded [while] loops *)
+  k_input : int;  (** upper bound on the generated input list length *)
+}
+
+val default_knobs : knobs
+
+(** The three stock families used by corpus generation: ["small"],
+    ["medium"], ["large"]. *)
+val families : (string * knobs) list
+
+val knobs_of_family : string -> knobs option
+
+(** [generate ?knobs ~seed ()] derives a fresh [Random.State.t] from
+    [seed] and returns a typechecked program (statement ids assigned by
+    a pretty-print/re-parse round trip) plus an input for it. *)
+val generate : ?knobs:knobs -> seed:int -> unit -> Exom_lang.Ast.program * int list
+
+(** The qcheck-style entry point kept for [test_prop]: generate from an
+    explicit random state with {!default_knobs}. *)
+val gen_program : Random.State.t -> Exom_lang.Ast.program * int list
+
+(** [gen_with ~knobs st] — {!gen_program} with explicit knobs. *)
+val gen_with : knobs:knobs -> Random.State.t -> Exom_lang.Ast.program * int list
+
+(** {2 Static features for the corpus manifest and the miner} *)
+
+type features = {
+  f_stmts : int;  (** statement count *)
+  f_predicates : int;  (** [if]/[while] statements *)
+  f_procs : int;  (** functions, [main] included *)
+  f_loc : int;  (** non-blank source lines *)
+}
+
+val features : Exom_lang.Ast.program -> features

@@ -37,6 +37,7 @@ and served = {
   sv_ledger : string;
   sv_replayed : bool;
   sv_report : string;
+  sv_counts : (string * int) list;
 }
 
 (* {2 JSON codec} *)
@@ -86,7 +87,8 @@ let encode_response = function
            ("fingerprint", Json.Str s.sv_fingerprint);
            ("ledger", Json.Str s.sv_ledger);
            ("replayed", Json.Bool s.sv_replayed);
-           ("report", Json.Str s.sv_report) ])
+           ("report", Json.Str s.sv_report);
+           ("counts", Json.Obj (List.map (fun (k, v) -> (k, num v)) s.sv_counts)) ])
 
 let check_envelope j =
   match (Json.member "schema" j, Json.member "version" j) with
@@ -185,10 +187,20 @@ let decode_response s =
           | Some (Json.Bool b) -> b
           | _ -> false
         in
+        let sv_counts =
+          match Json.member "counts" j with
+          | Some (Json.Obj kvs) ->
+            List.filter_map
+              (function
+                | k, Json.Num v -> Some (k, int_of_float v)
+                | _ -> None)
+              kvs
+          | _ -> []
+        in
         Ok
           (Served
              { sv_found = flag "found"; sv_fingerprint; sv_ledger;
-               sv_replayed = flag "replayed"; sv_report }))
+               sv_replayed = flag "replayed"; sv_report; sv_counts }))
     | Ok st -> Error (Printf.sprintf "unknown status %S" st))
 
 (* {2 Framing} *)

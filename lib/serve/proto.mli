@@ -52,6 +52,11 @@ and served = {
       (** served (wholly or partly) by journal replay rather than a
           cold run *)
   sv_report : string;  (** deterministic report text (no wall-clock) *)
+  sv_counts : (string * int) list;
+      (** structured deterministic report counters (iterations,
+          verifications, store tiers, …) for machine consumers such as
+          the corpus campaign runner; decoding tolerates their absence
+          (older daemons), yielding [[]] *)
 }
 
 val encode_request : request -> string

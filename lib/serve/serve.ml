@@ -246,6 +246,33 @@ let report_text info (report : Demand.report) root_line =
     (Slice.sids report.Demand.ips);
   Buffer.contents b
 
+(* The structured counterpart of [report_text]: every deterministic
+   counter of a locate report, keyed for machine consumers (the corpus
+   campaign runner builds its outcome rows from exactly these keys,
+   whether it ran in-process or through the daemon). *)
+let counts_of_report (report : Demand.report) =
+  let g = report.Demand.robustness and s = report.Demand.store in
+  [
+    ("iterations", report.Demand.iterations);
+    ("verifications", report.Demand.verifications);
+    ("verify_queries", report.Demand.verify_queries);
+    ("expanded_edges", report.Demand.expanded_edges);
+    ("implicit_edges", List.length report.Demand.implicit_edges);
+    ("user_prunings", report.Demand.user_prunings);
+    ("total_prunings", report.Demand.total_prunings);
+    ("benign", List.length report.Demand.benign);
+    ("completed", g.Guard.completed);
+    ("aborted", g.Guard.aborted);
+    ("breaker_trips", g.Guard.breaker_trips);
+    ("breaker_skips", g.Guard.breaker_skips);
+    ("quarantined", g.Guard.quarantined);
+    ("store_hits", s.Store.hits);
+    ("store_disk_hits", s.Store.disk_hits);
+    ("store_misses", s.Store.misses);
+    ("store_writes", s.Store.writes);
+    ("degraded", if report.Demand.degraded = None then 0 else 1);
+  ]
+
 let root_sids_of_line prog = function
   | None -> [ -1 ]  (* no ground truth: run to exhaustion and report *)
   | Some line ->
@@ -350,6 +377,7 @@ let rec locate_once st (l : Proto.locate) ~attempt =
               sv_replayed = plan <> None;
               sv_report = report_text session.Session.info report
                   l.Proto.lc_root_line;
+              sv_counts = counts_of_report report;
             }
         end))
 

@@ -41,6 +41,13 @@ type config = {
 
 val default_config : socket_path:string -> state_dir:string -> config
 
+(** The structured counters a [locate] reply carries in
+    [Proto.sv_counts]: every deterministic count of a
+    {!Exom_core.Demand.report}, in a fixed key order.  Exposed so other
+    machine consumers of reports (the corpus campaign runner) emit the
+    same keys without depending on the daemon. *)
+val counts_of_report : Exom_core.Demand.report -> (string * int) list
+
 (** Run the daemon until drained.  Returns the process exit code.
     [on_ready] (default: nothing) fires once the socket is listening —
     tests use it to avoid polling. *)

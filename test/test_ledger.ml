@@ -307,6 +307,7 @@ let snapshot ?(warm_hit_rate = 0.95) ?(warm_verify_runs = 0) rows ~label
     warm_hit_rate;
     warm_verify_runs;
     wall_seconds = wall;
+    corpus = None;
   }
 
 let row ?(found = true) ?(queries = 10) bench fault =
@@ -453,6 +454,49 @@ let test_perf_compare () =
     (Perf.has_regression findings);
   Alcotest.(check bool) "improvement is still reported" true (findings <> [])
 
+let test_perf_corpus_leg () =
+  let leg located =
+    {
+      Perf.c_seed = 1;
+      c_count = 10;
+      c_located = located;
+      c_total = 10;
+      c_failed = 0;
+      c_mean_iterations = 0.5;
+      c_mean_verifications = 2.25;
+      c_wall_seconds = 3.0;
+    }
+  in
+  let with_leg l s = { s with Perf.corpus = l } in
+  let old_s =
+    with_leg (Some (leg 10))
+      (snapshot [ row "gzipsim" "V2-F3" ] ~label:"old" ~verify_runs:100
+         ~wall:1.0)
+  in
+  (* the leg round-trips byte-for-byte *)
+  (match Perf.of_json (Perf.to_json old_s) with
+  | Error e -> Alcotest.fail ("corpus snapshot does not read back: " ^ e)
+  | Ok s' ->
+    Alcotest.(check string) "re-serialization is identity" (Perf.to_line old_s)
+      (Perf.to_line s'));
+  (* a located drop on the same (seed, count) is a regression *)
+  let worse = with_leg (Some (leg 8)) old_s in
+  let findings = Perf.compare ~tolerance:0.1 ~time_tolerance:0.5 old_s worse in
+  Alcotest.(check bool) "corpus located drop flagged" true
+    (Perf.has_regression findings);
+  Alcotest.(check bool) "corpus.located named" true
+    (contains (Perf.render findings) "corpus.located");
+  (* a different corpus is no baseline: nothing to compare *)
+  let other = with_leg (Some { (leg 8) with Perf.c_seed = 2 }) old_s in
+  let findings = Perf.compare ~tolerance:0.1 ~time_tolerance:0.5 old_s other in
+  Alcotest.(check bool) "foreign corpus not compared" false
+    (Perf.has_regression findings);
+  (* a v2 baseline without the leg is no baseline either *)
+  let v2 = with_leg None old_s in
+  let findings = Perf.compare ~tolerance:0.1 ~time_tolerance:0.5 v2 old_s in
+  Alcotest.(check bool) "missing baseline leg tolerated" false
+    (Perf.has_regression findings)
+
 let () =
   Alcotest.run "ledger"
     [
@@ -500,5 +544,7 @@ let () =
           Alcotest.test_case "regression comparator" `Quick test_perf_compare;
           Alcotest.test_case "warm-store regression gates" `Quick
             test_perf_warm_regression;
+          Alcotest.test_case "corpus leg round-trip and gates" `Quick
+            test_perf_corpus_leg;
         ] );
     ]

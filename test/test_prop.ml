@@ -1,12 +1,10 @@
 (* Property-based and differential tests over randomly generated MCL
    programs.
 
-   The generator produces small well-typed programs: a few int globals
-   and a [main] built from declarations, assignments, prints, bounded
-   [while] loops and [if] statements over int/bool expressions.  All
-   variable names are globally fresh (the typechecker rejects
-   shadowing) and every loop is counter-bounded, so generated programs
-   always terminate well inside the interpreter's step budget.
+   Programs come from the corpus factory ({!Exom_corpus.Factory}, the
+   library promotion of the generator this file used to embed): small
+   well-typed programs whose loops are all counter-bounded, so they
+   terminate well inside the interpreter's step budget.
 
    Properties:
    - pretty-print ∘ parse round-trips (fixpoint on the printed form);
@@ -16,14 +14,13 @@
      counts and outcome (differential), on generated programs and on
      every program in examples/programs/. *)
 
-module Ast = Exom_lang.Ast
-module Loc = Exom_lang.Loc
 module Pretty = Exom_lang.Pretty
 module Typecheck = Exom_lang.Typecheck
 module Interp = Exom_interp.Interp
 module Trace = Exom_interp.Trace
 module Region = Exom_align.Region
 module Align = Exom_align.Align
+module Factory = Exom_corpus.Factory
 
 let seed =
   match Sys.getenv_opt "QCHECK_SEED" with
@@ -32,120 +29,7 @@ let seed =
 
 (* {2 Program generator} *)
 
-let e d = { Ast.edesc = d; eloc = Loc.dummy }
-let s k = { Ast.sid = 0; sloc = Loc.dummy; skind = k }
-
-(* A [QCheck.Gen.t] is a function of the random state; generating
-   imperatively keeps the fresh-name counter and scope threading
-   readable. *)
-let gen_program st =
-  let ctr = ref 0 in
-  let fresh () =
-    incr ctr;
-    Printf.sprintf "x%d" !ctr
-  in
-  let int_in lo hi = lo + Random.State.int st (hi - lo + 1) in
-  let pick xs = List.nth xs (Random.State.int st (List.length xs)) in
-  let rec gen_int depth vars =
-    if depth = 0 || int_in 0 2 = 0 then
-      match vars with
-      | [] -> e (Ast.Eint (int_in (-20) 20))
-      | _ when int_in 0 1 = 0 -> e (Ast.Evar (pick vars))
-      | _ -> e (Ast.Eint (int_in (-20) 20))
-    else
-      match int_in 0 4 with
-      | 0 -> e (Ast.Eunop (Ast.Neg, gen_int (depth - 1) vars))
-      | 1 -> e (Ast.Ecall ("input", []))
-      | _ ->
-        let op = pick [ Ast.Add; Ast.Sub; Ast.Mul ] in
-        e (Ast.Ebinop (op, gen_int (depth - 1) vars, gen_int (depth - 1) vars))
-  in
-  let rec gen_bool depth vars =
-    if depth = 0 || int_in 0 1 = 0 then
-      let op = pick [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Eq; Ast.Ne ] in
-      e (Ast.Ebinop (op, gen_int 1 vars, gen_int 1 vars))
-    else
-      match int_in 0 2 with
-      | 0 -> e (Ast.Eunop (Ast.Not, gen_bool (depth - 1) vars))
-      | _ ->
-        let op = pick [ Ast.And; Ast.Or ] in
-        e
-          (Ast.Ebinop (op, gen_bool (depth - 1) vars, gen_bool (depth - 1) vars))
-  in
-  let print_stmt vars = s (Ast.Sexpr (e (Ast.Ecall ("print", [ gen_int 2 vars ])))) in
-  (* Returns the statements plus the scope extended with this level's
-     declarations; declarations inside nested blocks stay local. *)
-  let rec gen_stmts depth vars budget =
-    if budget = 0 then ([], vars)
-    else
-      let stmt, vars =
-        match int_in 0 5 with
-        | 0 ->
-          let x = fresh () in
-          (s (Ast.Sdecl (Ast.Tint, x, Some (gen_int 2 vars))), x :: vars)
-        | 1 when vars <> [] ->
-          (s (Ast.Sassign (pick vars, gen_int 2 vars)), vars)
-        | 2 -> (print_stmt vars, vars)
-        | 3 when depth > 0 ->
-          let then_b, _ = gen_stmts (depth - 1) vars (int_in 1 3) in
-          let else_b, _ =
-            if int_in 0 1 = 0 then ([], vars)
-            else gen_stmts (depth - 1) vars (int_in 1 3)
-          in
-          (s (Ast.Sif (gen_bool 1 vars, then_b, else_b)), vars)
-        | 4 when depth > 0 ->
-          (* Counter-bounded loop; the counter is never in scope for the
-             body, so no generated assignment can unbound it. *)
-          let i = fresh () in
-          let body, _ = gen_stmts (depth - 1) vars (int_in 1 3) in
-          let incr_i =
-            s
-              (Ast.Sassign
-                 (i, e (Ast.Ebinop (Ast.Add, e (Ast.Evar i), e (Ast.Eint 1)))))
-          in
-          let cond =
-            e (Ast.Ebinop (Ast.Lt, e (Ast.Evar i), e (Ast.Eint (int_in 0 4))))
-          in
-          ( s
-              (Ast.Sif
-                 ( e (Ast.Ebool true),
-                   [
-                     s (Ast.Sdecl (Ast.Tint, i, Some (e (Ast.Eint 0))));
-                     s (Ast.Swhile (cond, body @ [ incr_i ]));
-                   ],
-                   [] )),
-            vars )
-        | _ ->
-          let x = fresh () in
-          (s (Ast.Sdecl (Ast.Tint, x, Some (gen_int 2 vars))), x :: vars)
-      in
-      let rest, vars = gen_stmts depth vars (budget - 1) in
-      (stmt :: rest, vars)
-  in
-  let n_globals = int_in 0 2 in
-  let globals = ref [] and global_vars = ref [] in
-  for _ = 1 to n_globals do
-    let g = fresh () in
-    globals :=
-      s (Ast.Sdecl (Ast.Tint, g, Some (e (Ast.Eint (int_in (-9) 9)))))
-      :: !globals;
-    global_vars := g :: !global_vars
-  done;
-  let body, vars = gen_stmts 2 !global_vars (int_in 2 8) in
-  let body = body @ [ print_stmt vars ] in
-  let main =
-    {
-      Ast.fname = "main";
-      fret = Ast.Tvoid;
-      fparams = [];
-      fbody = body;
-      floc = Loc.dummy;
-    }
-  in
-  let prog = { Ast.globals = List.rev !globals; funcs = [ main ] } in
-  (* Re-parse so statement ids are assigned; the generator leaves them 0. *)
-  let input = List.init (int_in 0 16) (fun _ -> int_in (-50) 50) in
-  (Typecheck.parse_and_check (Pretty.program_to_string prog), input)
+let gen_program = Factory.gen_program
 
 let print_case (prog, input) =
   Printf.sprintf "%s\n// input: [%s]"

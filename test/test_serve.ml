@@ -90,6 +90,7 @@ let test_response_roundtrip () =
          sv_ledger = "/state/ledgers/abc123-r7.ledger";
          sv_replayed = false;
          sv_report = "root cause: line 7\nwith \"quotes\" and\nnewlines";
+         sv_counts = [ ("iterations", 3); ("verifications", 12) ];
        });
   check_response_roundtrip "shed" (Proto.Shed "queue full (64 pending)");
   check_response_roundtrip "failed" (Proto.Failed "parse error: line 3");
