@@ -41,6 +41,7 @@ module Suite = Exom_bench.Suite
 module Perf = Exom_bench.Perf
 module Ledger = Exom_ledger.Ledger
 module Lexplain = Exom_ledger.Explain
+module Rank = Exom_rank.Rank
 
 open Cmdliner
 
@@ -380,7 +381,7 @@ let print_robustness (report : Demand.report) =
 let locate_cmd =
   let action file correct_file input text root_line chaos_seed verify_deadline
       max_retries breaker jobs store_dir trace_out metrics_out ledger_out
-      resume =
+      resume no_rank rank_model =
     match (compile_file file, compile_file correct_file) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -476,7 +477,29 @@ let locate_cmd =
             (* no ground truth given: run to exhaustion and report *)
             [ -1 ]
         in
-        let report = Demand.locate ~pool session ~oracle ~root_sids in
+        (* a bad model file degrades to the static verification order
+           with a diagnostic — it must never kill the localization *)
+        let config =
+          if no_rank then { Demand.default_config with ranking = None }
+          else
+            match rank_model with
+            | None -> Demand.default_config
+            | Some path -> (
+              match Rank.load_model path with
+              | Ok model ->
+                {
+                  Demand.default_config with
+                  ranking =
+                    Some { Rank.default_config with Rank.model = Some model };
+                }
+              | Error e ->
+                Printf.eprintf
+                  "rank model %s: %s; falling back to the static \
+                   verification order\n"
+                  path e;
+                { Demand.default_config with ranking = None })
+        in
+        let report = Demand.locate ~config ~pool session ~oracle ~root_sids in
         write_obs obs ~trace_out ~metrics_out;
         write_ledger ledger ~ledger_out;
         (match replayed with
@@ -583,6 +606,26 @@ let locate_cmd =
              the killed run — a mismatched journal is detected and the \
              run starts cold")
   in
+  let no_rank_arg =
+    Arg.(
+      value & flag
+      & info [ "no-rank" ]
+          ~doc:
+            "Disable evidence-driven verification ordering: candidates \
+             verify in the paper's static order with the static guard \
+             knobs (the control for ranked-vs-static comparisons)")
+  in
+  let rank_model_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rank-model" ] ~docv:"FILE"
+          ~doc:
+            "Seed the candidate ranking with a mined prior table \
+             ($(b,exom corpus mine --json)).  A corrupt, truncated or \
+             version-mismatched file is rejected with a diagnostic and \
+             the run falls back to the static verification order")
+  in
   Cmd.v
     (Cmd.info "locate"
        ~doc:"Demand-driven execution-omission-error localization")
@@ -590,7 +633,7 @@ let locate_cmd =
       const action $ file_arg $ correct_arg $ input_arg $ text_arg $ root_arg
       $ chaos_seed_arg $ deadline_arg $ max_retries_arg $ breaker_arg
       $ jobs_arg $ store_arg $ trace_out_arg $ metrics_out_arg
-      $ ledger_out_arg $ resume_arg)
+      $ ledger_out_arg $ resume_arg $ no_rank_arg $ rank_model_arg)
 
 (* recover *)
 
@@ -862,12 +905,16 @@ let default_label () =
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
     tm.Unix.tm_mday
 
-let bench_suite jobs json_out history label corpus_count =
+let bench_suite jobs json_out history label corpus_count no_rank =
   let jobs =
     match jobs with Some j -> j | None -> Pool.default_jobs ()
   in
   let label = match label with Some l -> l | None -> default_label () in
-  let s = Perf.run_suite ~jobs ~label ?corpus_count () in
+  let config =
+    if no_rank then Some { Demand.default_config with Demand.ranking = None }
+    else None
+  in
+  let s = Perf.run_suite ?config ~jobs ~label ?corpus_count () in
   Printf.printf "suite %s (%d job(s)): %d/%d located\n" s.Perf.label s.Perf.jobs
     s.Perf.located s.Perf.total;
   List.iter
@@ -1019,8 +1066,8 @@ let bench_one name fid jobs store_dir trace_out metrics_out ledger_out export =
 
 let bench_cmd =
   let action name fid all jobs store_dir trace_out metrics_out ledger_out
-      json_out history label export corpus_count =
-    if all then bench_suite jobs json_out history label corpus_count
+      json_out history label export corpus_count no_rank =
+    if all then bench_suite jobs json_out history label corpus_count no_rank
     else
       match (name, fid) with
       | Some name, Some fid ->
@@ -1090,6 +1137,15 @@ let bench_cmd =
              campaign and record it as the snapshot's corpus leg \
              (schema v3)")
   in
+  let no_rank_arg =
+    Arg.(
+      value & flag
+      & info [ "no-rank" ]
+          ~doc:
+            "With --all: run the suite (and corpus leg) under the static \
+             verification order instead of evidence-driven ranking — the \
+             control snapshot for the rank gate")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
@@ -1098,7 +1154,7 @@ let bench_cmd =
     Term.(
       const action $ name_arg $ fid_arg $ all_arg $ jobs_arg $ store_arg
       $ trace_out_arg $ metrics_out_arg $ ledger_out_arg $ json_arg
-      $ history_arg $ label_arg $ export_arg $ corpus_arg)
+      $ history_arg $ label_arg $ export_arg $ corpus_arg $ no_rank_arg)
 
 (* regress *)
 

@@ -60,7 +60,7 @@ let rec rm_rf path =
    counts are deterministic in (seed, count) like the suite rows, so
    they regress-gate the generated-program path the hand-written suite
    cannot cover; only [c_wall_seconds] is noisy. *)
-let run_corpus ?(jobs = Pool.default_jobs ()) ~seed ~count () =
+let run_corpus ?config ?(jobs = Pool.default_jobs ()) ~seed ~count () =
   let t0 = Unix.gettimeofday () in
   let manifest = Campaign.generate ~seed ~count () in
   let dir =
@@ -69,7 +69,9 @@ let run_corpus ?(jobs = Pool.default_jobs ()) ~seed ~count () =
       (Printf.sprintf "exom_bench_corpus_%d" (Unix.getpid ()))
   in
   rm_rf dir;
-  let rows, _missing = Campaign.run_local ~jobs ~dir ~manifest ~shards:1 () in
+  let rows, _missing =
+    Campaign.run_local ?config ~jobs ~dir ~manifest ~shards:1 ()
+  in
   rm_rf dir;
   let s = Campaign.summarize rows in
   let failed =
@@ -110,7 +112,8 @@ let run_corpus ?(jobs = Pool.default_jobs ()) ~seed ~count () =
    should answer (almost) every verification from it.  The warm figures
    are the cache's health check: a warm hit rate collapsing towards the
    cold one means the store has stopped earning its keep. *)
-let run_suite ?(jobs = Pool.default_jobs ()) ?(label = "") ?corpus_count () =
+let run_suite ?config ?(jobs = Pool.default_jobs ()) ?(label = "")
+    ?corpus_count () =
   let pool = Pool.create ~jobs () in
   let t0 = Unix.gettimeofday () in
   let rows = ref [] in
@@ -120,7 +123,7 @@ let run_suite ?(jobs = Pool.default_jobs ()) ?(label = "") ?corpus_count () =
   List.iter
     (fun (bench, fault) ->
       let obs = Obs.create () in
-      let r = Runner.run_fault ~obs ~pool bench fault in
+      let r = Runner.run_fault ?config ~obs ~pool bench fault in
       let report = r.Runner.report in
       rows :=
         {
@@ -157,7 +160,7 @@ let run_suite ?(jobs = Pool.default_jobs ()) ?(label = "") ?corpus_count () =
       (fun (bench, fault) ->
         let obs = Obs.create () in
         let store = Store.create ~obs ~dir:store_dir () in
-        let r = Runner.run_fault ~obs ~pool ~store bench fault in
+        let r = Runner.run_fault ?config ~obs ~pool ~store bench fault in
         let st = r.Runner.report.Demand.store in
         hits := !hits + st.Store.hits + st.Store.disk_hits;
         queries :=
@@ -176,7 +179,9 @@ let run_suite ?(jobs = Pool.default_jobs ()) ?(label = "") ?corpus_count () =
   Pool.shutdown pool;
   let corpus =
     (* fixed seed: the leg tracks locator behavior, not corpus variety *)
-    Option.map (fun count -> run_corpus ~jobs ~seed:1 ~count ()) corpus_count
+    Option.map
+      (fun count -> run_corpus ?config ~jobs ~seed:1 ~count ())
+      corpus_count
   in
   let rows = List.rev !rows in
   {

@@ -67,13 +67,27 @@ type snapshot = {
     a warm pass over one shared disk store (the [store_hit_rate] /
     [warm_*] figures; each fault opens a fresh handle, so warm hits are
     honest disk hits).  [jobs] sizes the verification pool (default:
-    [EXOM_JOBS] via the default pool). *)
+    [EXOM_JOBS] via the default pool).  [config] overrides the
+    locator's configuration on every leg — e.g.
+    [{ Demand.default_config with ranking = None }] measures the
+    static-order control for the ranked-vs-static comparison. *)
 val run_suite :
-  ?jobs:int -> ?label:string -> ?corpus_count:int -> unit -> snapshot
+  ?config:Exom_core.Demand.config ->
+  ?jobs:int ->
+  ?label:string ->
+  ?corpus_count:int ->
+  unit ->
+  snapshot
 
 (** Run just the corpus leg: generate a [count]-triple corpus at
     [seed] and run its campaign in a scratch directory. *)
-val run_corpus : ?jobs:int -> seed:int -> count:int -> unit -> corpus_leg
+val run_corpus :
+  ?config:Exom_core.Demand.config ->
+  ?jobs:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  corpus_leg
 
 (** {2 Serialization} *)
 

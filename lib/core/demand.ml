@@ -1,7 +1,9 @@
+module Ast = Exom_lang.Ast
 module Confidence = Exom_conf.Confidence
 module Ledger = Exom_ledger.Ledger
 module Obs = Exom_obs.Obs
 module Prune = Exom_conf.Prune
+module Rank = Exom_rank.Rank
 module Relevant = Exom_ddg.Relevant
 module Slice = Exom_ddg.Slice
 module Store = Exom_sched.Store
@@ -61,11 +63,15 @@ type config = {
          the freshest state (and K must cover the fault-relevant one —
          a single "latest" misses faults on earlier iterations) *)
   verify_mode : Verify.mode;  (* edge approximation (paper) or safe paths *)
+  ranking : Rank.config option;
+      (* evidence-driven candidate ordering + early exit; [None] is the
+         paper's static order (and static guard knobs) *)
 }
 
 let default_config =
   { max_iterations = 40; max_related_targets = 64;
-    max_instances_per_pred = 4; verify_mode = Verify.Edge_approximation }
+    max_instances_per_pred = 4; verify_mode = Verify.Edge_approximation;
+    ranking = Some Rank.default_config }
 
 (* Thin PD candidates to the latest [per_sid] instances of each static
    predicate. *)
@@ -119,8 +125,45 @@ let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
              })
            (Prune.entries ps))
   in
+  (* The scorer: seeded with the program's static features (so a mined
+     model can select its prior bucket), then fed every verdict a batch
+     returns.  Returned verdicts are identical whether they came from a
+     live run, the store, or a resume replay, so scores — and with them
+     ordering and early-exit decisions — are invariant across -j,
+     warm/cold stores, and kill/resume. *)
+  let rank =
+    Option.map
+      (fun rc ->
+        let preds = ref 0 in
+        Ast.iter_program
+          (fun st -> if Ast.is_predicate st then incr preds)
+          s.Session.prog;
+        Rank.create ~stmts:(Ast.stmt_count s.Session.prog) ~predicates:!preds
+          rc)
+      config.ranking
+  in
   let verify_batch pairs =
-    Verify.verify_batch ~mode:config.verify_mode ?pool s pairs
+    let rs = Verify.verify_batch ~mode:config.verify_mode ?pool s pairs in
+    (match rank with
+    | None -> ()
+    | Some r ->
+      List.iter2
+        (fun (p, _) (v : Verdict.result) ->
+          let sid = (Trace.get trace p).Trace.sid in
+          let verdict =
+            match v.Verdict.verdict with
+            | Verdict.Strong_id -> `Strong_id
+            | Verdict.Id -> `Id
+            | Verdict.Not_id -> `Not_id
+          in
+          Rank.observe r ~sid ~verdict)
+        pairs rs;
+      (* the ledger-tuned guard knobs ride the same evidence loop: the
+         failure journal is merged in submission order (and restored
+         from checkpoints on resume), so the derived tunings are as
+         deterministic as the scores *)
+      Guard.auto_tune s.Session.guard);
+    rs
   in
   (* Make the journal durable at iteration boundaries: everything up to
      and including the last snapshot survives a kill (the journal is
@@ -201,6 +244,38 @@ let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
       Ledger.expand l ~iter:(!iterations + 1) ~u:(Session.linst s u)
         ~candidates:pd
     | None -> ());
+    (* Evidence-driven ordering: candidates verify in descending score
+       order (ties keep the static order), and a predicate's surplus
+       instances are cut once its posterior yield has sunk below the
+       early-exit threshold.  Both the order and every cut are recorded
+       as a Rank event so [explain] can narrate them. *)
+    let pd =
+      match rank with
+      | None -> pd
+      | Some r ->
+        let decisions =
+          Rank.plan r
+            (List.map (fun p -> (p, (Trace.get trace p).Trace.sid)) pd)
+        in
+        (match (ledger, decisions) with
+        | Some l, _ :: _ ->
+          Ledger.rank l ~iter:(!iterations + 1) ~u:(Session.linst s u)
+            ~prior:(Rank.prior r)
+            ~decisions:
+              (List.map
+                 (fun d ->
+                   {
+                     Ledger.rd_idx = d.Rank.d_idx;
+                     rd_sid = d.Rank.d_sid;
+                     rd_score = d.Rank.d_score;
+                     rd_kept = d.Rank.d_kept;
+                   })
+                 decisions)
+        | _ -> ());
+        List.filter_map
+          (fun d -> if d.Rank.d_kept then Some d.Rank.d_idx else None)
+          decisions
+    in
     let verdicts =
       List.combine pd (verify_batch (List.map (fun p -> (p, u)) pd))
     in

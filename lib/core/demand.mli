@@ -50,8 +50,20 @@ type config = {
       (** verifications per static predicate in one PD(u) (latest K) *)
   verify_mode : Verify.mode;
       (** edge approximation (the paper's default) or safe path mode *)
+  ranking : Exom_rank.Rank.config option;
+      (** evidence-driven verification ordering: each expansion's
+          candidates verify in descending posterior-yield order with an
+          early-exit policy cutting low-yield instance tails, and the
+          guard's breaker/escalation knobs are re-tuned from the failure
+          journal between batches.  Ordering, cuts and scores are
+          byte-deterministic (recorded as ledger [Rank] events) and
+          invariant across [-j], warm/cold stores and kill/resume.
+          [None] restores the paper's static order and static guard
+          knobs. *)
 }
 
+(** Ranked by default ([ranking = Some Exom_rank.Rank.default_config],
+    no mined prior). *)
 val default_config : config
 
 (** [locate s ~oracle ~root_sids]: run the procedure; [root_sids] is the

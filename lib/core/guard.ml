@@ -94,14 +94,22 @@ let shard_stats sh = sh.sh_stats
 
 type breaker = { mutable consecutive : int; mutable opened : bool }
 
+(* A per-sid override of the policy's static knobs, derived from the
+   failure journal (see [auto_tune]): a tighter breaker threshold and a
+   shorter escalation ladder for predicates whose failures are known to
+   be deterministic. *)
+type tuning = { tn_breaker_threshold : int; tn_max_retries : int }
+
 type t = {
   policy : policy;
   breakers : (int, breaker) Hashtbl.t;
+  tunings : (int, tuning) Hashtbl.t;
   root : shard;  (* the session's merged accounting *)
 }
 
 let create ?(policy = default_policy) () =
-  { policy; breakers = Hashtbl.create 16; root = new_shard () }
+  { policy; breakers = Hashtbl.create 16; tunings = Hashtbl.create 16;
+    root = new_shard () }
 
 let policy t = t.policy
 let stats t = t.root.sh_stats
@@ -120,6 +128,50 @@ let absorb t sh =
   a.quarantined <- a.quarantined + b.quarantined;
   (* both lists are newest-first; prepending keeps shard order *)
   t.root.sh_journal <- sh.sh_journal @ t.root.sh_journal
+
+let tuning_of t ~sid = Hashtbl.find_opt t.tunings sid
+
+(* Replace the policy's static knobs for the predicates the failure
+   journal has already convicted.  The rule is deliberately narrow and
+   deterministic: only failure kinds that are a pure function of
+   (program, input, budget, chaos seed) count — [Run_crashed],
+   [Run_budget_exhausted] (recorded only after the *whole* escalation
+   ladder failed) and [Captured].  Wall-clock-dependent kinds
+   ([Deadline_expired]) and scheduler artifacts ([Worker_quarantined],
+   [Breaker_open]) are excluded, so the derived tunings — like the
+   journal they are derived from — are identical at any job count and
+   across kill/resume (the journal is checkpoint-restored).
+
+   Two deterministic failures of one sid mean a third identical attempt
+   cannot succeed either: its breaker threshold drops to 2 and its
+   escalation ladder to a single attempt.  Call between batches, on the
+   coordinator; recomputing from scratch keeps the table a pure
+   function of the journal. *)
+let auto_tune t =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (sid, f) ->
+      match f with
+      | Run_crashed _ | Run_budget_exhausted | Captured _ ->
+        Hashtbl.replace counts sid
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts sid))
+      | Deadline_expired _ | Breaker_open _ | Worker_quarantined _ -> ())
+    (List.rev t.root.sh_journal);
+  Hashtbl.reset t.tunings;
+  Hashtbl.iter
+    (fun sid n ->
+      if n >= 2 then
+        Hashtbl.replace t.tunings sid
+          {
+            tn_breaker_threshold = min t.policy.breaker_threshold 2;
+            tn_max_retries = 0;
+          })
+    counts
+
+let breaker_threshold t sid =
+  match Hashtbl.find_opt t.tunings sid with
+  | Some tn -> tn.tn_breaker_threshold
+  | None -> t.policy.breaker_threshold
 
 let breaker_for t sid =
   match Hashtbl.find_opt t.breakers sid with
@@ -184,7 +236,7 @@ let restore t ~stats:s ~failures:fs ~breakers =
 let record_abort t sh sid =
   let b = breaker_for t sid in
   b.consecutive <- b.consecutive + 1;
-  if (not b.opened) && b.consecutive >= t.policy.breaker_threshold then begin
+  if (not b.opened) && b.consecutive >= breaker_threshold t sid then begin
     b.opened <- true;
     sh.sh_stats.breaker_trips <- sh.sh_stats.breaker_trips + 1
   end
@@ -251,7 +303,16 @@ let execute_in t sh ~sid ~base_budget ~run =
             end
             else Degraded (r, fail Run_budget_exhausted)))
     in
-    attempt (Backoff.budgets t.policy.backoff ~base:base_budget)
+    let ladder = Backoff.budgets t.policy.backoff ~base:base_budget in
+    let ladder =
+      (* a tuned sid's ladder is cut to [tn_max_retries] escalations:
+         its budget exhaustions are known deterministic, so the extra
+         attempts can only burn runs *)
+      match tuning_of t ~sid with
+      | None -> ladder
+      | Some tn -> List.filteri (fun i _ -> i <= tn.tn_max_retries) ladder
+    in
+    attempt ladder
   end
 
 let execute t ~sid ~base_budget ~run = execute_in t t.root ~sid ~base_budget ~run

@@ -115,6 +115,29 @@ val failures : t -> (int * verify_failure) list
 (** Is the circuit breaker for [sid] open? *)
 val breaker_open : t -> sid:int -> bool
 
+(** {2 Ledger-tuned knobs}
+
+    The policy's breaker threshold and escalation ladder are static
+    session-wide defaults; [auto_tune] replaces them per predicate with
+    values derived from the failure journal.  Only failure kinds that
+    are deterministic in (program, input, budget, chaos) feed the rule
+    — [Run_crashed], [Run_budget_exhausted], [Captured] — never
+    wall-clock-dependent ones, so the derived table is identical at any
+    [-j] and across kill/resume (the journal is checkpoint-restored and
+    the table is recomputed from it).  Called by [Demand] between
+    batches when evidence-driven ranking is enabled. *)
+
+(** A per-sid override: breaker threshold and escalation retries. *)
+type tuning = { tn_breaker_threshold : int; tn_max_retries : int }
+
+(** Recompute every override from the current failure journal: a sid
+    with ≥ 2 deterministic failures gets threshold 2 and a
+    single-attempt ladder.  Coordinator-only, between batches. *)
+val auto_tune : t -> unit
+
+(** The override in effect for [sid], if any. *)
+val tuning_of : t -> sid:int -> tuning option
+
 (** Record an unexpected exception that was contained {e outside} a
     re-execution (e.g. during alignment of a corrupted trace). *)
 val note_captured : t -> sid:int -> msg:string -> unit

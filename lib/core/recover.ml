@@ -87,8 +87,11 @@ let build_groups events =
             (* a checkpoint with no batch in flight: not a shape the
                writer produces — stop trusting the journal here *)
             broken := true)
-        | Ledger.Locate _ | Ledger.Prune _ | Ledger.Expand _ | Ledger.Edge _
-          ->
+        | Ledger.Locate _ | Ledger.Prune _ | Ledger.Expand _ | Ledger.Rank _
+        | Ledger.Edge _ ->
+          (* re-emitted live by the resumed demand loop: Rank decisions
+             are recomputed from the replayed verdict evidence, which is
+             identical to the original run's, so they re-emit byte-equal *)
           ())
     events;
   let dropped =

@@ -340,7 +340,7 @@ let ensure_layout dir =
   ensure_dir (store_dir dir);
   ensure_dir (journals_dir dir)
 
-let run_triple ?pool ~dir triple =
+let run_triple ?config ?pool ~dir triple =
   let row status counts =
     {
       o_id = triple.t_id;
@@ -392,7 +392,8 @@ let run_triple ?pool ~dir triple =
             ~correct_prog:correct ~input
         in
         let report =
-          Demand.locate ?pool session ~oracle ~root_sids:triple.t_root_sids
+          Demand.locate ?config ?pool session ~oracle
+            ~root_sids:triple.t_root_sids
         in
         Ledger.close_journal ledger;
         Ledger.write lpath ledger;
@@ -464,7 +465,7 @@ let append_row path row =
 let shard_slice manifest ~shard ~shards =
   List.filteri (fun i _ -> i mod shards = shard) manifest.m_triples
 
-let run_shard ?jobs ?socket ~dir ~manifest ~shard ~shards ~skip () =
+let run_shard ?config ?jobs ?socket ~dir ~manifest ~shard ~shards ~skip () =
   ensure_layout dir;
   let triples =
     List.filter (fun t -> not (skip t.t_id)) (shard_slice manifest ~shard ~shards)
@@ -489,7 +490,7 @@ let run_shard ?jobs ?socket ~dir ~manifest ~shard ~shards ~skip () =
               match run_triple_via ~socket t with
               | Ok row -> row
               | Error e -> failwith (Printf.sprintf "%s: %s" t.t_id e))
-            | None -> run_triple ?pool ~dir t
+            | None -> run_triple ?config ?pool ~dir t
           in
           append_row journal row;
           row)
@@ -540,7 +541,7 @@ let reset dir =
         then rm p)
       (Sys.readdir dir)
 
-let run_local ?jobs ?(resume = false) ~dir ~manifest ~shards () =
+let run_local ?config ?jobs ?(resume = false) ~dir ~manifest ~shards () =
   ensure_layout dir;
   if not resume then reset dir;
   ensure_layout dir;
@@ -553,7 +554,7 @@ let run_local ?jobs ?(resume = false) ~dir ~manifest ~shards () =
     else fun _ -> false
   in
   for shard = 0 to shards - 1 do
-    ignore (run_shard ?jobs ~dir ~manifest ~shard ~shards ~skip ())
+    ignore (run_shard ?config ?jobs ~dir ~manifest ~shard ~shards ~skip ())
   done;
   merge ~dir ~manifest
 

@@ -122,9 +122,15 @@ val reset : string -> unit
 (** Run one triple in-process against the campaign directory's shared
     store, journaling its ledger under [dir]/journals and resuming from
     a prior journal when one matches.  [pool] is the caller's supervised
-    worker pool (one per shard, reused across triples). *)
+    worker pool (one per shard, reused across triples).  [config]
+    overrides the locator's configuration (e.g. [ranking = None] for a
+    static-order control leg). *)
 val run_triple :
-  ?pool:Exom_sched.Pool.t -> dir:string -> triple -> outcome
+  ?config:Exom_core.Demand.config ->
+  ?pool:Exom_sched.Pool.t ->
+  dir:string ->
+  triple ->
+  outcome
 
 (** Run one triple through a daemon at [socket] instead (the
     campaign-over-daemon path); rows come from the reply's [sv_counts].
@@ -139,6 +145,7 @@ val run_triple_via :
     {!Exom_sched.Pool.default}); [socket] routes execution through a
     daemon instead of running in-process.  Returns the rows written. *)
 val run_shard :
+  ?config:Exom_core.Demand.config ->
   ?jobs:int ->
   ?socket:string ->
   dir:string ->
@@ -157,6 +164,7 @@ val merge : dir:string -> manifest:manifest -> outcome list * string list
 (** In-process campaign driver (tests; the CLI forks instead): runs
     shards [0..shards-1] sequentially, then merges. *)
 val run_local :
+  ?config:Exom_core.Demand.config ->
   ?jobs:int ->
   ?resume:bool ->
   dir:string ->

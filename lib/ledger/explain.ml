@@ -65,6 +65,14 @@ let slices_of evs =
       | _ -> None)
     evs
 
+let ranks_of evs =
+  List.filter_map
+    (function
+      | Ledger.Rank { iter; u; prior; decisions } ->
+        Some (iter, u, prior, decisions)
+      | _ -> None)
+    evs
+
 (* Each admitted edge, paired with the verification evidence recorded
    for the same (p, u) instance pair, and the iteration (the iter of the
    next Slice snapshot) it contributed to. *)
@@ -170,6 +178,30 @@ let render ?lineage evs =
           (Printf.sprintf "-%d" (List.length removed))
           (if entries = [] then "-" else Printf.sprintf "%.3f" min_conf))
       slices
+  end;
+  (* How the candidates of each expansion were ordered for verification
+     (v3 ledgers; v2 ledgers simply have no rank events). *)
+  let ranks = ranks_of evs in
+  if ranks <> [] then begin
+    pr "\n--- Ranked verification order ---\n";
+    List.iter
+      (fun (iter, u, prior, ds) ->
+        let cut =
+          List.length (List.filter (fun d -> not d.Ledger.rd_kept) ds)
+        in
+        pr "iteration %d, expansion at %s: prior %.4f, %d candidate%s, %d cut\n"
+          iter (inst_str u) prior (List.length ds)
+          (if List.length ds = 1 then "" else "s")
+          cut;
+        pr "  order:%s\n"
+          (String.concat ""
+             (List.map
+                (fun (d : Ledger.rank_decision) ->
+                  Printf.sprintf " s%d#%d(%.4f%s)" d.Ledger.rd_sid
+                    d.Ledger.rd_idx d.Ledger.rd_score
+                    (if d.Ledger.rd_kept then "" else " CUT"))
+                ds)))
+      ranks
   end;
   let edges = edges_with_evidence evs in
   if edges <> [] then begin

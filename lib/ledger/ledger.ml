@@ -14,8 +14,15 @@ module Json = Exom_obs.Json
 let schema_name = "exom.ledger"
 
 (* v2: Checkpoint events (resumable guard/store state after every
-   batch) and journal marker lines. *)
-let schema_version = 2
+   batch) and journal marker lines.
+   v3: Rank events (evidence-driven ordering and early-exit decisions
+   per expansion).  v2 files read back unchanged — they simply contain
+   no rank events. *)
+let schema_version = 3
+
+(* Every version whose event vocabulary is a subset of ours reads back
+   losslessly. *)
+let readable_versions = [ 2; 3 ]
 
 type inst = { idx : int; sid : int; line : int; occ : int }
 
@@ -83,6 +90,17 @@ type checkpoint = {
   ck_store : store_counts;
 }
 
+(* One ranked candidate of an expansion: where the scorer put it and
+   whether the early-exit policy kept it for verification.  Scores are
+   rounded to 4 decimals upstream ({!Exom_rank}), so recording them
+   does not import float-printing instability. *)
+type rank_decision = {
+  rd_idx : int;
+  rd_sid : int;
+  rd_score : float;
+  rd_kept : bool;
+}
+
 type event =
   | Session of {
       wrong : inst;
@@ -100,6 +118,7 @@ type event =
     }
   | Prune of { iter : int; marked : int list }
   | Expand of { iter : int; u : inst; candidates : int list }
+  | Rank of { iter : int; u : inst; prior : float; decisions : rank_decision list }
   | Verify of verify_ev
   | Edge of {
       ep : inst;
@@ -170,6 +189,9 @@ let slice t ~iter entries =
 
 let prune t ~iter ~marked = push t (Prune { iter; marked })
 let expand t ~iter ~u ~candidates = push t (Expand { iter; u; candidates })
+
+let rank t ~iter ~u ~prior ~decisions =
+  push t (Rank { iter; u; prior; decisions })
 
 let verify t ~p ~u ~verdict ~value_affected ~source ?run ?align ?failure () =
   push t
@@ -281,6 +303,23 @@ let event_json = function
         ("iter", num iter);
         ("u", inst_json u);
         ("candidates", ints candidates);
+      ]
+  | Rank { iter; u; prior; decisions } ->
+    Json.Obj
+      [
+        ("ev", Json.Str "rank");
+        ("iter", num iter);
+        ("u", inst_json u);
+        ("prior", Json.Num prior);
+        (* fixed-position arrays keep rank lines compact *)
+        ( "decisions",
+          Json.Arr
+            (List.map
+               (fun d ->
+                 Json.Arr
+                   [ num d.rd_idx; num d.rd_sid; Json.Num d.rd_score;
+                     Json.Bool d.rd_kept ])
+               decisions) );
       ]
   | Verify v ->
     Json.Obj
@@ -555,6 +594,29 @@ let parse_event j =
     let* u = parse_inst j "u" in
     let* candidates = require "candidates" (get_ints j "candidates") in
     Ok (Expand { iter; u; candidates })
+  | "rank" ->
+    let* iter = require "iter" (get_int j "iter") in
+    let* u = parse_inst j "u" in
+    let* prior = require "prior" (get_num j "prior") in
+    let* decisions =
+      match Json.member "decisions" j with
+      | Some (Json.Arr l) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | Json.Arr
+              [ Json.Num idx; Json.Num sid; Json.Num score; Json.Bool kept ]
+            :: rest ->
+            go
+              ({ rd_idx = int_of_float idx; rd_sid = int_of_float sid;
+                 rd_score = score; rd_kept = kept }
+              :: acc)
+              rest
+          | _ -> Error "rank.decisions: expected [idx, sid, score, kept] rows"
+        in
+        go [] l
+      | _ -> Error "missing or ill-typed rank.decisions"
+    in
+    Ok (Rank { iter; u; prior; decisions })
   | "verify" ->
     let* vp = parse_inst j "p" in
     let* vu = parse_inst j "u" in
@@ -667,10 +729,11 @@ let check_header line =
   let* schema = require "schema" (get_str j "schema") in
   let* version = require "version" (get_num j "version") in
   if schema <> schema_name then Error (Printf.sprintf "foreign schema %S" schema)
-  else if int_of_float version <> schema_version then
+  else if not (List.mem (int_of_float version) readable_versions) then
     Error
-      (Printf.sprintf "schema version %d (this reader understands %d)"
-         (int_of_float version) schema_version)
+      (Printf.sprintf "schema version %d (this reader understands %s)"
+         (int_of_float version)
+         (String.concat ", " (List.map string_of_int readable_versions)))
   else Ok ()
 
 let of_string content =

@@ -18,6 +18,12 @@
 val schema_name : string
 val schema_version : int
 
+(** Header versions {!of_string}/{!recover_string} accept.  Older
+    listed versions are strict subsets of the current vocabulary (a v2
+    file simply contains no [Rank] events), so they read back
+    losslessly. *)
+val readable_versions : int list
+
 (** A trace-instance reference, resolved enough (sid, source line,
     occurrence) for the ledger to be rendered without the program. *)
 type inst = { idx : int; sid : int; line : int; occ : int }
@@ -100,6 +106,19 @@ type checkpoint = {
   ck_store : store_counts;
 }
 
+(** {2 Rank decisions (schema v3)}
+
+    One ranked candidate of an expansion: where the evidence-driven
+    scorer ({!Exom_rank}) placed it and whether the early-exit policy
+    kept it for verification.  Scores arrive rounded to 4 decimals, so
+    recording them preserves the byte-identity contract. *)
+type rank_decision = {
+  rd_idx : int;
+  rd_sid : int;
+  rd_score : float;
+  rd_kept : bool;
+}
+
 type event =
   | Session of {
       wrong : inst;
@@ -117,6 +136,9 @@ type event =
     }
   | Prune of { iter : int; marked : int list }
   | Expand of { iter : int; u : inst; candidates : int list }
+  | Rank of { iter : int; u : inst; prior : float; decisions : rank_decision list }
+      (** how the expansion's candidates were ordered and which were
+          cut; verification batches follow the kept ones in list order *)
   | Verify of verify_ev
   | Edge of {
       ep : inst;
@@ -172,6 +194,10 @@ val slice : t -> iter:int -> slice_entry list -> unit
 
 val prune : t -> iter:int -> marked:int list -> unit
 val expand : t -> iter:int -> u:inst -> candidates:int list -> unit
+
+val rank :
+  t -> iter:int -> u:inst -> prior:float -> decisions:rank_decision list ->
+  unit
 
 val verify :
   t ->

@@ -85,6 +85,82 @@ let test_corruption_rejected () =
   | Ok _ -> Alcotest.fail "skeletal event accepted"
   | Error _ -> ()
 
+(* {2 Rank events (schema v3)} *)
+
+let test_rank_event_codec () =
+  (* explicit round-trip of the v3 rank event through the textual form *)
+  let l = Ledger.create () in
+  let u = { Ledger.idx = 7; sid = 3; line = 14; occ = 2 } in
+  let decisions =
+    [
+      { Ledger.rd_idx = 3; rd_sid = 9; rd_score = 0.8333; rd_kept = true };
+      { Ledger.rd_idx = 5; rd_sid = 9; rd_score = 0.8333; rd_kept = false };
+      { Ledger.rd_idx = 1; rd_sid = 4; rd_score = 0.5; rd_kept = true };
+    ]
+  in
+  Ledger.rank l ~iter:2 ~u ~prior:0.5 ~decisions;
+  let s = Ledger.to_string l in
+  Alcotest.(check bool) "serialized as a rank event" true
+    (contains s "\"ev\":\"rank\"");
+  match Ledger.of_string s with
+  | Error e -> Alcotest.fail ("rank event does not read back: " ^ e)
+  | Ok events -> (
+    Alcotest.(check string) "re-serialization is identity" s
+      (Ledger.string_of_events events);
+    match events with
+    | [ Ledger.Rank r ] ->
+      Alcotest.(check int) "iter" 2 r.iter;
+      Alcotest.(check int) "u idx" 7 r.u.Ledger.idx;
+      Alcotest.(check (float 1e-9)) "prior" 0.5 r.prior;
+      Alcotest.(check int) "decision count" 3 (List.length r.decisions);
+      Alcotest.(check bool) "decisions preserved in order" true
+        (r.decisions = decisions)
+    | _ -> Alcotest.fail "expected exactly the rank event")
+
+let test_rank_events_in_real_run () =
+  (* a ranked localization journals its ordering; the fixture expands
+     at least once, so at least one rank event must be present *)
+  let ledger, _ = Lazy.force gzip_ledger in
+  let ranks =
+    List.filter
+      (function Ledger.Rank _ -> true | _ -> false)
+      (Ledger.events ledger)
+  in
+  Alcotest.(check bool) "run journaled rank events" true (ranks <> []);
+  let out = Explain.render (Ledger.events ledger) in
+  Alcotest.(check bool) "explain narrates the ranked order" true
+    (contains out "Ranked verification order")
+
+let test_v2_readback () =
+  (* v2 ledgers (no rank events) still read: the vocabulary is a strict
+     subset of v3's *)
+  (match
+     Ledger.of_string
+       "{\"type\":\"header\",\"schema\":\"exom.ledger\",\"version\":2}\n"
+   with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "header-only v2 stream produced events"
+  | Error e -> Alcotest.fail ("v2 header rejected: " ^ e));
+  (* a v3 stream downgraded to a v2 header reads as long as it carries
+     no v3 events *)
+  let ledger, _ = Lazy.force gzip_ledger in
+  let lines = String.split_on_char '\n' (Ledger.to_string ledger) in
+  let v2 =
+    List.mapi
+      (fun i l ->
+        if i = 0 then
+          "{\"type\":\"header\",\"schema\":\"exom.ledger\",\"version\":2}"
+        else l)
+      lines
+    |> List.filter (fun l -> not (contains l "\"ev\":\"rank\""))
+    |> String.concat "\n"
+  in
+  match Ledger.of_string v2 with
+  | Ok evs ->
+    Alcotest.(check bool) "v2 stream carries no rank events" true
+      (List.for_all (function Ledger.Rank _ -> false | _ -> true) evs)
+  | Error e -> Alcotest.fail ("downgraded v2 stream rejected: " ^ e)
+
 let test_is_ledger () =
   let ledger, _ = Lazy.force gzip_ledger in
   Alcotest.(check bool) "sniffs its own output" true
@@ -506,6 +582,10 @@ let () =
           Alcotest.test_case "version check" `Quick test_version_check;
           Alcotest.test_case "corruption rejected" `Quick
             test_corruption_rejected;
+          Alcotest.test_case "rank event codec" `Quick test_rank_event_codec;
+          Alcotest.test_case "rank events journaled and narrated" `Quick
+            test_rank_events_in_real_run;
+          Alcotest.test_case "v2 readback" `Quick test_v2_readback;
           Alcotest.test_case "sniffing" `Quick test_is_ledger;
         ] );
       ( "determinism",

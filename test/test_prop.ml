@@ -21,6 +21,8 @@ module Trace = Exom_interp.Trace
 module Region = Exom_align.Region
 module Align = Exom_align.Align
 module Factory = Exom_corpus.Factory
+module Ast = Exom_lang.Ast
+module Rank = Exom_rank.Rank
 
 let seed =
   match Sys.getenv_opt "QCHECK_SEED" with
@@ -159,6 +161,49 @@ let test_examples_differential () =
         (modes_agree prog [ 2 ]))
     files
 
+(* Ranking is a pure function of (static features, evidence): two
+   scorers built from the same Factory program and fed the same verdict
+   evidence — in any order, since per-predicate cells are independent
+   counters — produce byte-identical scores and plans.  This is the
+   unit-level face of the end-to-end claim that the ranked verification
+   order is invariant across -j and warm/cold stores (test_rank). *)
+let prop_ranking_pure =
+  QCheck.Test.make ~name:"ranking is pure in (features, evidence)" ~count:60
+    arb (fun (prog, input) ->
+      let stmts = Ast.stmt_count prog in
+      let preds = ref [] in
+      Ast.iter_program
+        (fun s -> if Ast.is_predicate s then preds := s.Ast.sid :: !preds)
+        prog;
+      let sids = match !preds with [] -> [ 1; 2; 3 ] | l -> List.rev l in
+      (* a deterministic evidence stream derived from the program *)
+      let evidence =
+        List.concat_map
+          (fun sid ->
+            match (sid + List.length input) mod 3 with
+            | 0 -> [ (sid, `Strong_id) ]
+            | 1 -> [ (sid, `Id); (sid, `Not_id) ]
+            | _ -> [ (sid, `Not_id); (sid, `Not_id) ])
+          sids
+      in
+      let mk stream =
+        let t =
+          Rank.create ~stmts ~predicates:(List.length sids)
+            Rank.default_config
+        in
+        List.iter (fun (sid, v) -> Rank.observe t ~sid ~verdict:v) stream;
+        t
+      in
+      let candidates = List.mapi (fun i sid -> (i, sid)) (sids @ sids) in
+      let t1 = mk evidence in
+      let t2 = mk evidence in
+      let t3 = mk (List.rev evidence) in
+      Rank.plan t1 candidates = Rank.plan t2 candidates
+      && Rank.plan t1 candidates = Rank.plan t3 candidates
+      && List.for_all
+           (fun (_, sid) -> Rank.score t1 ~sid = Rank.score t3 ~sid)
+           candidates)
+
 let () =
   let rand = Random.State.make [| seed |] in
   let q t = QCheck_alcotest.to_alcotest ~rand t in
@@ -170,6 +215,7 @@ let () =
           q prop_region_well_formed;
           q prop_self_alignment;
           q prop_differential;
+          q prop_ranking_pure;
         ] );
       ("examples", [ Alcotest.test_case "differential" `Quick test_examples_differential ]);
     ]

@@ -255,6 +255,11 @@ let test_multi_generation_chain () =
   let ncks0 = List.length (checkpoint_indices (journal_lines journal0)) in
   Alcotest.(check bool) "baseline has at least two checkpoints" true
     (ncks0 >= 2);
+  (* the fixture runs ranked, so every generation must reproduce the
+     rank events too — the ordering is recomputed from replayed verdict
+     evidence, not copied *)
+  Alcotest.(check bool) "baseline journal carries rank events" true
+    (contains journal0 "\"ev\":\"rank\"");
   List.iter
     (fun jobs ->
       (* generation 1: killed early, right after the first checkpoint *)
@@ -286,6 +291,11 @@ let test_multi_generation_chain () =
         true
         (plan2.Recover.replayed_batches > plan1.Recover.replayed_batches);
       let ledger2, report2 = journaled_run ~plan:plan2 ~jobs (fresh_path ()) in
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "second-generation ledger carries rank events (-j%d)" jobs)
+        true
+        (contains ledger2 "\"ev\":\"rank\"");
       Alcotest.(check string)
         (Printf.sprintf
            "second-generation resume byte-identical to baseline (-j%d)" jobs)
