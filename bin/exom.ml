@@ -678,7 +678,7 @@ let explain_ledger file content dot_out =
      what the lineage section of the narrative is for. *)
   let parsed =
     match Ledger.of_string content with
-    | Ok events -> Ok (events, None)
+    | Ok events -> Ok (events, None, [])
     | Error strict_err -> (
       match Ledger.recover_string content with
       | Ok r ->
@@ -692,15 +692,16 @@ let explain_ledger file content dot_out =
               {
                 Lexplain.resumes = r.Ledger.r_markers;
                 torn_tail = r.Ledger.r_truncated;
-              } )
+              },
+            r.Ledger.r_resumes )
       | Error _ -> Error strict_err)
   in
   match parsed with
   | Error e ->
     Printf.eprintf "%s: %s\n" file e;
     1
-  | Ok (events, lineage) ->
-    print_string (Lexplain.render ?lineage events);
+  | Ok (events, lineage, replay) ->
+    print_string (Lexplain.render ?lineage ~replay events);
     (match dot_out with
     | Some path ->
       write_file path (Lexplain.dot events);
@@ -1011,7 +1012,8 @@ let bench_export name fid dir bench fault =
     name fid dir;
   0
 
-let bench_one name fid jobs store_dir trace_out metrics_out ledger_out export =
+let bench_one name fid jobs store_dir trace_out metrics_out ledger_out export
+    no_rank =
   match Suite.find name with
     | None ->
       Printf.eprintf "unknown benchmark %s (have: %s)\n" name
@@ -1033,7 +1035,11 @@ let bench_one name fid jobs store_dir trace_out metrics_out ledger_out export =
           Option.map (fun dir -> Store.create ~obs ~dir ()) store_dir
         in
         let ledger = make_ledger ledger_out in
-        let r = Runner.run_fault ~obs ~pool ?store ?ledger bench fault in
+        let config =
+          if no_rank then Some { Demand.default_config with Demand.ranking = None }
+          else None
+        in
+        let r = Runner.run_fault ~obs ~pool ?store ?ledger ?config bench fault in
         write_obs obs ~trace_out ~metrics_out;
         write_ledger ledger ~ledger_out;
         Printf.printf "%s %s (%d job(s)): %s\n" name fid (Pool.jobs pool)
@@ -1072,7 +1078,7 @@ let bench_cmd =
       match (name, fid) with
       | Some name, Some fid ->
         bench_one name fid jobs store_dir trace_out metrics_out ledger_out
-          export
+          export no_rank
       | _ ->
         prerr_endline "exom bench: need BENCH FAULT (or --all for the suite)";
         1
@@ -1224,12 +1230,15 @@ let stats_cmd =
       match Export.metrics_of_jsonl content with
       | Error e -> Error (Printf.sprintf "%s: %s" file e)
       | Ok (reg, salvaged) ->
-        if salvaged then
-          Printf.eprintf "%s: truncated final record dropped (salvaged)\n"
-            file;
+        (match salvaged with
+        | Some { Export.torn_line; torn_byte } ->
+          Printf.eprintf
+            "%s: torn record at line %d (byte %d) dropped (salvaged)\n" file
+            torn_line torn_byte
+        | None -> ());
         Ok reg)
   in
-  let action file file2 diff no_timings =
+  let action file file2 diff no_timings tolerance =
     match (load_metrics file, file2) with
     | Error e, _ ->
       prerr_endline e;
@@ -1248,10 +1257,28 @@ let stats_cmd =
       | Error e ->
         prerr_endline e;
         1
-      | Ok reg2 ->
+      | Ok reg2 -> (
         print_string
           (Exom_obs.Metrics.render_diff ~timings:(not no_timings) reg reg2);
-        0)
+        (* --tolerance turns the diff into a gate: exit 1 when any
+           deterministic scalar moved beyond it *)
+        match tolerance with
+        | None -> 0
+        | Some tolerance ->
+          let findings = Exom_obs.Metrics.drift ~tolerance reg reg2 in
+          let breaches =
+            List.filter
+              (fun f -> f.Exom_obs.Metrics.d_breach)
+              findings
+          in
+          if breaches = [] then 0
+          else begin
+            print_string (Exom_obs.Metrics.render_drift breaches);
+            Printf.eprintf
+              "exom stats: %d metric(s) drifted beyond tolerance %.2f\n"
+              (List.length breaches) tolerance;
+            1
+          end))
   in
   let stats_file_arg =
     Arg.(
@@ -1280,6 +1307,16 @@ let stats_cmd =
             "Suppress wall-clock figures, leaving the subset that is \
              bit-identical across job counts and machines")
   in
+  let tolerance_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "tolerance" ] ~docv:"REL"
+          ~doc:
+            "Turn the diff into a gate: exit non-zero when any \
+             deterministic scalar (counter, gauge, timer count) moved by \
+             more than REL relative to FILE (0.0 = any movement)")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
@@ -1287,7 +1324,7 @@ let stats_cmd =
           diff two of them")
     Term.(
       const action $ stats_file_arg $ stats_file2_arg $ diff_arg
-      $ no_timings_arg)
+      $ no_timings_arg $ tolerance_arg)
 
 (* serve *)
 
@@ -1296,7 +1333,7 @@ module Proto = Exom_serve.Proto
 module Client = Exom_serve.Client
 
 let serve_cmd =
-  let action state socket jobs queue_limit shards lease retries resume =
+  let action state socket jobs queue_limit shards lease retries resume trace =
     if queue_limit < 1 then begin
       prerr_endline "exom serve: --queue-limit must be >= 1";
       1
@@ -1324,6 +1361,7 @@ let serve_cmd =
           lease;
           request_retries = retries;
           resume;
+          trace;
         }
     end
   in
@@ -1386,6 +1424,15 @@ let serve_cmd =
              directory before accepting new ones; each replays to a \
              ledger byte-identical to an uninterrupted run")
   in
+  let trace_flag =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Record a span tree per request and export it as a Chrome \
+             trace under DIR/traces/<fingerprint>.trace.json, keyed by \
+             the request fingerprint for cross-run auditing")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1393,7 +1440,7 @@ let serve_cmd =
           socket, one shared sharded verdict store, crash-safe journaling")
     Term.(
       const action $ state_arg $ socket_opt_arg $ jobs_arg $ queue_limit_arg
-      $ shards_arg $ lease_arg $ retries_arg $ resume_flag)
+      $ shards_arg $ lease_arg $ retries_arg $ resume_flag $ trace_flag)
 
 (* client *)
 
@@ -1692,6 +1739,7 @@ let corpus_run_cmd =
       let rows, missing = Campaign.merge ~dir ~manifest in
       print_string (Campaign.render_summary (Campaign.summarize rows));
       Printf.printf "outcomes: %s\n" (Filename.concat dir "outcomes.jsonl");
+      Printf.printf "metrics: %s\n" (Campaign.campaign_metrics dir);
       if missing <> [] then begin
         Printf.eprintf "%d triples have no outcome row (first: %s)\n"
           (List.length missing) (List.hd missing);
@@ -1768,6 +1816,7 @@ let corpus_report_cmd =
     else begin
       let s = Campaign.summarize rows in
       print_string (Campaign.render_summary s);
+      print_string (Campaign.render_rollup rows);
       match min_located with
       | None -> 0
       | Some floor ->
@@ -1973,6 +2022,177 @@ let corpus_cmd =
     [ corpus_gen_cmd; corpus_run_cmd; corpus_report_cmd; corpus_mine_cmd;
       corpus_seed_cmd ]
 
+(* audit *)
+
+module Audit = Exom_audit
+module Spine = Exom_obs.Spine
+
+let lanes_conv =
+  let parse s =
+    match Spine.lanes_of_string s with
+    | Some l -> Ok l
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown lane projection %S" s))
+  in
+  Arg.conv (parse, fun ppf l -> Fmt.string ppf (Spine.lanes_to_string l))
+
+let audit_cmd =
+  let action run_a run_b spine metrics ledger lanes tolerance check =
+    let legs =
+      (if spine then [ Audit.Spine_leg ] else [])
+      @ (if metrics then [ Audit.Metrics_leg ] else [])
+      @ if ledger then [ Audit.Ledger_leg ] else []
+    in
+    let legs = if legs = [] then None else Some legs in
+    match (Audit.load run_a, Audit.load run_b) with
+    | Error e, _ | _, Error e ->
+      prerr_endline e;
+      1
+    | Ok a, Ok b -> (
+      match Audit.audit ~lanes ~tolerance ?legs a b with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok t ->
+        print_string (Audit.render t);
+        if check && not (Audit.clean t) then 1 else 0)
+  in
+  let run_a_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"RUN_A"
+          ~doc:
+            "The reference run: a Chrome trace (--trace-out), a JSONL \
+             event log (--metrics-out) or a ledger/journal")
+  in
+  let run_b_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"RUN_B" ~doc:"The run to audit against RUN_A")
+  in
+  let spine_flag =
+    Arg.(
+      value & flag
+      & info [ "spine" ]
+          ~doc:
+            "Compare the span spines (error if either side lacks spans)")
+  in
+  let metrics_flag =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Compare the metric registries (error if either side lacks \
+             them)")
+  in
+  let ledger_flag =
+    Arg.(
+      value & flag
+      & info [ "ledger" ]
+          ~doc:
+            "Compare the ledger event streams (error if either side is \
+             not a ledger)")
+  in
+  let lanes_arg =
+    Arg.(
+      value
+      & opt lanes_conv Spine.All
+      & info [ "lanes" ] ~docv:"PROJECTION"
+          ~doc:
+            "Spine projection: $(b,all) for uninterrupted-run \
+             comparisons (-j1 vs -j4), $(b,coordinator) for \
+             resume-vs-uninterrupted comparisons (replayed batches have \
+             no worker-lane spans)")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "tolerance" ] ~docv:"REL"
+          ~doc:
+            "Relative metric movement tolerated before the drift leg \
+             breaches (0.0 = any movement)")
+  in
+  let check_flag =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Exit non-zero unless the verdict is CLEAN (the CI gate)")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Diff two runs' deterministic residue — span spine, metric \
+          drift, ledger stream, resume lineage — into one verdict")
+    Term.(
+      const action $ run_a_arg $ run_b_arg $ spine_flag $ metrics_flag
+      $ ledger_flag $ lanes_arg $ tolerance_arg $ check_flag)
+
+(* trace *)
+
+let trace_spine_cmd =
+  let action file lanes out =
+    match read_file file with
+    | exception Sys_error e ->
+      prerr_endline e;
+      1
+    | content -> (
+      match Export.spans_of_string content with
+      | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        1
+      | Ok (spans, salvage) ->
+        (match salvage with
+        | Some { Export.torn_line; torn_byte } ->
+          Printf.eprintf
+            "%s: torn record at line %d (byte %d) dropped (salvaged)\n"
+            file torn_line torn_byte
+        | None -> ());
+        let spine = Spine.of_spans ~lanes spans in
+        (match out with
+        | Some path -> write_file path (Spine.to_string spine ^ "\n")
+        | None -> print_string (Spine.render spine));
+        0)
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A Chrome trace (--trace-out) or JSONL event log \
+             (--metrics-out)")
+  in
+  let lanes_arg =
+    Arg.(
+      value
+      & opt lanes_conv Spine.All
+      & info [ "lanes" ] ~docv:"PROJECTION"
+          ~doc:"Projection to extract: $(b,all) or $(b,coordinator)")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"PATH"
+          ~doc:
+            "Write the versioned spine codec (exom.spine v1) to PATH \
+             instead of rendering the tree")
+  in
+  Cmd.v
+    (Cmd.info "spine"
+       ~doc:
+         "Extract the deterministic span spine from a trace export: the \
+          wall-clock-free canonical tree exom audit compares")
+    Term.(const action $ file_arg $ lanes_arg $ out_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Operate on trace exports (--trace-out / --metrics-out)")
+    [ trace_spine_cmd ]
+
 let () =
   let doc = "locating execution omission errors via implicit dependences" in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -1982,4 +2202,5 @@ let () =
           (Cmd.info "exom" ~version:"1.0.0" ~doc)
           [ run_cmd; info_cmd; slice_cmd; rslice_cmd; locate_cmd; explain_cmd;
             recover_cmd; dot_cmd; regions_cmd; bench_cmd; regress_cmd;
-            stats_cmd; serve_cmd; client_cmd; corpus_cmd ]))
+            stats_cmd; audit_cmd; trace_cmd; serve_cmd; client_cmd;
+            corpus_cmd ]))

@@ -7,7 +7,7 @@ module Demand = Exom_core.Demand
 module Campaign = Exom_corpus.Campaign
 
 let schema_name = "exom.bench"
-let schema_version = 3
+let schema_version = 4
 
 type row = {
   r_bench : string;
@@ -44,6 +44,9 @@ type snapshot = {
   warm_hit_rate : float;
   warm_verify_runs : int;
   wall_seconds : float;
+  traced_wall_seconds : float;
+      (* the cold suite re-run with span recording on (v4); 0.0 on
+         v1-v3 snapshots read back from disk *)
   corpus : corpus_leg option;
 }
 
@@ -145,6 +148,16 @@ let run_suite ?config ?(jobs = Pool.default_jobs ()) ?(label = "")
   (* wall clock covers the cold pass only, preserving the metric's
      meaning across snapshot history (v1 snapshots had no warm legs) *)
   let wall_seconds = Unix.gettimeofday () -. t0 in
+  (* traced pass (v4): the same cold suite with span recording on, so
+     the history tracks what --trace-out costs; the spans themselves
+     are discarded — only the wall figure matters here *)
+  let t1 = Unix.gettimeofday () in
+  List.iter
+    (fun (bench, fault) ->
+      let obs = Obs.create ~trace:true () in
+      ignore (Runner.run_fault ?config ~obs ~pool bench fault))
+    Suite.rows;
+  let traced_wall_seconds = Unix.gettimeofday () -. t1 in
   (* warm-store legs: each fault opens a fresh handle (empty memory
      front) over the same directory, the way independent processes
      would, so warm hits are honest disk hits *)
@@ -197,6 +210,7 @@ let run_suite ?config ?(jobs = Pool.default_jobs ()) ?(label = "")
     warm_hit_rate;
     warm_verify_runs;
     wall_seconds;
+    traced_wall_seconds;
     corpus;
   }
 
@@ -233,6 +247,7 @@ let to_json s =
       ("warm_hit_rate", Json.Num s.warm_hit_rate);
       ("warm_verify_runs", num s.warm_verify_runs);
       ("wall_seconds", Json.Num s.wall_seconds);
+      ("traced_wall_seconds", Json.Num s.traced_wall_seconds);
       ("rows", Json.Arr (List.map row_json s.rows));
     ]
     @
@@ -306,10 +321,10 @@ let of_json j =
   else
     let* version = require "version" (get_int j "version") in
     (* v1 snapshots predate the warm-store legs (figures read back
-       zeroed); v1 and v2 predate the corpus leg (reads back [None]).
-       Both degrade to "no baseline" in the comparator, never to a
-       fabricated drop. *)
-    if version <> schema_version && version <> 1 && version <> 2 then
+       zeroed); v1 and v2 predate the corpus leg (reads back [None]);
+       v1-v3 predate the traced pass (reads back 0.0).  All degrade to
+       "no baseline" in the comparator, never to a fabricated drop. *)
+    if version <> schema_version && not (List.mem version [ 1; 2; 3 ]) then
       Error
         (Printf.sprintf "schema version %d (this reader understands %d)"
            version schema_version)
@@ -331,6 +346,10 @@ let of_json j =
         else require "warm_verify_runs" (get_int j "warm_verify_runs")
       in
       let* wall_seconds = require "wall_seconds" (get_num j "wall_seconds") in
+      let* traced_wall_seconds =
+        if version < 4 then Ok 0.0
+        else require "traced_wall_seconds" (get_num j "traced_wall_seconds")
+      in
       let* rows_j = require "rows" (Option.bind (Json.member "rows" j) Json.to_list) in
       let rec go acc = function
         | [] -> Ok (List.rev acc)
@@ -349,7 +368,7 @@ let of_json j =
       Ok
         { label; jobs; rows; located; total; verify_runs; verify_seconds;
           interp_runs; store_hit_rate; warm_hit_rate; warm_verify_runs;
-          wall_seconds; corpus }
+          wall_seconds; traced_wall_seconds; corpus }
 
 let to_line s = Json.to_string (to_json s)
 
@@ -530,6 +549,13 @@ let compare ~tolerance ~time_tolerance old_s new_s =
       ("verify_seconds", old_s.verify_seconds, new_s.verify_seconds);
       ("wall_seconds", old_s.wall_seconds, new_s.wall_seconds);
     ];
+  (* tracing overhead (v4): loosely gated like the other timings, and
+     only when both snapshots measured it — a pre-v4 baseline reads
+     back 0.0 and must not fabricate a drop *)
+  if old_s.traced_wall_seconds > 0.0 && new_s.traced_wall_seconds > 0.0 then
+    List.iter push
+      (drift ~threshold:time_tolerance ~metric:"traced_wall_seconds"
+         ~fmt:fmt_s old_s.traced_wall_seconds new_s.traced_wall_seconds);
   (* corpus leg: gated only when both snapshots ran it over the same
      (seed, count) — otherwise the numbers measure different corpora *)
   (match (old_s.corpus, new_s.corpus) with

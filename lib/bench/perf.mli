@@ -57,6 +57,12 @@ type snapshot = {
       (** switched runs the warm pass still had to dispatch (should be
           close to 0) *)
   wall_seconds : float;  (** whole-suite wall clock *)
+  traced_wall_seconds : float;
+      (** the cold suite re-run with span recording on (schema v4):
+          tracks what [--trace-out] costs, so tracing never silently
+          becomes a tax.  [0.0] on v1-v3 snapshots read back from
+          disk; {!compare} only gates it when both sides measured
+          it. *)
   corpus : corpus_leg option;
       (** [None] when the snapshot skipped the corpus leg (and on every
           v1/v2 snapshot read back from disk) *)

@@ -366,11 +366,23 @@ let replay_matches (g : Session.replay_group) pairs =
    queries, seed the store with the recorded verdicts (no counter
    moves; a "dead" pair was never persisted live and is not seeded),
    re-emit the recorded events verbatim, then restore the cumulative
-   guard/store/run-count state from the trailing checkpoint. *)
+   guard/store/run-count state from the trailing checkpoint.
+
+   The coordinator's [verify.batch] span is emitted with exactly the
+   args a live batch would get (identical args are what make the two
+   spans compare equal): the lane-0 decision spine of a resumed run
+   then matches the uninterrupted run's span for span, while worker
+   lanes stay empty — nothing re-executed.  That is the invariant
+   behind {!Exom_obs.Spine}'s [Coordinator] projection being
+   replay-invariant. *)
 let replay_batch (s : Session.t) ~mode (g : Session.replay_group) rest pairs =
   let obs = s.Session.obs in
   s.Session.replay <- rest;
   Obs.add obs "verify.queries" (List.length pairs);
+  Obs.with_span obs ~cat:"verify"
+    ~args:[ ("pairs", string_of_int (List.length pairs)) ]
+    "verify.batch"
+  @@ fun () ->
   List.iter
     (fun ((p, u), (r, source)) ->
       if source <> "dead" then

@@ -11,6 +11,8 @@ module Pool = Exom_sched.Pool
 module Proto = Exom_serve.Proto
 module Client = Exom_serve.Client
 module Serve = Exom_serve.Serve
+module Metrics = Exom_obs.Metrics
+module Export = Exom_obs.Export
 
 let schema_name = "exom.corpus"
 let schema_version = 1
@@ -307,6 +309,33 @@ let read_rows path =
 let shard_journal dir k =
   Filename.concat dir (Printf.sprintf "outcomes.shard%d.jsonl" k)
 
+(* {2 Campaign metric registries}
+
+   Each shard reduces its journaled rows to a metrics registry
+   ("corpus.<class>.<count>" counters plus triples/located) written as
+   [metrics.shard<k>.jsonl]; the merge writes the campaign-level
+   [metrics.jsonl].  Counters merge by sum, so the canonical registry
+   — computed from the deduped merged rows — equals the absorption of
+   the shard registries whenever the partition is disjoint: the merged
+   file is byte-deterministic across reruns, [-j] and shard counts,
+   exactly like [outcomes.jsonl]. *)
+
+let shard_metrics dir k =
+  Filename.concat dir (Printf.sprintf "metrics.shard%d.jsonl" k)
+
+let campaign_metrics dir = Filename.concat dir "metrics.jsonl"
+
+let registry_of_rows rows =
+  let reg = Metrics.create () in
+  List.iter
+    (fun r ->
+      let name k = Printf.sprintf "corpus.%s.%s" r.o_class k in
+      Metrics.incr reg (name "triples");
+      if located r then Metrics.incr reg (name "located");
+      List.iter (fun (k, v) -> Metrics.add reg (name k) v) r.o_counts)
+    rows;
+  reg
+
 let journaled_rows dir =
   let files =
     match Sys.readdir dir with
@@ -482,19 +511,26 @@ let run_shard ?config ?jobs ?socket ~dir ~manifest ~shard ~shards ~skip () =
   Fun.protect
     ~finally:(fun () -> Option.iter Pool.shutdown pool)
     (fun () ->
-      List.map
-        (fun t ->
-          let row =
-            match socket with
-            | Some socket -> (
-              match run_triple_via ~socket t with
-              | Ok row -> row
-              | Error e -> failwith (Printf.sprintf "%s: %s" t.t_id e))
-            | None -> run_triple ?config ?pool ~dir t
-          in
-          append_row journal row;
-          row)
-        triples)
+      let rows =
+        List.map
+          (fun t ->
+            let row =
+              match socket with
+              | Some socket -> (
+                match run_triple_via ~socket t with
+                | Ok row -> row
+                | Error e -> failwith (Printf.sprintf "%s: %s" t.t_id e))
+              | None -> run_triple ?config ?pool ~dir t
+            in
+            append_row journal row;
+            row)
+          triples
+      in
+      (* the shard registry covers the whole journal (resumed rows
+         included), not just this invocation's slice *)
+      Export.write_metrics (shard_metrics dir shard)
+        (registry_of_rows (read_rows journal));
+      rows)
 
 let merge ~dir ~manifest =
   let by_id = Hashtbl.create 64 in
@@ -519,6 +555,7 @@ let merge ~dir ~manifest =
       Buffer.add_char b '\n')
     rows;
   write_file (Filename.concat dir "outcomes.jsonl") (Buffer.contents b);
+  Export.write_metrics (campaign_metrics dir) (registry_of_rows rows);
   (rows, missing)
 
 (* A fresh (non-resume) run must not see a previous campaign's rows,
@@ -537,7 +574,9 @@ let reset dir =
         let p = Filename.concat dir f in
         if
           f = "journals" || f = "store" || f = "outcomes.jsonl"
+          || f = "metrics.jsonl"
           || (String.length f > 14 && String.sub f 0 14 = "outcomes.shard")
+          || (String.length f > 13 && String.sub f 0 13 = "metrics.shard")
         then rm p)
       (Sys.readdir dir)
 
@@ -607,3 +646,57 @@ let render_summary s =
         (100.0 *. rate loc n))
     s.s_by_class;
   Buffer.contents b
+
+(* The campaign-level observability rollup `corpus report` prints next
+   to the outcome tables: per fault class, the mean verification work
+   per triple and a histogram of verifications per triple.  A class
+   whose faults suddenly verify more (or stop hitting the store) shows
+   up here without opening a single trace — the fleet-level face of
+   the same deterministic counts the spine and the drift gate use. *)
+let render_rollup rows =
+  if rows = [] then ""
+  else begin
+    let b = Buffer.create 512 in
+    let classes =
+      List.sort_uniq compare (List.map (fun r -> r.o_class) rows)
+    in
+    Printf.bprintf b "verification work by fault class (mean per triple):\n";
+    Printf.bprintf b "  %-18s %7s %7s %8s %8s %11s\n" "class" "triples"
+      "iters" "verifs" "queries" "store hits";
+    List.iter
+      (fun cls ->
+        let rs = List.filter (fun r -> r.o_class = cls) rows in
+        let n = List.length rs in
+        let mean key =
+          float_of_int (List.fold_left (fun a r -> a + count r key) 0 rs)
+          /. float_of_int (max 1 n)
+        in
+        Printf.bprintf b "  %-18s %7d %7.1f %8.1f %8.1f %11.1f\n" cls n
+          (mean "iterations") (mean "verifications") (mean "verify_queries")
+          (mean "store_hits"))
+      classes;
+    Printf.bprintf b "verifications per triple (histogram):\n";
+    let buckets =
+      [ ("0", 0, 0); ("1-2", 1, 2); ("3-5", 3, 5); ("6-10", 6, 10);
+        ("11+", 11, max_int) ]
+    in
+    List.iter
+      (fun cls ->
+        let rs = List.filter (fun r -> r.o_class = cls) rows in
+        Printf.bprintf b "  %-18s" cls;
+        List.iter
+          (fun (label, lo, hi) ->
+            let c =
+              List.length
+                (List.filter
+                   (fun r ->
+                     let v = count r "verifications" in
+                     v >= lo && v <= hi)
+                   rs)
+            in
+            Printf.bprintf b " %s:%-4d" label c)
+          buckets;
+        Buffer.add_char b '\n')
+      classes;
+    Buffer.contents b
+  end

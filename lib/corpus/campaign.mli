@@ -183,3 +183,24 @@ type summary = {
 
 val summarize : outcome list -> summary
 val render_summary : summary -> string
+
+(** {2 Campaign metric registries}
+
+    Each shard reduces its journaled rows to a
+    ["corpus.<class>.<count>"] counter registry written as
+    [metrics.shard<k>.jsonl]; {!merge} writes the campaign-level
+    [metrics.jsonl] from the deduped merged rows.  Counters merge by
+    sum, so the canonical registry equals the absorption of the shard
+    registries over any disjoint partition — byte-deterministic across
+    reruns, [-j] and shard counts, like [outcomes.jsonl].  All files
+    are {!Exom_obs.Export} JSONL, readable by [exom stats] and
+    [exom audit]. *)
+
+val shard_metrics : string -> int -> string
+val campaign_metrics : string -> string
+val registry_of_rows : outcome list -> Exom_obs.Metrics.t
+
+(** The per-fault-class rollup [corpus report] prints next to the
+    outcome tables: mean verification work per triple and a
+    verifications-per-triple histogram. *)
+val render_rollup : outcome list -> string

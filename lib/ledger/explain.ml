@@ -125,6 +125,57 @@ let run_str (r : Ledger.run_info) =
 
 type lineage = { resumes : int; torn_tail : bool }
 
+(* Split [evs] at the last resume marker's replayed count: everything
+   before it was consumed from the journal without re-execution,
+   everything after ran live.  Rendered as batch ordinals because each
+   Batch event is one [verify.batch] span on the trace's coordinator
+   lane — the narrative and the spine name the same objects. *)
+let replay_story (gens : Ledger.resume_info list) evs b =
+  match gens with
+  | [] -> ()
+  | _ ->
+    let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    let last = List.nth gens (List.length gens - 1) in
+    let replayed_n = last.Ledger.ri_replayed in
+    let batches l =
+      List.length
+        (List.filter (function Ledger.Batch _ -> true | _ -> false) l)
+    in
+    let verifs l =
+      List.length
+        (List.filter (function Ledger.Verify _ -> true | _ -> false) l)
+    in
+    let rec split k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | e :: rest -> split (k - 1) (e :: acc) rest
+    in
+    let replayed, live = split replayed_n [] evs in
+    pr "\n--- Resume replay ---\n";
+    List.iteri
+      (fun i (g : Ledger.resume_info) ->
+        pr "resume %d replayed %d event%s from its predecessor%s\n" (i + 1)
+          g.Ledger.ri_replayed
+          (if g.Ledger.ri_replayed = 1 then "" else "s")
+          (if g.Ledger.ri_truncated then " (its torn tail was dropped)"
+           else ""))
+      gens;
+    let rb = batches replayed and lb = batches live in
+    if rb > 0 then
+      pr
+        "replayed without re-execution: verify.batch span%s 1-%d (%d \
+         verification%s consumed from the journal)\n"
+        (if rb = 1 then "" else "s")
+        rb (verifs replayed)
+        (if verifs replayed = 1 then "" else "s")
+    else pr "replayed without re-execution: none (resume at the very start)\n";
+    if lb > 0 then
+      pr "re-executed live: verify.batch span%s %d-%d (%d verification%s)\n"
+        (if lb = 1 then "" else "s")
+        (rb + 1) (rb + lb) (verifs live)
+        (if verifs live = 1 then "" else "s")
+    else pr "re-executed live: none (the journal already covered the run)\n"
+
 (* The last checkpoint is cumulative, so it alone carries the run's
    complete failure journal, breaker history and store accounting. *)
 let last_checkpoint evs =
@@ -133,7 +184,7 @@ let last_checkpoint evs =
       match ev with Ledger.Checkpoint c -> Some c | _ -> acc)
     None evs
 
-let render ?lineage evs =
+let render ?lineage ?(replay = []) evs =
   let b = Buffer.create 4096 in
   let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   pr "=== Localization narrative ===\n";
@@ -144,6 +195,7 @@ let render ?lineage evs =
       (if torn_tail then "; predecessor's tail was torn and dropped"
        else "")
   | _ -> ());
+  replay_story replay evs b;
   (match session_of evs with
   | Some s ->
     pr "wrong output at %s" (inst_str s.wrong);

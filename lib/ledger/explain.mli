@@ -12,7 +12,15 @@
     accompanies a journal read via {!Ledger.recover_string}. *)
 type lineage = { resumes : int; torn_tail : bool }
 
-val render : ?lineage:lineage -> Ledger.event list -> string
+(** [render ?lineage ?replay evs]: [replay] (the salvaged journal's
+    resume-marker payloads, [Ledger.recovery.r_resumes], oldest first)
+    adds a "Resume replay" section that splits the event stream at the
+    last marker and names which [verify.batch] spans were consumed from
+    the journal versus re-executed live — the narrative counterpart of
+    the audit verdict's lineage walk. *)
+val render :
+  ?lineage:lineage -> ?replay:Ledger.resume_info list ->
+  Ledger.event list -> string
 
 (** Causal graph over the ledger's verified edges (strong solid red,
     weak dashed orange), the wrong output highlighted; rendered via

@@ -780,10 +780,18 @@ let load path =
    Corruption anywhere earlier still rejects — a journal whose middle
    is damaged cannot be trusted as a replay source. *)
 
+type resume_info = {
+  ri_replayed : int;  (* events replayed into the generation *)
+  ri_truncated : bool;  (* that resume salvaged a torn predecessor *)
+}
+
 type recovery = {
   r_events : event list;
   r_truncated : bool;  (* the last line was torn and dropped *)
   r_markers : int;  (* resume markers seen (prior resumes) *)
+  r_resumes : resume_info list;
+      (* the markers' payloads, file order: where each resumed
+         generation's replayed prefix ends *)
 }
 
 let recover_string content =
@@ -796,24 +804,40 @@ let recover_string content =
   | header :: records ->
     let* () = check_header header in
     let markers = ref 0 in
+    let resumes = ref [] in
+    let finish acc truncated =
+      Ok { r_events = List.rev acc; r_truncated = truncated;
+           r_markers = !markers; r_resumes = List.rev !resumes }
+    in
     let rec go lineno acc = function
-      | [] -> Ok { r_events = List.rev acc; r_truncated = false;
-                   r_markers = !markers }
+      | [] -> finish acc false
       | line :: rest -> (
         let last = rest = [] in
         let torn e =
-          if last then
-            Ok { r_events = List.rev acc; r_truncated = true;
-                 r_markers = !markers }
+          if last then finish acc true
           else Error (Printf.sprintf "line %d: %s" lineno e)
         in
         match Json.parse line with
         | Error e -> torn e
         | Ok j -> (
           match get_str j "type" with
-          | Some _ ->
-            (* meta line (resume marker); skip *)
+          | Some kind ->
+            (* meta line; a resume marker's payload is kept so lineage
+               walks can split replayed prefix from live tail *)
             incr markers;
+            if kind = "resume" then
+              resumes :=
+                {
+                  ri_replayed =
+                    (match Option.bind (Json.member "replayed" j) Json.to_float with
+                    | Some n -> int_of_float n
+                    | None -> 0);
+                  ri_truncated =
+                    (match Json.member "truncated" j with
+                    | Some (Json.Bool b) -> b
+                    | _ -> false);
+                }
+                :: !resumes;
             go (lineno + 1) acc rest
           | None -> (
             match parse_event j with

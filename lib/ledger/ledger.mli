@@ -247,6 +247,11 @@ val final :
 
 (** {2 Serialization: versioned JSONL} *)
 
+(** One event as its canonical JSON object — the payload of its JSONL
+    line.  Exposed for comparators ([exom audit]'s ledger leg) that
+    diff event streams without re-parsing rendered files. *)
+val event_json : event -> Exom_obs.Json.t
+
 val string_of_events : event list -> string
 val to_string : t -> string
 
@@ -301,10 +306,18 @@ val load : string -> (event list, string) result
 
 (** {2 Salvage of a killed run's journal} *)
 
+(** One resume marker's payload: how many events the resumed
+    generation replayed from its predecessor, and whether that
+    predecessor's tail was torn. *)
+type resume_info = { ri_replayed : int; ri_truncated : bool }
+
 type recovery = {
   r_events : event list;
   r_truncated : bool;  (** the last line was torn and dropped *)
   r_markers : int;  (** resume meta lines seen (prior resumes) *)
+  r_resumes : resume_info list;
+      (** the markers' payloads in file order — the split points
+          between replayed prefix and live tail of each generation *)
 }
 
 (** Tolerant reader for resume: skips meta lines and drops a malformed

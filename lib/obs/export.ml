@@ -162,6 +162,26 @@ let restore_metric reg j =
          ~min_s:(Option.value ~default:infinity (num "min"))
          ~max_s:(Option.value ~default:neg_infinity (num "max"))))
 
+(* A salvaged torn tail, located for citation: the 1-based line number
+   and the byte offset of the line's first byte in the file.  `exom
+   audit` and `exom explain` name the tear instead of a bare "the file
+   was truncated". *)
+type salvage = { torn_line : int; torn_byte : int }
+
+(* Non-blank lines with their 1-based line number and byte offset —
+   the offsets survive the blank-line filtering that the record walk
+   wants. *)
+let located_lines content =
+  let rec go lineno offset acc = function
+    | [] -> List.rev acc
+    | line :: rest ->
+      let acc =
+        if String.trim line = "" then acc else (lineno, offset, line) :: acc
+      in
+      go (lineno + 1) (offset + String.length line + 1) acc rest
+  in
+  go 1 0 [] (String.split_on_char '\n' content)
+
 (* Rebuild the metrics registry from a JSONL log's contents.  Span
    records are skipped (the registry is what `exom stats` renders);
    unknown record types are skipped too, so minor-version additions stay
@@ -170,34 +190,162 @@ let restore_metric reg j =
    A malformed {e final} record is salvaged, not fatal (mirroring
    Trace_io's handling of truncated dumps): a crashed or interrupted
    writer leaves a torn last line, and everything before it is still a
-   well-formed log.  The salvage is reported in the [bool] so callers
-   can warn.  A malformed line with records {e after} it is real
-   corruption and still errors. *)
-let metrics_of_jsonl content =
-  let lines =
-    String.split_on_char '\n' content
-    |> List.filter (fun l -> String.trim l <> "")
-  in
-  match lines with
+   well-formed log.  The salvage carries the torn line's position so
+   callers can cite it.  A malformed line with records {e after} it is
+   real corruption and still errors. *)
+let read_jsonl ~on_record content =
+  match located_lines content with
   | [] -> Error "empty file"
-  | header :: records ->
+  | (_, _, header) :: records ->
     let* () = check_header header in
-    let reg = Metrics.create () in
-    let rec walk i = function
-      | [] -> Ok (reg, false)
-      | line :: rest -> (
+    let rec walk = function
+      | [] -> Ok None
+      | (lineno, offset, line) :: rest -> (
         let fail e =
-          if rest = [] then Ok (reg, true)
-          else Error (Printf.sprintf "line %d: %s" i e)
+          if rest = [] then Ok (Some { torn_line = lineno; torn_byte = offset })
+          else Error (Printf.sprintf "line %d: %s" lineno e)
         in
         match Json.parse line with
         | Error e -> fail e
         | Ok j -> (
-          match Option.bind (Json.member "type" j) Json.to_str with
-          | Some "metric" -> (
-            match restore_metric reg j with
-            | Ok () -> walk (i + 1) rest
-            | Error e -> fail e)
-          | _ -> walk (i + 1) rest))
+          match on_record j with
+          | Ok () -> walk rest
+          | Error e -> fail e))
     in
-    walk 2 records
+    walk records
+
+let metrics_of_jsonl content =
+  let reg = Metrics.create () in
+  let on_record j =
+    match Option.bind (Json.member "type" j) Json.to_str with
+    | Some "metric" -> restore_metric reg j
+    | _ -> Ok ()
+  in
+  let* salvage = read_jsonl ~on_record content in
+  Ok (reg, salvage)
+
+(* {2 Reading spans back (`exom trace spine`, `exom audit --spine`)} *)
+
+let span_of_json j =
+  let num key = Option.bind (Json.member key j) Json.to_float in
+  let* id = require "id" (num "id") in
+  let* parent = require "parent" (num "parent") in
+  let* tid = require "tid" (num "tid") in
+  let* name = require "name" Option.(bind (Json.member "name" j) Json.to_str) in
+  let* cat = require "cat" Option.(bind (Json.member "cat" j) Json.to_str) in
+  let args =
+    match Json.member "args" j with
+    | Some (Json.Obj kvs) ->
+      List.filter_map
+        (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.to_str v))
+        kvs
+    | _ -> []
+  in
+  Ok
+    {
+      Span.id = int_of_float id;
+      parent = int_of_float parent;
+      tid = int_of_float tid;
+      name;
+      cat;
+      ts_us = Option.value ~default:0.0 (num "ts_us");
+      dur_us = Option.value ~default:0.0 (num "dur_us");
+      args;
+    }
+
+let spans_of_jsonl content =
+  let acc = ref [] in
+  let on_record j =
+    match Option.bind (Json.member "type" j) Json.to_str with
+    | Some "span" ->
+      let* s = span_of_json j in
+      Ok (acc := s :: !acc)
+    | _ -> Ok ()
+  in
+  let* salvage = read_jsonl ~on_record content in
+  Ok (List.rev !acc, salvage)
+
+(* A Chrome trace-event document written by {!write_chrome}: complete
+   ("ph":"X") events whose [args.id]/[args.parent] carry the structural
+   ids; other event phases (metadata etc.) are skipped. *)
+let spans_of_chrome content =
+  let* j = Json.parse (String.trim content) in
+  let* version =
+    require "schemaVersion"
+      Option.(bind (Json.member "schemaVersion" j) Json.to_float)
+  in
+  if int_of_float version <> schema_version then
+    Error
+      (Printf.sprintf "schema version %d (expected %d)" (int_of_float version)
+         schema_version)
+  else
+    let* events =
+      require "traceEvents"
+        Option.(bind (Json.member "traceEvents" j) Json.to_list)
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | ev :: rest -> (
+        match Option.bind (Json.member "ph" ev) Json.to_str with
+        | Some "X" ->
+          let num key = Option.bind (Json.member key ev) Json.to_float in
+          let* name =
+            require "name" Option.(bind (Json.member "name" ev) Json.to_str)
+          in
+          let* cat =
+            require "cat" Option.(bind (Json.member "cat" ev) Json.to_str)
+          in
+          let* tid = require "tid" (num "tid") in
+          let* args = require "args" (Json.member "args" ev) in
+          let anum key = Option.bind (Json.member key args) Json.to_float in
+          let* id = require "args.id" (anum "id") in
+          let* parent = require "args.parent" (anum "parent") in
+          let user_args =
+            match args with
+            | Json.Obj kvs ->
+              List.filter_map
+                (fun (k, v) ->
+                  if k = "id" || k = "parent" then None
+                  else Option.map (fun s -> (k, s)) (Json.to_str v))
+                kvs
+            | _ -> []
+          in
+          go
+            ({
+               Span.id = int_of_float id;
+               parent = int_of_float parent;
+               tid = int_of_float tid;
+               name;
+               cat;
+               ts_us = Option.value ~default:0.0 (num "ts");
+               dur_us = Option.value ~default:0.0 (num "dur");
+               args = user_args;
+             }
+            :: acc)
+            rest
+        | _ -> go acc rest)
+    in
+    go [] events
+
+(* Sniff the container: a Chrome document is one JSON object (first
+   non-blank byte '{' and a "traceEvents" member); everything else is
+   treated as a JSONL log.  Chrome documents have no torn-tail salvage
+   (they are written atomically as one object). *)
+let spans_of_string content =
+  let is_chrome =
+    match Json.parse (String.trim content) with
+    | Ok j -> Json.member "traceEvents" j <> None
+    | Error _ -> false
+  in
+  if is_chrome then
+    let* spans = spans_of_chrome content in
+    Ok (spans, None)
+  else spans_of_jsonl content
+
+(* {2 Bare-registry JSONL (corpus shard metric files)} *)
+
+let metric_jsonl_lines reg =
+  header_line :: List.map metric_line (Metrics.to_list reg)
+
+let write_metrics path reg =
+  write_file path (String.concat "\n" (metric_jsonl_lines reg) ^ "\n")

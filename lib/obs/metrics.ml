@@ -224,3 +224,97 @@ let render_diff ?(timings = true) a b =
       end)
     names;
   Buffer.contents buf
+
+(* {2 Drift}
+
+   The typed successor of {!render_diff}: one finding per metric in the
+   union of names, computed on the deterministic scalar only
+   (counter/gauge value, timer count — wall-clock sums are never
+   drift).  [direction_of] makes the tolerance direction-aware: a
+   metric whose direction is [Up] only breaches when it grows (a cost,
+   e.g. "verify.run"), [Down] only when it shrinks (a health figure,
+   e.g. "store.hits"), [Both] on any movement beyond tolerance.  The
+   relative delta of a metric absent on one side is [infinity] — a
+   metric appearing or vanishing always breaches a finite tolerance. *)
+
+type direction = Up | Down | Both
+
+type drift_finding = {
+  d_name : string;
+  d_kind : kind;
+  d_older : int;
+  d_newer : int;
+  d_delta : int;
+  d_rel : float;
+  d_direction : direction;
+  d_breach : bool;
+}
+
+let drift ?(tolerance = 0.0) ?(direction_of = fun _ -> Both) a b =
+  let module S = Set.Make (String) in
+  let names =
+    S.elements
+      (S.union
+         (S.of_list (List.map (fun m -> m.name) (to_list a)))
+         (S.of_list (List.map (fun m -> m.name) (to_list b))))
+  in
+  List.filter_map
+    (fun name ->
+      let ma = find a name and mb = find b name in
+      let kind =
+        match (ma, mb) with
+        | Some m, _ | None, Some m -> m.kind
+        | None, None -> Counter
+      in
+      let scalar = function
+        | None -> 0
+        | Some m -> (
+          match m.kind with Counter | Gauge -> m.value | Timer -> m.count)
+      in
+      let ov = scalar ma and nv = scalar mb in
+      let d = nv - ov in
+      if d = 0 then None
+      else
+        let rel =
+          if ov <> 0 then float_of_int d /. float_of_int ov
+          else if d > 0 then infinity
+          else neg_infinity
+        in
+        let direction = direction_of name in
+        let counted =
+          match direction with Up -> d > 0 | Down -> d < 0 | Both -> true
+        in
+        Some
+          {
+            d_name = name;
+            d_kind = kind;
+            d_older = ov;
+            d_newer = nv;
+            d_delta = d;
+            d_rel = rel;
+            d_direction = direction;
+            d_breach = counted && Float.abs rel > tolerance;
+          })
+    names
+
+let has_drift findings = List.exists (fun f -> f.d_breach) findings
+
+let render_drift findings =
+  if findings = [] then "no metric drift\n"
+  else begin
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun f ->
+        let rel =
+          if Float.is_integer f.d_rel || Float.abs f.d_rel = infinity then
+            if Float.abs f.d_rel = infinity then "new/gone"
+            else Printf.sprintf "%+.0f%%" (100.0 *. f.d_rel)
+          else Printf.sprintf "%+.1f%%" (100.0 *. f.d_rel)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s %-30s %d -> %d (%+d, %s)\n"
+             (if f.d_breach then "DRIFT" else "  ok ")
+             f.d_name f.d_older f.d_newer f.d_delta rel))
+      findings;
+    Buffer.contents buf
+  end

@@ -76,3 +76,43 @@ val render : ?timings:bool -> t -> string
     (counter/gauge value, timer count); timer wall-clock sums get their
     own row unless [timings:false].  Backs [exom stats --diff]. *)
 val render_diff : ?timings:bool -> t -> t -> string
+
+(** {2 Drift: the typed, gateable diff}
+
+    One finding per metric whose deterministic scalar moved, with a
+    direction-aware tolerance verdict.  Backs [exom stats --tolerance]
+    and the metric leg of [exom audit]. *)
+
+(** Which movement counts against the tolerance: [Up] — growth is
+    drift (costs, e.g. ["verify.run"]); [Down] — shrinkage is drift
+    (health figures, e.g. ["store.hits"]); [Both] — any movement. *)
+type direction = Up | Down | Both
+
+type drift_finding = {
+  d_name : string;
+  d_kind : kind;
+  d_older : int;
+  d_newer : int;
+  d_delta : int;
+  d_rel : float;
+      (** relative to the older value; [infinity]/[neg_infinity] when
+          the metric appeared or vanished *)
+  d_direction : direction;
+  d_breach : bool;  (** beyond [tolerance] in the counted direction *)
+}
+
+(** [drift ?tolerance ?direction_of older newer] — only metrics whose
+    scalar moved are reported; [d_breach] is set when the movement is
+    in the counted direction and its relative size exceeds [tolerance]
+    (default [0.0]: any movement breaches).  [direction_of] defaults to
+    [Both] for every name. *)
+val drift :
+  ?tolerance:float ->
+  ?direction_of:(string -> direction) ->
+  t -> t ->
+  drift_finding list
+
+val has_drift : drift_finding list -> bool
+
+(** One line per finding, breaches marked [DRIFT]. *)
+val render_drift : drift_finding list -> string

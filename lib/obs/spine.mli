@@ -1,0 +1,75 @@
+(** The deterministic span spine: a canonical projection of a span tree
+    keeping only lane / name / category / args / child order — zero
+    wall-clock fields — with a versioned codec and a typed diff.
+
+    Two uninterrupted runs of the same localization produce equal
+    [All]-lane spines at any job count (lanes and span ids are assigned
+    on the coordinator in submission order); the [Coordinator]
+    projection is additionally invariant under kill/resume chains,
+    because a resumed run re-emits the lane-0 decision spine (including
+    one [verify.batch] span per {e replayed} batch) while worker-lane
+    spans of replayed batches never exist.  This is the object
+    [exom audit --spine] and the CI trace gate compare. *)
+
+val schema_name : string
+val schema_version : int
+
+(** Which lanes survive the projection: [All] for uninterrupted-run
+    comparisons (e.g. [-j1] vs [-j4]), [Coordinator] (lane 0 only) for
+    resume-vs-uninterrupted comparisons. *)
+type lanes = All | Coordinator
+
+val lanes_to_string : lanes -> string
+val lanes_of_string : string -> lanes option
+
+type node = {
+  lane : int;
+  name : string;
+  cat : string;
+  args : (string * string) list;  (** sorted by key *)
+  children : node list;  (** ordinal (span id) order *)
+}
+
+type t = { lanes : lanes; roots : node list }
+
+(** Project completed spans (any order) into the canonical tree. *)
+val of_spans : ?lanes:lanes -> Span.t list -> t
+
+(** Total span count in the projection. *)
+val size : t -> int
+
+(** {2 Versioned codec ([exom.spine] v1)} *)
+
+val to_json : t -> Json.t
+val to_string : t -> string
+
+(** Rejects foreign schemas and version skew. *)
+val of_string : string -> (t, string) result
+
+(** Indented human-readable tree ([exom trace spine]). *)
+val render : t -> string
+
+(** {2 Diff}
+
+    The edit script of [diff a b]: what must happen to [a]'s spine to
+    obtain [b]'s.  Paths are slash-joined [name#occurrence] segments
+    from the root.  A removal and an addition with structurally
+    identical subtrees are reported as one [Moved]. *)
+
+type edit =
+  | Added of { path : string; lane : int; subtree : int }
+      (** [subtree] counts the span and everything nested under it *)
+  | Removed of { path : string; lane : int; subtree : int }
+  | Moved of { from_path : string; to_path : string; lane : int }
+  | Reordered of { path : string; older : int; newer : int }
+      (** sibling ordinal change *)
+  | Args_changed of { path : string; key : string; older : string; newer : string }
+
+val diff : t -> t -> edit list
+val equal : t -> t -> bool
+
+val render_edit : edit -> string
+
+(** One line per edit plus a summary count; a fixed sentence for the
+    empty script. *)
+val render_edits : edit list -> string

@@ -53,6 +53,9 @@ type config = {
   lease : float;
   request_retries : int;
   resume : bool;
+  trace : bool;
+      (* per-request span recording, exported to
+         STATE/traces/<fingerprint>.trace.json *)
 }
 
 let default_config ~socket_path ~state_dir =
@@ -65,6 +68,7 @@ let default_config ~socket_path ~state_dir =
     lease = Store.default_lease;
     request_retries = 2;
     resume = false;
+    trace = false;
   }
 
 (* {2 State} *)
@@ -99,7 +103,9 @@ type state = {
 let requests_dir st = Filename.concat st.cfg.state_dir "requests"
 let ledgers_dir st = Filename.concat st.cfg.state_dir "ledgers"
 let store_dir st = Filename.concat st.cfg.state_dir "store"
+let traces_dir st = Filename.concat st.cfg.state_dir "traces"
 let ledger_path st fp = Filename.concat (ledgers_dir st) (fp ^ ".ledger")
+let trace_path st fp = Filename.concat (traces_dir st) (fp ^ ".trace.json")
 
 let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
 
@@ -300,8 +306,13 @@ let rec locate_once st (l : Proto.locate) ~attempt =
       in
       (* per-request observability lane: forked on the coordinator,
          absorbed after the request, so daemon metrics aggregate
-         deterministically while each request keeps its own registry *)
-      let req_obs = Obs.fork st.obs in
+         deterministically while each request keeps its own registry.
+         Under [trace] the request gets a fresh tracing context instead
+         (a fork of the non-tracing daemon context could never record
+         spans); its metrics are still absorbed into the daemon's. *)
+      let req_obs =
+        if st.cfg.trace then Obs.create ~trace:true () else Obs.fork st.obs
+      in
       let ledger = Ledger.create () in
       let store =
         Store.create ~obs:req_obs ~dir:(store_dir st) ~shards:st.cfg.shards
@@ -349,9 +360,22 @@ let rec locate_once st (l : Proto.locate) ~attempt =
             ~correct_prog:correct ~input
         in
         let root_sids = root_sids_of_line prog l.Proto.lc_root_line in
-        let report = Demand.locate ~pool:st.pool session ~oracle ~root_sids in
+        (* the request's whole search runs under one serve.request
+           span keyed by the fingerprint, so an exported trace names
+           the request it belongs to on its own coordinator lane *)
+        let report =
+          Obs.with_span req_obs ~cat:"serve"
+            ~args:[ ("fingerprint", fp) ]
+            "serve.request"
+            (fun () -> Demand.locate ~pool:st.pool session ~oracle ~root_sids)
+        in
         Ledger.close_journal ledger;
         Ledger.write lpath ledger;
+        if st.cfg.trace then begin
+          ensure_dir (traces_dir st);
+          write_file_atomic (trace_path st fp)
+            (Exom_obs.Json.to_string (Export.chrome_json req_obs) ^ "\n")
+        end;
         Obs.absorb ~into:st.obs req_obs;
         if report.Demand.degraded <> None && attempt < st.cfg.request_retries
         then begin

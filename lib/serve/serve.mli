@@ -37,6 +37,11 @@ type config = {
   lease : float;  (** store writer-lock lease, seconds *)
   request_retries : int;  (** re-runs of a DEGRADED request *)
   resume : bool;  (** replay journaled in-flight requests at startup *)
+  trace : bool;
+      (** record per-request spans (the request under one
+          [serve.request] span keyed by its fingerprint) and export
+          each request's Chrome trace to
+          [STATE/traces/<fingerprint>.trace.json] *)
 }
 
 val default_config : socket_path:string -> state_dir:string -> config

@@ -11,6 +11,8 @@ module Factory = Exom_corpus.Factory
 module Seeder = Exom_corpus.Seeder
 module Campaign = Exom_corpus.Campaign
 module Mine = Exom_corpus.Mine
+module Metrics = Exom_obs.Metrics
+module Export = Exom_obs.Export
 
 let temp_dir =
   let n = ref 0 in
@@ -208,6 +210,63 @@ let test_campaign_deterministic () =
             "outcomes byte-identical at -j1/x1 and -j4/x2"
             (read_file (outcomes_file d1))
             (read_file (outcomes_file d2))))
+
+(* Per-shard metric registries merge to the campaign registry over any
+   disjoint partition: counters sum, so absorbing the shard files must
+   reproduce the registry computed from the merged rows byte for
+   byte — the metric analogue of the outcomes.jsonl determinism. *)
+let test_campaign_metric_registries () =
+  let manifest = gen_manifest () in
+  let registry_of_file path =
+    match Export.metrics_of_jsonl (read_file path) with
+    | Ok (reg, None) -> reg
+    | Ok (_, Some _) -> Alcotest.failf "%s: unexpected salvage" path
+    | Error e -> Alcotest.failf "%s: %s" path e
+  in
+  let tree reg = Metrics.render ~timings:false reg in
+  with_temp_dir (fun d1 ->
+      with_temp_dir (fun d2 ->
+          let rows = run_campaign ~jobs:1 ~shards:1 manifest d1 in
+          ignore (run_campaign ~jobs:4 ~shards:2 manifest d2);
+          let canonical = tree (Campaign.registry_of_rows rows) in
+          Alcotest.(check string)
+            "campaign registry derives from the merged rows" canonical
+            (tree (registry_of_file (Campaign.campaign_metrics d1)));
+          Alcotest.(check string)
+            "campaign registry partition-invariant" canonical
+            (tree (registry_of_file (Campaign.campaign_metrics d2)));
+          let absorbed = Metrics.create () in
+          List.iter
+            (fun k ->
+              Metrics.absorb ~into:absorbed
+                (registry_of_file (Campaign.shard_metrics d2 k)))
+            [ 0; 1 ];
+          Alcotest.(check string)
+            "absorbing the shard registries reproduces the campaign \
+             registry"
+            canonical (tree absorbed)));
+  (* the rollup renders a per-class table from the same counters *)
+  with_temp_dir (fun d ->
+      let rows = run_campaign ~jobs:2 ~shards:1 manifest d in
+      let out = Campaign.render_rollup rows in
+      let contains needle =
+        let nh = String.length out and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub out i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      List.iter
+        (fun t ->
+          Alcotest.(check bool)
+            (Exom_corpus.Seeder.class_to_string t.Campaign.t_class
+            ^ " in the rollup")
+            true
+            (contains
+               (Exom_corpus.Seeder.class_to_string t.Campaign.t_class)))
+        manifest.Campaign.m_triples;
+      Alcotest.(check bool) "verification histogram rendered" true
+        (contains "verifications per triple (histogram)"))
 
 let test_campaign_resume () =
   let manifest = gen_manifest () in
@@ -416,6 +475,8 @@ let () =
         [
           Alcotest.test_case "rows byte-identical across jobs+shards" `Slow
             test_campaign_deterministic;
+          Alcotest.test_case "metric registries partition-invariant" `Slow
+            test_campaign_metric_registries;
           Alcotest.test_case "kill + resume byte-identical" `Slow
             test_campaign_resume;
           Alcotest.test_case "located rate" `Slow test_campaign_located_rate;

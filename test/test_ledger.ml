@@ -383,6 +383,7 @@ let snapshot ?(warm_hit_rate = 0.95) ?(warm_verify_runs = 0) rows ~label
     warm_hit_rate;
     warm_verify_runs;
     wall_seconds = wall;
+    traced_wall_seconds = 0.0;
     corpus = None;
   }
 
@@ -449,6 +450,48 @@ let test_perf_v1_compat () =
     let findings = Perf.compare ~tolerance:0.1 ~time_tolerance:0.5 s' s in
     Alcotest.(check bool) "no spurious warm regression" false
       (Perf.has_regression findings)
+
+let test_perf_v3_compat_and_traced_gate () =
+  (* a v3 snapshot (no traced re-run) still reads, with the traced wall
+     clock zeroed; the comparator only gates traced_wall_seconds when
+     both sides measured it *)
+  let base =
+    snapshot [ row "gzipsim" "V2-F3" ] ~label:"v3" ~verify_runs:50 ~wall:1.0
+  in
+  let s = { base with Perf.traced_wall_seconds = 2.0 } in
+  let v3_line =
+    match Perf.to_json s with
+    | Exom_obs.Json.Obj fields ->
+      Exom_obs.Json.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             match k with
+             | "traced_wall_seconds" -> None
+             | "version" -> Some (k, Exom_obs.Json.Num 3.0)
+             | _ -> Some (k, v))
+           fields)
+    | _ -> Alcotest.fail "snapshot did not serialize to an object"
+  in
+  match Perf.of_json v3_line with
+  | Error e -> Alcotest.fail ("v3 snapshot rejected: " ^ e)
+  | Ok v3 ->
+    Alcotest.(check (float 0.0)) "traced wall defaults to 0" 0.0
+      v3.Perf.traced_wall_seconds;
+    (* unmeasured baseline: the traced candidate is not flagged *)
+    let findings = Perf.compare ~tolerance:0.1 ~time_tolerance:0.5 v3 s in
+    Alcotest.(check bool) "no traced gate without both sides" false
+      (List.exists
+         (fun f -> f.Perf.metric = "traced_wall_seconds")
+         findings);
+    (* both measured: a large traced-pass slowdown is flagged loosely *)
+    let slow = { s with Perf.traced_wall_seconds = 9.0 } in
+    let findings = Perf.compare ~tolerance:0.1 ~time_tolerance:0.5 s slow in
+    Alcotest.(check bool) "traced slowdown beyond tolerance flagged" true
+      (List.exists
+         (fun f ->
+           f.Perf.metric = "traced_wall_seconds"
+           && f.Perf.severity = Perf.Regression)
+         findings)
 
 let test_perf_warm_regression () =
   let old_s =
@@ -621,6 +664,8 @@ let () =
           Alcotest.test_case "snapshot round-trip" `Quick test_perf_roundtrip;
           Alcotest.test_case "v1 snapshot compatibility" `Quick
             test_perf_v1_compat;
+          Alcotest.test_case "v3 compatibility and traced gate" `Quick
+            test_perf_v3_compat_and_traced_gate;
           Alcotest.test_case "regression comparator" `Quick test_perf_compare;
           Alcotest.test_case "warm-store regression gates" `Quick
             test_perf_warm_regression;

@@ -226,7 +226,8 @@ let test_jsonl_roundtrip () =
   (match Export.metrics_of_jsonl content with
   | Error e -> Alcotest.fail ("metrics do not read back: " ^ e)
   | Ok (reg, salvaged) ->
-    Alcotest.(check bool) "a complete log needs no salvage" false salvaged;
+    Alcotest.(check bool) "a complete log needs no salvage" true
+      (salvaged = None);
     Alcotest.(check string) "deterministic tree reads back identically"
       (Metrics.render ~timings:false (Obs.metrics obs))
       (Metrics.render ~timings:false reg);
@@ -260,7 +261,23 @@ let test_jsonl_salvage () =
   (match Export.metrics_of_jsonl truncated with
   | Error e -> Alcotest.fail ("truncated tail not salvaged: " ^ e)
   | Ok (reg, salvaged) ->
-    Alcotest.(check bool) "salvage flagged" true salvaged;
+    (match salvaged with
+    | None -> Alcotest.fail "salvage not flagged"
+    | Some { Export.torn_line; torn_byte } ->
+      (* the torn line is the last one, and the byte offset points at
+         its first byte in the truncated content *)
+      let lines =
+        List.filter
+          (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' truncated)
+      in
+      Alcotest.(check int) "salvage cites the torn line number"
+        (List.length lines) torn_line;
+      let last = List.nth lines (List.length lines - 1) in
+      Alcotest.(check string) "salvage byte offset locates the torn line"
+        last
+        (String.sub truncated torn_byte
+           (String.length truncated - torn_byte)));
     Alcotest.(check int) "salvaged registry keeps earlier records"
       (Metrics.timer_count (Obs.metrics obs) "verify.run")
       (Metrics.timer_count reg "verify.run"));
@@ -289,6 +306,205 @@ let test_render_diff () =
     (contains out "interp.runs" && contains out "store.hits");
   Alcotest.(check bool) "shows the delta" true (contains out "+2")
 
+(* {2 The deterministic span spine} *)
+
+module Spine = Exom_obs.Spine
+
+(* A tiny hand-built span tree: root(a) { b {args}, worker-lane c }. *)
+let little_tree () =
+  let obs = Obs.create ~trace:true () in
+  Obs.with_span obs ~cat:"t" "a" (fun () ->
+      Obs.with_span obs ~cat:"t" ~args:[ ("k", "v") ] "b" (fun () -> ());
+      let w = Obs.fork obs in
+      Obs.with_span w ~cat:"t" "c" (fun () -> ());
+      Obs.absorb ~into:obs w);
+  Obs.spans obs
+
+let test_spine_projection () =
+  let spans = little_tree () in
+  let all = Spine.of_spans spans in
+  let coord = Spine.of_spans ~lanes:Spine.Coordinator spans in
+  Alcotest.(check int) "all lanes keep every span" 3 (Spine.size all);
+  Alcotest.(check int) "coordinator drops worker lanes" 2 (Spine.size coord);
+  (match all.Spine.roots with
+  | [ a ] ->
+    Alcotest.(check string) "root name" "a" a.Spine.name;
+    Alcotest.(check (list string)) "children in ordinal order" [ "b"; "c" ]
+      (List.map (fun n -> n.Spine.name) a.Spine.children);
+    (match a.Spine.children with
+    | [ b; c ] ->
+      Alcotest.(check (list (pair string string))) "args kept, sorted"
+        [ ("k", "v") ] b.Spine.args;
+      Alcotest.(check int) "worker lane recorded" 1 c.Spine.lane
+    | _ -> Alcotest.fail "expected two children")
+  | _ -> Alcotest.fail "expected one root");
+  match coord.Spine.roots with
+  | [ a ] ->
+    Alcotest.(check (list string)) "coordinator projection keeps lane 0"
+      [ "b" ]
+      (List.map (fun n -> n.Spine.name) a.Spine.children)
+  | _ -> Alcotest.fail "expected one coordinator root"
+
+let test_spine_codec () =
+  let spine = Spine.of_spans (little_tree ()) in
+  (match Spine.of_string (Spine.to_string spine) with
+  | Error e -> Alcotest.fail ("spine does not read back: " ^ e)
+  | Ok spine' ->
+    Alcotest.(check bool) "round-trip preserves the spine" true
+      (Spine.equal spine spine');
+    Alcotest.(check string) "codec is stable" (Spine.to_string spine)
+      (Spine.to_string spine'));
+  (match Spine.of_string "{\"schema\":\"someone.else\",\"version\":1}" with
+  | Ok _ -> Alcotest.fail "foreign schema accepted"
+  | Error _ -> ());
+  match Spine.of_string "{\"schema\":\"exom.spine\",\"version\":99}" with
+  | Ok _ -> Alcotest.fail "version skew accepted"
+  | Error _ -> ()
+
+(* Every edit class, from hand-built trees. *)
+let test_spine_diff_edits () =
+  let tree build =
+    let obs = Obs.create ~trace:true () in
+    Obs.with_span obs ~cat:"t" "root" (fun () -> build obs);
+    Spine.of_spans (Obs.spans obs)
+  in
+  let span ?(args = []) obs name =
+    Obs.with_span obs ~cat:"t" ~args name (fun () -> ())
+  in
+  let base =
+    tree (fun obs ->
+        span obs "x";
+        span obs "y";
+        span ~args:[ ("pairs", "3") ] obs "z")
+  in
+  (* removed + added *)
+  let grown =
+    tree (fun obs ->
+        span obs "x";
+        span ~args:[ ("pairs", "3") ] obs "z";
+        span obs "w")
+  in
+  let edits = Spine.diff base grown in
+  Alcotest.(check bool) "y removed" true
+    (List.exists
+       (function Spine.Removed { path; _ } -> contains path "y" | _ -> false)
+       edits);
+  Alcotest.(check bool) "w added" true
+    (List.exists
+       (function Spine.Added { path; _ } -> contains path "w" | _ -> false)
+       edits);
+  (* reordered *)
+  let swapped =
+    tree (fun obs ->
+        span obs "y";
+        span obs "x";
+        span ~args:[ ("pairs", "3") ] obs "z")
+  in
+  Alcotest.(check bool) "sibling swap is a reorder" true
+    (List.exists
+       (function Spine.Reordered _ -> true | _ -> false)
+       (Spine.diff base swapped));
+  (* args changed *)
+  let retuned =
+    tree (fun obs ->
+        span obs "x";
+        span obs "y";
+        span ~args:[ ("pairs", "5") ] obs "z")
+  in
+  (match Spine.diff base retuned with
+  | [ Spine.Args_changed { key; older; newer; _ } ] ->
+    Alcotest.(check string) "arg key" "pairs" key;
+    Alcotest.(check string) "older value" "3" older;
+    Alcotest.(check string) "newer value" "5" newer
+  | edits ->
+    Alcotest.fail
+      (Printf.sprintf "expected one args edit, got:\n%s"
+         (Spine.render_edits edits)));
+  (* moved: an identical subtree reparented is one Moved, not
+     removed + added *)
+  let under_x =
+    tree (fun obs ->
+        Obs.with_span obs ~cat:"t" "x" (fun () -> span obs "leaf");
+        span obs "y")
+  in
+  let under_y =
+    tree (fun obs ->
+        span obs "x";
+        Obs.with_span obs ~cat:"t" "y" (fun () -> span obs "leaf"))
+  in
+  (match Spine.diff under_x under_y with
+  | [ Spine.Moved { from_path; to_path; _ } ] ->
+    Alcotest.(check bool) "moved cites both paths" true
+      (contains from_path "x" && contains to_path "y")
+  | edits ->
+    Alcotest.fail
+      (Printf.sprintf "expected one move, got:\n%s"
+         (Spine.render_edits edits)));
+  (* identical spines: empty script, fixed sentence *)
+  Alcotest.(check int) "no edits on equal spines" 0
+    (List.length (Spine.diff base base));
+  Alcotest.(check bool) "empty script renders the fixed sentence" true
+    (contains (Spine.render_edits []) "identical")
+
+let test_spine_edit_script_readable () =
+  let out =
+    Spine.render_edits
+      (Spine.diff
+         (Spine.of_spans (little_tree ()))
+         (Spine.of_spans []))
+  in
+  Alcotest.(check bool) "paths are slash-joined from the root" true
+    (contains out "/a");
+  Alcotest.(check bool) "script ends with a count" true (contains out "edit")
+
+(* {2 Metric drift} *)
+
+let test_drift_tolerance_and_direction () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.add a "verify.runs" 100;
+  Metrics.add b "verify.runs" 104;
+  Metrics.add a "store.hits" 50;
+  Metrics.add b "store.hits" 40;
+  Metrics.add a "steady" 7;
+  Metrics.add b "steady" 7;
+  (* default: any movement breaches, unmoved metrics are not reported *)
+  let strict = Metrics.drift a b in
+  Alcotest.(check int) "only moved metrics reported" 2 (List.length strict);
+  Alcotest.(check bool) "zero tolerance breaches" true
+    (Metrics.has_drift strict);
+  (* 10% tolerance forgives the +4% but not the -20% *)
+  let loose = Metrics.drift ~tolerance:0.1 a b in
+  let breached =
+    List.filter_map
+      (fun f -> if f.Metrics.d_breach then Some f.Metrics.d_name else None)
+      loose
+  in
+  Alcotest.(check (list string)) "only the large movement breaches"
+    [ "store.hits" ] breached;
+  (* direction-aware: hits shrinking is drift, runs shrinking is not *)
+  let direction_of name =
+    if name = "store.hits" then Metrics.Down else Metrics.Up
+  in
+  let down = Metrics.drift ~tolerance:0.1 ~direction_of b a in
+  (* b -> a: runs shrink 104->100 (Up: ignored), hits grow 40->50
+     (Down: ignored) *)
+  Alcotest.(check bool) "movements against the counted direction pass"
+    false
+    (Metrics.has_drift down)
+
+let test_drift_appearance_is_infinite () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.add b "fresh" 3;
+  (match Metrics.drift ~tolerance:1e6 a b with
+  | [ f ] ->
+    Alcotest.(check string) "appearing metric reported" "fresh"
+      f.Metrics.d_name;
+    Alcotest.(check bool) "appearance breaches any finite tolerance" true
+      (f.Metrics.d_rel = infinity && f.Metrics.d_breach)
+  | _ -> Alcotest.fail "expected exactly the appearing metric");
+  let out = Metrics.render_drift (Metrics.drift a b) in
+  Alcotest.(check bool) "breaches marked DRIFT" true (contains out "DRIFT")
+
 (* {2 Observability determinism: -j1 vs -j4} *)
 
 let metric_tree jobs =
@@ -306,6 +522,26 @@ let test_metric_tree_determinism () =
   Alcotest.(check bool) "both locate" true
     (r1.Runner.report.Demand.found && r4.Runner.report.Demand.found);
   Alcotest.(check string) "metric trees identical at -j1 and -j4" t1 t4
+
+(* Lanes and span ids are assigned on the coordinator in submission
+   order, so the whole spine — not just the metric tree — is
+   j-invariant. *)
+let traced_spine jobs =
+  let b = Option.get (Suite.find "gzipsim") in
+  let f = Option.get (Suite.find_fault b "V2-F3") in
+  let obs = Obs.create ~trace:true () in
+  let pool = Pool.create ~jobs () in
+  ignore (Runner.run_fault ~obs ~pool b f);
+  Pool.shutdown pool;
+  Spine.of_spans (Obs.spans obs)
+
+let test_spine_j_invariance () =
+  let s1 = traced_spine 1 in
+  let s4 = traced_spine 4 in
+  Alcotest.(check int) "edit script empty at -j1 vs -j4" 0
+    (List.length (Spine.diff s1 s4));
+  Alcotest.(check string) "spine codec byte-identical at -j1 and -j4"
+    (Spine.to_string s1) (Spine.to_string s4)
 
 (* The registry is the single accounting path: the report's counters
    are views of it. *)
@@ -359,9 +595,26 @@ let () =
           Alcotest.test_case "report reads registry" `Quick
             test_report_reads_registry;
         ] );
+      ( "spine",
+        [
+          Alcotest.test_case "projection" `Quick test_spine_projection;
+          Alcotest.test_case "codec" `Quick test_spine_codec;
+          Alcotest.test_case "diff edit classes" `Quick test_spine_diff_edits;
+          Alcotest.test_case "edit script readable" `Quick
+            test_spine_edit_script_readable;
+        ] );
+      ( "drift",
+        [
+          Alcotest.test_case "tolerance and direction" `Quick
+            test_drift_tolerance_and_direction;
+          Alcotest.test_case "appearance is infinite" `Quick
+            test_drift_appearance_is_infinite;
+        ] );
       ( "determinism",
         [
           Alcotest.test_case "-j1 vs -j4 metric tree" `Quick
             test_metric_tree_determinism;
+          Alcotest.test_case "-j1 vs -j4 spine" `Quick
+            test_spine_j_invariance;
         ] );
     ]

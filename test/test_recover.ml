@@ -14,6 +14,8 @@ module Recover = Exom_core.Recover
 module Slice = Exom_ddg.Slice
 module Pool = Exom_sched.Pool
 module Ledger = Exom_ledger.Ledger
+module Obs = Exom_obs.Obs
+module Spine = Exom_obs.Spine
 
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -62,11 +64,11 @@ let fixture =
    the session is primed to replay it (the real --resume flow: match
    the journal against the session, prime, mark the new journal as a
    resumed continuation). *)
-let journaled_run ?plan ~jobs path =
+let journaled_run ?obs ?plan ~jobs path =
   let bench, fault, faulty, correct, input, expected = Lazy.force fixture in
   let ledger = Ledger.create () in
   let session =
-    Session.create ~ledger ~prog:faulty ~input ~expected
+    Session.create ?obs ~ledger ~prog:faulty ~input ~expected
       ~profile_inputs:bench.B.test_inputs ()
   in
   (match plan with
@@ -307,6 +309,66 @@ let test_multi_generation_chain () =
         (report_sig report2 = report_sig full_report))
     [ 1; 4 ]
 
+(* The trace-spine side of the same chain: a kill -> resume -> kill ->
+   resume survivor must emit a coordinator span spine identical to the
+   uninterrupted run's — replayed batches re-emit their lane-0
+   verify.batch span but no worker-lane spans, so the Coordinator
+   projection is the replay-invariant object while All lanes legitimately
+   differ. *)
+let test_kill_chain_spine () =
+  List.iter
+    (fun jobs ->
+      let full_obs = Obs.create ~trace:true () in
+      let jfull = fresh_path () in
+      ignore (journaled_run ~obs:full_obs ~jobs jfull);
+      let full_spans = Obs.spans full_obs in
+      let full_coord =
+        Spine.of_spans ~lanes:Spine.Coordinator full_spans
+      in
+      let journal0 = read_file jfull in
+      (* generation 1: torn right after the first checkpoint *)
+      let killed1 = fresh_path () in
+      write_file killed1 (torn_after_checkpoint journal0 0);
+      let plan1 = plan_of "spine gen1" killed1 in
+      let j1 = fresh_path () in
+      ignore (journaled_run ~plan:plan1 ~jobs j1);
+      (* generation 2: the resumed run torn after its last checkpoint;
+         the second resume is the traced survivor *)
+      let journal1 = read_file j1 in
+      let ncks1 = List.length (checkpoint_indices (journal_lines journal1)) in
+      let killed2 = fresh_path () in
+      write_file killed2 (torn_after_checkpoint journal1 (ncks1 - 1));
+      let plan2 = plan_of "spine gen2" killed2 in
+      Alcotest.(check int)
+        (Printf.sprintf "chain depth recorded (-j%d)" jobs)
+        1 plan2.Recover.prior_resumes;
+      let resumed_obs = Obs.create ~trace:true () in
+      ignore (journaled_run ~obs:resumed_obs ~plan:plan2 ~jobs (fresh_path ()));
+      let resumed_spans = Obs.spans resumed_obs in
+      let resumed_coord =
+        Spine.of_spans ~lanes:Spine.Coordinator resumed_spans
+      in
+      Alcotest.(check string)
+        (Printf.sprintf
+           "survivor's coordinator spine identical to uninterrupted (-j%d)"
+           jobs)
+        (Spine.to_string full_coord)
+        (Spine.to_string resumed_coord);
+      Alcotest.(check int)
+        (Printf.sprintf "coordinator edit script empty (-j%d)" jobs)
+        0
+        (List.length (Spine.diff full_coord resumed_coord));
+      (* the replayed batches really were skipped: their worker-lane
+         spans never exist, so the all-lane spines differ *)
+      Alcotest.(check bool)
+        (Printf.sprintf "all-lane spine shows the replay gap (-j%d)" jobs)
+        true
+        (Spine.diff
+           (Spine.of_spans full_spans)
+           (Spine.of_spans resumed_spans)
+         <> []))
+    [ 1; 4 ]
+
 let test_foreign_journal_rejected () =
   (* a journal from a different program/input must not prime a session *)
   let other_bench = Option.get (Suite.find "sedsim") in
@@ -352,6 +414,8 @@ let () =
                 test_complete_journal_resumes_to_itself;
               Alcotest.test_case "multi-generation crash chain" `Quick
                 test_multi_generation_chain;
+              Alcotest.test_case "kill-chain coordinator spine" `Quick
+                test_kill_chain_spine;
               Alcotest.test_case "foreign journal rejected" `Quick
                 test_foreign_journal_rejected;
               Alcotest.test_case "salvage description" `Quick test_describe;

@@ -211,12 +211,13 @@ let locate_request () = Proto.Locate (locate_payload ())
    listening, then SIGTERM-drain it and return (exit code, f's value).
    The daemon runs in a domain of this very process, so the drain
    signal is simply a self-kill — Serve.run installs the handler. *)
-let with_daemon ?(resume = false) state_dir f =
+let with_daemon ?(resume = false) ?(trace = false) state_dir f =
   let socket = Filename.concat state_dir "exom.sock" in
   let cfg =
     { (Serve.default_config ~socket_path:socket ~state_dir) with
       Serve.jobs = 2;
       resume;
+      trace;
     }
   in
   let ready = Atomic.make false in
@@ -298,6 +299,51 @@ let test_daemon_serves_and_replays () =
   Alcotest.(check string) "named by fingerprint"
     (first.Proto.sv_fingerprint ^ ".json")
     reqs.(0)
+
+(* --trace: each served request leaves a Chrome trace under
+   state/traces keyed by its fingerprint, with the whole localization
+   nested under a serve.request span. *)
+let test_daemon_per_request_trace () =
+  let state = fresh_dir () in
+  let rc, fp =
+    with_daemon ~trace:true state (fun socket ->
+        let s = served socket (locate_request ()) in
+        s.Proto.sv_fingerprint)
+  in
+  Alcotest.(check int) "drained exit code" 0 rc;
+  let trace_path =
+    Filename.concat (Filename.concat state "traces") (fp ^ ".trace.json")
+  in
+  Alcotest.(check bool) "trace exported under the fingerprint" true
+    (Sys.file_exists trace_path);
+  let module Export = Exom_obs.Export in
+  let module Spine = Exom_obs.Spine in
+  match Export.spans_of_chrome (read_file trace_path) with
+  | Error e -> Alcotest.fail ("trace does not read back: " ^ e)
+  | Ok spans ->
+    let spine = Spine.of_spans spans in
+    (* two roots: session setup runs before the fingerprint exists,
+       then the whole search nests under serve.request *)
+    Alcotest.(check bool) "session setup traced" true
+      (List.exists
+         (fun n -> n.Spine.name = "session.create")
+         spine.Spine.roots);
+    match
+      List.find_opt
+        (fun n -> n.Spine.name = "serve.request")
+        spine.Spine.roots
+    with
+    | None -> Alcotest.fail "no serve.request root"
+    | Some root ->
+      Alcotest.(check string) "serve lane category" "serve" root.Spine.cat;
+      Alcotest.(check (list (pair string string)))
+        "request fingerprint recorded as a span arg"
+        [ ("fingerprint", fp) ]
+        root.Spine.args;
+      Alcotest.(check bool) "localization nested under the request" true
+        (List.exists
+           (fun n -> n.Spine.name = "demand.locate")
+           root.Spine.children)
 
 let test_daemon_concurrent_stress () =
   let state = fresh_dir () in
@@ -408,6 +454,8 @@ let () =
           [
             Alcotest.test_case "serves and replays over the socket" `Quick
               test_daemon_serves_and_replays;
+            Alcotest.test_case "per-request trace export" `Quick
+              test_daemon_per_request_trace;
             Alcotest.test_case "8 concurrent clients" `Quick
               test_daemon_concurrent_stress;
             Alcotest.test_case "resumes an in-flight request" `Quick
