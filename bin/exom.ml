@@ -22,7 +22,10 @@
              N concurrent clients)
      corpus  corpus factory: gen (seeded manifest of validated omission
              faults), run (sharded campaign, crash-safe resume), report,
-             mine (feature tables), seed (inject one fault in a file)   *)
+             mine (feature tables), seed (inject one fault in a file)
+     chaos   seeded storage-fault storm over suite faults and corpus
+             triples (io-chaos + worker kills + kill/resume cuts);
+             --check gates on the degradation-contract invariants      *)
 
 module Ast = Exom_lang.Ast
 module Typecheck = Exom_lang.Typecheck
@@ -42,6 +45,7 @@ module Perf = Exom_bench.Perf
 module Ledger = Exom_ledger.Ledger
 module Lexplain = Exom_ledger.Explain
 module Rank = Exom_rank.Rank
+module Vfs = Exom_util.Vfs
 
 open Cmdliner
 
@@ -53,14 +57,10 @@ let read_file path =
 
 (* Crash-consistent: a kill mid-write leaves the old file or the new
    one, never a torn hybrid (same discipline as Ledger.write and the
-   store's entry writer). *)
+   store's entry writer).  CLI outputs have no degradation tier — a
+   failed write is the command's failure. *)
 let write_file path content =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc content);
-  Sys.rename tmp path
+  Vfs.get_ok (Vfs.write_file_atomic ~tmp:(path ^ ".tmp") path content)
 
 let compile_file path =
   try Ok (Typecheck.parse_and_check (read_file path)) with
@@ -291,12 +291,12 @@ let make_obs ~trace_out = Obs.create ~trace:(trace_out <> None) ()
 let write_obs obs ~trace_out ~metrics_out =
   (match trace_out with
   | Some path ->
-    Export.write_chrome path obs;
+    Vfs.get_ok (Export.write_chrome path obs);
     Printf.eprintf "trace written to %s\n" path
   | None -> ());
   match metrics_out with
   | Some path ->
-    Export.write_jsonl path obs;
+    Vfs.get_ok (Export.write_jsonl path obs);
     Printf.eprintf "metrics written to %s\n" path
   | None -> ()
 
@@ -2022,6 +2022,113 @@ let corpus_cmd =
     [ corpus_gen_cmd; corpus_run_cmd; corpus_report_cmd; corpus_mine_cmd;
       corpus_seed_cmd ]
 
+(* chaos *)
+
+module Storm = Exom_bench.Storm
+
+let chaos_cmd =
+  let action seed jobs corpus dir out faults check =
+    let faults =
+      match faults with
+      | [] -> None
+      | fs ->
+        Some
+          (List.map
+             (fun s ->
+               match String.index_opt s '/' with
+               | Some i ->
+                 ( String.sub s 0 i,
+                   String.sub s (i + 1) (String.length s - i - 1) )
+               | None ->
+                 raise
+                   (Invalid_argument
+                      (Printf.sprintf "--fault %S: expected BENCH/FID" s)))
+             fs)
+    in
+    let dir =
+      match dir with
+      | Some d -> d
+      | None ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "exom_chaos_%d" (Unix.getpid ()))
+    in
+    match Storm.run ~jobs ~corpus ?faults ~seed ~dir () with
+    | exception Invalid_argument m | exception Failure m ->
+      Printf.eprintf "exom chaos: %s\n" m;
+      1
+    | report ->
+      print_string (Storm.render report);
+      (match out with
+      | Some path ->
+        write_file path (Json.to_string (Storm.report_to_json report) ^ "\n");
+        Printf.eprintf "storm report written to %s\n" path
+      | None -> ());
+      if check && not report.Storm.r_ok then 1 else 0
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Storm seed: the same seed replays the same faults")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Verification pool size per localization (>= 2 gives worker \
+             kills a supervisor)")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "corpus" ] ~docv:"N"
+          ~doc:"Corpus triples for the campaign legs (0 disables them)")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Scratch workspace for journals, stores and campaign state \
+             (default: a per-process directory under the system temp dir)")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the storm report as JSON")
+  in
+  let faults_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "fault" ] ~docv:"BENCH/FID"
+          ~doc:
+            "Suite fault to storm, as $(b,bench/fault-id) (repeatable; \
+             default gzipsim/V2-F3 and grepsim/V4-F2)")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit non-zero on any violated invariant: a raised \
+             localization, a wrong verdict, a non-identical undegraded \
+             resume, or an unaccounted injected fault")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Storm every persistence path with seeded storage faults \
+          (ENOSPC, EIO, torn writes, torn renames) composed with worker \
+          kills and kill+resume cuts, and audit the degradation \
+          contracts")
+    Term.(
+      const action $ seed_arg $ jobs_arg $ corpus_arg $ dir_arg $ out_arg
+      $ faults_arg $ check_arg)
+
 (* audit *)
 
 module Audit = Exom_audit
@@ -2203,4 +2310,4 @@ let () =
           [ run_cmd; info_cmd; slice_cmd; rslice_cmd; locate_cmd; explain_cmd;
             recover_cmd; dot_cmd; regions_cmd; bench_cmd; regress_cmd;
             stats_cmd; audit_cmd; trace_cmd; serve_cmd; client_cmd;
-            corpus_cmd ]))
+            corpus_cmd; chaos_cmd ]))

@@ -373,18 +373,13 @@ let of_json j =
 let to_line s = Json.to_string (to_json s)
 
 let write_file path content =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc content)
+  Exom_util.Vfs.get_ok
+    (Exom_util.Vfs.write_file_atomic ~tmp:(path ^ ".tmp") path content)
 
 let write path s = write_file path (to_line s ^ "\n")
 
 let append_history path s =
-  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_line s ^ "\n"))
+  Exom_util.Vfs.get_ok (Exom_util.Vfs.append path (to_line s ^ "\n"))
 
 let load path =
   match

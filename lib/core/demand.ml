@@ -385,6 +385,17 @@ let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
        else exhausted := true
      done
    with exn -> degraded := Some (Printexc.to_string exn));
+  (* Journal writes or syncs that failed were absorbed by the ledger
+     (never silently): surface them here so the Final event and the
+     report both say DEGRADED — the answer may be right, but its
+     crash-replay provenance is incomplete. *)
+  (match ledger with
+  | Some l when !degraded = None && Ledger.io_failures l > 0 ->
+    degraded :=
+      Some
+        (Printf.sprintf "io: %d journal write/sync failure(s)"
+           (Ledger.io_failures l))
+  | _ -> ());
   let ips = Prune.as_slice trace !ps in
   let os_chain =
     Slice.shortest_chain ~extra trace ~criterion ~from_sids:root_sids
@@ -405,6 +416,12 @@ let locate ?(config = default_config) ?pool (s : Session.t) ~oracle
   sync "guard.breaker_trips" g.Guard.breaker_trips;
   sync "guard.breaker_skips" g.Guard.breaker_skips;
   sync "guard.captured" g.Guard.captured;
+  (* only when non-zero: a clean run's registry must stay byte-identical
+     to the pre-Vfs baseline *)
+  (match ledger with
+  | Some l when Ledger.io_failures l > 0 ->
+    sync "ledger.io_failures" (Ledger.io_failures l)
+  | _ -> ());
   sync "demand.iterations" !iterations;
   sync "demand.expanded_edges" !edges_added;
   sync "demand.user_prunings" !user_prunings;

@@ -13,6 +13,19 @@ module Client = Exom_serve.Client
 module Serve = Exom_serve.Serve
 module Metrics = Exom_obs.Metrics
 module Export = Exom_obs.Export
+module Vfs = Exom_util.Vfs
+
+(* The campaign's degradation contract for storage faults: absorb the
+   error into [corpus.io_failures] (acknowledged so the chaos gate can
+   account for it) and keep the campaign moving — a full disk under one
+   shard must not abort the fleet.  Raisers (a row journal that cannot
+   be appended even after a repair + retry) quarantine just their shard:
+   [run_local] catches, acks and continues with the next shard; the
+   quarantined shard's triples surface as [missing] ids in {!merge} and
+   are re-runnable with [--resume]. *)
+let note_io e =
+  Vfs.ack e ~by:"corpus.io_failures";
+  Printf.eprintf "exom: corpus: %s\n%!" (Vfs.error_message e)
 
 let schema_name = "exom.corpus"
 let schema_version = 1
@@ -207,12 +220,10 @@ let manifest_of_string s =
     in
     Ok { m_seed; m_count; m_family; m_attempts; m_triples = triples }
 
+(* Generate-time writes (the manifest) have no degradation tier: a
+   campaign without a manifest cannot run, so failure raises. *)
 let write_file path contents =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  output_string oc contents;
-  close_out oc;
-  Sys.rename tmp path
+  Vfs.get_ok (Vfs.write_file_atomic ~tmp:(path ^ ".tmp") path contents)
 
 let write_manifest path m = write_file path (manifest_to_string m)
 
@@ -362,7 +373,7 @@ let journaled_rows dir =
 let store_dir dir = Filename.concat dir "store"
 let journals_dir dir = Filename.concat dir "journals"
 
-let ensure_dir d = if not (Sys.file_exists d) then Unix.mkdir d 0o755
+let ensure_dir d = Vfs.get_ok (Vfs.ensure_dir d)
 
 let ensure_layout dir =
   ensure_dir dir;
@@ -425,7 +436,11 @@ let run_triple ?config ?pool ~dir triple =
             ~root_sids:triple.t_root_sids
         in
         Ledger.close_journal ledger;
-        Ledger.write lpath ledger;
+        (* the canonical ledger is a convenience next to the journal;
+           losing it costs a resume (the journal replays), not the row *)
+        (match Ledger.write_result lpath ledger with
+        | Ok () -> ()
+        | Error e -> note_io e);
         row
           (if report.Demand.found then "located" else "not_located")
           (Serve.counts_of_report report)))
@@ -478,18 +493,29 @@ let run_triple_via ~socket triple =
 
 (* {2 Sharded campaign} *)
 
+(* One row, one [write], one [fsync] — through the checked façade.  A
+   failed append is retried once after truncating away any torn tail
+   (a short write would otherwise stop the tolerant reader in front of
+   every later row); the per-path fault budget means a seeded storm
+   lets the retry through.  A second failure raises — [run_local]
+   quarantines the shard and moves on. *)
 let append_row path row =
-  let fd =
-    Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  let line = outcome_to_string row ^ "\n" in
+  let size () =
+    match Unix.stat path with
+    | { Unix.st_size; _ } -> st_size
+    | exception Unix.Unix_error _ -> 0
   in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () ->
-      let line = outcome_to_string row ^ "\n" in
-      let bytes = Bytes.of_string line in
-      let n = Unix.write fd bytes 0 (Bytes.length bytes) in
-      if n <> Bytes.length bytes then failwith "short outcome write";
-      Unix.fsync fd)
+  let before = size () in
+  match Vfs.append path line with
+  | Ok () -> ()
+  | Error e ->
+    note_io e;
+    (try if size () > before then Unix.truncate path before
+     with Unix.Unix_error _ -> ());
+    (match Vfs.append path line with
+    | Ok () -> ()
+    | Error e -> raise (Vfs.Io_error e))
 
 let shard_slice manifest ~shard ~shards =
   List.filteri (fun i _ -> i mod shards = shard) manifest.m_triples
@@ -527,9 +553,14 @@ let run_shard ?config ?jobs ?socket ~dir ~manifest ~shard ~shards ~skip () =
           triples
       in
       (* the shard registry covers the whole journal (resumed rows
-         included), not just this invocation's slice *)
-      Export.write_metrics (shard_metrics dir shard)
-        (registry_of_rows (read_rows journal));
+         included), not just this invocation's slice; it is derived
+         data, so a failed write degrades rather than raises *)
+      (match
+         Export.write_metrics (shard_metrics dir shard)
+           (registry_of_rows (read_rows journal))
+       with
+      | Ok () -> ()
+      | Error e -> note_io e);
       rows)
 
 let merge ~dir ~manifest =
@@ -554,8 +585,18 @@ let merge ~dir ~manifest =
       Buffer.add_string b (outcome_to_string r);
       Buffer.add_char b '\n')
     rows;
-  write_file (Filename.concat dir "outcomes.jsonl") (Buffer.contents b);
-  Export.write_metrics (campaign_metrics dir) (registry_of_rows rows);
+  (* the merged artifacts are derived from the journals: a failed write
+     degrades (re-running [merge] rebuilds them), the rows still return *)
+  let outcomes = Filename.concat dir "outcomes.jsonl" in
+  (match
+     Vfs.write_file_atomic ~tmp:(outcomes ^ ".tmp") outcomes
+       (Buffer.contents b)
+   with
+  | Ok () -> ()
+  | Error e -> note_io e);
+  (match Export.write_metrics (campaign_metrics dir) (registry_of_rows rows) with
+  | Ok () -> ()
+  | Error e -> note_io e);
   (rows, missing)
 
 (* A fresh (non-resume) run must not see a previous campaign's rows,
@@ -593,7 +634,14 @@ let run_local ?config ?jobs ?(resume = false) ~dir ~manifest ~shards () =
     else fun _ -> false
   in
   for shard = 0 to shards - 1 do
-    ignore (run_shard ?config ?jobs ~dir ~manifest ~shard ~shards ~skip ())
+    match run_shard ?config ?jobs ~dir ~manifest ~shard ~shards ~skip () with
+    | _ -> ()
+    | exception Vfs.Io_error e ->
+      (* quarantine just this shard: its un-journaled triples come back
+         as [missing] from the merge and a [--resume] picks them up *)
+      Vfs.ack e ~by:"corpus.io_failures";
+      Printf.eprintf "exom: corpus: shard %d quarantined: %s\n%!" shard
+        (Vfs.error_message e)
   done;
   merge ~dir ~manifest
 

@@ -214,10 +214,9 @@ let of_string s =
 let salvage_of_string s = parse_all s
 
 let save path trace =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string trace))
+  Exom_util.Vfs.get_ok
+    (Exom_util.Vfs.write_file_atomic ~tmp:(path ^ ".tmp") path
+       (to_string trace))
 
 let read_file path =
   let ic = open_in_bin path in

@@ -36,6 +36,8 @@ val of_string : string -> Trace.t
     the error that ended the parse ([None] on fully valid input). *)
 val salvage_of_string : string -> Trace.t * error option
 
+(** Atomic (temp + rename) dump through {!Exom_util.Vfs}; raises
+    [Exom_util.Vfs.Io_error] when the write fails. *)
 val save : string -> Trace.t -> unit
 
 (** Strict load; raises [Failure] on malformed input, [Sys_error] on an

@@ -1,4 +1,5 @@
 module Json = Exom_obs.Json
+module Vfs = Exom_util.Vfs
 
 (* The provenance ledger.  Events are plain data — everything the
    narrative renderer needs (source lines, occurrence counts, verdicts,
@@ -159,10 +160,17 @@ type t = {
   mutable prev_slice : int list;  (* instance ids of the last snapshot *)
   mutable sink : sink option;
   mutable on_push : event -> unit;
+  mutable io_failures : int;
+      (* journal writes/syncs that failed and were absorbed: the run
+         must be marked DEGRADED by the caller, never silently lose
+         provenance *)
 }
 
 let create () =
-  { rev_events = []; prev_slice = []; sink = None; on_push = ignore }
+  { rev_events = []; prev_slice = []; sink = None; on_push = ignore;
+    io_failures = 0 }
+
+let io_failures t = t.io_failures
 
 let events t = List.rev t.rev_events
 
@@ -417,32 +425,55 @@ let to_string t = string_of_events (events t)
 
 (* Crash-consistent canonical write: temp file + rename, like the
    store's entry writer — a kill mid-write leaves either the old file
-   or the new one, never a torn hybrid. *)
+   or the new one, never a torn hybrid.  Checked: callers that can
+   degrade use [write_result]; [write] keeps the raising contract. *)
+let write_result path t =
+  Vfs.write_file_atomic ~tmp:(path ^ ".tmp") path (to_string t)
+
 let write path t =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string t));
-  Sys.rename tmp path
+  match write_result path t with
+  | Ok () -> ()
+  | Error e -> raise (Vfs.Io_error e)
 
 (* {2 The write-ahead journal} *)
 
-let journal_line sink line =
-  output_string sink.s_oc line;
-  output_char sink.s_oc '\n';
-  flush sink.s_oc
+(* Journal appends are checked: a failed line (ENOSPC under a storm)
+   counts in [io_failures] and is absorbed — the in-memory ledger still
+   carries the event, so the canonical [write] can recover it; what is
+   lost is crash-replay coverage, which the caller must surface as a
+   DEGRADED run. *)
+let journal_line t sink line =
+  try
+    output_string sink.s_oc line;
+    output_char sink.s_oc '\n';
+    flush sink.s_oc
+  with Sys_error msg ->
+    t.io_failures <- t.io_failures + 1;
+    Vfs.ack
+      { Vfs.ve_op = Vfs.Write; ve_path = sink.s_path; ve_fault = None;
+        ve_msg = msg }
+      ~by:"ledger.io_failures"
 
 let attach_journal t path =
   (match t.sink with
   | Some _ -> invalid_arg "Ledger.attach_journal: journal already attached"
   | None -> ());
-  let oc = open_out_bin path in
-  let sink = { s_oc = oc; s_fd = Unix.descr_of_out_channel oc; s_path = path } in
-  t.sink <- Some sink;
-  t.on_push <- (fun e -> journal_line sink (Json.to_string (event_json e)));
-  journal_line sink header_line;
-  List.iter t.on_push (events t)
+  match open_out_bin path with
+  | exception Sys_error msg ->
+    (* no sink: the run loses crash-replay coverage, not provenance —
+       the caller surfaces the degradation *)
+    t.io_failures <- t.io_failures + 1;
+    Vfs.ack
+      { Vfs.ve_op = Vfs.Write; ve_path = path; ve_fault = None; ve_msg = msg }
+      ~by:"ledger.io_failures"
+  | oc ->
+    let sink =
+      { s_oc = oc; s_fd = Unix.descr_of_out_channel oc; s_path = path }
+    in
+    t.sink <- Some sink;
+    t.on_push <- (fun e -> journal_line t sink (Json.to_string (event_json e)));
+    journal_line t sink header_line;
+    List.iter t.on_push (events t)
 
 let journal_path t = Option.map (fun s -> s.s_path) t.sink
 
@@ -453,7 +484,7 @@ let resume_marker t ~replayed ~truncated =
   match t.sink with
   | None -> ()
   | Some sink ->
-    journal_line sink
+    journal_line t sink
       (Json.to_string
          (Json.Obj
             [
@@ -462,19 +493,33 @@ let resume_marker t ~replayed ~truncated =
               ("truncated", Json.Bool truncated);
             ]))
 
+(* Make the journal durable.  Never raises: a failed fsync — real or
+   injected — counts in [io_failures] and the caller marks the run
+   DEGRADED; aborting a localization over durability would lose more
+   provenance than it protects. *)
 let sync t =
   match t.sink with
   | None -> ()
-  | Some sink ->
-    flush sink.s_oc;
-    Unix.fsync sink.s_fd
+  | Some sink -> (
+    match Vfs.sync_channel sink.s_path sink.s_oc with
+    | Ok () -> ()
+    | Error e ->
+      t.io_failures <- t.io_failures + 1;
+      Vfs.ack e ~by:"ledger.io_failures")
 
 let close_journal t =
   match t.sink with
   | None -> ()
   | Some sink ->
-    flush sink.s_oc;
-    close_out sink.s_oc;
+    (try
+       flush sink.s_oc;
+       close_out sink.s_oc
+     with Sys_error msg ->
+       t.io_failures <- t.io_failures + 1;
+       Vfs.ack
+         { Vfs.ve_op = Vfs.Close; ve_path = sink.s_path; ve_fault = None;
+           ve_msg = msg }
+         ~by:"ledger.io_failures");
     t.sink <- None;
     t.on_push <- ignore
 
@@ -758,14 +803,7 @@ let of_string content =
     go 2 [] records
 
 let read_file path =
-  match
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
-  | content -> Ok content
-  | exception Sys_error e -> Error e
+  Result.map_error (fun e -> e.Vfs.ve_msg) (Vfs.read_file path)
 
 let load path =
   let* content = read_file path in

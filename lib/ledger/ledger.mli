@@ -258,8 +258,15 @@ val to_string : t -> string
 (** Crash-consistent canonical write: the serialization goes to a temp
     file first and is renamed into place, so a kill mid-write leaves
     either the old file or the new one, never a torn hybrid.  Detach an
-    attached journal on the same path ({!close_journal}) first. *)
+    attached journal on the same path ({!close_journal}) first.
+    Raises {!Exom_util.Vfs.Io_error} on failure; callers with a
+    degradation contract use {!write_result} instead. *)
 val write : string -> t -> unit
+
+(** Checked variant of {!write}: the serve daemon and the campaign
+    runner absorb the error into their degradation contracts instead of
+    unwinding. *)
+val write_result : string -> t -> (unit, Exom_util.Vfs.error) result
 
 (** {2 The write-ahead journal}
 
@@ -287,11 +294,21 @@ val journal_path : t -> string option
     journal. *)
 val resume_marker : t -> replayed:int -> truncated:bool -> unit
 
-(** Flush and [fsync] the journal (no-op without one). *)
+(** Flush and [fsync] the journal (no-op without one).  Never raises:
+    a failed flush or fsync — real or injected through
+    {!Exom_util.Vfs} — is absorbed into {!io_failures}, and the demand
+    loop surfaces it as a DEGRADED run.  The in-memory ledger still
+    carries every event, so provenance is never silently lost; what
+    degrades is crash-replay coverage. *)
 val sync : t -> unit
 
 (** Flush and close the journal; further appends are in-memory only. *)
 val close_journal : t -> unit
+
+(** Journal writes, syncs and attaches that failed and were absorbed
+    since {!create}.  Non-zero means the run must be reported
+    DEGRADED. *)
+val io_failures : t -> int
 
 (** Quick sniff: does [content]'s first line carry this schema (any
     version)?  Lets the CLI distinguish a ledger from an MCL source. *)

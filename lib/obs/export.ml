@@ -113,9 +113,12 @@ let jsonl_lines obs =
 
 (* {2 File writers} *)
 
+(* Checked and crash-consistent (temp + rename) through the Vfs
+   façade: metric exports are leaf artifacts, so callers absorb an
+   [Error] into their own degradation contract instead of letting a
+   full disk kill the run that produced the data. *)
 let write_file path content =
-  let oc = open_out_bin path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+  Exom_util.Vfs.write_file_atomic ~tmp:(path ^ ".tmp") path content
 
 let write_chrome path obs = write_file path (Json.to_string (chrome_json obs) ^ "\n")
 

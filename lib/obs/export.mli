@@ -16,8 +16,13 @@ val chrome_json : Obs.t -> Json.t
     metric, one per span. *)
 val jsonl_lines : Obs.t -> string list
 
-val write_chrome : string -> Obs.t -> unit
-val write_jsonl : string -> Obs.t -> unit
+(** All writers go through {!Exom_util.Vfs} (checked, crash-consistent
+    temp + rename): callers absorb an [Error] into their degradation
+    contract — a full disk must not kill the run that produced the
+    data. *)
+val write_chrome : string -> Obs.t -> (unit, Exom_util.Vfs.error) result
+
+val write_jsonl : string -> Obs.t -> (unit, Exom_util.Vfs.error) result
 
 (** A salvaged torn tail, located so callers can cite it: the 1-based
     line number and the byte offset of the torn line's first byte. *)
@@ -47,4 +52,4 @@ val spans_of_string : string -> (Span.t list * salvage option, string) result
 (** Write just a metrics registry as a JSONL log (header + one record
     per metric) — the corpus shard registry format, readable by
     {!metrics_of_jsonl}. *)
-val write_metrics : string -> Metrics.t -> unit
+val write_metrics : string -> Metrics.t -> (unit, Exom_util.Vfs.error) result

@@ -39,6 +39,7 @@
    after the merge, so worker domains never touch it. *)
 
 module Json = Exom_obs.Json
+module Vfs = Exom_util.Vfs
 
 let version = 1
 let layout_version = 2
@@ -63,6 +64,8 @@ type lock_stats = {
   mutable lock_waits : int;
   mutable lock_steals : int;
   mutable quarantined : int;
+  mutable io_failures : int;
+  mutable tmp_swept : int;
 }
 
 let snapshot s =
@@ -213,11 +216,14 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let write_file_atomic path content =
-  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
-  let oc = open_out_bin tmp in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content);
-  Sys.rename tmp path
+(* Degradation contract: a persist that fails — really or under an
+   injected storm — downgrades the affected entry (or, for the
+   manifest, the whole tier) to memory-only and counts [io_failures];
+   it never aborts a localization over a cache write. *)
+let note_io_failure ~obs ~locks e ~by =
+  Vfs.ack e ~by;
+  locks.io_failures <- locks.io_failures + 1;
+  count_obs obs "io_failures"
 
 (* Quarantine: move a suspect file (or whole foreign item) aside so it
    cannot fail — or be misread — again.  Renames are best-effort: a
@@ -310,15 +316,85 @@ let release_lock path = try Sys.remove path with Sys_error _ -> ()
 
 let with_lock t d i f =
   let lock = lock_path d.root i in
-  acquire_lock ~lease:d.lease
-    ~on_wait:(fun () ->
-      t.locks.lock_waits <- t.locks.lock_waits + 1;
-      count t "lock_waits")
-    ~on_steal:(fun () ->
-      t.locks.lock_steals <- t.locks.lock_steals + 1;
-      count t "lock_steals")
-    lock;
-  Fun.protect ~finally:(fun () -> release_lock lock) f
+  (* the lock file creation sits under the chaos plan too: an injected
+     fault on it degrades to a lockless write — the lock is advisory
+     (entries are content addressed), so correctness survives; only
+     same-shard write bursts lose their serialization *)
+  match Vfs.probe Vfs.Write lock with
+  | Some e ->
+    note_io_failure ~obs:t.obs ~locks:t.locks e ~by:"store.io_failures";
+    f ()
+  | None ->
+    acquire_lock ~lease:d.lease
+      ~on_wait:(fun () ->
+        t.locks.lock_waits <- t.locks.lock_waits + 1;
+        count t "lock_waits")
+      ~on_steal:(fun () ->
+        t.locks.lock_steals <- t.locks.lock_steals + 1;
+        count t "lock_steals")
+      lock;
+    Fun.protect ~finally:(fun () -> release_lock lock) f
+
+(* Orphan sweep: a stealer that crashes between [steal_lock]'s rename
+   and remove leaves `X.lock.stale.<pid>.<seq>` behind, and a writer
+   killed mid-entry leaves `<key>.tmp.<pid>`.  Both are garbage the
+   moment their embedded pid is dead: sweep them on open (under the
+   init lock) so crashed writers cannot accumulate litter, and count
+   the sweep in [lock_stats]. *)
+
+let suffix_after name marker =
+  let ml = String.length marker and nl = String.length name in
+  let rec find i best =
+    if i + ml > nl then best
+    else find (i + 1) (if String.sub name i ml = marker then Some (i + ml) else best)
+  in
+  Option.map (fun i -> String.sub name i (nl - i)) (find 0 None)
+
+(* [Some true] when [name] carries [marker] and its embedded pid is
+   provably dead (or unreadable — a writer that never got to write a
+   pid is not alive to mind). *)
+let orphaned_by name marker =
+  match suffix_after name marker with
+  | None -> None
+  | Some rest ->
+    let pid_str =
+      match String.index_opt rest '.' with
+      | Some i -> String.sub rest 0 i
+      | None -> rest
+    in
+    Some
+      (match int_of_string_opt pid_str with
+      | Some pid -> not (pid_alive pid)
+      | None -> true)
+
+let sweep_stale_tmps ~note root =
+  let sweep_file dir name =
+    let orphan =
+      match orphaned_by name ".stale." with
+      | Some d -> d
+      | None -> Option.value ~default:false (orphaned_by name ".tmp.")
+    in
+    if orphan then
+      match Sys.remove (Filename.concat dir name) with
+      | () -> note ()
+      | exception Sys_error _ -> ()  (* a racing sweeper won *)
+  in
+  match Sys.readdir root with
+  | exception Sys_error _ -> ()
+  | names ->
+    Array.iter
+      (fun name ->
+        let path = Filename.concat root name in
+        match Sys.is_directory path with
+        | true -> (
+          (* quarantined evidence is kept as-is *)
+          if name <> quarantine_name then
+            match Sys.readdir path with
+            | exception Sys_error _ -> ()
+            | inner -> Array.iter (fun n -> sweep_file path n) inner)
+        | false -> sweep_file root name
+        | exception Sys_error _ -> ())
+      names
 
 (* Manifest: one JSON line naming the layout.  A directory whose
    manifest is missing (but non-empty), unparsable, or from a different
@@ -354,54 +430,70 @@ let parse_manifest content =
     | _ -> Error "foreign manifest")
 
 (* Adopt or initialize a store directory.  Serialized across processes
-   by an init lock so two concurrent creators agree on one manifest. *)
+   by an init lock so two concurrent creators agree on one manifest.
+   Returns [None] — memory-tier only — when the directory (or its
+   manifest) cannot be persisted: the cache degrades, never aborts. *)
 let open_disk ~obs ~locks ~shards ~lease root =
-  ensure_dir root;
-  if not (Sys.is_directory root) then
-    invalid_arg (Printf.sprintf "Store.create: %s is not a directory" root);
-  let note () =
-    locks.quarantined <- locks.quarantined + 1;
-    count_obs obs "quarantined"
-  in
-  let init_lock = Filename.concat root ".init.lock" in
-  acquire_lock ~lease
-    ~on_wait:(fun () ->
-      locks.lock_waits <- locks.lock_waits + 1;
-      count_obs obs "lock_waits")
-    ~on_steal:(fun () ->
-      locks.lock_steals <- locks.lock_steals + 1;
-      count_obs obs "lock_steals")
-    init_lock;
-  Fun.protect
-    ~finally:(fun () -> release_lock init_lock)
-    (fun () ->
-      let mpath = manifest_path root in
-      let adopted =
-        if Sys.file_exists mpath then
-          match parse_manifest (read_file mpath) with
-          | Ok shards -> Some shards
-          | Error _ ->
-            (* foreign or corrupt manifest: quarantine it and every
-               shard laid out under it *)
-            quarantine_item ~note root mpath;
-            None
-        else None
-      in
-      match adopted with
-      | Some shards -> { root; shards; lease }
-      | None ->
-        (* no usable manifest: any existing content is a foreign or
-           legacy layout — move it aside wholesale, then initialize *)
-        Array.iter
-          (fun name ->
-            if
-              name <> quarantine_name
-              && name <> Filename.basename init_lock
-              && not (Filename.check_suffix name ".lock")
-            then quarantine_item ~note root (Filename.concat root name))
-          (Sys.readdir root);
-        write_file_atomic mpath (render_manifest shards);
-        { root; shards; lease })
+  match Vfs.ensure_dir root with
+  | Error e ->
+    note_io_failure ~obs ~locks e ~by:"store.io_failures";
+    None
+  | Ok () ->
+    if not (Sys.is_directory root) then
+      invalid_arg (Printf.sprintf "Store.create: %s is not a directory" root);
+    let note () =
+      locks.quarantined <- locks.quarantined + 1;
+      count_obs obs "quarantined"
+    in
+    let init_lock = Filename.concat root ".init.lock" in
+    acquire_lock ~lease
+      ~on_wait:(fun () ->
+        locks.lock_waits <- locks.lock_waits + 1;
+        count_obs obs "lock_waits")
+      ~on_steal:(fun () ->
+        locks.lock_steals <- locks.lock_steals + 1;
+        count_obs obs "lock_steals")
+      init_lock;
+    Fun.protect
+      ~finally:(fun () -> release_lock init_lock)
+      (fun () ->
+        sweep_stale_tmps
+          ~note:(fun () ->
+            locks.tmp_swept <- locks.tmp_swept + 1;
+            count_obs obs "tmp_swept")
+          root;
+        let mpath = manifest_path root in
+        let adopted =
+          if Sys.file_exists mpath then
+            match parse_manifest (read_file mpath) with
+            | Ok shards -> Some shards
+            | Error _ ->
+              (* foreign or corrupt manifest: quarantine it and every
+                 shard laid out under it *)
+              quarantine_item ~note root mpath;
+              None
+          else None
+        in
+        match adopted with
+        | Some shards -> Some { root; shards; lease }
+        | None ->
+          (* no usable manifest: any existing content is a foreign or
+             legacy layout — move it aside wholesale, then initialize *)
+          Array.iter
+            (fun name ->
+              if
+                name <> quarantine_name
+                && name <> Filename.basename init_lock
+                && not (Filename.check_suffix name ".lock")
+              then quarantine_item ~note root (Filename.concat root name))
+            (Sys.readdir root);
+          match Vfs.write_file_atomic mpath (render_manifest shards) with
+          | Ok () -> Some { root; shards; lease }
+          | Error e ->
+            (* no manifest means no agreed partitioning: this process
+               runs memory-only rather than guess *)
+            note_io_failure ~obs ~locks e ~by:"store.io_failures";
+            None)
 
 let create ?obs ?dir ?(capacity = default_capacity) ?(shards = default_shards)
     ?(lease = default_lease) () =
@@ -409,8 +501,11 @@ let create ?obs ?dir ?(capacity = default_capacity) ?(shards = default_shards)
   if shards < 1 || shards > 256 then
     invalid_arg "Store.create: shards must be in [1, 256]";
   if lease <= 0.0 then invalid_arg "Store.create: lease must be positive";
-  let locks = { lock_waits = 0; lock_steals = 0; quarantined = 0 } in
-  let disk = Option.map (open_disk ~obs ~locks ~shards ~lease) dir in
+  let locks =
+    { lock_waits = 0; lock_steals = 0; quarantined = 0; io_failures = 0;
+      tmp_swept = 0 }
+  in
+  let disk = Option.bind dir (open_disk ~obs ~locks ~shards ~lease) in
   {
     disk;
     capacity;
@@ -472,30 +567,37 @@ let disk_find t key =
         None
     end
 
+(* Returns whether the entry actually reached the disk tier.  A failed
+   persist — real or injected — downgrades this entry to memory-only
+   (the caller just inserted it there) and counts [io_failures]; a
+   localization never aborts over a cache write. *)
 let disk_write t key value =
   match t.disk with
-  | None -> ()
+  | None -> false
   | Some d ->
     let i = shard_index ~shards:d.shards key in
-    ensure_dir (shard_dir d.root i);
+    (match Vfs.ensure_dir (shard_dir d.root i) with
+    | Ok () -> ()
+    | Error e -> note_io_failure ~obs:t.obs ~locks:t.locks e ~by:"store.io_failures");
     with_lock t d i (fun () ->
         let path = entry_path d key in
-        let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
-        let oc = open_out_bin tmp in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () ->
-            Printf.fprintf oc "%s\n%s\n%d\n%s" header key (String.length value)
-              value);
-        Sys.rename tmp path)
+        let content =
+          Printf.sprintf "%s\n%s\n%d\n%s" header key (String.length value) value
+        in
+        match Vfs.write_file_atomic path content with
+        | Ok () -> true
+        | Error e ->
+          note_io_failure ~obs:t.obs ~locks:t.locks e ~by:"store.io_failures";
+          false)
 
 let disk_add t key value =
   match t.disk with
   | None -> ()
   | Some _ ->
-    disk_write t key value;
-    t.stats.writes <- t.stats.writes + 1;
-    count t "writes"
+    if disk_write t key value then begin
+      t.stats.writes <- t.stats.writes + 1;
+      count t "writes"
+    end
 
 (* Public lookups *)
 
@@ -532,7 +634,7 @@ let add t ~key value =
    invisible to the books. *)
 let seed t ~key value =
   insert_mem t key value;
-  disk_write t key value
+  ignore (disk_write t key value)
 
 let restore_stats t (s : stats) =
   let d = t.stats in

@@ -57,6 +57,13 @@ type lock_stats = {
       (** locks stolen from a dead holder or after the lease expired *)
   mutable quarantined : int;
       (** corrupt entries and foreign layout items moved aside *)
+  mutable io_failures : int;
+      (** persists (entries, manifest, lock files) that failed — really
+          or under an injected {!Exom_util.Vfs} storm — and degraded to
+          the memory tier instead of aborting *)
+  mutable tmp_swept : int;
+      (** orphaned temp/stale-lock files from crashed writers and
+          stealers, removed on open *)
 }
 
 (** An independent copy (reports snapshot it; the live record keeps

@@ -43,6 +43,7 @@ module Store = Exom_sched.Store
 module Ledger = Exom_ledger.Ledger
 module Obs = Exom_obs.Obs
 module Export = Exom_obs.Export
+module Vfs = Exom_util.Vfs
 
 type config = {
   socket_path : string;
@@ -81,6 +82,9 @@ type counters = {
   resumed : int Atomic.t;  (* in-flight requests replayed at startup *)
   replayed : int Atomic.t;  (* requests served (partly) from a journal *)
   retries : int Atomic.t;  (* degraded requests re-run *)
+  storage_unavailable : int Atomic.t;
+      (* requests shed (507-style) because their request file could not
+         be persisted: the daemon keeps draining on a hostile disk *)
 }
 
 type pending = {
@@ -107,13 +111,14 @@ let traces_dir st = Filename.concat st.cfg.state_dir "traces"
 let ledger_path st fp = Filename.concat (ledgers_dir st) (fp ^ ".ledger")
 let trace_path st fp = Filename.concat (traces_dir st) (fp ^ ".trace.json")
 
-let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
+(* Startup state directories are mandatory: a daemon that cannot
+   persist requests must not come up claiming crash safety. *)
+let ensure_dir d = Vfs.get_ok (Vfs.ensure_dir d)
 
 let write_file_atomic path content =
-  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
-  let oc = open_out_bin tmp in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content);
-  Sys.rename tmp path
+  Vfs.write_file_atomic
+    ~tmp:(Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()))
+    path content
 
 let queue_depth st =
   Mutex.lock st.mutex;
@@ -129,6 +134,7 @@ let counter_list st =
     ("resumed", Atomic.get st.counters.resumed);
     ("replayed", Atomic.get st.counters.replayed);
     ("retries", Atomic.get st.counters.retries);
+    ("storage_unavailable", Atomic.get st.counters.storage_unavailable);
     ("queue_depth", queue_depth st) ]
 
 (* {2 The listener domain} *)
@@ -143,21 +149,36 @@ let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 let provisional_seq = ref 0
 
 (* Persist, then enqueue, then count: a request is only ever
-   acknowledged after it can survive a SIGKILL. *)
+   acknowledged after it can survive a SIGKILL.  A request that cannot
+   be persisted is therefore shed (the 507: storage, not load) — the
+   client is told to retry, nothing enters the queue, and the daemon
+   keeps draining. *)
 let enqueue_locate st fd locate =
   incr provisional_seq;
   let file =
     Filename.concat (requests_dir st)
       (Printf.sprintf "q-%d-%d.json" (Unix.getpid ()) !provisional_seq)
   in
-  write_file_atomic file (Proto.encode_request (Proto.Locate locate) ^ "\n");
-  Mutex.lock st.mutex;
-  Queue.add
-    { p_locate = locate; p_fd = Some fd; p_file = Some file;
-      p_enqueued = Unix.gettimeofday () }
-    st.queue;
-  Mutex.unlock st.mutex;
-  Atomic.incr st.counters.accepted
+  match
+    write_file_atomic file (Proto.encode_request (Proto.Locate locate) ^ "\n")
+  with
+  | Error e ->
+    Vfs.ack e ~by:"serve.storage_unavailable";
+    (* whatever landed (a torn temp, a renamed-but-unsynced file) must
+       not be replayed by --resume: the client was told to retry *)
+    (try Sys.remove file with Sys_error _ -> ());
+    Atomic.incr st.counters.storage_unavailable;
+    Atomic.incr st.counters.shed;
+    send_response fd (Proto.Shed "storage_unavailable");
+    close_quietly fd
+  | Ok () ->
+    Mutex.lock st.mutex;
+    Queue.add
+      { p_locate = locate; p_fd = Some fd; p_file = Some file;
+        p_enqueued = Unix.gettimeofday () }
+      st.queue;
+    Mutex.unlock st.mutex;
+    Atomic.incr st.counters.accepted
 
 let handle_connection st fd =
   Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
@@ -370,11 +391,27 @@ let rec locate_once st (l : Proto.locate) ~attempt =
             (fun () -> Demand.locate ~pool:st.pool session ~oracle ~root_sids)
         in
         Ledger.close_journal ledger;
-        Ledger.write lpath ledger;
+        (* canonical-write failure degrades, never drops the answer:
+           the closed journal is complete, so resume still converges *)
+        (match Ledger.write_result lpath ledger with
+        | Ok () -> ()
+        | Error e ->
+          Vfs.ack e ~by:"serve.io_failures";
+          Obs.incr st.obs "serve.io_failures");
         if st.cfg.trace then begin
-          ensure_dir (traces_dir st);
-          write_file_atomic (trace_path st fp)
-            (Exom_obs.Json.to_string (Export.chrome_json req_obs) ^ "\n")
+          match Vfs.ensure_dir (traces_dir st) with
+          | Error e ->
+            Vfs.ack e ~by:"serve.io_failures";
+            Obs.incr st.obs "serve.io_failures"
+          | Ok () -> (
+            match
+              write_file_atomic (trace_path st fp)
+                (Exom_obs.Json.to_string (Export.chrome_json req_obs) ^ "\n")
+            with
+            | Ok () -> ()
+            | Error e ->
+              Vfs.ack e ~by:"serve.io_failures";
+              Obs.incr st.obs "serve.io_failures")
         end;
         Obs.absorb ~into:st.obs req_obs;
         if report.Demand.degraded <> None && attempt < st.cfg.request_retries
@@ -415,6 +452,12 @@ let serve_one st item =
     if stale then begin
       Atomic.incr st.counters.shed;
       Obs.incr st.obs "serve.shed";
+      (* the client is told to retry, so the persisted request must go:
+         leaving it would make --resume re-enqueue work the client
+         already re-owns (and double-run it after its retry) *)
+      (match item.p_file with
+      | Some f -> ( try Sys.remove f with Sys_error _ -> ())
+      | None -> ());
       Proto.Shed "queue deadline exceeded"
     end
     else begin
@@ -539,6 +582,7 @@ let run ?(on_ready = fun () -> ()) cfg =
           resumed = Atomic.make 0;
           replayed = Atomic.make 0;
           retries = Atomic.make 0;
+          storage_unavailable = Atomic.make 0;
         };
       obs = Obs.create ();
       pool = Pool.create ~jobs:cfg.jobs ();
@@ -597,7 +641,13 @@ let run ?(on_ready = fun () -> ()) cfg =
           in
           if v > have then Obs.add st.obs ("serve." ^ name) (v - have))
       (counter_list st);
-    Export.write_jsonl (Filename.concat cfg.state_dir "metrics.jsonl") st.obs;
+    (match
+       Export.write_jsonl (Filename.concat cfg.state_dir "metrics.jsonl") st.obs
+     with
+    | Ok () -> ()
+    | Error e ->
+      Vfs.ack e ~by:"serve.io_failures";
+      Printf.eprintf "serve: metrics export failed: %s\n" (Vfs.error_message e));
     (try Sys.remove cfg.socket_path with Sys_error _ -> ());
     0
   end

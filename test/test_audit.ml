@@ -109,7 +109,7 @@ let trace_file obs =
 
 let jsonl_file obs =
   let p = fresh_path () in
-  Export.write_jsonl p obs;
+  Result.get_ok (Export.write_jsonl p obs);
   p
 
 (* A tiny hand-built span tree, parameterized so the edit classes are
@@ -206,7 +206,7 @@ let test_metric_drift_leg () =
     let m = Metrics.create () in
     Metrics.add m "verify.runs" v;
     let p = fresh_path () in
-    Export.write_metrics p m;
+    Result.get_ok (Export.write_metrics p m);
     p
   in
   let a = load_ok (reg_file 100) and b = load_ok (reg_file 104) in

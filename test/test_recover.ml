@@ -16,6 +16,8 @@ module Pool = Exom_sched.Pool
 module Ledger = Exom_ledger.Ledger
 module Obs = Exom_obs.Obs
 module Spine = Exom_obs.Spine
+module Json = Exom_obs.Json
+module Vfs = Exom_util.Vfs
 
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -309,6 +311,85 @@ let test_multi_generation_chain () =
         (report_sig report2 = report_sig full_report))
     [ 1; 4 ]
 
+(* A degraded run's ledger differs from the baseline only in the Final
+   event's [degraded] marker; everything else must still be identical. *)
+let strip_degraded s =
+  String.split_on_char '\n' s
+  |> List.map (fun line ->
+         if contains line "\"ev\":\"final\"" then
+           match Json.parse line with
+           | Ok (Json.Obj fields) ->
+             Json.to_string
+               (Json.Obj (List.filter (fun (k, _) -> k <> "degraded") fields))
+           | Ok _ | Error _ -> line
+         else line)
+  |> String.concat "\n"
+
+(* The storage-fault face of the same chain: generation 2 resumes while
+   its journal's first fsync dies with an injected ENOSPC.  The run must
+   converge to a ledger byte-identical to the uninterrupted baseline or
+   an explicitly DEGRADED one whose only divergence is the degradation
+   marker — and the verdict must match either way.  Never silently
+   wrong, at -j1 and -j4 alike. *)
+let test_multi_generation_chain_with_enospc () =
+  let full_ledger, full_report = Lazy.force baseline in
+  let journal0 = read_file (Lazy.force baseline_path) in
+  List.iter
+    (fun jobs ->
+      (* generation 1: killed right after the first checkpoint *)
+      let killed1 = fresh_path () in
+      write_file killed1 (torn_after_checkpoint journal0 0);
+      let plan1 = plan_of "enospc gen1" killed1 in
+      let j1 = fresh_path () in
+      ignore (journaled_run ~plan:plan1 ~jobs j1);
+      (* generation 2: the resumed run killed after its last checkpoint *)
+      let journal1 = read_file j1 in
+      let ncks1 = List.length (checkpoint_indices (journal_lines journal1)) in
+      let killed2 = fresh_path () in
+      write_file killed2 (torn_after_checkpoint journal1 (ncks1 - 1));
+      let plan2 = plan_of "enospc gen2" killed2 in
+      let j2 = fresh_path () in
+      Vfs.reset_counters ();
+      Vfs.arm
+        (Vfs.Io_chaos.targeted ~op:Vfs.Fsync
+           ~path_substr:(Filename.basename j2) ~after:1 Vfs.Enospc);
+      let ledger2, report2 =
+        Fun.protect
+          ~finally:(fun () -> Vfs.disarm ())
+          (fun () -> journaled_run ~plan:plan2 ~jobs j2)
+      in
+      let c = Vfs.counters () in
+      Alcotest.(check int)
+        (Printf.sprintf "the ENOSPC actually fired (-j%d)" jobs)
+        1 c.Vfs.c_injected;
+      Alcotest.(check int)
+        (Printf.sprintf "and was accounted exactly once (-j%d)" jobs)
+        1 c.Vfs.c_acked;
+      (* never wrong: the verdict matches the uninterrupted baseline *)
+      Alcotest.(check bool)
+        (Printf.sprintf "verdict matches baseline (-j%d)" jobs)
+        true
+        (report2.Demand.found = full_report.Demand.found
+        && Slice.sids report2.Demand.ips = Slice.sids full_report.Demand.ips);
+      if ledger2 <> full_ledger then begin
+        (* not byte-identical, so it must be explicitly DEGRADED... *)
+        (match report2.Demand.degraded with
+        | Some reason ->
+          Alcotest.(check bool)
+            (Printf.sprintf "degradation names the journal (-j%d)" jobs)
+            true
+            (contains reason "journal write/sync failure")
+        | None ->
+          Alcotest.failf
+            "ledger diverged without a DEGRADED report (-j%d)" jobs);
+        (* ...and the divergence must be exactly the degradation marker *)
+        Alcotest.(check string)
+          (Printf.sprintf
+             "identical outside the degradation marker (-j%d)" jobs)
+          (strip_degraded full_ledger) (strip_degraded ledger2)
+      end)
+    [ 1; 4 ]
+
 (* The trace-spine side of the same chain: a kill -> resume -> kill ->
    resume survivor must emit a coordinator span spine identical to the
    uninterrupted run's — replayed batches re-emit their lane-0
@@ -414,6 +495,8 @@ let () =
                 test_complete_journal_resumes_to_itself;
               Alcotest.test_case "multi-generation crash chain" `Quick
                 test_multi_generation_chain;
+              Alcotest.test_case "crash chain with journal ENOSPC" `Quick
+                test_multi_generation_chain_with_enospc;
               Alcotest.test_case "kill-chain coordinator spine" `Quick
                 test_kill_chain_spine;
               Alcotest.test_case "foreign journal rejected" `Quick

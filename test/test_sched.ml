@@ -203,6 +203,47 @@ let test_foreign_layout_quarantined () =
       Store.add s ~key:k "v";
       Alcotest.(check (option string)) "usable" (Some "v") (Store.find s k))
 
+let test_stale_tmp_lock_swept () =
+  with_temp_dir (fun dir ->
+      (* a stealer crashed between its rename steps and a writer killed
+         mid-entry leave pid-stamped litter behind; once their pids are
+         dead, the next open sweeps both — live litter is left alone *)
+      let k = Store.digest [ "sweep" ] in
+      let s1 = Store.create ~dir () in
+      Store.add s1 ~key:k "v";
+      let drop path =
+        let oc = open_out_bin path in
+        close_out oc;
+        path
+      in
+      (* far above any real pid_max, so provably dead *)
+      let dead = 99_999_999 in
+      let orphan_lock =
+        drop (Filename.concat dir (Printf.sprintf "e.lock.stale.%d.3" dead))
+      in
+      let shard0 = Filename.concat dir "shard-000" in
+      if not (Sys.file_exists shard0) then Unix.mkdir shard0 0o755;
+      let orphan_tmp =
+        drop (Filename.concat shard0 (Printf.sprintf "deadbeef.tmp.%d" dead))
+      in
+      let live_lock =
+        drop
+          (Filename.concat dir
+             (Printf.sprintf "e.lock.stale.%d.1" (Unix.getpid ())))
+      in
+      let s2 = Store.create ~dir () in
+      Alcotest.(check int) "both orphans counted" 2
+        (Store.lock_stats s2).Store.tmp_swept;
+      Alcotest.(check bool) "orphaned stale lock removed" false
+        (Sys.file_exists orphan_lock);
+      Alcotest.(check bool) "orphaned entry temp removed" false
+        (Sys.file_exists orphan_tmp);
+      Alcotest.(check bool) "live writer's litter untouched" true
+        (Sys.file_exists live_lock);
+      (* the swept store still serves the persisted entry *)
+      Alcotest.(check (option string)) "store intact" (Some "v")
+        (Store.find s2 k))
+
 let test_corrupt_entry_quarantined () =
   with_temp_dir (fun dir ->
       let k = Store.digest [ "x" ] in
@@ -651,6 +692,8 @@ let () =
             test_foreign_layout_quarantined;
           Alcotest.test_case "corrupt entry quarantined" `Quick
             test_corrupt_entry_quarantined;
+          Alcotest.test_case "stale tmp locks swept" `Quick
+            test_stale_tmp_lock_swept;
           Alcotest.test_case "dead holder's lock stolen" `Quick
             test_dead_holder_lock_stolen;
           Alcotest.test_case "expired lease stolen" `Quick

@@ -5,6 +5,7 @@ module Vec = Exom_util.Vec
 module Uf = Exom_util.Union_find
 module Table = Exom_util.Table
 module Backoff = Exom_util.Backoff
+module Vfs = Exom_util.Vfs
 
 (* Vec *)
 
@@ -183,6 +184,139 @@ let prop_backoff_ladder_shape =
       && List.length ladder <= Backoff.attempts t
       && List.for_all (fun b -> b <= base * cap_factor) ladder)
 
+(* Vfs: the checked I/O façade and its injectable chaos *)
+
+let tmp_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "exom_vfs_test_%d_%d" (Unix.getpid ()) !n)
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_disarmed f =
+  Vfs.disarm ();
+  Vfs.reset_counters ();
+  Fun.protect ~finally:(fun () -> Vfs.disarm ()) f
+
+let test_vfs_plain_roundtrip () =
+  with_disarmed (fun () ->
+      let p = tmp_path () in
+      Alcotest.(check bool) "write ok" true
+        (Vfs.write_file_atomic p "hello" = Ok ());
+      Alcotest.(check string) "content" "hello" (read_all p);
+      Alcotest.(check bool) "append ok" true (Vfs.append p " world" = Ok ());
+      Alcotest.(check string) "appended" "hello world" (read_all p);
+      (match Vfs.read_file p with
+      | Ok s -> Alcotest.(check string) "read back" "hello world" s
+      | Error e -> Alcotest.fail (Vfs.error_message e));
+      Sys.remove p;
+      let c = Vfs.counters () in
+      Alcotest.(check int) "nothing injected" 0 c.Vfs.c_injected;
+      Alcotest.(check int) "no real errors" 0 c.Vfs.c_real)
+
+let test_vfs_real_error_is_typed () =
+  with_disarmed (fun () ->
+      match Vfs.write_file_atomic "/nonexistent_dir_xyz/f" "x" with
+      | Ok () -> Alcotest.fail "write into a missing directory succeeded"
+      | Error e ->
+        Alcotest.(check bool) "real, not injected" true (e.Vfs.ve_fault = None);
+        Alcotest.(check int) "counted as real" 1 (Vfs.counters ()).Vfs.c_real)
+
+let test_vfs_targeted_fires_once () =
+  with_disarmed (fun () ->
+      let p = tmp_path () in
+      Vfs.arm
+        (Vfs.Io_chaos.targeted ~op:Vfs.Write ~path_substr:"exom_vfs_test"
+           ~after:2 Vfs.Enospc);
+      Alcotest.(check bool) "first write passes" true
+        (Vfs.write_file_atomic p "one" = Ok ());
+      (match Vfs.write_file_atomic p "two" with
+      | Ok () -> Alcotest.fail "second write should fault"
+      | Error e ->
+        Alcotest.(check bool) "injected ENOSPC" true
+          (e.Vfs.ve_fault = Some Vfs.Enospc);
+        (* ENOSPC on an atomic write: the destination keeps its content *)
+        Alcotest.(check string) "destination intact" "one" (read_all p);
+        Vfs.ack e ~by:"test.io_failures");
+      Alcotest.(check bool) "third write passes (budget spent)" true
+        (Vfs.write_file_atomic p "three" = Ok ());
+      Sys.remove p;
+      let c = Vfs.counters () in
+      Alcotest.(check int) "one injected" 1 c.Vfs.c_injected;
+      Alcotest.(check int) "one acked" 1 c.Vfs.c_acked;
+      Alcotest.(check (list (pair string int))) "tally names the consumer"
+        [ ("test.io_failures", 1) ]
+        (Vfs.ack_tally ()))
+
+let test_vfs_seeded_deterministic () =
+  with_disarmed (fun () ->
+      let run () =
+        Vfs.arm (Vfs.Io_chaos.of_seed ~rate:3 ~per_path:99 42);
+        let decisions =
+          List.init 40 (fun i ->
+              match Vfs.probe Vfs.Write (Printf.sprintf "p%d" (i mod 7)) with
+              | Some e -> Vfs.fault_to_string (Option.get e.Vfs.ve_fault)
+              | None -> ".")
+        in
+        Vfs.disarm ();
+        decisions
+      in
+      let a = run () and b = run () in
+      Alcotest.(check (list string)) "same seed, same storm" a b;
+      Alcotest.(check bool) "storm actually fired" true
+        (List.exists (fun d -> d <> ".") a))
+
+let test_vfs_per_path_budget () =
+  with_disarmed (fun () ->
+      (* rate 1 faults every eligible op; per_path 1 lets a retry against
+         the same destination through *)
+      let p = tmp_path () in
+      Vfs.arm (Vfs.Io_chaos.of_seed ~rate:1 ~per_path:1 7);
+      (match Vfs.write_file_atomic p "v" with
+      | Ok () -> Alcotest.fail "rate-1 storm let the first write pass"
+      | Error e -> Vfs.ack e ~by:"test.io_failures");
+      Alcotest.(check bool) "retry passes under the path budget" true
+        (Vfs.write_file_atomic p "v" = Ok ());
+      Alcotest.(check string) "retry landed" "v" (read_all p);
+      Sys.remove p)
+
+let test_vfs_short_append_leaves_torn_tail () =
+  with_disarmed (fun () ->
+      let p = tmp_path () in
+      Alcotest.(check bool) "seed line" true (Vfs.append p "full line\n" = Ok ());
+      Vfs.arm
+        (Vfs.Io_chaos.targeted ~op:Vfs.Write ~path_substr:"exom_vfs_test"
+           ~after:1 Vfs.Short_write);
+      (match Vfs.append p "0123456789\n" with
+      | Ok () -> Alcotest.fail "short write should report an error"
+      | Error e -> Vfs.ack e ~by:"test.io_failures");
+      Alcotest.(check string) "torn prefix on disk" "full line\n01234"
+        (read_all p);
+      Sys.remove p)
+
+let test_vfs_torn_rename_renames () =
+  with_disarmed (fun () ->
+      let p = tmp_path () in
+      Vfs.arm
+        (Vfs.Io_chaos.targeted ~op:Vfs.Rename ~path_substr:"exom_vfs_test"
+           ~after:1 Vfs.Torn_rename);
+      (match Vfs.write_file_atomic p "payload" with
+      | Ok () -> Alcotest.fail "torn rename should report an error"
+      | Error e ->
+        Alcotest.(check bool) "torn-rename fault" true
+          (e.Vfs.ve_fault = Some Vfs.Torn_rename);
+        Vfs.ack e ~by:"test.io_failures");
+      (* the rename itself happened: only durability was in doubt *)
+      Alcotest.(check string) "destination renamed" "payload" (read_all p);
+      Sys.remove p)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "util"
@@ -203,6 +337,14 @@ let () =
           tc "cap shortens ladder" test_backoff_cap_shortens_ladder;
           tc "field validation" test_backoff_validation;
           tc "overflow safe" test_backoff_overflow_safe ] );
+      ( "vfs",
+        [ tc "plain roundtrip" test_vfs_plain_roundtrip;
+          tc "real error typed" test_vfs_real_error_is_typed;
+          tc "targeted fires once" test_vfs_targeted_fires_once;
+          tc "seeded deterministic" test_vfs_seeded_deterministic;
+          tc "per-path budget" test_vfs_per_path_budget;
+          tc "short append torn tail" test_vfs_short_append_leaves_torn_tail;
+          tc "torn rename renames" test_vfs_torn_rename_renames ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_vec_matches_list; prop_uf_equivalence;
